@@ -1,0 +1,72 @@
+"""Ablation: fragment-size sweep (why ~600 MB / auto-sizing works).
+
+Section IV-C: the partition size is "manually filled in by the programmer
+or automatically determined by the runtime system.  In order to achieve a
+better performance, the empirical data ... may be required."  This sweep
+is that empirical data: elapsed time and peak memory pressure of a 2 GB
+Word Count across fragment sizes, exposing the trade-off the automatic
+partitioner navigates — per-fragment overhead on the left, paging on the
+right, with the auto choice inside the flat valley.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.analysis.report import banner, render_table
+from repro.cluster import Testbed
+from repro.apps import make_wordcount_spec
+from repro.partition import ExtendedPhoenixRuntime
+from repro.units import MB
+from repro.workloads import text_input
+
+SIZE = MB(2000)
+FRAGMENTS = (MB(75), MB(150), MB(300), MB(450), MB(600), MB(900), MB(1200), None)
+
+
+def _sweep():
+    out = []
+    for frag in FRAGMENTS:
+        bed = Testbed(seed=1)
+        inp = text_input("/data/huge", SIZE, payload_bytes=20_000, seed=1)
+        sd_view, _h, _p = bed.stage_on_sd("huge", inp)
+        ext = ExtendedPhoenixRuntime(bed.sd, bed.config.phoenix)
+
+        def run_one(frag=frag, ext=ext, sd_view=sd_view, bed=bed):
+            res = yield ext.run(make_wordcount_spec(), sd_view, fragment_bytes=frag)
+            return res
+
+        res = bed.run(run_one())
+        peak = max(s.peak_pressure for s in res.fragment_stats)
+        out.append((frag, res.n_fragments, res.elapsed, peak))
+    return out
+
+
+def bench_partition_size_sweep(benchmark):
+    rows = once(benchmark, _sweep)
+    print(banner(f"ABLATION - fragment size sweep, WordCount {SIZE / 1e6:.0f}MB on the duo SD"))
+    print(
+        render_table(
+            ["fragment", "n_frags", "elapsed (s)", "peak pressure"],
+            [
+                ["auto" if f is None else f"{f / 1e6:.0f}MB", n, e, p]
+                for f, n, e, p in rows
+            ],
+        )
+    )
+    by_frag = {f: (n, e, p) for f, n, e, p in rows}
+    auto_elapsed = by_frag[None][1]
+    best = min(e for _, e, _ in by_frag.values())
+    worst = max(e for _, e, _ in by_frag.values())
+    print(
+        f"auto choice within {auto_elapsed / best:.3f}x of the best sweep point; "
+        f"worst (thrashing) point {worst / best:.2f}x"
+    )
+
+    # the auto partitioner lands in the valley
+    assert auto_elapsed <= 1.05 * best
+    # oversized fragments pay the paging penalty hard
+    assert by_frag[MB(1200)][1] > 2.5 * best
+    assert by_frag[MB(1200)][2] > 1.0  # actively swapping
+    # small fragments stay clean but pay measurable per-fragment overhead
+    assert by_frag[MB(75)][2] < 0.3
+    assert by_frag[MB(75)][1] >= by_frag[MB(300)][1]

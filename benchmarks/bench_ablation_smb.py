@@ -1,0 +1,83 @@
+"""Ablation: SMB background traffic ("routine work") interference.
+
+The paper runs the Sandia Micro Benchmark "among all the nodes except the
+McSD smart-storage node" to emulate routine cluster work during the
+measurements.  This ablation sweeps the SMB intensity — off, the paper's
+level (64 KB messages every ~20 ms), and a 100x-heavier storm — for McSD
+and for Host-only.
+
+Finding (and assertion): at the paper's level neither framework moves by
+more than a fraction of a percent — both are CPU/memory-bound, which is
+why the paper could run SMB throughout without caveats.  Even a
+link-saturating storm barely matters, because the NFS input read overlaps
+the map phase; interference only shows when the wire becomes the critical
+path.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.analysis.report import banner, render_table
+from repro.cluster.scenario import run_pair_scenario
+from repro.units import KB, MB, msec
+
+SIZE = MB(750)
+
+LEVELS = (
+    ("off", None),
+    ("paper", {"message_bytes": KB(64), "interval": msec(20)}),
+    ("storm", {"message_bytes": MB(2), "interval": msec(5)}),
+)
+
+
+def bench_smb_interference(benchmark):
+    def sweep():
+        out = {}
+        for scenario in ("mcsd", "host-only"):
+            for label, params in LEVELS:
+                r = run_pair_scenario(
+                    scenario,
+                    "wordcount",
+                    SIZE,
+                    with_smb=params is not None,
+                    smb_params=params,
+                )
+                out[(scenario, label)] = r.makespan
+        return out
+
+    res = once(benchmark, sweep)
+    rows = []
+    for scenario in ("mcsd", "host-only"):
+        off = res[(scenario, "off")]
+        rows.append(
+            [
+                scenario,
+                off,
+                res[(scenario, "paper")],
+                res[(scenario, "storm")],
+                (res[(scenario, "storm")] - off) / off * 100.0,
+            ]
+        )
+    print(banner(f"ABLATION - SMB routine-work interference, MM/WC at {SIZE / 1e6:.0f}MB"))
+    print(
+        render_table(
+            ["scenario", "off (s)", "paper SMB (s)", "SMB storm (s)", "storm slowdown %"],
+            rows,
+        )
+    )
+
+    for scenario in ("mcsd", "host-only"):
+        off = res[(scenario, "off")]
+        paper = res[(scenario, "paper")]
+        storm = res[(scenario, "storm")]
+        # the paper's level is noise (< 1%): SMB does not taint Figs 8-10.
+        # (Deltas this small are dominated by smartFAM poll-grid alignment,
+        # so we bound magnitude rather than demand monotonicity.)
+        assert abs(paper - off) / off < 0.01, (scenario, off, paper)
+        # even a saturating storm stays < 10%: both frameworks are
+        # compute/memory-bound at these sizes, not wire-bound
+        assert abs(storm - off) / off < 0.10, (scenario, off, storm)
+    print(
+        "routine work at the paper's intensity is measurement noise; the "
+        "evaluation's signal comes from cores and memory, not the wire"
+    )

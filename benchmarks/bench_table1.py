@@ -1,0 +1,125 @@
+"""Table I: the 5-node cluster configuration, plus simulator microbenches.
+
+Prints the testbed configuration exactly as Table I lays it out and
+verifies the built cluster honours it.  The microbenches measure the
+simulator substrate itself (events/second, a 1 GB NFS transfer, a full
+smartFAM round trip) so regressions in the reproduction's engine show up
+here.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.analysis.report import banner, render_table
+from repro.cluster.testbed import Testbed
+from repro.config import CELERON_450, DUO_E4400, QUAD_Q9400, table1_cluster
+from repro.units import GiB, MB
+from repro.workloads import text_input
+
+
+def bench_table1_configuration(benchmark):
+    """Build the Table I testbed and print its configuration."""
+
+    def build():
+        return Testbed(seed=0)
+
+    bed = once(benchmark, build)
+    cfg = bed.config
+
+    rows = []
+    for node in cfg.nodes:
+        rows.append(
+            [
+                node.name,
+                node.cpu.name,
+                f"{node.cpu.cores}c @ {node.cpu.clock_ghz}GHz",
+                f"{node.mem_bytes / GiB(1):.0f}GiB",
+                node.role,
+            ]
+        )
+    print(banner("TABLE I - the configuration of the 5-node cluster"))
+    print(render_table(["node", "CPU", "cores", "memory", "role"], rows))
+    print(
+        "network: 1000Mbps switch | OS (modelled): Ubuntu 9.04 64-bit | "
+        "paper: one host (Quad Q9400), one SD (Duo E4400), 3x Celeron 450"
+    )
+
+    # Table I facts
+    assert bed.host.config.cpu == QUAD_Q9400
+    assert bed.sd.config.cpu == DUO_E4400
+    assert [n.config.cpu for n in bed.cluster.compute_nodes] == [CELERON_450] * 3
+    assert all(n.mem_bytes == GiB(2) for n in cfg.nodes)
+    assert cfg.network.link_bandwidth == 1e9 / 8
+    assert len(cfg.nodes) == 5
+    # wiring: host mounts the SD export; smartFAM modules preloaded
+    assert bed.cluster.mount() is not None
+    assert set(bed.cluster.sd_daemons) == {"sd0"}
+
+
+def bench_simulator_event_rate(benchmark):
+    """Raw kernel throughput: events processed per real second."""
+    from repro.sim import Simulator
+
+    N = 200_000
+
+    def run():
+        sim = Simulator()
+
+        def ticker(sim):
+            for _ in range(N):
+                yield sim.timeout(1.0)
+
+        sim.spawn(ticker(sim))
+        sim.run()
+        return sim.processed_events
+
+    events = once(benchmark, run)
+    assert events >= N
+    rate = events / max(benchmark.stats.stats.mean, 1e-9)
+    print(f"kernel: {events} events, ~{rate / 1e6:.2f}M events/s real")
+
+
+def bench_nfs_gigabyte_transfer(benchmark):
+    """A 1 GB NFS read host<-SD: simulated seconds + real cost."""
+
+    def run():
+        bed = Testbed(seed=0)
+        inp = text_input("/data/big", MB(1000), payload_bytes=4_000, seed=1)
+        _sd, host_view, _path = bed.stage_on_sd("big", inp)
+
+        def proc():
+            t0 = bed.sim.now
+            fs, rel = bed.host.resolve_fs(host_view.path)
+            yield fs.read(rel, nbytes=MB(1000))
+            return bed.sim.now - t0
+
+        return bed.run(proc())
+
+    elapsed = once(benchmark, run)
+    print(f"1GB NFS read: {elapsed:.2f}s simulated (disk 8.3s + wire 8s, serial)")
+    # server disk (120 MB/s) + 1 GbE wire (125 MB/s), sequential in NFSv3
+    assert 14.0 < elapsed < 19.0
+
+
+def bench_smartfam_roundtrip(benchmark):
+    """Full smartFAM invoke->result cycle for a tiny module call."""
+
+    def run():
+        bed = Testbed(seed=0)
+        inp = text_input("/data/tiny", MB(1), payload_bytes=2_000, seed=1)
+        _sd, _host, sd_path = bed.stage_on_sd("tiny", inp)
+
+        def proc():
+            t0 = bed.sim.now
+            yield bed.cluster.channel().invoke(
+                "wordcount",
+                {"input_path": sd_path, "input_size": MB(1), "mode": "parallel"},
+            )
+            return bed.sim.now - t0
+
+        return bed.run(proc())
+
+    elapsed = once(benchmark, run)
+    print(f"smartFAM round trip (1MB wordcount): {elapsed * 1e3:.1f}ms simulated")
+    # channel overhead (log writes, inotify, polling) stays sub-second
+    assert elapsed < 1.0

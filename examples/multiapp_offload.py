@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Multi-application workload: the Section V-C scenario, end to end.
+
+A computation-intensive Matrix Multiplication shares the cluster with a
+data-intensive Word Count.  We run the pair under three frameworks —
+everything-on-the-host, traditional single-core smart disk, and McSD —
+and print the makespans, reproducing the Fig 9 story in miniature.
+
+Run:  python examples/multiapp_offload.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster.scenario import run_pair_scenario
+from repro.units import MB, fmt_time
+
+
+def main() -> None:
+    size = MB(1000)
+    print(f"MM (n=3760) + WordCount({size / 1e6:.0f}MB), four frameworks:\n")
+
+    rows = []
+    for scenario, label in (
+        ("host-only", "Host node only (data over NFS)"),
+        ("trad-sd", "Traditional single-core SD"),
+        ("mcsd-nopart", "McSD without Partition"),
+        ("mcsd", "McSD (duo-core SD + 600MB partitions)"),
+    ):
+        r = run_pair_scenario(scenario, "wordcount", size)
+        rows.append((label, r))
+        print(f"  {label:42s} makespan {fmt_time(r.makespan)}")
+
+    mcsd = rows[-1][1].makespan
+    print("\nspeedup of McSD over each baseline:")
+    for label, r in rows[:-1]:
+        print(f"  vs {label:39s} {r.makespan / mcsd:.2f}x")
+    print(
+        "\n(the paper's Fig 9: ~2x over traditional SD at every size; the "
+        "non-partitioned\n frameworks fall off a cliff once the working set "
+        "outgrows the 2GB node memory)"
+    )
+
+
+if __name__ == "__main__":
+    main()

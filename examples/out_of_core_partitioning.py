@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Out-of-core partitioning: process a dataset larger than node memory.
+
+The original Phoenix runtime rejects inputs beyond ~75% of node memory
+(Section IV-B / V-B: WC fails past 1.5GB on the 2GB testbed nodes).  The
+partition-enabled runtime (Fig 6) carves the input into integrity-checked
+fragments and streams them through MapReduce one at a time, then merges.
+
+This example runs a 2GB Word Count on a 2GB node, shows the original
+runtime failing, and sweeps fragment sizes to expose the trade-off the
+automatic partitioner navigates.
+
+Run:  python examples/out_of_core_partitioning.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Testbed
+from repro.apps import make_wordcount_spec
+from repro.errors import PhoenixMemoryError
+from repro.phoenix import PhoenixRuntime
+from repro.partition import ExtendedPhoenixRuntime
+from repro.units import MB, fmt_time
+from repro.workloads import text_input
+
+
+def main() -> None:
+    size = MB(2000)
+    bed = Testbed(seed=3)
+    dataset = text_input("/data/huge.txt", size, seed=3)
+    sd_view, _host, _path = bed.stage_on_sd("huge.txt", dataset)
+    spec = make_wordcount_spec()
+
+    # 1) the original runtime cannot support this input
+    phoenix = PhoenixRuntime(bed.sd, bed.config.phoenix)
+
+    def try_original():
+        yield phoenix.run(spec, sd_view, mode="parallel")
+
+    try:
+        bed.run(try_original())
+        raise AssertionError("expected a memory failure")
+    except PhoenixMemoryError as exc:
+        print(f"original Phoenix on 2GB input: REFUSED ({exc})\n")
+
+    # 2) partition-enabled runtime, sweeping fragment sizes
+    print(f"partition-enabled Phoenix on the same {size / 1e6:.0f}MB input:")
+    ext = ExtendedPhoenixRuntime(bed.sd, bed.config.phoenix)
+    for frag in (MB(150), MB(300), MB(600), MB(1200), None):
+        def run_one(frag=frag):
+            res = yield ext.run(spec, sd_view, fragment_bytes=frag)
+            return res
+
+        res = bed.run(run_one())
+        label = "auto" if frag is None else f"{frag / 1e6:.0f}MB"
+        peak = max(s.peak_pressure for s in res.fragment_stats)
+        print(
+            f"  fragment {label:>6s}: {res.n_fragments:2d} fragments, "
+            f"elapsed {fmt_time(res.elapsed)}, peak memory pressure {peak:.2f}"
+        )
+    print(
+        "\nsmall fragments pay per-fragment overhead; big ones push the "
+        "working set\ninto the paging region — the auto partitioner picks "
+        "the clean middle."
+    )
+
+
+if __name__ == "__main__":
+    main()

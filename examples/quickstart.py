@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: offload a Word Count to a multicore smart-storage node.
+
+Builds the paper's 5-node testbed (Table I), stages a dataset on the
+McSD node, and runs the same job three ways:
+
+1. the plain sequential baseline on the SD node,
+2. original (non-partitioned) Phoenix on the SD node's two cores,
+3. the full McSD framework — partition-enabled Phoenix invoked from the
+   host through the smartFAM log-file channel.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Testbed
+from repro.core import DataJob, McSDProgram, McSDRuntime
+from repro.phoenix import PhoenixRuntime
+from repro.units import MB, fmt_time
+from repro.workloads import text_input
+
+
+def main() -> None:
+    size = MB(800)
+    bed = Testbed(seed=7)
+
+    # Stage an 800 MB (declared) text corpus on the smart-storage node.
+    dataset = text_input("/data/corpus.txt", size, seed=7)
+    sd_view, _host_view, sd_path = bed.stage_on_sd("corpus.txt", dataset)
+    print(f"staged {size / 1e6:.0f}MB corpus on {bed.sd.name} ({sd_path})")
+
+    # 1+2) baselines, directly on the SD node
+    phoenix = PhoenixRuntime(bed.sd, bed.config.phoenix)
+
+    def baselines():
+        seq = yield phoenix.run(make_wc(), sd_view, mode="sequential")
+        par = yield phoenix.run(make_wc(), sd_view, mode="parallel")
+        return seq, par
+
+    seq, par = bed.run(baselines())
+
+    # 3) the McSD way: the host offloads through smartFAM
+    runtime = McSDRuntime(bed.cluster)
+    program = McSDProgram(
+        name="quickstart",
+        sd_part=DataJob(app="wordcount", input_path=sd_path, input_size=size),
+    )
+    result = bed.run(runtime.submit(program))
+
+    print(f"sequential on SD:        {fmt_time(seq.stats.elapsed)}")
+    print(f"original Phoenix on SD:  {fmt_time(par.stats.elapsed)}")
+    print(f"McSD (offload+partition): {fmt_time(result.makespan)}")
+    print(
+        f"speedup vs sequential: {seq.stats.elapsed / result.makespan:.2f}x, "
+        f"vs original Phoenix: {par.stats.elapsed / result.makespan:.2f}x"
+    )
+
+    top = result.sd_result.output[:5]
+    print("top 5 words:", [(k.decode(), v) for k, v in top])
+
+
+def make_wc():
+    from repro.apps import make_wordcount_spec
+
+    return make_wordcount_spec()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""McSD: Multicore-Enabled Smart Storage for Clusters — full reproduction.
+
+Reproduces Ding et al., IEEE CLUSTER 2012 (DOI 10.1109/CLUSTER.2012.70):
+smart storage nodes with embedded multicore processors, the smartFAM
+log-file invocation channel, a Phoenix-style MapReduce runtime with the
+partitioning/merging out-of-core extension, and the McSD programming
+framework — all running on a deterministic discrete-event simulation of
+the paper's 5-node testbed, with real execution of every algorithm over
+materialized payloads.
+
+Start here:
+
+>>> from repro.cluster import Testbed
+>>> from repro.core import DataJob, McSDProgram, McSDRuntime
+
+or run ``python -m repro --help`` for the experiment CLI.  See README.md
+for the tour, DESIGN.md for the architecture, EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.config import (
+    ClusterConfig,
+    CPUSpec,
+    DiskSpec,
+    MemoryPolicy,
+    NetworkConfig,
+    NodeConfig,
+    PhoenixConfig,
+    SmartFAMConfig,
+    table1_cluster,
+)
+from repro.errors import McSDError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "McSDError",
+    "table1_cluster",
+    "ClusterConfig",
+    "NodeConfig",
+    "CPUSpec",
+    "DiskSpec",
+    "MemoryPolicy",
+    "NetworkConfig",
+    "PhoenixConfig",
+    "SmartFAMConfig",
+]

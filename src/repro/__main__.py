@@ -1,0 +1,207 @@
+"""Experiment CLI: ``python -m repro <command>``.
+
+Commands regenerate individual paper results on the terminal without
+going through pytest:
+
+    python -m repro table1            # the testbed configuration
+    python -m repro fig8a             # single-app speedups
+    python -m repro fig8b | fig8c     # growth curves (WC / SM)
+    python -m repro fig9  | fig10     # multi-application pairs (WC / SM)
+    python -m repro single wordcount 1000 --platform quad --approach partitioned
+    python -m repro pair mcsd wordcount 1250
+    python -m repro cmd "wordcount /export/data/input 600M" --size 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.metrics import Series, speedup
+from repro.analysis.report import (
+    banner,
+    render_ascii_chart,
+    render_series_table,
+    render_table,
+)
+from repro.cluster.scenario import (
+    PAIR_SCENARIOS,
+    run_pair_scenario,
+    run_single_app,
+)
+from repro.units import MB, fmt_time
+from repro.workloads import FIG8A_SIZES, FIG8BC_SIZES, FIG9_SIZES, size_label
+
+
+def cmd_table1(_args) -> None:
+    """Print the Table I testbed configuration."""
+    from repro.cluster import Testbed
+    from repro.units import GiB
+
+    bed = Testbed()
+    rows = [
+        [n.name, n.cpu.name, f"{n.cpu.cores}c @ {n.cpu.clock_ghz}GHz",
+         f"{n.mem_bytes / GiB(1):.0f}GiB", n.role]
+        for n in bed.config.nodes
+    ]
+    print(banner("TABLE I - the 5-node cluster"))
+    print(render_table(["node", "CPU", "cores", "memory", "role"], rows))
+
+
+def cmd_fig8a(_args) -> None:
+    """Print the Fig 8(a) speedup tables."""
+    xs = [s / MB(1) for s in FIG8A_SIZES]
+    labels = [size_label(s) for s in FIG8A_SIZES]
+    for baseline, title in (("sequential", "vs SEQUENTIAL"), ("parallel", "vs ORIGINAL Phoenix")):
+        series = []
+        for app, tag in (("wordcount", "WC"), ("stringmatch", "SM")):
+            for platform in ("quad", "duo"):
+                ys = []
+                for size in FIG8A_SIZES:
+                    part = run_single_app(app, size, platform, "partitioned").elapsed
+                    base = run_single_app(app, size, platform, baseline).elapsed
+                    ys.append(speedup(base, part))
+                series.append(Series(f"{platform.capitalize()}, {tag}", xs, ys))
+        print(banner(f"FIG 8(a) - partition-enabled speedup {title}"))
+        print(render_series_table(series, labels))
+
+
+def _growth(app: str, fig: str) -> None:
+    xs = [s / MB(1) for s in FIG8BC_SIZES]
+    labels = [size_label(s) for s in FIG8BC_SIZES]
+    series = []
+    for platform in ("duo", "quad"):
+        for approach, name in (("parallel", "trad"), ("partitioned", "part")):
+            ys = [run_single_app(app, s, platform, approach).elapsed for s in FIG8BC_SIZES]
+            series.append(Series(f"{platform} {name}", xs, ys))
+    series.append(
+        Series("duo seq", xs, [run_single_app(app, s, "duo", "sequential").elapsed for s in FIG8BC_SIZES])
+    )
+    print(banner(f"FIG {fig} - {app} growth curves (seconds; n/s = memory overflow)"))
+    print(render_series_table(series, labels))
+    print(render_ascii_chart(series[:2], y_label=f"{app} on the duo SD: seconds vs MB"))
+
+
+def cmd_fig8b(_args) -> None:
+    """Print the Fig 8(b) Word Count growth curves."""
+    _growth("wordcount", "8(b)")
+
+
+def cmd_fig8c(_args) -> None:
+    """Print the Fig 8(c) String Match growth curves."""
+    _growth("stringmatch", "8(c)")
+
+
+def _pair(app: str, fig: str) -> None:
+    xs = [s / MB(1) for s in FIG9_SIZES]
+    labels = [size_label(s) for s in FIG9_SIZES]
+    base = [run_pair_scenario("mcsd", app, s).makespan for s in FIG9_SIZES]
+    series = []
+    for scenario, name in (
+        ("host-only", "(a) Host only"),
+        ("trad-sd", "(b) Trad SD"),
+        ("mcsd-nopart", "(c) McSD no-part"),
+    ):
+        ys = [run_pair_scenario(scenario, app, s).makespan for s in FIG9_SIZES]
+        series.append(Series(name, xs, [speedup(y, b) for y, b in zip(ys, base)]))
+    print(banner(f"FIG {fig} - MM/{app}: McSD speedup over each baseline"))
+    print(render_series_table(series, labels))
+
+
+def cmd_fig9(_args) -> None:
+    """Print the Fig 9 MM/WC pair speedups."""
+    _pair("wordcount", "9")
+
+
+def cmd_fig10(_args) -> None:
+    """Print the Fig 10 MM/SM pair speedups."""
+    _pair("stringmatch", "10")
+
+
+def cmd_single(args) -> None:
+    """Run one single-application measurement."""
+    r = run_single_app(args.app, MB(args.size_mb), args.platform, args.approach)
+    if not r.supported:
+        print(f"not supported: {r.failure}")
+        return
+    print(
+        f"{args.app} {args.size_mb}MB on {args.platform} ({args.approach}): "
+        f"{fmt_time(r.elapsed)}"
+        + (f", {r.fragments} fragments" if args.approach == "partitioned" else "")
+    )
+
+
+def cmd_pair(args) -> None:
+    """Run one multi-application measurement."""
+    r = run_pair_scenario(args.scenario, args.app, MB(args.size_mb))
+    if not r.supported:
+        print(f"not supported: {r.failure}")
+        return
+    print(
+        f"{args.scenario} MM/{args.app} {args.size_mb}MB: makespan "
+        f"{fmt_time(r.makespan)} (mm {fmt_time(r.mm_elapsed)}, "
+        f"data {fmt_time(r.data_elapsed)})"
+    )
+
+
+def cmd_cmd(args) -> None:
+    """Run a Section IV-C style command on a fresh Table I testbed."""
+    from repro.cluster import Testbed
+    from repro.cluster.scenario import make_data_app
+    from repro.core.cmdline import parse_command, run_command
+
+    job = parse_command(args.command)
+    size = MB(args.size) if args.size else MB(500)
+    app = job.app if job.app in ("wordcount", "stringmatch") else "wordcount"
+    bed = Testbed(seed=0)
+    _spec, inp = make_data_app(app, size)
+    _sd, _h, sd_path = bed.stage_on_sd("input", inp)
+    # rewrite the data-file to the staged path so the one-liner "just runs"
+    command = args.command.replace(job.input_path, sd_path)
+    if job.app == "stringmatch" and "keys=" not in command:
+        keys = ",".join(k.decode() for k in inp.params.get("keys", []))
+        command += f" keys={keys}"
+    result = run_command(bed, command, input_size=size)
+    elapsed = getattr(result, "elapsed", None)
+    if elapsed is None:
+        elapsed = result.stats.elapsed
+    print(f"{command!r} over {size / 1e6:.0f}MB: {fmt_time(elapsed)} on {bed.sd.name}")
+    output = getattr(result, "output", None)
+    if output:
+        print("head of output:", output[:3])
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("table1", "fig8a", "fig8b", "fig8c", "fig9", "fig10"):
+        sub.add_parser(name).set_defaults(fn=globals()[f"cmd_{name}"])
+
+    p_single = sub.add_parser("single", help="one single-application run")
+    p_single.add_argument("app", choices=["wordcount", "stringmatch"])
+    p_single.add_argument("size_mb", type=int)
+    p_single.add_argument("--platform", default="duo", choices=["duo", "quad", "single", "celeron"])
+    p_single.add_argument(
+        "--approach", default="partitioned", choices=["sequential", "parallel", "partitioned"]
+    )
+    p_single.set_defaults(fn=cmd_single)
+
+    p_pair = sub.add_parser("pair", help="one multi-application run")
+    p_pair.add_argument("scenario", choices=list(PAIR_SCENARIOS))
+    p_pair.add_argument("app", choices=["wordcount", "stringmatch"])
+    p_pair.add_argument("size_mb", type=int)
+    p_pair.set_defaults(fn=cmd_pair)
+
+    p_cmd = sub.add_parser("cmd", help="run a paper-syntax command (Section IV-C)")
+    p_cmd.add_argument("command", help='e.g. "wordcount /export/data/input 600M"')
+    p_cmd.add_argument("--size", type=int, default=0, help="declared input size in MB")
+    p_cmd.set_defaults(fn=cmd_cmd)
+
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

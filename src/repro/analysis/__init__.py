@@ -1,0 +1,22 @@
+"""Result assembly and rendering for the evaluation harness."""
+
+from repro.analysis.metrics import Series, speedup, speedup_series
+from repro.analysis.csvout import write_rows_csv, write_series_csv
+from repro.analysis.report import (
+    banner,
+    render_ascii_chart,
+    render_series_table,
+    render_table,
+)
+
+__all__ = [
+    "speedup",
+    "speedup_series",
+    "Series",
+    "render_table",
+    "render_series_table",
+    "render_ascii_chart",
+    "banner",
+    "write_series_csv",
+    "write_rows_csv",
+]

@@ -1,0 +1,89 @@
+"""Speedup computation and series assembly.
+
+The paper "defined the performance speedup to be the ratio of the elapsed
+time without the optimization technique to that with the McSD technique"
+(Section V-C) — i.e. ``speedup = t_baseline / t_optimized``; larger is
+better and 1.0 means parity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+__all__ = ["speedup", "Series", "speedup_series", "geometric_mean"]
+
+
+def speedup(t_baseline: float | None, t_optimized: float | None) -> float | None:
+    """t_baseline / t_optimized; None if either side is unsupported (OOM)."""
+    if t_baseline is None or t_optimized is None:
+        return None
+    if t_optimized <= 0:
+        raise ValueError(f"non-positive optimized time {t_optimized}")
+    return t_baseline / t_optimized
+
+
+@dataclasses.dataclass
+class Series:
+    """One plotted line: label + (x, y) points; y may be None (unsupported)."""
+
+    label: str
+    xs: list[float]
+    ys: list[float | None]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must align")
+
+    def defined(self) -> list[tuple[float, float]]:
+        """Points where the system actually ran."""
+        return [(x, y) for x, y in zip(self.xs, self.ys) if y is not None]
+
+    @property
+    def max_y(self) -> float:
+        """Largest defined value (0 if empty)."""
+        vals = [y for y in self.ys if y is not None]
+        return max(vals) if vals else 0.0
+
+    def mean(self) -> float:
+        """Arithmetic mean of defined values (0 if none)."""
+        vals = [y for y in self.ys if y is not None]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def is_monotone_increasing(self, tol: float = 1e-9) -> bool:
+        """True if defined values never decrease (growth-curve check)."""
+        vals = [y for y in self.ys if y is not None]
+        return all(b >= a - tol for a, b in zip(vals, vals[1:]))
+
+    def linearity_ratio(self) -> float | None:
+        """max over defined points of y / (slope-from-first-point * x).
+
+        ~1.0 means linear growth through the first point; >> 1 means
+        superlinear (the thrash signature on the Fig 8(b) curves).
+        """
+        pts = [(x, y) for x, y in self.defined() if x > 0 and y > 0]
+        if len(pts) < 2:
+            return None
+        x0, y0 = pts[0]
+        slope = y0 / x0
+        return max(y / (slope * x) for x, y in pts)
+
+
+def speedup_series(
+    label: str,
+    xs: _t.Sequence[float],
+    baseline: _t.Sequence[float | None],
+    optimized: _t.Sequence[float | None],
+) -> Series:
+    """Pointwise speedup series with None propagation."""
+    ys = [speedup(b, o) for b, o in zip(baseline, optimized)]
+    return Series(label=label, xs=list(xs), ys=ys)
+
+
+def geometric_mean(values: _t.Iterable[float]) -> float:
+    """Geometric mean (for aggregating speedups)."""
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

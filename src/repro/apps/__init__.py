@@ -1,0 +1,31 @@
+"""The paper's benchmark applications (Section V-A).
+
+* :mod:`repro.apps.wordcount` — Word Count (WC): ~3x memory footprint,
+  full map/sort/reduce pipeline, output sorted by decreasing frequency.
+* :mod:`repro.apps.stringmatch` — String Match (SM): ~2x footprint,
+  map-only (neither sort nor reduce is required).
+* :mod:`repro.apps.matmul` — Matrix Multiplication (MM): compute-bound,
+  identity reduce.
+* :mod:`repro.apps.smb` — the Sandia Micro Benchmark (SMB) emulation used
+  as background "routine work" on the compute nodes.
+
+Each application module exposes ``make_spec()`` returning a
+:class:`~repro.phoenix.api.MapReduceSpec` with *real* callbacks and a cost
+profile calibrated to 2008-era Core2 throughput (see DESIGN.md §5).
+"""
+
+from repro.apps.matmul import MatMulProfile, make_matmul_spec, matmul_input
+from repro.apps.smb import SMBTraffic
+from repro.apps.stringmatch import SM_PROFILE, make_stringmatch_spec
+from repro.apps.wordcount import WC_PROFILE, make_wordcount_spec
+
+__all__ = [
+    "make_wordcount_spec",
+    "WC_PROFILE",
+    "make_stringmatch_spec",
+    "SM_PROFILE",
+    "make_matmul_spec",
+    "matmul_input",
+    "MatMulProfile",
+    "SMBTraffic",
+]

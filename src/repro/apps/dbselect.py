@@ -1,0 +1,114 @@
+"""A database operation for McSD: filtered aggregation (SELECT ... WHERE).
+
+Section VI names "database operations" as the prime candidates for
+preloading into McSD nodes — the classic active-disk workload (SmartSTOR,
+IDISK and the Memik et al. smart-disk architecture were all built around
+DSS scans).  This module implements the canonical one:
+
+    SELECT key_col, AGG(val_col) FROM table WHERE val_col >= threshold
+    GROUP BY key_col
+
+over a line-oriented table (``key,value`` records).  The map scans
+records, filters, and emits ``(key, value)``; the combiner/reduce fold the
+aggregate; fragments merge by re-aggregating — so the operation is fully
+partition-able and offload-able like the paper's three benchmarks.
+
+Calibration: parsing + predicate ~ 40 ops/byte (between SM's scan and
+WC's tokenise), footprint ~2x (records + group table).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import WorkloadError
+from repro.phoenix.api import CostProfile, Emit, MapReduceSpec
+from repro.phoenix.sort import sort_by_value_desc
+
+__all__ = ["DB_PROFILE", "db_map", "db_reduce", "db_merge", "make_dbselect_spec"]
+
+#: filtered-aggregation cost/memory profile (see module docstring)
+DB_PROFILE = CostProfile(
+    name="dbselect",
+    map_ops_per_byte=40.0,
+    sort_ops_per_byte=4.0,
+    reduce_ops_per_byte=2.0,
+    merge_ops_per_byte=0.5,
+    footprint_factor=2.0,
+    seq_footprint_factor=1.05,
+    intermediate_ratio=0.3,
+    output_ratio=0.01,
+)
+
+_AGGS: dict[str, _t.Callable[[list], float]] = {
+    "sum": lambda vs: float(sum(vs)),
+    "count": lambda vs: float(len(vs)),
+    "max": lambda vs: float(max(vs)),
+    "min": lambda vs: float(min(vs)),
+}
+
+
+def db_map(data: object, emit: Emit, params: dict) -> None:
+    """Scan ``key,value`` records; emit values passing the predicate.
+
+    ``params``: ``threshold`` (default 0.0) — the WHERE clause; malformed
+    records are skipped (robustness to torn lines is the partitioner's
+    job, but defensive parsing costs nothing here).
+    """
+    if isinstance(data, str):
+        data = data.encode()
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"dbselect expects record text, got {type(data).__name__}")
+    threshold = float(params.get("threshold", 0.0))
+    for line in bytes(data).splitlines():
+        key, _, raw = line.partition(b",")
+        if not raw:
+            continue
+        try:
+            value = float(raw)
+        except ValueError:
+            continue
+        if value >= threshold:
+            emit(key, value)
+
+
+def db_reduce(key: object, values: list, params: dict) -> float:
+    """Fold one group with the requested aggregate (default: sum)."""
+    agg = params.get("agg", "sum")
+    try:
+        fn = _AGGS[agg]
+    except KeyError:
+        raise WorkloadError(f"unknown aggregate {agg!r}; pick from {sorted(_AGGS)}")
+    return fn(values)
+
+
+def db_merge(outputs: list, params: dict) -> list:
+    """Re-aggregate per-fragment groups (sum/count add; max/min fold)."""
+    agg = params.get("agg", "sum")
+    folded: dict[object, float] = {}
+    for part in outputs:
+        for key, value in part:
+            if key not in folded:
+                folded[key] = value
+            elif agg in ("sum", "count"):
+                folded[key] += value
+            elif agg == "max":
+                folded[key] = max(folded[key], value)
+            else:  # min
+                folded[key] = min(folded[key], value)
+    return sort_by_value_desc(list(folded.items()))
+
+
+def make_dbselect_spec(profile: CostProfile | None = None) -> MapReduceSpec:
+    """The filtered-aggregation program for the McSD framework."""
+    return MapReduceSpec(
+        name="dbselect",
+        map_fn=db_map,
+        reduce_fn=db_reduce,
+        combine_fn=None,  # aggregates like max/min need the value list
+        merge_fn=db_merge,
+        profile=profile or DB_PROFILE,
+        needs_sort=True,
+        sort_output=True,
+        delimiters=b"\n",
+    )

@@ -1,0 +1,162 @@
+"""Matrix Multiplication (MM).
+
+"Each Map computes multiplication for a set of rows of the output matrix.
+It outputs multiplication for a row ID and column ID as the key and the
+corresponding result as the value.  The reduce task is just the identity
+function." (Section V-A)
+
+MM is the *computation-intensive* half of the multi-application pairs in
+Section V-C, so its cost model is flop-based, not byte-based: ``2 n^3``
+flops at ~1 op/flop on the reference core.  The payload holds real (small)
+numpy matrices that are actually multiplied; the declared dimension ``n``
+drives the cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.phoenix.api import CostProfile, Emit, InputSpec, MapReduceSpec
+from repro.partition.merge import identity_merge
+
+__all__ = ["MatMulProfile", "mm_map", "mm_reduce", "make_matmul_spec", "matmul_input"]
+
+#: bytes per double-precision element
+_ELEM = 8
+
+
+class MatMulProfile(CostProfile):
+    """Flop-based cost profile for an ``n x n`` multiplication.
+
+    Declared input size is the two operand matrices (``16 n^2`` bytes);
+    the working set adds the output (3 matrices + slack).
+    """
+
+    def __init__(self, n: int, ops_per_flop: float = 1.0):
+        if n < 1:
+            raise WorkloadError(f"matrix dimension must be >= 1, got {n}")
+        super().__init__(
+            name=f"matmul[{n}]",
+            map_ops_per_byte=0.0,
+            footprint_factor=1.6,  # A, B in input; + C and runtime slack
+            seq_footprint_factor=1.55,
+            intermediate_ratio=0.5,  # the output matrix
+            output_ratio=0.5,
+            setup_ops=2.0e7,
+        )
+        self.n = n
+        self.ops_per_flop = ops_per_flop
+
+    @property
+    def flops(self) -> float:
+        """Total floating-point operations of the multiplication."""
+        return 2.0 * self.n**3
+
+    def input_bytes(self) -> int:
+        """Declared size of the two operand matrices."""
+        return 2 * self.n * self.n * _ELEM
+
+    def map_ops(self, input_bytes: int) -> float:
+        """Flops scaled by the slice's fraction of the full input."""
+        frac = input_bytes / max(1, self.input_bytes())
+        return self.flops * self.ops_per_flop * frac
+
+    def sort_ops(self, input_bytes: int) -> float:
+        """MM needs no sort stage."""
+        return 0.0
+
+    def reduce_ops(self, input_bytes: int) -> float:
+        """The reduce is the identity function (Section V-A): free."""
+        return 0.0
+
+    def merge_ops(self, input_bytes: int) -> float:
+        """Assembling row blocks into the output: one pass over C."""
+        frac = input_bytes / max(1, self.input_bytes())
+        return 0.5 * self.n * self.n * frac
+
+    def sequential_ops(self, input_bytes: int) -> float:
+        """Single-threaded multiply + assembly."""
+        frac = input_bytes / max(1, self.input_bytes())
+        return (self.flops * self.ops_per_flop + 0.5 * self.n * self.n) * frac
+
+
+def mm_map(data: object, emit: Emit, params: dict) -> None:
+    """Multiply a block of A's rows against all of B."""
+    if data is None:
+        return
+    row_start, a_block, b = data  # type: ignore[misc]
+    if a_block.size == 0:
+        return
+    emit(int(row_start), a_block @ b)
+
+
+def mm_reduce(key: object, values: list, params: dict) -> object:
+    """Identity reduce (Section V-A)."""
+    return values[0] if len(values) == 1 else values
+
+
+def _mm_split(payload: object, n_splits: int) -> list:
+    """Split A's rows into contiguous blocks; B ships to every task."""
+    if payload is None:
+        return [None] * n_splits
+    a, b = payload  # type: ignore[misc]
+    rows = a.shape[0]
+    out = []
+    base, extra = divmod(rows, n_splits)
+    start = 0
+    for i in range(n_splits):
+        take = base + (1 if i < extra else 0)
+        out.append((start, a[start : start + take], b))
+        start += take
+    return out
+
+
+def make_matmul_spec(n: int, ops_per_flop: float = 1.0) -> MapReduceSpec:
+    """The MM program for a declared ``n x n`` problem."""
+    return MapReduceSpec(
+        name="matmul",
+        map_fn=mm_map,
+        reduce_fn=mm_reduce,
+        combine_fn=None,
+        merge_fn=identity_merge,
+        split_fn=_mm_split,
+        profile=MatMulProfile(n, ops_per_flop),
+        needs_sort=False,
+        sort_output=False,
+    )
+
+
+def matmul_input(
+    path: str,
+    n: int,
+    payload_n: int = 64,
+    seed: int = 0,
+) -> InputSpec:
+    """An MM input: declared ``n x n``, materialized ``payload_n x payload_n``.
+
+    The payload matrices are seeded so results are reproducible; tests
+    verify the assembled product against ``numpy`` directly.
+    """
+    if payload_n > n:
+        payload_n = n
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((payload_n, payload_n))
+    b = rng.standard_normal((payload_n, payload_n))
+    return InputSpec(
+        path=path,
+        size=2 * n * n * _ELEM,
+        payload=(a, b),
+        params={"n": n, "payload_n": payload_n},
+    )
+
+
+def assemble_product(pairs: list) -> np.ndarray:
+    """Stack (row_start, block) map outputs into the full product matrix."""
+    blocks = sorted(
+        ((k, v) for k, v in pairs if v is not None and getattr(v, "size", 0) > 0),
+        key=lambda kv: kv[0],
+    )
+    if not blocks:
+        return np.zeros((0, 0))
+    return np.vstack([v for _, v in blocks])

@@ -1,0 +1,20 @@
+"""Cluster assembly: the Fig 3 testbed and the Section V scenarios."""
+
+from repro.cluster.builder import BuiltCluster, build_cluster
+from repro.cluster.scenario import (
+    PairResult,
+    SingleResult,
+    run_pair_scenario,
+    run_single_app,
+)
+from repro.cluster.testbed import Testbed
+
+__all__ = [
+    "build_cluster",
+    "BuiltCluster",
+    "Testbed",
+    "run_single_app",
+    "run_pair_scenario",
+    "SingleResult",
+    "PairResult",
+]

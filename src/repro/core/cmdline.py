@@ -1,0 +1,117 @@
+"""The paper's command syntax for data-intensive programs (Section IV-C).
+
+"Take an example of a Word-count command: ``wordcount [data-file]
+[partition-size]``. ... If there is no [partition-size] parameter, the
+program will run in native way.  Otherwise, the number of
+[partition-size] can be manually filled in by the programmer or
+automatically determined by the runtime system."
+
+:func:`parse_command` turns that exact syntax into a
+:class:`~repro.core.job.DataJob`; :func:`run_command` executes it against
+a testbed.  Extras beyond the paper's two positionals use ``key=value``
+tokens (``mode=sequential``, ``keys=a,b``, ``threshold=5``) so the shell
+stays one line.
+
+    wordcount /export/data/corpus 600M
+    wordcount /export/data/corpus auto
+    stringmatch /export/data/encrypt keys=SECRET,TOKEN
+    dbselect /export/data/table 300M threshold=100 agg=max
+"""
+
+from __future__ import annotations
+
+import shlex
+import typing as _t
+
+from repro.core.job import DataJob
+from repro.errors import ConfigError
+from repro.units import parse_bytes
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.testbed import Testbed
+
+__all__ = ["parse_command", "run_command"]
+
+#: option keys consumed by the framework itself (everything else goes to
+#: the application through InputSpec.params)
+_FRAMEWORK_KEYS = {"mode", "sd"}
+
+
+def parse_command(command: str, input_size: int | None = None) -> DataJob:
+    """Parse ``<module> <data-file> [partition-size] [key=value ...]``.
+
+    * no partition-size   -> the native (non-partitioned parallel) run,
+    * ``auto``            -> runtime-determined fragments,
+    * ``600M`` / ``1.25G``-> programmer-chosen fragments (paper units).
+
+    ``input_size`` supplies the declared size when the caller knows it;
+    otherwise the executing side resolves it from the file.
+    """
+    tokens = shlex.split(command)
+    if len(tokens) < 2:
+        raise ConfigError(
+            f"usage: <module> <data-file> [partition-size] [k=v ...]; got {command!r}"
+        )
+    module, data_file = tokens[0], tokens[1]
+    rest = tokens[2:]
+
+    mode = "parallel"  # the paper's "native way"
+    fragment_bytes: int | None = None
+    if rest and "=" not in rest[0]:
+        spec = rest.pop(0)
+        mode = "partitioned"
+        if spec.lower() != "auto":
+            fragment_bytes = parse_bytes(spec)
+
+    params: dict = {}
+    sd_node = ""
+    for token in rest:
+        if "=" not in token:
+            raise ConfigError(f"expected key=value, got {token!r}")
+        key, _, raw = token.partition("=")
+        if key == "mode":
+            mode = raw
+        elif key == "sd":
+            sd_node = raw
+        elif key == "keys":
+            params["keys"] = [k.encode() for k in raw.split(",") if k]
+        else:
+            params[key] = _coerce(raw)
+
+    return DataJob(
+        app=module,
+        input_path=data_file,
+        input_size=0 if input_size is None else int(input_size),
+        mode=mode,
+        fragment_bytes=fragment_bytes,
+        params=params,
+        sd_node=sd_node,
+    )
+
+
+def _coerce(raw: str) -> object:
+    for caster in (int, float):
+        try:
+            return caster(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def run_command(bed: "Testbed", command: str, input_size: int | None = None):
+    """Execute a paper-syntax command over a testbed's smartFAM channel.
+
+    Returns the module's result object (e.g. an
+    :class:`~repro.phoenix.runtime.PhoenixResult` or
+    :class:`~repro.partition.extended.ExtendedResult`).
+    """
+    job = parse_command(command, input_size=input_size)
+    channel = bed.cluster.channel(job.sd_node)
+    invoke_params = job.invoke_params()
+    if input_size is None:
+        invoke_params.pop("input_size", None)
+
+    def _go():
+        return (yield channel.invoke(job.app, invoke_params))
+
+    return bed.run(_go(), name=f"cmd:{job.app}")

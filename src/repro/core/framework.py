@@ -1,0 +1,44 @@
+"""McSDProgram: the two-part program model of Fig 4.
+
+"Host program | SD program (data-intensive)" running over the McSD
+runtime system — a program couples an optional computation-intensive host
+part with an optional data-intensive SD part; the runtime executes both
+concurrently and the program completes when both have.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.job import ComputeJob, DataJob, JobResult
+from repro.errors import ConfigError
+
+__all__ = ["McSDProgram", "ProgramResult"]
+
+
+@dataclasses.dataclass
+class McSDProgram:
+    """A user program: host part + SD part (either may be omitted)."""
+
+    name: str
+    host_part: ComputeJob | None = None
+    sd_part: DataJob | None = None
+
+    def __post_init__(self) -> None:
+        if self.host_part is None and self.sd_part is None:
+            raise ConfigError(f"program {self.name!r} has no parts")
+
+
+@dataclasses.dataclass
+class ProgramResult:
+    """Outcome of one program run."""
+
+    program: str
+    makespan: float
+    host_result: JobResult | None = None
+    sd_result: JobResult | None = None
+
+    @property
+    def results(self) -> list[JobResult]:
+        """The defined per-part results."""
+        return [r for r in (self.host_result, self.sd_result) if r is not None]

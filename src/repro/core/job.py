@@ -1,0 +1,91 @@
+"""Job descriptors: what a McSD program asks the runtime to do.
+
+A :class:`DataJob` names a *preloaded module* and the SD-resident data it
+should process — the job crosses the smartFAM channel as plain parameters,
+never as code or content (the module was preloaded; the data already lives
+on the storage node).  A :class:`ComputeJob` carries a full MapReduce spec
+plus input for host-side execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigError
+from repro.phoenix.api import InputSpec, MapReduceSpec
+from repro.units import MB
+
+__all__ = ["DataJob", "ComputeJob", "JobResult"]
+
+
+@dataclasses.dataclass
+class DataJob:
+    """A data-intensive job over SD-resident data.
+
+    ``input_path`` is the SD-local path (under the export).  ``mode``
+    picks the execution strategy on whichever node the job lands:
+    ``partitioned`` (default — the McSD way), ``parallel`` (original
+    Phoenix) or ``sequential``.
+    """
+
+    app: str
+    input_path: str
+    input_size: int
+    mode: str = "partitioned"
+    fragment_bytes: int | None = None
+    params: dict = dataclasses.field(default_factory=dict)
+    #: which SD node holds the data ("" = the cluster's first SD node)
+    sd_node: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("partitioned", "parallel", "sequential"):
+            raise ConfigError(f"unknown mode {self.mode!r}")
+        if self.input_size < 0:
+            raise ConfigError("negative input size")
+
+    def invoke_params(self) -> dict:
+        """The parameter record sent through the smartFAM log file."""
+        out: dict = {
+            "input_path": self.input_path,
+            "input_size": self.input_size,
+            "mode": self.mode,
+            "app": dict(self.params),
+        }
+        if self.mode == "partitioned":
+            out["fragment_bytes"] = self.fragment_bytes
+        return out
+
+
+@dataclasses.dataclass
+class ComputeJob:
+    """A computation-intensive job that runs on the host node."""
+
+    spec: MapReduceSpec
+    input: InputSpec
+    mode: str = "parallel"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("parallel", "sequential"):
+            raise ConfigError(f"unknown mode {self.mode!r}")
+
+    @classmethod
+    def matmul(cls, n: int, payload_n: int = 48, seed: int = 0) -> "ComputeJob":
+        """The paper's computation-intensive exemplar: an n x n MM."""
+        from repro.apps.matmul import make_matmul_spec, matmul_input
+
+        return cls(
+            spec=make_matmul_spec(n),
+            input=matmul_input("/data/mm", n, payload_n=payload_n, seed=seed),
+        )
+
+
+@dataclasses.dataclass
+class JobResult:
+    """Outcome of one job."""
+
+    name: str
+    where: str  # node name
+    elapsed: float
+    output: object = None
+    offloaded: bool = False

@@ -1,0 +1,96 @@
+"""McSDRuntime: the end-to-end runtime system of the framework.
+
+``submit(program)`` launches the host part on the host's Phoenix runtime
+and the SD part wherever the placement policy decides (SD node via
+smartFAM, or host via NFS), concurrently; the returned process completes
+when both parts have, carrying a :class:`~repro.core.framework.ProgramResult`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.framework import McSDProgram, ProgramResult
+from repro.core.job import ComputeJob, JobResult
+from repro.core.loadbalance import AlwaysOffloadPolicy, PlacementPolicy
+from repro.core.offload import OffloadEngine
+from repro.phoenix.runtime import PhoenixRuntime
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.builder import BuiltCluster
+
+__all__ = ["McSDRuntime"]
+
+
+class McSDRuntime:
+    """The programming framework's runtime, bound to a built cluster."""
+
+    def __init__(
+        self,
+        cluster: "BuiltCluster",
+        policy: PlacementPolicy | None = None,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.policy = policy or AlwaysOffloadPolicy()
+        self.engine = OffloadEngine(cluster)
+        self._host_phoenix = PhoenixRuntime(cluster.host, cluster.config.phoenix)
+        #: completed programs (stats)
+        self.programs_run = 0
+
+    def submit(self, program: McSDProgram) -> Event:
+        """Run a program; Process value is a :class:`ProgramResult`."""
+        return self.sim.spawn(self._run(program), name=f"program:{program.name}")
+
+    def _run(self, program: McSDProgram) -> _t.Generator:
+        t0 = self.sim.now
+        parts: list[Event] = []
+        host_proc: Event | None = None
+        sd_proc: Event | None = None
+
+        if program.host_part is not None:
+            host_proc = self.sim.spawn(
+                self._run_host_part(program.host_part),
+                name=f"{program.name}.host",
+            )
+            parts.append(host_proc)
+        if program.sd_part is not None:
+            placement = self.policy.place(
+                program.sd_part, self.cluster, engine=self.engine
+            )
+            sd_proc = self.engine.run(program.sd_part, placement)
+            parts.append(sd_proc)
+
+        results = yield self.sim.all_of(parts)
+        self.programs_run += 1
+        return ProgramResult(
+            program=program.name,
+            makespan=self.sim.now - t0,
+            host_result=results.get(host_proc) if host_proc is not None else None,
+            sd_result=results.get(sd_proc) if sd_proc is not None else None,
+        )
+
+    def _run_host_part(self, job: ComputeJob) -> _t.Generator:
+        host = self.cluster.host
+        # stage the input on the host's local FS if it is not there yet
+        from repro.fs import path as _p
+
+        if not host.fs.exists(job.input.path):
+            host.fs.vfs.mkdir(_p.parent(job.input.path), parents=True)
+            host.fs.vfs.write(
+                job.input.path,
+                data=job.input.payload
+                if isinstance(job.input.payload, (bytes, bytearray))
+                else job.input.payload,
+                size=job.input.size,
+            )
+        t0 = self.sim.now
+        result = yield self._host_phoenix.run(job.spec, job.input, mode=job.mode)
+        return JobResult(
+            name=job.spec.name,
+            where=host.name,
+            elapsed=self.sim.now - t0,
+            output=result.output,
+            offloaded=False,
+        )

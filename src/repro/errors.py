@@ -1,0 +1,231 @@
+"""Exception hierarchy for the McSD reproduction.
+
+Every failure mode the paper discusses has a dedicated exception so that
+tests and benchmarks can assert on *why* something failed (e.g. the original
+Phoenix runtime OOM-ing past ~60 % of node memory, Section IV-B).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "McSDError",
+    "SimulationError",
+    "DeadlockError",
+    "InterruptError",
+    "HardwareError",
+    "OutOfMemoryError",
+    "DiskError",
+    "NetworkError",
+    "RoutingError",
+    "FileSystemError",
+    "FileNotFoundInVFS",
+    "FileExistsInVFS",
+    "NotADirectoryInVFS",
+    "IsADirectoryInVFS",
+    "StaleHandleError",
+    "NFSError",
+    "SmartFAMError",
+    "ModuleNotRegisteredError",
+    "ProtocolError",
+    "PhoenixError",
+    "PhoenixMemoryError",
+    "PartitionError",
+    "IntegrityError",
+    "OffloadError",
+    "OffloadTimeoutError",
+    "PlacementError",
+    "ConfigError",
+    "WorkloadError",
+]
+
+
+class McSDError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# --------------------------------------------------------------------------
+# Simulation kernel
+# --------------------------------------------------------------------------
+
+
+class SimulationError(McSDError):
+    """Error inside the discrete-event kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator ran out of events while processes were still waiting."""
+
+
+class InterruptError(SimulationError):
+    """A simulated process was interrupted while waiting.
+
+    The interrupting cause is available as ``.cause``.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+# --------------------------------------------------------------------------
+# Hardware models
+# --------------------------------------------------------------------------
+
+
+class HardwareError(McSDError):
+    """Error in a hardware model."""
+
+
+class OutOfMemoryError(HardwareError):
+    """A memory allocation exceeded the node's physical + swap capacity."""
+
+    def __init__(self, requested: int, available: int, node: str = "?"):
+        super().__init__(
+            f"out of memory on {node}: requested {requested} bytes, "
+            f"{available} available"
+        )
+        self.requested = requested
+        self.available = available
+        self.node = node
+
+
+class DiskError(HardwareError):
+    """Error in the disk model."""
+
+
+# --------------------------------------------------------------------------
+# Network
+# --------------------------------------------------------------------------
+
+
+class NetworkError(McSDError):
+    """Error in the network fabric."""
+
+
+class RoutingError(NetworkError):
+    """No route between two endpoints."""
+
+
+# --------------------------------------------------------------------------
+# File systems
+# --------------------------------------------------------------------------
+
+
+class FileSystemError(McSDError):
+    """Error in the simulated VFS / local FS / NFS."""
+
+
+class FileNotFoundInVFS(FileSystemError):
+    """Path does not exist."""
+
+
+class FileExistsInVFS(FileSystemError):
+    """Path already exists (exclusive create)."""
+
+
+class NotADirectoryInVFS(FileSystemError):
+    """A path component is a regular file."""
+
+
+class IsADirectoryInVFS(FileSystemError):
+    """Attempted file I/O on a directory."""
+
+
+class StaleHandleError(FileSystemError):
+    """File handle refers to a deleted inode (NFS staleness)."""
+
+
+class NFSError(FileSystemError):
+    """NFS client/server protocol error."""
+
+
+# --------------------------------------------------------------------------
+# smartFAM
+# --------------------------------------------------------------------------
+
+
+class SmartFAMError(McSDError):
+    """Error in the smartFAM invocation mechanism."""
+
+
+class ModuleNotRegisteredError(SmartFAMError):
+    """The host invoked a processing module that was never preloaded."""
+
+
+class ProtocolError(SmartFAMError):
+    """Malformed log-file record."""
+
+
+# --------------------------------------------------------------------------
+# Phoenix MapReduce runtime
+# --------------------------------------------------------------------------
+
+
+class PhoenixError(McSDError):
+    """Error in the Phoenix-style MapReduce runtime."""
+
+
+class PhoenixMemoryError(PhoenixError):
+    """The original Phoenix runtime cannot hold the job's working set.
+
+    The paper (Section IV-B) observed that Phoenix fails once required data
+    exceeds ~60 % of node memory; Section V-B reports WC/SM failing beyond
+    1.5 GB on the 2 GB testbed nodes.
+    """
+
+    def __init__(self, footprint: int, capacity: int, app: str = "?"):
+        super().__init__(
+            f"Phoenix cannot support {app}: working set {footprint} bytes "
+            f"exceeds supportable fraction of {capacity} bytes of memory"
+        )
+        self.footprint = footprint
+        self.capacity = capacity
+        self.app = app
+
+
+# --------------------------------------------------------------------------
+# Partitioning
+# --------------------------------------------------------------------------
+
+
+class PartitionError(McSDError):
+    """Error planning or applying a partition."""
+
+
+class IntegrityError(PartitionError):
+    """The integrity check could not find a safe fragment boundary."""
+
+
+# --------------------------------------------------------------------------
+# McSD framework
+# --------------------------------------------------------------------------
+
+
+class OffloadError(McSDError):
+    """Offloading a job to a smart-storage node failed."""
+
+
+class OffloadTimeoutError(OffloadError):
+    """An offloaded call produced no result within its deadline.
+
+    The smartFAM channel has no connection to break: a dead SD daemon just
+    never writes the result record, so liveness comes from host-side
+    deadlines (the fault-tolerance mechanism of Section VI's future work).
+    """
+
+    def __init__(self, module: str, timeout: float):
+        super().__init__(f"module {module!r} produced no result within {timeout}s")
+        self.module = module
+        self.timeout = timeout
+
+
+class PlacementError(McSDError):
+    """No feasible placement for a job under the active policy."""
+
+
+class ConfigError(McSDError):
+    """Invalid hardware/cluster configuration."""
+
+
+class WorkloadError(McSDError):
+    """Invalid workload specification."""

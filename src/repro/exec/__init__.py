@@ -1,0 +1,19 @@
+"""Real-machine execution engine: a multiprocessing mini-Phoenix.
+
+Everything else in this package runs inside the deterministic simulator.
+This subpackage is the *real* counterpart: the same programming model
+(map / reduce / partition-with-integrity-check / merge) executed with
+``multiprocessing`` over actual files on the machine running the tests —
+the honest demonstration that the McSD programming framework is
+implementable outside the simulator.
+
+GIL note: workers are OS *processes* (not threads), so map tasks genuinely
+run in parallel on multicore hosts; on a single-core CI box the engine
+still works, it just cannot speed up — which is exactly why the paper's
+performance claims are carried by the simulator (DESIGN.md §2).
+"""
+
+from repro.exec.chunks import chunk_file, read_chunk
+from repro.exec.localmr import LocalJobResult, LocalMapReduce
+
+__all__ = ["chunk_file", "read_chunk", "LocalMapReduce", "LocalJobResult"]

@@ -1,0 +1,124 @@
+"""LocalMapReduce: the McSD programming model on the real machine.
+
+Workers are ``multiprocessing`` processes pulling integrity-checked file
+chunks; per-chunk map outputs are combined in the worker (keeping IPC
+small), reduced and merged in the parent.  The API mirrors
+:class:`~repro.phoenix.api.MapReduceSpec` so the same ``map``/``reduce``/
+``merge`` callbacks drive both the simulator and real files — they must be
+module-level picklable functions (a multiprocessing constraint).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import os
+import time
+import typing as _t
+
+from repro.errors import WorkloadError
+from repro.exec.chunks import FileChunk, chunk_file, read_chunk
+from repro.phoenix.sort import group_by_key, sort_by_value_desc
+
+__all__ = ["LocalJobResult", "LocalMapReduce"]
+
+
+@dataclasses.dataclass
+class LocalJobResult:
+    """Outcome of a real-machine run."""
+
+    output: list
+    elapsed: float
+    n_chunks: int
+    n_workers: int
+
+
+def _apply_chunk(args: tuple) -> list[tuple[object, object]]:
+    """Worker body: map one chunk and pre-combine its emissions."""
+    chunk, map_fn, combine_fn, params = args
+    data = read_chunk(chunk)
+    acc: dict[object, object] = {}
+
+    if combine_fn is None:
+        def emit(key: object, value: object) -> None:
+            acc.setdefault(key, []).append(value)  # type: ignore[union-attr]
+    else:
+        def emit(key: object, value: object) -> None:
+            acc[key] = combine_fn(acc[key], value) if key in acc else value
+
+    if data:
+        map_fn(data, emit, params)
+    return sorted(acc.items(), key=lambda kv: repr(kv[0]))
+
+
+class LocalMapReduce:
+    """Run the programming model over a real file with real processes."""
+
+    def __init__(
+        self,
+        map_fn: _t.Callable,
+        reduce_fn: _t.Callable | None = None,
+        combine_fn: _t.Callable | None = None,
+        sort_output: bool = False,
+        delimiters: bytes = b" \t\n\r",
+        n_workers: int | None = None,
+    ):
+        self.map_fn = map_fn
+        self.reduce_fn = reduce_fn
+        self.combine_fn = combine_fn
+        self.sort_output = sort_output
+        self.delimiters = delimiters
+        self.n_workers = n_workers or max(1, os.cpu_count() or 1)
+
+    def run(
+        self,
+        path: str,
+        chunk_bytes: int | None = None,
+        params: dict | None = None,
+        parallel: bool = True,
+    ) -> LocalJobResult:
+        """Execute over ``path``; ``parallel=False`` runs in-process.
+
+        ``chunk_bytes=None`` picks ~4 chunks per worker (dynamic-balancing
+        granularity, like Phoenix's task pool).
+        """
+        params = params or {}
+        size = os.path.getsize(path)
+        if chunk_bytes is None:
+            chunk_bytes = max(1, size // (4 * self.n_workers) or 1)
+        if chunk_bytes < 1:
+            raise WorkloadError("chunk_bytes must be >= 1")
+        t0 = time.perf_counter()
+        chunks = chunk_file(path, chunk_bytes, self.delimiters)
+        tasks = [(c, self.map_fn, self.combine_fn, params) for c in chunks]
+
+        if parallel and self.n_workers > 1 and len(chunks) > 1:
+            ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
+            with ctx.Pool(processes=min(self.n_workers, len(chunks))) as pool:
+                parts = pool.map(_apply_chunk, tasks)
+        else:
+            parts = [_apply_chunk(t) for t in tasks]
+
+        pairs = [kv for part in parts for kv in part]
+        if self.reduce_fn is not None:
+            grouped = group_by_key(pairs, values_are_lists=self.combine_fn is None)
+            out = [
+                (k, self.reduce_fn(k, v if isinstance(v, list) else [v], params))
+                for k, v in grouped
+            ]
+        elif self.combine_fn is not None:
+            # per-chunk combined values need one cross-chunk fold
+            folded: dict[object, object] = {}
+            for k, v in pairs:
+                folded[k] = self.combine_fn(folded[k], v) if k in folded else v
+            out = sorted(folded.items(), key=lambda kv: repr(kv[0]))
+        else:
+            out = group_by_key(pairs, values_are_lists=True)
+        if self.sort_output:
+            out = sort_by_value_desc(out)
+        return LocalJobResult(
+            output=out,
+            elapsed=time.perf_counter() - t0,
+            n_chunks=len(chunks),
+            n_workers=self.n_workers if parallel else 1,
+        )

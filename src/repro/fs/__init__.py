@@ -1,0 +1,27 @@
+"""Simulated storage software: VFS, local FS, inotify, and NFS.
+
+* :mod:`repro.fs.vfs` — the in-simulation file tree (pure state machine).
+* :mod:`repro.fs.localfs` — timed file I/O through a node's disk model.
+* :mod:`repro.fs.inotify` — file-event notification (the Linux subsystem
+  smartFAM is built on, Section IV-A).
+* :mod:`repro.fs.nfs` — NFS server/client over the fabric; the McSD testbed
+  connects host and SD nodes this way (Section III-B).
+"""
+
+from repro.fs.inotify import InotifyEvent, InotifyManager, Watch
+from repro.fs.localfs import LocalFS
+from repro.fs.nfs import NFSClient, NFSMount, NFSServer
+from repro.fs.vfs import VFS, FileHandle, Inode
+
+__all__ = [
+    "VFS",
+    "Inode",
+    "FileHandle",
+    "LocalFS",
+    "InotifyManager",
+    "InotifyEvent",
+    "Watch",
+    "NFSServer",
+    "NFSClient",
+    "NFSMount",
+]

@@ -1,0 +1,135 @@
+"""inotify: file-system event notification for the simulated VFS.
+
+smartFAM's SD side is "the inotify program — a Linux kernel subsystem that
+provides file system event notification" plus a daemon (Section IV-A).
+This module is that subsystem: watches subscribe to paths (a file, or a
+directory watching its direct children), and VFS mutations are delivered
+into each watch's queue after a small notification latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.fs import path as _p
+from repro.fs.vfs import EV_CREATE, EV_DELETE, EV_MODIFY, VFS, Inode
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Store
+
+__all__ = ["IN_CREATE", "IN_MODIFY", "IN_DELETE", "IN_ALL", "InotifyEvent", "Watch", "InotifyManager"]
+
+IN_CREATE = 0x1
+IN_MODIFY = 0x2
+IN_DELETE = 0x4
+IN_ALL = IN_CREATE | IN_MODIFY | IN_DELETE
+
+_EVENT_MASK = {EV_CREATE: IN_CREATE, EV_MODIFY: IN_MODIFY, EV_DELETE: IN_DELETE}
+
+
+@dataclasses.dataclass(frozen=True)
+class InotifyEvent:
+    """One delivered notification."""
+
+    mask: int
+    path: str
+    time: float
+
+    @property
+    def is_modify(self) -> bool:
+        """True for IN_MODIFY events."""
+        return bool(self.mask & IN_MODIFY)
+
+    @property
+    def is_create(self) -> bool:
+        """True for IN_CREATE events."""
+        return bool(self.mask & IN_CREATE)
+
+    @property
+    def is_delete(self) -> bool:
+        """True for IN_DELETE events."""
+        return bool(self.mask & IN_DELETE)
+
+
+class Watch:
+    """A subscription; consume events by yielding ``watch.queue.get()``."""
+
+    __slots__ = ("path", "mask", "queue", "active", "recursive_children")
+
+    def __init__(self, sim: Simulator, path: str, mask: int, recursive_children: bool):
+        self.path = _p.normalize(path)
+        self.mask = mask
+        self.queue = Store(sim, name=f"inotify:{path}")
+        self.active = True
+        #: directory watches also match events on direct children
+        self.recursive_children = recursive_children
+
+    def matches(self, event_mask: int, event_path: str) -> bool:
+        """Does this watch want the event?"""
+        if not self.active or not (self.mask & event_mask):
+            return False
+        if event_path == self.path:
+            return True
+        if self.recursive_children:
+            return _p.parent(event_path) == self.path
+        return False
+
+
+class InotifyManager:
+    """Delivers VFS mutation events into watch queues with a latency."""
+
+    def __init__(self, sim: Simulator, vfs: VFS, latency: float = 0.0, name: str = "inotify"):
+        self.sim = sim
+        self.vfs = vfs
+        self.latency = latency
+        self.name = name
+        self._watches: list[Watch] = []
+        #: events delivered (stats)
+        self.delivered = 0
+        vfs.on_event(self._on_vfs_event)
+
+    def add_watch(self, path: str, mask: int = IN_ALL, watch_children: bool | None = None) -> Watch:
+        """Subscribe to ``path``.
+
+        For directories, ``watch_children`` defaults to True (events on
+        direct entries are reported, matching Linux inotify semantics).
+        """
+        norm = _p.normalize(path)
+        if watch_children is None:
+            try:
+                watch_children = self.vfs.resolve(norm).is_dir
+            except Exception:
+                watch_children = False
+        watch = Watch(self.sim, norm, mask, recursive_children=bool(watch_children))
+        self._watches.append(watch)
+        return watch
+
+    def remove_watch(self, watch: Watch) -> None:
+        """Deactivate and forget a watch."""
+        watch.active = False
+        try:
+            self._watches.remove(watch)
+        except ValueError:
+            pass
+
+    def _on_vfs_event(self, event: str, path: str, _inode: Inode) -> None:
+        mask = _EVENT_MASK[event]
+        targets = [w for w in self._watches if w.matches(mask, path)]
+        if not targets:
+            return
+        ev = InotifyEvent(mask=mask, path=path, time=self.sim.now)
+
+        if self.latency <= 0:
+            for w in targets:
+                self.delivered += 1
+                w.queue.put(ev)
+            return
+
+        def _deliver() -> _t.Generator:
+            yield self.sim.timeout(self.latency)
+            for w in targets:
+                if w.active:
+                    self.delivered += 1
+                    w.queue.put(ev)
+
+        self.sim.spawn(_deliver(), name=f"{self.name}.deliver")

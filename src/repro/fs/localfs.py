@@ -1,0 +1,118 @@
+"""Timed local-file I/O: VFS operations that charge the node's disk.
+
+Every byte-moving operation is a simulated process whose duration comes
+from the :class:`~repro.hardware.disk.DiskModel`; metadata operations cost
+one seek.  The timestamp written into inodes is the simulation clock.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.fs.vfs import VFS, Inode
+from repro.hardware.disk import DiskModel
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+__all__ = ["LocalFS"]
+
+
+class LocalFS:
+    """A node's local file system: one VFS backed by one disk."""
+
+    def __init__(self, sim: Simulator, disk: DiskModel, name: str = "localfs"):
+        self.sim = sim
+        self.disk = disk
+        self.name = name
+        self.vfs = VFS(name=name)
+
+    # -- instantaneous metadata helpers (no disk charge) -------------------
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` resolves (metadata cache hit, free)."""
+        return self.vfs.exists(path)
+
+    def size_of(self, path: str) -> int:
+        """Declared size of a file (metadata cache hit, free)."""
+        return self.vfs.size_of(path)
+
+    # -- timed operations ------------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> Event:
+        """Create a directory; costs one metadata seek."""
+
+        def _proc() -> _t.Generator:
+            yield self.disk.write(0, label="mkdir")
+            return self.vfs.mkdir(path, parents=parents, mtime=self.sim.now)
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.mkdir")
+
+    def create(self, path: str, exist_ok: bool = False) -> Event:
+        """Create an empty file; costs one metadata seek."""
+
+        def _proc() -> _t.Generator:
+            yield self.disk.write(0, label="create")
+            return self.vfs.create(path, exist_ok=exist_ok, mtime=self.sim.now)
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.create")
+
+    def write(
+        self,
+        path: str,
+        data: bytes | None = None,
+        size: int | None = None,
+        append: bool = False,
+    ) -> Event:
+        """Write (or append) to a file; charges the disk for the bytes."""
+        nbytes = len(data) if size is None and data is not None else int(size or 0)
+
+        def _proc() -> _t.Generator:
+            yield self.disk.write(nbytes, label="write")
+            return self.vfs.write(
+                path, data=data, size=size, append=append, mtime=self.sim.now
+            )
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.write")
+
+    def read(self, path: str, nbytes: int | None = None) -> Event:
+        """Read a file; charges the disk; returns the materialized payload.
+
+        ``nbytes`` overrides the charged byte count (partial/streaming
+        reads); the payload returned is always the whole materialized data
+        (the scale model keeps payloads tiny).
+        """
+
+        def _proc() -> _t.Generator:
+            node = self.vfs.resolve(path)
+            charge = node.size if nbytes is None else int(nbytes)
+            yield self.disk.read(charge, label="read")
+            return self.vfs.read(path)
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.read")
+
+    def stat(self, path: str) -> Event:
+        """Stat via the attribute cache (no disk charge); returns the inode."""
+
+        def _proc() -> _t.Generator:
+            yield self.sim.timeout(0.0)
+            return self.vfs.stat(path)
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.stat")
+
+    def listdir(self, path: str) -> Event:
+        """Directory listing via the dentry cache (no disk charge)."""
+
+        def _proc() -> _t.Generator:
+            yield self.sim.timeout(0.0)
+            return self.vfs.listdir(path)
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.listdir")
+
+    def unlink(self, path: str) -> Event:
+        """Timed unlink (one seek)."""
+
+        def _proc() -> _t.Generator:
+            yield self.disk.write(0, label="unlink")
+            self.vfs.unlink(path)
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.unlink")

@@ -1,0 +1,318 @@
+"""NFS: the storage interface between host and McSD nodes (Section III-B).
+
+The paper's testbed connects the host computing node to the SD node's disk
+through NFS over Gigabit Ethernet; smartFAM's log files live on that share.
+This module implements a compact NFSv3-flavoured protocol on the simulated
+fabric:
+
+* :class:`NFSServer` — exports a subtree of a node's local FS; each request
+  is served concurrently (disk queueing provides the serialization).
+* :class:`NFSClient` — per-node RPC endpoint matching replies to calls.
+* :class:`NFSMount` — the client-side file API, mirroring
+  :class:`~repro.fs.localfs.LocalFS` so higher layers are mount-agnostic.
+  It also offers :meth:`NFSMount.watch` — mtime polling, which is how a
+  file-alteration monitor has to watch an NFS file from the client side
+  (kernel inotify does not propagate over NFS).
+
+Every RPC charges a small request message; data-bearing replies (READ) or
+requests (WRITE) charge the payload size, so bulk file movement costs real
+simulated network time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.errors import NFSError
+from repro.fs import path as _p
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Store
+
+if __import__("typing").TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.node import Node
+
+__all__ = ["NFSServer", "NFSClient", "NFSMount", "NFS_PORT", "RPC_HEADER_BYTES"]
+
+NFS_PORT = "nfs"
+NFS_REPLY_PORT = "nfs-reply"
+#: simulated wire size of an RPC header / metadata-only message
+RPC_HEADER_BYTES = 256
+
+_xids = itertools.count(1)
+
+
+class NFSServer:
+    """Exports ``export_root`` of ``node``'s local FS to the cluster."""
+
+    def __init__(self, node: "Node", export_root: str = "/"):
+        self.node = node
+        self.sim = node.sim
+        self.export_root = _p.normalize(export_root)
+        self._queue = node.open_port(NFS_PORT)
+        #: operation counters (stats)
+        self.ops: dict[str, int] = {}
+        self.sim.spawn(self._serve_loop(), name=f"nfsd:{node.name}")
+
+    def _translate(self, rel_path: str) -> str:
+        rel = _p.normalize(rel_path)
+        if self.export_root == "/":
+            return rel
+        return _p.join(self.export_root, rel.lstrip("/"))
+
+    def _serve_loop(self) -> _t.Generator:
+        while True:
+            msg = yield self._queue.get()
+            body = msg.payload["body"]  # type: ignore[index]
+            self.sim.spawn(
+                self._handle(msg.src, body), name=f"nfsd:{self.node.name}.req"
+            )
+
+    def _handle(self, client: str, req: dict) -> _t.Generator:
+        op: str = req["op"]
+        xid: int = req["xid"]
+        self.ops[op] = self.ops.get(op, 0) + 1
+        fs = self.node.fs
+        reply: dict = {"xid": xid, "ok": True, "value": None}
+        reply_bytes = RPC_HEADER_BYTES
+        try:
+            path = self._translate(req.get("path", "/"))
+            if op == "read":
+                data = yield fs.read(path, nbytes=req.get("nbytes"))
+                size = fs.size_of(path)
+                charged = size if req.get("nbytes") is None else int(req["nbytes"])
+                reply["value"] = {"data": data, "size": size}
+                reply_bytes += charged
+            elif op == "write":
+                yield fs.write(
+                    path,
+                    data=req.get("data"),
+                    size=req.get("size"),
+                    append=req.get("append", False),
+                )
+                reply["value"] = True
+            elif op == "create":
+                yield fs.create(path, exist_ok=req.get("exist_ok", False))
+                reply["value"] = True
+            elif op == "mkdir":
+                yield fs.mkdir(path, parents=req.get("parents", False))
+                reply["value"] = True
+            elif op == "getattr":
+                inode = yield fs.stat(path)
+                reply["value"] = {
+                    "size": inode.size,
+                    "mtime": inode.mtime,
+                    "is_dir": inode.is_dir,
+                    "ino": inode.ino,
+                }
+            elif op == "readdir":
+                reply["value"] = (yield fs.listdir(path))
+            elif op == "remove":
+                yield fs.unlink(path)
+                reply["value"] = True
+            elif op == "access":
+                reply["value"] = fs.exists(path)
+            else:
+                raise NFSError(f"unknown NFS op {op!r}")
+        except Exception as exc:  # deliver errors to the caller, not the server
+            reply["ok"] = False
+            reply["error"] = exc
+        yield self.node.send(client, NFS_REPLY_PORT, reply, nbytes=reply_bytes)
+
+
+class NFSClient:
+    """Per-node RPC endpoint: sends requests, routes replies by xid."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.sim = node.sim
+        self._pending: dict[int, Event] = {}
+        self._queue = node.open_port(NFS_REPLY_PORT)
+        #: RPC round trips completed (stats)
+        self.rpcs = 0
+        self.sim.spawn(self._reply_loop(), name=f"nfscli:{node.name}")
+
+    def _reply_loop(self) -> _t.Generator:
+        while True:
+            msg = yield self._queue.get()
+            reply = msg.payload["body"]  # type: ignore[index]
+            ev = self._pending.pop(reply["xid"], None)
+            if ev is None:
+                continue  # late reply for an abandoned call
+            self.rpcs += 1
+            if reply["ok"]:
+                ev.succeed(reply["value"])
+            else:
+                ev.fail(reply["error"])
+
+    def call(self, server: str, req: dict, request_bytes: int = RPC_HEADER_BYTES) -> Event:
+        """Issue one RPC; the returned event carries the reply value."""
+        xid = next(_xids)
+        req = dict(req, xid=xid)
+        done = Event(self.sim, name=f"nfs-rpc:{req['op']}")
+        self._pending[xid] = done
+
+        def _send() -> _t.Generator:
+            yield self.node.send(server, NFS_PORT, req, nbytes=request_bytes)
+
+        self.sim.spawn(_send(), name=f"nfscli:{self.node.name}.send")
+        return done
+
+
+class NFSMount:
+    """A mounted NFS export, API-compatible with LocalFS timed operations."""
+
+    def __init__(self, client: NFSClient, server: str, name: str = ""):
+        self.client = client
+        self.server = server
+        self.sim = client.sim
+        self.name = name or f"{client.node.name}:nfs:{server}"
+        #: bytes moved over the wire for file data (stats)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- timed operations (all return processes/events) -----------------------
+
+    def read(self, path: str, nbytes: int | None = None) -> Event:
+        """Read a remote file; returns the materialized payload."""
+
+        def _proc() -> _t.Generator:
+            value = yield self.client.call(
+                self.server, {"op": "read", "path": path, "nbytes": nbytes}
+            )
+            self.bytes_read += value["size"] if nbytes is None else int(nbytes)
+            return value["data"]
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.read")
+
+    def read_with_size(self, path: str, nbytes: int | None = None) -> Event:
+        """Like :meth:`read` but returns ``{'data': ..., 'size': ...}``."""
+
+        def _proc() -> _t.Generator:
+            value = yield self.client.call(
+                self.server, {"op": "read", "path": path, "nbytes": nbytes}
+            )
+            self.bytes_read += value["size"] if nbytes is None else int(nbytes)
+            return value
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.read")
+
+    def write(
+        self,
+        path: str,
+        data: bytes | None = None,
+        size: int | None = None,
+        append: bool = False,
+    ) -> Event:
+        """Write a remote file; request carries the payload bytes."""
+        nbytes = len(data) if size is None and data is not None else int(size or 0)
+
+        def _proc() -> _t.Generator:
+            req = {
+                "op": "write",
+                "path": path,
+                "data": data,
+                "size": size,
+                "append": append,
+            }
+            yield self.client.call(
+                self.server, req, request_bytes=RPC_HEADER_BYTES + nbytes
+            )
+            self.bytes_written += nbytes
+            return True
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.write")
+
+    def create(self, path: str, exist_ok: bool = False) -> Event:
+        """Create a remote file."""
+        return self._simple({"op": "create", "path": path, "exist_ok": exist_ok}, "create")
+
+    def mkdir(self, path: str, parents: bool = False) -> Event:
+        """Create a remote directory."""
+        return self._simple({"op": "mkdir", "path": path, "parents": parents}, "mkdir")
+
+    def stat(self, path: str) -> Event:
+        """Remote getattr; returns a dict(size, mtime, is_dir, ino)."""
+        return self._simple({"op": "getattr", "path": path}, "stat")
+
+    def listdir(self, path: str) -> Event:
+        """Remote readdir."""
+        return self._simple({"op": "readdir", "path": path}, "listdir")
+
+    def unlink(self, path: str) -> Event:
+        """Remote remove."""
+        return self._simple({"op": "remove", "path": path}, "unlink")
+
+    def access(self, path: str) -> Event:
+        """Timed existence check."""
+        return self._simple({"op": "access", "path": path}, "access")
+
+    def _simple(self, req: dict, label: str) -> Event:
+        def _proc() -> _t.Generator:
+            return (yield self.client.call(self.server, req))
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.{label}")
+
+    # -- client-side watching (smartFAM host side) -------------------------------
+
+    def watch(self, path: str, poll_interval: float) -> "NFSWatch":
+        """Poll a remote file's mtime; changes appear in the watch queue.
+
+        This models what a host-side file-alteration monitor must actually
+        do for a file on an NFS share.  Each poll is a real getattr RPC, so
+        the smartFAM ablation bench can measure the channel's cost.
+        """
+        return NFSWatch(self, path, poll_interval)
+
+
+class NFSWatch:
+    """An active mtime-polling watch on a remote file."""
+
+    def __init__(self, mount: NFSMount, path: str, poll_interval: float):
+        if poll_interval < 0:
+            raise NFSError("poll interval must be >= 0")
+        self.mount = mount
+        self.path = path
+        self.poll_interval = poll_interval
+        self.queue = Store(mount.sim, name=f"nfswatch:{path}")
+        self.active = True
+        #: getattr polls issued (stats)
+        self.polls = 0
+        mount.sim.spawn(self._poll_loop(), name=f"nfswatch:{path}")
+
+    def stop(self) -> None:
+        """Stop polling after the current round."""
+        self.active = False
+
+    def _poll_loop(self) -> _t.Generator:
+        sim = self.mount.sim
+        primed = False
+        existed = False
+        last_mtime = 0.0
+        last_size = 0
+        while self.active:
+            try:
+                attrs = yield self.mount.stat(self.path)
+            except Exception:
+                attrs = None  # file may not exist yet
+            self.polls += 1
+            if not primed:
+                # First poll establishes the baseline; nothing fires.
+                primed = True
+                existed = attrs is not None
+                if attrs is not None:
+                    last_mtime, last_size = attrs["mtime"], attrs["size"]
+            elif attrs is not None:
+                appeared = not existed
+                changed = attrs["mtime"] != last_mtime or attrs["size"] != last_size
+                if (appeared or changed) and self.active:
+                    self.queue.put(dict(attrs, path=self.path, time=sim.now))
+                existed = True
+                last_mtime, last_size = attrs["mtime"], attrs["size"]
+            else:
+                existed = False
+            if self.poll_interval > 0:
+                yield sim.timeout(self.poll_interval)
+            else:
+                yield sim.timeout(0.0)

@@ -1,0 +1,65 @@
+"""Pure path helpers for the simulated VFS (always absolute, '/'-separated)."""
+
+from __future__ import annotations
+
+from repro.errors import FileSystemError
+
+__all__ = ["normalize", "split", "parent", "basename", "join", "is_under"]
+
+
+def normalize(path: str) -> str:
+    """Canonical absolute form: leading '/', no empty/'.' components.
+
+    '..' is rejected — the simulated daemons never need it and allowing it
+    would complicate watch bookkeeping for no benefit.
+    """
+    if not isinstance(path, str) or not path.startswith("/"):
+        raise FileSystemError(f"path must be absolute, got {path!r}")
+    parts = []
+    for comp in path.split("/"):
+        if comp in ("", "."):
+            continue
+        if comp == "..":
+            raise FileSystemError(f"'..' not supported in VFS paths: {path!r}")
+        parts.append(comp)
+    return "/" + "/".join(parts)
+
+
+def split(path: str) -> list[str]:
+    """Components of a normalized path ('/' -> [])."""
+    norm = normalize(path)
+    return [] if norm == "/" else norm[1:].split("/")
+
+
+def parent(path: str) -> str:
+    """Parent directory of a normalized path ('/' is its own parent)."""
+    comps = split(path)
+    if not comps:
+        return "/"
+    return "/" + "/".join(comps[:-1])
+
+
+def basename(path: str) -> str:
+    """Final component ('' for the root)."""
+    comps = split(path)
+    return comps[-1] if comps else ""
+
+
+def join(base: str, *names: str) -> str:
+    """Join relative names onto an absolute base."""
+    out = normalize(base)
+    for name in names:
+        for comp in name.split("/"):
+            if comp in ("", "."):
+                continue
+            if comp == "..":
+                raise FileSystemError(f"'..' not supported: {name!r}")
+            out = out.rstrip("/") + "/" + comp
+    return normalize(out)
+
+
+def is_under(path: str, prefix: str) -> bool:
+    """True if ``path`` is ``prefix`` or inside it."""
+    p = normalize(path)
+    pre = normalize(prefix)
+    return p == pre or p.startswith(pre.rstrip("/") + "/")

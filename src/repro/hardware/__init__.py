@@ -1,0 +1,16 @@
+"""Hardware models: multicore CPU, memory, disk, and the Table I specs."""
+
+from repro.hardware.cpu import CpuTask, ProcessorSharingCPU
+from repro.hardware.disk import DiskModel
+from repro.hardware.memory import MemoryModel
+from repro.hardware.specs import CELERON_450, DUO_E4400, QUAD_Q9400
+
+__all__ = [
+    "ProcessorSharingCPU",
+    "CpuTask",
+    "MemoryModel",
+    "DiskModel",
+    "QUAD_Q9400",
+    "DUO_E4400",
+    "CELERON_450",
+]

@@ -1,0 +1,82 @@
+"""SATA disk model: a FIFO-queued server with seek + streaming bandwidth.
+
+A request costs ``seek_time + nbytes / bandwidth`` of device time; requests
+queue FIFO behind each other.  Sequential streams should be issued as one
+large request (one seek); random access as many small ones.  This is
+deliberately simple — the McSD evaluation is CPU/memory-shaped, the disk
+mostly sets the floor for reading inputs — but it is a real queued resource
+so concurrent jobs on one node contend for it.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.config import DiskSpec
+from repro.errors import DiskError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["DiskModel"]
+
+
+class DiskModel:
+    """One disk drive attached to a node."""
+
+    def __init__(self, sim: Simulator, spec: DiskSpec | None = None, name: str = "disk"):
+        self.sim = sim
+        self.spec = spec or DiskSpec()
+        self.name = name
+        self._server = Resource(sim, capacity=1, name=f"{name}.queue")
+        #: total bytes read / written (stats)
+        self.bytes_read = 0
+        self.bytes_written = 0
+        #: completed requests
+        self.requests = 0
+        #: accumulated busy time
+        self.busy_time = 0.0
+
+    # -- helpers ------------------------------------------------------------
+
+    def service_time(self, nbytes: int) -> float:
+        """Device time for one request of ``nbytes``."""
+        if nbytes < 0:
+            raise DiskError(f"negative request size {nbytes}")
+        return self.spec.seek_time + nbytes / self.spec.bandwidth
+
+    @property
+    def queue_len(self) -> int:
+        """Requests waiting behind the one in service."""
+        return self._server.queue_len
+
+    # -- operations -----------------------------------------------------------
+
+    def read(self, nbytes: int, label: str = "read") -> Event:
+        """Submit a read; the returned Process completes when data is in."""
+        return self._io(nbytes, is_write=False, label=label)
+
+    def write(self, nbytes: int, label: str = "write") -> Event:
+        """Submit a write; completes when the data has been persisted."""
+        return self._io(nbytes, is_write=True, label=label)
+
+    def _io(self, nbytes: int, is_write: bool, label: str) -> Event:
+        nbytes = int(nbytes)
+        service = self.service_time(nbytes)
+
+        def _proc() -> _t.Generator:
+            with self._server.request() as req:
+                yield req
+                yield self.sim.timeout(service)
+                self.busy_time += service
+                self.requests += 1
+                if is_write:
+                    self.bytes_written += nbytes
+                else:
+                    self.bytes_read += nbytes
+            return nbytes
+
+        return self.sim.spawn(_proc(), name=f"{self.name}.{label}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Disk {self.name} {self.spec.bandwidth / 1e6:.0f}MB/s q={self.queue_len}>"

@@ -1,0 +1,184 @@
+"""Node memory model: allocation tracking, pressure, thrash, OOM.
+
+The McSD evaluation hinges on what happens when a MapReduce working set
+outgrows a storage node's 2 GB of RAM (Sections IV-B, V-B, V-C):
+
+* while the working set fits comfortably, performance is unaffected;
+* past a pressure threshold the node starts paging and *every* task on the
+  node slows down (the nonlinear growth of the non-partitioned curves in
+  Fig 8(b) and the 6.8x-17.4x gaps in Fig 9);
+* past RAM + swap the allocation simply fails
+  (:class:`~repro.errors.OutOfMemoryError`).
+
+The thrash curve is :meth:`repro.config.MemoryPolicy.thrash_factor`; this
+model tracks allocations by owner and pushes the resulting factor into the
+node CPU via a listener callback.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.config import MemoryPolicy
+from repro.errors import OutOfMemoryError, SimulationError
+from repro.sim.kernel import Simulator
+
+__all__ = ["Allocation", "MemoryModel"]
+
+
+class Allocation:
+    """A live memory reservation; free it exactly once."""
+
+    __slots__ = ("owner", "nbytes", "_model", "_freed")
+
+    def __init__(self, owner: str, nbytes: int, model: "MemoryModel"):
+        self.owner = owner
+        self.nbytes = nbytes
+        self._model = model
+        self._freed = False
+
+    @property
+    def freed(self) -> bool:
+        """True once this allocation has been released."""
+        return self._freed
+
+    def free(self) -> None:
+        """Release the reservation (idempotent)."""
+        if not self._freed:
+            self._freed = True
+            self._model._release(self)
+
+    def resize(self, nbytes: int) -> None:
+        """Grow or shrink the reservation in place."""
+        self._model._resize(self, nbytes)
+
+    def __enter__(self) -> "Allocation":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "freed" if self._freed else "live"
+        return f"<Allocation {self.owner} {self.nbytes}B {state}>"
+
+
+class MemoryModel:
+    """Tracks memory usage on one node and derives the thrash factor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int,
+        policy: MemoryPolicy | None = None,
+        name: str = "mem",
+    ):
+        if capacity < 1:
+            raise SimulationError("memory capacity must be >= 1")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.policy = policy or MemoryPolicy()
+        self.name = name
+        self.used = 0
+        #: peak bytes ever used (stats)
+        self.peak_used = 0
+        self._allocations: list[Allocation] = []
+        self._listeners: list[_t.Callable[[float], None]] = []
+
+    # -- derived state --------------------------------------------------------
+
+    @property
+    def swap_capacity(self) -> int:
+        """Bytes of swap available beyond RAM."""
+        return int(self.capacity * self.policy.swap_factor)
+
+    @property
+    def limit(self) -> int:
+        """Hard allocation limit (RAM + swap)."""
+        return self.capacity + self.swap_capacity
+
+    @property
+    def available(self) -> int:
+        """Bytes allocatable before OOM."""
+        return self.limit - self.used
+
+    @property
+    def pressure(self) -> float:
+        """used / RAM capacity; > 1 means actively swapping."""
+        return self.used / self.capacity
+
+    def thrash_factor(self) -> float:
+        """Current CPU slowdown implied by memory pressure."""
+        return self.policy.thrash_factor(self.pressure)
+
+    # -- listeners ------------------------------------------------------------
+
+    def on_thrash_change(self, fn: _t.Callable[[float], None]) -> None:
+        """Register ``fn(thrash_factor)`` to run whenever pressure changes."""
+        self._listeners.append(fn)
+
+    def _notify(self) -> None:
+        factor = self.thrash_factor()
+        for fn in self._listeners:
+            fn(factor)
+
+    # -- operations -------------------------------------------------------------
+
+    def alloc(self, nbytes: int, owner: str = "anon") -> Allocation:
+        """Reserve ``nbytes``; raises :class:`OutOfMemoryError` past the limit."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise SimulationError(f"negative allocation {nbytes}")
+        if self.used + nbytes > self.limit:
+            raise OutOfMemoryError(nbytes, self.available, node=self.name)
+        alloc = Allocation(owner, nbytes, self)
+        self.used += nbytes
+        self.peak_used = max(self.peak_used, self.used)
+        self._allocations.append(alloc)
+        self._notify()
+        return alloc
+
+    def try_alloc(self, nbytes: int, owner: str = "anon") -> Allocation | None:
+        """Like :meth:`alloc` but returns None instead of raising."""
+        try:
+            return self.alloc(nbytes, owner)
+        except OutOfMemoryError:
+            return None
+
+    def would_fit(self, nbytes: int) -> bool:
+        """True if an allocation of ``nbytes`` would currently succeed."""
+        return self.used + nbytes <= self.limit
+
+    def _release(self, alloc: Allocation) -> None:
+        self._allocations.remove(alloc)
+        self.used -= alloc.nbytes
+        if self.used < 0:  # pragma: no cover - defensive
+            raise SimulationError("memory accounting went negative")
+        self._notify()
+
+    def _resize(self, alloc: Allocation, nbytes: int) -> None:
+        nbytes = int(nbytes)
+        if alloc._freed:
+            raise SimulationError("resize of a freed allocation")
+        if nbytes < 0:
+            raise SimulationError(f"negative allocation {nbytes}")
+        delta = nbytes - alloc.nbytes
+        if delta > 0 and self.used + delta > self.limit:
+            raise OutOfMemoryError(delta, self.available, node=self.name)
+        self.used += delta
+        alloc.nbytes = nbytes
+        self.peak_used = max(self.peak_used, self.used)
+        self._notify()
+
+    def usage_by_owner(self) -> dict[str, int]:
+        """Live bytes grouped by owner label."""
+        out: dict[str, int] = {}
+        for a in self._allocations:
+            out[a.owner] = out.get(a.owner, 0) + a.nbytes
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Memory {self.name} {self.used}/{self.capacity}B "
+            f"pressure={self.pressure:.2f} thrash={self.thrash_factor():.2f}>"
+        )

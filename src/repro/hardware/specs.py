@@ -1,0 +1,9 @@
+"""Re-export of the Table I CPU specs (canonical home: :mod:`repro.config`).
+
+Kept as its own module so hardware code can import specs without pulling in
+the full cluster configuration machinery.
+"""
+
+from repro.config import CELERON_450, CPUSpec, DUO_E4400, QUAD_Q9400
+
+__all__ = ["CPUSpec", "QUAD_Q9400", "DUO_E4400", "CELERON_450"]

@@ -1,0 +1,14 @@
+"""Simulated cluster interconnect: links, a store-and-forward switch, flows.
+
+Topology (Fig 3): every node owns a full-duplex port on one Gigabit switch.
+A transfer from A to B is a :class:`~repro.net.message.Flow` that occupies
+A's uplink and B's downlink; large flows are carved into segments so that
+concurrent flows interleave (fair sharing at segment granularity).
+"""
+
+from repro.net.fabric import Fabric
+from repro.net.link import Link
+from repro.net.message import Flow, Message
+from repro.net.switch import Switch
+
+__all__ = ["Fabric", "Link", "Switch", "Message", "Flow"]

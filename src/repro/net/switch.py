@@ -1,0 +1,80 @@
+"""A non-blocking Ethernet switch with per-port full-duplex links.
+
+Each attached endpoint gets an *uplink* (endpoint -> switch) and a
+*downlink* (switch -> endpoint).  The crossbar itself is non-blocking (a
+reasonable model of a small GbE switch), so a unicast path consumes exactly
+the sender's uplink and the receiver's downlink.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.config import NetworkConfig
+from repro.errors import NetworkError, RoutingError
+from repro.net.link import Link
+from repro.sim.kernel import Simulator
+
+__all__ = ["Switch", "Port"]
+
+
+class Port:
+    """The pair of directed links connecting one endpoint to the switch."""
+
+    __slots__ = ("endpoint", "uplink", "downlink")
+
+    def __init__(self, endpoint: str, uplink: Link, downlink: Link):
+        self.endpoint = endpoint
+        self.uplink = uplink
+        self.downlink = downlink
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Port {self.endpoint}>"
+
+
+class Switch:
+    """A single switch wiring up named endpoints (Fig 3's 1 Gbit switch)."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig | None = None, name: str = "switch"):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.name = name
+        self._ports: dict[str, Port] = {}
+
+    def attach(self, endpoint: str) -> Port:
+        """Create (or return) the port for ``endpoint``."""
+        port = self._ports.get(endpoint)
+        if port is None:
+            up = Link(
+                self.sim,
+                self.config.link_bandwidth,
+                self.config.link_latency / 2.0,
+                name=f"{endpoint}->{self.name}",
+            )
+            down = Link(
+                self.sim,
+                self.config.link_bandwidth,
+                self.config.link_latency / 2.0,
+                name=f"{self.name}->{endpoint}",
+            )
+            port = Port(endpoint, up, down)
+            self._ports[endpoint] = port
+        return port
+
+    def port(self, endpoint: str) -> Port:
+        """The existing port for ``endpoint`` (raises if not attached)."""
+        try:
+            return self._ports[endpoint]
+        except KeyError:
+            raise RoutingError(f"{endpoint!r} is not attached to {self.name}") from None
+
+    @property
+    def endpoints(self) -> list[str]:
+        """Attached endpoint names (attachment order)."""
+        return list(self._ports)
+
+    def path(self, src: str, dst: str) -> tuple[Link, Link]:
+        """(src uplink, dst downlink) for a unicast transfer."""
+        if src == dst:
+            raise RoutingError(f"loopback {src!r} does not traverse the switch")
+        return self.port(src).uplink, self.port(dst).downlink

@@ -1,0 +1,139 @@
+"""A cluster machine: CPU, memory, disk, local FS, inotify, and a netstack.
+
+The netstack gives each node one fabric endpoint and demultiplexes inbound
+messages to named *service ports* (queues), so NFS, smartFAM and SMB can
+coexist on one wire exactly like UDP/TCP services on one NIC.
+
+Memory pressure is wired straight into the CPU: the memory model's thrash
+factor becomes the CPU's node-wide slowdown, which is how a bloated
+MapReduce working set degrades *every* task on the node (the mechanism
+behind Fig 8(b)'s nonlinear curves).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.config import NodeConfig
+from repro.errors import NetworkError
+from repro.fs.inotify import InotifyManager
+from repro.fs.localfs import LocalFS
+from repro.hardware.cpu import ProcessorSharingCPU
+from repro.hardware.disk import DiskModel
+from repro.hardware.memory import MemoryModel
+from repro.net.fabric import Fabric
+from repro.net.message import Message
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Store
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One machine in the simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NodeConfig,
+        fabric: Fabric,
+        inotify_latency: float = 0.0,
+    ):
+        self.sim = sim
+        self.config = config
+        self.name = config.name
+        self.fabric = fabric
+
+        self.cpu = ProcessorSharingCPU(sim, config.cpu, name=f"{self.name}.cpu")
+        self.memory = MemoryModel(
+            sim, config.mem_bytes, policy=config.memory_policy, name=f"{self.name}.mem"
+        )
+        self.memory.on_thrash_change(self.cpu.set_slowdown)
+        self.disk = DiskModel(sim, config.disk, name=f"{self.name}.disk")
+        self.fs = LocalFS(sim, self.disk, name=f"{self.name}.fs")
+        self.inotify = InotifyManager(
+            sim, self.fs.vfs, latency=inotify_latency, name=f"{self.name}.inotify"
+        )
+
+        self._inbox = fabric.attach(self.name)
+        self._services: dict[str, Store] = {}
+        self._mounts: dict[str, object] = {}  # mount point -> NFSMount
+        sim.spawn(self._demux_loop(), name=f"{self.name}.netstack")
+
+    # -- network services ---------------------------------------------------
+
+    def open_port(self, port: str) -> Store:
+        """Create (or return) the inbound queue for a named service port."""
+        q = self._services.get(port)
+        if q is None:
+            q = Store(self.sim, name=f"{self.name}:{port}")
+            self._services[port] = q
+        return q
+
+    def _demux_loop(self) -> _t.Generator:
+        while True:
+            msg = yield self._inbox.get()
+            assert isinstance(msg, Message)
+            port = "default"
+            if isinstance(msg.payload, dict):
+                port = msg.payload.get("port", "default")
+            self.open_port(port).put(msg)
+
+    def send(
+        self,
+        dst: str,
+        port: str,
+        body: object,
+        nbytes: int,
+        kind: str = "data",
+    ) -> Event:
+        """Send a service message to another node; completes at delivery."""
+        if nbytes < 0:
+            raise NetworkError(f"negative message size {nbytes}")
+        msg = Message(
+            src=self.name,
+            dst=dst,
+            nbytes=nbytes,
+            payload={"port": port, "body": body},
+            kind=kind,
+        )
+        return self.fabric.send(msg)
+
+    # -- compute ------------------------------------------------------------
+
+    def run_ops(self, ops: float, name: str = "task") -> Event:
+        """Run a CPU task on this node; completes when the ops are done."""
+        return self.cpu.submit(ops, name=name)
+
+    # -- mounts --------------------------------------------------------------
+
+    def add_mount(self, mount_point: str, mount: object) -> None:
+        """Attach an NFS mount at ``mount_point`` (e.g. '/mnt/sd0')."""
+        from repro.fs import path as _p
+
+        self._mounts[_p.normalize(mount_point)] = mount
+
+    def resolve_fs(self, path: str) -> tuple[object, str]:
+        """(filesystem, translated path) for ``path``.
+
+        Longest-prefix match over mount points; falls back to the local FS
+        with the path unchanged.  The returned object implements the timed
+        LocalFS operation set (NFSMount mirrors it).
+        """
+        from repro.fs import path as _p
+
+        norm = _p.normalize(path)
+        best: str | None = None
+        for mp in self._mounts:
+            if _p.is_under(norm, mp) and (best is None or len(mp) > len(best)):
+                best = mp
+        if best is None:
+            return self.fs, norm
+        rel = norm[len(best) :] or "/"
+        if not rel.startswith("/"):
+            rel = "/" + rel
+        return self._mounts[best], rel
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Node {self.name} ({self.config.role}) {self.config.cpu.name}>"

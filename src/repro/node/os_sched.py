@@ -1,0 +1,77 @@
+"""Small OS-level helpers: daemon processes and task handles.
+
+The kernel's :class:`~repro.sim.process.Process` already gives us
+preemptible coroutines; this module adds the thin conventions the McSD
+daemons share — a restart-on-crash wrapper and a handle that joins a task
+with a timeout.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+__all__ = ["TaskHandle", "spawn_daemon"]
+
+
+class TaskHandle:
+    """A joinable reference to a spawned task."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: Process):
+        self.process = process
+
+    @property
+    def done(self) -> bool:
+        """True once the task finished (ok or failed)."""
+        return self.process.triggered
+
+    def join(self) -> Event:
+        """Event completing with the task (yield it from a sim process)."""
+        return self.process
+
+    def cancel(self, cause: object = "cancelled") -> None:
+        """Interrupt the task if still running."""
+        if self.process.is_alive:
+            self.process.interrupt(cause)
+
+
+def spawn_daemon(
+    sim: Simulator,
+    factory: _t.Callable[[], _t.Generator],
+    name: str,
+    restart: bool = True,
+    max_restarts: int = 16,
+) -> Process:
+    """Run ``factory()`` as a long-lived daemon, restarting it on crash.
+
+    A daemon generator that *returns* is considered done (no restart); one
+    that *raises* is restarted up to ``max_restarts`` times, after which
+    the supervisor itself fails — silently looping forever on a broken
+    daemon would hide bugs.
+    """
+
+    def _supervisor() -> _t.Generator:
+        restarts = 0
+        while True:
+            body = sim.spawn(factory(), name=name)
+            try:
+                result = yield body
+                return result
+            except Exception:
+                if not restart:
+                    raise
+                restarts += 1
+                if restarts > max_restarts:
+                    raise SimulationError(
+                        f"daemon {name!r} crashed {restarts} times; giving up"
+                    )
+                # immediate restart at the same instant
+                yield sim.timeout(0.0)
+
+    return sim.spawn(_supervisor(), name=f"supervisor:{name}")

@@ -1,0 +1,27 @@
+"""Partitioning and merging: the paper's core contribution (Sections IV-B/C).
+
+The original Phoenix cannot process inputs larger than a fraction of node
+memory.  McSD's answer is a two-stage model (Fig 6): the runtime-provided
+**Partition** function carves the input into memory-fitting fragments —
+with an **integrity check** (Fig 7) that slides every boundary forward to
+the next delimiter so no record is split — the MapReduce procedure runs
+per fragment, and a user-provided **Merge** combines the per-fragment
+outputs.
+"""
+
+from repro.partition.extended import ExtendedPhoenixRuntime, ExtendedResult
+from repro.partition.integrity import integrity_check, safe_boundaries
+from repro.partition.merge import concat_merge, identity_merge, sum_merge
+from repro.partition.partitioner import FragmentPlan, plan_fragments
+
+__all__ = [
+    "integrity_check",
+    "safe_boundaries",
+    "FragmentPlan",
+    "plan_fragments",
+    "ExtendedPhoenixRuntime",
+    "ExtendedResult",
+    "sum_merge",
+    "concat_merge",
+    "identity_merge",
+]

@@ -1,0 +1,83 @@
+"""The integrity check of Fig 7.
+
+Given a draft fragment boundary ("new partition size"), scan forward from
+the starting point until a space, return, or other programmer-defined
+delimiter character is found, and return the extra displacement.  This
+guarantees "the new partition is ended correctly" — the content of the
+source file is never "broken in shatters (e.g. a word could be cut and
+placed into two slitted files not on purpose)".
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegrityError
+
+__all__ = ["DEFAULT_DELIMITERS", "integrity_check", "safe_boundaries"]
+
+#: space, tab, newline, carriage return — Fig 7's "space, return, or other
+#: delimited characters"
+DEFAULT_DELIMITERS = b" \t\n\r"
+
+
+def integrity_check(
+    data: bytes,
+    draft_point: int,
+    delimiters: bytes = DEFAULT_DELIMITERS,
+) -> int:
+    """Displacement moving ``draft_point`` forward to a safe boundary.
+
+    Returns ``d >= 0`` such that ``draft_point + d`` either sits just
+    *after* a delimiter (the delimiter stays with the left fragment) or is
+    the end of ``data``.  A draft point at or past the end returns 0.
+    """
+    if draft_point < 0:
+        raise IntegrityError(f"negative draft point {draft_point}")
+    if not delimiters:
+        raise IntegrityError("empty delimiter set")
+    n = len(data)
+    if draft_point >= n:
+        return 0
+    # If the byte *before* the draft point is a delimiter, the boundary is
+    # already safe: the left fragment ends exactly on a record end.
+    if draft_point > 0 and data[draft_point - 1 : draft_point] in _delim_set(delimiters):
+        return 0
+    pos = draft_point
+    while pos < n and data[pos : pos + 1] not in _delim_set(delimiters):
+        pos += 1
+    if pos < n:
+        pos += 1  # include the delimiter in the left fragment
+    return pos - draft_point
+
+
+def _delim_set(delimiters: bytes) -> set[bytes]:
+    return {delimiters[i : i + 1] for i in range(len(delimiters))}
+
+
+def safe_boundaries(
+    data: bytes,
+    nominal_fragment: int,
+    delimiters: bytes = DEFAULT_DELIMITERS,
+) -> list[int]:
+    """All fragment boundaries for ``data`` at a nominal fragment size.
+
+    Returns ``[0, b1, b2, ..., len(data)]`` where every interior boundary
+    has passed the integrity check.  Guarantees progress even on
+    delimiter-free data (a fragment then extends to the end).
+    """
+    if nominal_fragment < 1:
+        raise IntegrityError(f"fragment size must be >= 1, got {nominal_fragment}")
+    bounds = [0]
+    n = len(data)
+    while bounds[-1] < n:
+        draft = bounds[-1] + nominal_fragment
+        if draft >= n:
+            bounds.append(n)
+            break
+        disp = integrity_check(data, draft, delimiters)
+        boundary = min(n, draft + disp)
+        if boundary <= bounds[-1]:  # pragma: no cover - defensive
+            raise IntegrityError("integrity check failed to advance")
+        bounds.append(boundary)
+    if bounds == [0]:  # empty data
+        bounds.append(0)
+    return bounds

@@ -1,0 +1,145 @@
+"""Fragment planning: `wordcount [data-file] [partition-size]` (Section IV-C).
+
+The fragment size is either supplied by the programmer (the paper's
+``[partition-size]`` argument — 600 MB in the Section V-C experiments) or
+determined automatically by the runtime so each fragment's working set
+stays inside the node's comfortable memory range.
+
+Planning operates on *declared* sizes; when a materialized payload exists,
+fragment boundaries inside the payload pass the integrity check of Fig 7
+(scaled to payload coordinates), so the real per-fragment computation
+never sees a split record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import PhoenixConfig
+from repro.errors import PartitionError
+from repro.phoenix.api import CostProfile, InputSpec
+from repro.partition.integrity import safe_boundaries
+
+__all__ = ["FragmentPlan", "auto_fragment_bytes", "plan_fragments"]
+
+
+@dataclasses.dataclass
+class FragmentPlan:
+    """The outcome of partition planning."""
+
+    fragments: list[InputSpec]
+    fragment_bytes: int
+    auto_sized: bool
+
+    @property
+    def n_fragments(self) -> int:
+        """Number of fragments."""
+        return len(self.fragments)
+
+
+def auto_fragment_bytes(
+    mem_capacity: int, profile: CostProfile, cfg: PhoenixConfig
+) -> int:
+    """Runtime-chosen fragment size.
+
+    Targets a per-fragment working set of ``auto_fragment_fraction`` of
+    node memory: ``fragment = fraction * mem / footprint_factor``.  For
+    Word Count (3x footprint) on a 2 GB node with fraction 0.5 this gives
+    ~333 MB fragments — comfortably under the thrash threshold.
+    """
+    frag = int(cfg.auto_fragment_fraction * mem_capacity / profile.footprint_factor)
+    return max(1, frag)
+
+
+def plan_fragments(
+    inp: InputSpec,
+    fragment_bytes: int | None,
+    mem_capacity: int,
+    profile: CostProfile,
+    cfg: PhoenixConfig,
+    delimiters: bytes = b" \t\n\r",
+) -> FragmentPlan:
+    """Split one input into integrity-checked fragments.
+
+    ``fragment_bytes=None`` selects automatic sizing.  Inputs that already
+    fit in one fragment return a single-fragment plan (the paper: "if
+    there is no [partition-size] parameter, the program will run in native
+    way").
+    """
+    if inp.size < 0:
+        raise PartitionError("negative input size")
+    auto = fragment_bytes is None
+    frag = auto_fragment_bytes(mem_capacity, profile, cfg) if auto else int(fragment_bytes)
+    if frag < 1:
+        raise PartitionError(f"fragment size must be >= 1, got {frag}")
+
+    payload = inp.payload
+    if payload is not None and not isinstance(payload, (bytes, bytearray)):
+        raise PartitionError(
+            f"input {inp.path!r} has a non-byte payload "
+            f"({type(payload).__name__}); this application is not "
+            "partition-able (Section V-B's assumption)"
+        )
+
+    if inp.size <= frag:
+        return FragmentPlan(fragments=[inp], fragment_bytes=frag, auto_sized=auto)
+
+    # Declared-size boundaries: nominal cuts every `frag` bytes.
+    declared_cuts = list(range(0, inp.size, frag)) + [inp.size]
+    if declared_cuts[-2] == inp.size:  # exact multiple: drop duplicate
+        declared_cuts.pop(-2)
+
+    # Payload boundaries: scale the declared cuts into payload coordinates
+    # and integrity-check each one on the real bytes.
+    fragments: list[InputSpec] = []
+    if payload is not None and len(payload) > 0:
+        data = bytes(payload)
+        scale = len(data) / inp.size
+        nominal_payload_frag = max(1, int(frag * scale))
+        pbounds = safe_boundaries(data, nominal_payload_frag, delimiters)
+        # If rounding produced a different fragment count, re-balance the
+        # payload cuts to the declared fragment count.
+        n_frags = len(declared_cuts) - 1
+        if len(pbounds) - 1 != n_frags:
+            pbounds = _rebalance_bounds(data, n_frags, delimiters)
+        for i in range(n_frags):
+            fragments.append(
+                InputSpec(
+                    path=inp.path,
+                    size=declared_cuts[i + 1] - declared_cuts[i],
+                    payload=data[pbounds[i] : pbounds[i + 1]],
+                    params=inp.params,
+                    offset=inp.offset + declared_cuts[i],
+                )
+            )
+    else:
+        for i in range(len(declared_cuts) - 1):
+            fragments.append(
+                InputSpec(
+                    path=inp.path,
+                    size=declared_cuts[i + 1] - declared_cuts[i],
+                    payload=None,
+                    params=inp.params,
+                    offset=inp.offset + declared_cuts[i],
+                )
+            )
+    return FragmentPlan(fragments=fragments, fragment_bytes=frag, auto_sized=auto)
+
+
+def _rebalance_bounds(data: bytes, n_frags: int, delimiters: bytes) -> list[int]:
+    """Exactly ``n_frags`` integrity-checked payload cuts."""
+    from repro.partition.integrity import integrity_check
+
+    n = len(data)
+    bounds = [0]
+    for i in range(1, n_frags):
+        draft = min(n, int(round(i * n / n_frags)))
+        draft = max(draft, bounds[-1])
+        disp = integrity_check(data, draft, delimiters)
+        bounds.append(min(n, draft + disp))
+    bounds.append(n)
+    # Monotonicity can collapse tail fragments on tiny payloads; that's
+    # fine — empty payload slices still carry their declared sizes.
+    for i in range(1, len(bounds)):
+        bounds[i] = max(bounds[i], bounds[i - 1])
+    return bounds

@@ -1,0 +1,37 @@
+"""A Phoenix-style MapReduce runtime for (simulated) multicore nodes.
+
+Phoenix [Ranger et al., HPCA'07] is the shared-memory MapReduce
+implementation the paper embeds in McSD storage nodes (Section II-C).
+This package reproduces its architecture:
+
+* :mod:`repro.phoenix.api` — the programming API: users supply ``map``,
+  ``reduce`` and (for the partition extension) ``merge`` callbacks plus a
+  cost profile; the runtime owns splitting, scheduling and concurrency.
+* :mod:`repro.phoenix.scheduler` — dynamic task scheduling over a worker
+  pool (one worker per core).
+* :mod:`repro.phoenix.sort` — the real intermediate group/sort machinery.
+* :mod:`repro.phoenix.memory` — the out-of-core rule: the original runtime
+  cannot support inputs beyond a fraction of node memory (Section IV-B).
+* :mod:`repro.phoenix.runtime` — the engine: split -> map -> sort ->
+  reduce -> merge on a node's simulated cores, with *real* execution of
+  the user callbacks over the dataset payload.
+
+Execution is *dual*: user callbacks run for real over the (small,
+materialized) payload, while elapsed time is charged against the declared
+data size through the cost profile — see DESIGN.md §2 for why.
+"""
+
+from repro.phoenix.api import CostProfile, InputSpec, MapReduceSpec
+from repro.phoenix.memory import footprint_bytes, max_supported_input
+from repro.phoenix.runtime import JobStats, PhoenixResult, PhoenixRuntime
+
+__all__ = [
+    "MapReduceSpec",
+    "CostProfile",
+    "InputSpec",
+    "PhoenixRuntime",
+    "PhoenixResult",
+    "JobStats",
+    "footprint_bytes",
+    "max_supported_input",
+]

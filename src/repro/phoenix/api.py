@@ -1,0 +1,223 @@
+"""The Phoenix programming API: job specs, cost profiles, input descriptors.
+
+A :class:`MapReduceSpec` is what a programmer writes (Section IV): the
+``map``/``reduce`` callbacks plus, for the extended two-stage model of
+Fig 6, a ``merge`` callback combining per-fragment outputs.  Everything
+else — splitting, worker scheduling, sorting, memory management — belongs
+to the runtime.
+
+A :class:`CostProfile` translates *declared* data sizes into CPU demand
+(abstract ops; one op = one cycle on a reference core) and memory
+footprint.  Profiles for the paper's three benchmarks live in
+:mod:`repro.apps`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import WorkloadError
+
+__all__ = ["Emit", "CostProfile", "MapReduceSpec", "InputSpec"]
+
+#: the emit callback handed to map functions
+Emit = _t.Callable[[object, object], None]
+
+
+class CostProfile:
+    """CPU/memory demand model for one application.
+
+    The default implementation is linear in bytes, which fits scan-shaped
+    applications (Word Count, String Match).  Compute-bound applications
+    (Matrix Multiplication) subclass and override the ``*_ops`` methods.
+
+    Parameters are ops per *declared* byte on the reference core
+    (1 op = 1 cycle at 1 GHz => ops/byte 30 on a 2 GHz core ~ 66 MB/s).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        map_ops_per_byte: float,
+        sort_ops_per_byte: float = 0.0,
+        reduce_ops_per_byte: float = 0.0,
+        merge_ops_per_byte: float = 0.0,
+        footprint_factor: float = 2.0,
+        seq_footprint_factor: float = 1.0,
+        intermediate_ratio: float = 1.0,
+        output_ratio: float = 0.05,
+        setup_ops: float = 2.0e7,
+    ):
+        if map_ops_per_byte < 0 or footprint_factor <= 0:
+            raise WorkloadError(f"bad cost profile for {name}")
+        self.name = name
+        self.map_ops_per_byte = map_ops_per_byte
+        self.sort_ops_per_byte = sort_ops_per_byte
+        self.reduce_ops_per_byte = reduce_ops_per_byte
+        self.merge_ops_per_byte = merge_ops_per_byte
+        #: working-set size as a multiple of input (paper: WC ~3x, SM ~2x)
+        self.footprint_factor = footprint_factor
+        #: footprint of the *sequential, streaming* implementation
+        self.seq_footprint_factor = seq_footprint_factor
+        #: intermediate (map output) bytes per input byte
+        self.intermediate_ratio = intermediate_ratio
+        #: final output bytes per input byte
+        self.output_ratio = output_ratio
+        #: fixed per-job runtime setup cost (thread pool, buffers)
+        self.setup_ops = setup_ops
+
+    # -- stage demand ------------------------------------------------------
+
+    def map_ops(self, input_bytes: int) -> float:
+        """Total map-phase ops for ``input_bytes`` of input."""
+        return self.map_ops_per_byte * input_bytes
+
+    def sort_ops(self, input_bytes: int) -> float:
+        """Total sort-phase ops."""
+        return self.sort_ops_per_byte * self.intermediate_bytes(input_bytes)
+
+    def reduce_ops(self, input_bytes: int) -> float:
+        """Total reduce-phase ops."""
+        return self.reduce_ops_per_byte * self.intermediate_bytes(input_bytes)
+
+    def merge_ops(self, input_bytes: int) -> float:
+        """Single-threaded final-merge ops."""
+        return self.merge_ops_per_byte * self.intermediate_bytes(input_bytes)
+
+    def total_ops(self, input_bytes: int) -> float:
+        """All parallelizable + serial ops (the sequential implementation
+        performs the same algorithmic work, minus runtime setup)."""
+        return (
+            self.map_ops(input_bytes)
+            + self.sort_ops(input_bytes)
+            + self.reduce_ops(input_bytes)
+            + self.merge_ops(input_bytes)
+        )
+
+    def sequential_ops(self, input_bytes: int) -> float:
+        """Ops of the plain sequential implementation."""
+        return self.total_ops(input_bytes)
+
+    # -- data sizes ----------------------------------------------------------
+
+    def intermediate_bytes(self, input_bytes: int) -> int:
+        """Declared size of the map output."""
+        return int(self.intermediate_ratio * input_bytes)
+
+    def output_bytes(self, input_bytes: int) -> int:
+        """Declared size of the final output."""
+        return int(self.output_ratio * input_bytes)
+
+    def footprint(self, input_bytes: int) -> int:
+        """Working set of the (original) parallel runtime."""
+        return int(self.footprint_factor * input_bytes)
+
+    def seq_footprint(self, input_bytes: int) -> int:
+        """Working set of the sequential streaming implementation."""
+        return int(self.seq_footprint_factor * input_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CostProfile {self.name} map={self.map_ops_per_byte} ops/B>"
+
+
+@dataclasses.dataclass
+class InputSpec:
+    """One input to a MapReduce job.
+
+    ``path`` is resolved on the executing node (may cross an NFS mount);
+    ``size`` is the declared byte count charged to disk/network/CPU;
+    ``payload`` is the real content the callbacks run on (may be ``None``
+    for pure cost-model runs, or much smaller than ``size``).
+    ``params`` carries app-specific parameters (e.g. the SM keys).
+    """
+
+    path: str
+    size: int
+    payload: object = None
+    params: dict = dataclasses.field(default_factory=dict)
+    #: byte offset of this slice inside its parent input (partitioning)
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise WorkloadError(f"negative input size {self.size}")
+
+    @property
+    def payload_bytes(self) -> bytes | None:
+        """The payload if it is raw bytes, else None."""
+        return self.payload if isinstance(self.payload, (bytes, bytearray)) else None
+
+
+@dataclasses.dataclass
+class MapReduceSpec:
+    """A user program in the McSD/Phoenix programming model.
+
+    ``map_fn(data, emit, params)`` consumes one split of the input and
+    emits intermediate pairs.  ``reduce_fn(key, values, params)`` folds all
+    values of one key.  ``combine_fn(old, new)``, when given, pre-combines
+    values per key inside each map task (Phoenix's combiner; keeps real
+    intermediate data proportional to distinct keys, like the C original).
+    ``merge_fn(outputs, params)`` combines per-fragment outputs in the
+    extended two-stage model (Fig 6) and is *user-provided*, exactly as the
+    paper specifies ("the Merge function needs to be programmed by the
+    user", Section IV-C).
+    ``split_fn(payload, n)`` splits a payload into n map inputs; the
+    default splits bytes on line boundaries and lists evenly.
+    """
+
+    name: str
+    map_fn: _t.Callable[[object, Emit, dict], None]
+    profile: CostProfile
+    reduce_fn: _t.Callable[[object, list, dict], object] | None = None
+    combine_fn: _t.Callable[[object, object], object] | None = None
+    merge_fn: _t.Callable[[list, dict], object] | None = None
+    split_fn: _t.Callable[[object, int], list] | None = None
+    needs_sort: bool = True
+    #: sort final output by descending value (word count prints by frequency)
+    sort_output: bool = False
+    #: record delimiter for the integrity check (Fig 7)
+    delimiters: bytes = b" \t\n\r"
+
+    def split(self, payload: object, n_splits: int) -> list:
+        """Split ``payload`` into at most ``n_splits`` map inputs."""
+        if self.split_fn is not None:
+            return self.split_fn(payload, n_splits)
+        return default_split(payload, n_splits)
+
+
+def default_split(payload: object, n_splits: int) -> list:
+    """Even split: bytes on line boundaries, sequences by slices."""
+    if payload is None:
+        return [None] * n_splits
+    if isinstance(payload, (bytes, bytearray)):
+        data = bytes(payload)
+        if not data:
+            return [b""] * n_splits
+        chunks: list[bytes] = []
+        approx = max(1, len(data) // n_splits)
+        start = 0
+        while start < len(data) and len(chunks) < n_splits - 1:
+            end = min(len(data), start + approx)
+            # advance to the next newline/space so no word is split
+            while end < len(data) and data[end : end + 1] not in (b" ", b"\n", b"\t"):
+                end += 1
+            chunks.append(data[start:end])
+            start = end
+        chunks.append(data[start:])
+        while len(chunks) < n_splits:
+            chunks.append(b"")
+        return chunks
+    if isinstance(payload, _t.Sequence):
+        seq = list(payload)
+        k, m = divmod(len(seq), n_splits)
+        out, idx = [], 0
+        for i in range(n_splits):
+            take = k + (1 if i < m else 0)
+            out.append(seq[idx : idx + take])
+            idx += take
+        return out
+    raise WorkloadError(
+        f"cannot default-split payload of type {type(payload).__name__}; "
+        "provide split_fn"
+    )

@@ -1,0 +1,49 @@
+"""The Phoenix out-of-core rule (Section IV-B).
+
+"We observed that the Phoenix runtime system does not support any
+application whose required data size exceeds approximately 60% of a
+computing node's memory size."  On the 2 GB testbed nodes Section V-B then
+reports Word Count and String Match failing beyond 1.5 GB of input (75 %).
+We expose the fraction as configuration (default: the observed 0.75) and
+raise :class:`~repro.errors.PhoenixMemoryError` when the rule trips —
+benchmarks use the exception to truncate the non-partitioned curves
+exactly where the paper's do.
+"""
+
+from __future__ import annotations
+
+from repro.config import PhoenixConfig
+from repro.errors import PhoenixMemoryError
+from repro.phoenix.api import CostProfile
+
+__all__ = ["footprint_bytes", "max_supported_input", "check_supportable"]
+
+
+def footprint_bytes(profile: CostProfile, input_bytes: int) -> int:
+    """Working-set size of the original runtime for an input."""
+    return profile.footprint(input_bytes)
+
+
+def max_supported_input(mem_capacity: int, cfg: PhoenixConfig) -> int:
+    """Largest input the original Phoenix supports on a node."""
+    return int(cfg.max_input_fraction * mem_capacity)
+
+
+def check_supportable(
+    app: str,
+    input_bytes: int,
+    mem_capacity: int,
+    cfg: PhoenixConfig,
+    profile: CostProfile,
+) -> None:
+    """Raise :class:`PhoenixMemoryError` if the original runtime cannot run.
+
+    The *extended* (partition-enabled) runtime never calls this for the
+    whole input — only per fragment.
+    """
+    if input_bytes > max_supported_input(mem_capacity, cfg):
+        raise PhoenixMemoryError(
+            footprint=footprint_bytes(profile, input_bytes),
+            capacity=mem_capacity,
+            app=app,
+        )

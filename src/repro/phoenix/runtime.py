@@ -1,0 +1,366 @@
+"""The Phoenix engine: split -> map -> sort -> reduce -> merge (Fig 1).
+
+Workers are simulated processes pinned to the node's PS-CPU; the user's
+callbacks run for real over the payload; stage durations come from the
+cost profile applied to the *declared* input size.  Memory is reserved for
+the job's working set up front, so an oversized job degrades (thrash) or
+kills (OOM) the node exactly the way Sections IV-B/V-B describe.
+
+``mode="parallel"`` is the original Phoenix; ``mode="sequential"`` is the
+plain single-threaded streaming implementation the paper uses as its
+baseline ("the sequential approach") — same algorithmic work, one core,
+no MapReduce working set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.config import PhoenixConfig
+from repro.errors import PhoenixError
+from repro.phoenix.api import InputSpec, MapReduceSpec
+from repro.phoenix.memory import check_supportable
+from repro.phoenix.scheduler import Task, run_task_pool
+from repro.phoenix.sort import (
+    Combiner,
+    group_by_key,
+    hash_partition,
+    merge_grouped,
+    sort_by_value_desc,
+)
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.node import Node
+
+__all__ = ["JobStats", "PhoenixResult", "PhoenixRuntime"]
+
+
+@dataclasses.dataclass
+class JobStats:
+    """Timing/size accounting of one job run."""
+
+    app: str
+    mode: str
+    node: str
+    input_bytes: int
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    read_time: float = 0.0
+    map_time: float = 0.0
+    sort_time: float = 0.0
+    reduce_time: float = 0.0
+    merge_time: float = 0.0
+    write_time: float = 0.0
+    map_tasks: int = 0
+    emitted_pairs: int = 0
+    footprint: int = 0
+    peak_pressure: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock (simulated) duration of the whole job."""
+        return self.finished_at - self.started_at
+
+
+@dataclasses.dataclass
+class PhoenixResult:
+    """What a job returns: real output + accounting."""
+
+    output: object
+    stats: JobStats
+
+
+class PhoenixRuntime:
+    """The MapReduce engine bound to one node."""
+
+    def __init__(self, node: "Node", cfg: PhoenixConfig | None = None):
+        self.node = node
+        self.sim = node.sim
+        self.cfg = cfg or PhoenixConfig()
+
+    # -- public entry points ------------------------------------------------
+
+    def run(
+        self,
+        spec: MapReduceSpec,
+        input_spec: InputSpec,
+        mode: str = "parallel",
+        enforce_memory_rule: bool = True,
+        write_output: bool = True,
+        output_path: str | None = None,
+    ) -> Event:
+        """Run one MapReduce job; Process value is a :class:`PhoenixResult`.
+
+        ``enforce_memory_rule`` applies the original runtime's input-size
+        limit (disabled per fragment checks are still applied by the
+        extended runtime itself).
+        """
+        if mode == "parallel":
+            gen = self._run_parallel(
+                spec, input_spec, enforce_memory_rule, write_output, output_path
+            )
+        elif mode == "sequential":
+            gen = self._run_sequential(spec, input_spec, write_output, output_path)
+        else:
+            raise PhoenixError(f"unknown mode {mode!r}")
+        return self.sim.spawn(gen, name=f"phoenix:{spec.name}@{self.node.name}")
+
+    # -- parallel (the original Phoenix) -----------------------------------------
+
+    def _run_parallel(
+        self,
+        spec: MapReduceSpec,
+        inp: InputSpec,
+        enforce_memory_rule: bool,
+        write_output: bool,
+        output_path: str | None,
+    ) -> _t.Generator:
+        node, sim, profile = self.node, self.sim, spec.profile
+        stats = JobStats(
+            app=spec.name,
+            mode="parallel",
+            node=node.name,
+            input_bytes=inp.size,
+            started_at=sim.now,
+        )
+        if enforce_memory_rule:
+            check_supportable(
+                spec.name, inp.size, node.memory.capacity, self.cfg, profile
+            )
+        stats.footprint = profile.footprint(inp.size)
+        alloc = node.memory.alloc(stats.footprint, owner=spec.name)
+        try:
+            stats.peak_pressure = node.memory.pressure
+            cores = node.cpu.cores
+
+            # ---- read input (disk or NFS charge for the declared bytes).
+            # Phoenix memory-maps its input, so reading streams concurrently
+            # with the map phase; only a payload-less input forces a serial
+            # read (we need the bytes before we can split them).
+            t0 = sim.now
+            fs, rel = node.resolve_fs(inp.path)
+            read_proc = fs.read(rel, nbytes=inp.size)
+            if inp.payload is not None:
+                payload = inp.payload
+            else:
+                payload = yield read_proc
+                read_proc = None
+            stats.read_time = sim.now - t0
+
+            # ---- map stage: dynamic pool, tasks_per_core x cores splits
+            t0 = sim.now
+            n_tasks = max(1, self.cfg.tasks_per_core * cores)
+            chunks = spec.split(payload, n_tasks)
+            stats.map_tasks = len(chunks)
+            ops_total = profile.map_ops(inp.size) + profile.setup_ops
+            weights = _chunk_weights(chunks, len(chunks))
+            combiners: list[Combiner] = []
+
+            def make_map(chunk: object) -> _t.Callable[[], object]:
+                def _run() -> object:
+                    comb = Combiner(spec.combine_fn)
+                    if chunk is not None and _nonempty(chunk):
+                        spec.map_fn(chunk, comb.emit, inp.params)
+                    combiners.append(comb)
+                    return None
+
+                return _run
+
+            tasks = [
+                Task(
+                    name=f"map{i}",
+                    ops=ops_total * weights[i],
+                    compute=make_map(chunks[i]),
+                )
+                for i in range(len(chunks))
+            ]
+            pool = run_task_pool(
+                sim, node.cpu, tasks, cores, label=f"{spec.name}.map"
+            )
+            if read_proc is not None:
+                yield sim.all_of([pool, read_proc])
+            else:
+                yield pool
+            stats.map_time = sim.now - t0
+            stats.emitted_pairs = sum(c.emitted for c in combiners)
+            pairs = [kv for comb in combiners for kv in comb.pairs()]
+
+            # ---- sort stage (cost parallelized across cores; real grouping
+            #      happens with the data below)
+            grouped: list[tuple[object, list]] | None = None
+            if spec.needs_sort:
+                t0 = sim.now
+                sort_total = profile.sort_ops(inp.size)
+                sort_tasks = [
+                    Task(name=f"sort{i}", ops=sort_total / cores) for i in range(cores)
+                ]
+                yield run_task_pool(
+                    sim, node.cpu, sort_tasks, cores, label=f"{spec.name}.sort"
+                )
+                grouped = group_by_key(
+                    pairs, values_are_lists=spec.combine_fn is None
+                )
+                stats.sort_time = sim.now - t0
+
+            # ---- reduce stage
+            t0 = sim.now
+            if spec.reduce_fn is not None:
+                source = grouped if grouped is not None else group_by_key(
+                    pairs, values_are_lists=spec.combine_fn is None
+                )
+                buckets = hash_partition(source, cores)
+                total_items = max(1, sum(len(b) for b in buckets))
+                reduce_total = profile.reduce_ops(inp.size)
+                reduced_parts: list[list[tuple[object, object]]] = [
+                    [] for _ in buckets
+                ]
+
+                def make_reduce(bidx: int) -> _t.Callable[[], object]:
+                    def _run() -> object:
+                        out = []
+                        for key, values in buckets[bidx]:
+                            vals = values if isinstance(values, list) else [values]
+                            out.append((key, spec.reduce_fn(key, vals, inp.params)))
+                        reduced_parts[bidx] = out
+                        return None
+
+                    return _run
+
+                rtasks = [
+                    Task(
+                        name=f"reduce{i}",
+                        ops=reduce_total * (len(buckets[i]) / total_items),
+                        compute=make_reduce(i),
+                    )
+                    for i in range(len(buckets))
+                ]
+                yield run_task_pool(
+                    sim, node.cpu, rtasks, cores, label=f"{spec.name}.reduce"
+                )
+                out_pairs = merge_grouped(reduced_parts)
+            else:
+                out_pairs = (
+                    [(k, v) for k, v in grouped] if grouped is not None else pairs
+                )
+            stats.reduce_time = sim.now - t0
+
+            # ---- final merge (single-threaded, like Phoenix's merge phase)
+            t0 = sim.now
+            merge_ops = profile.merge_ops(inp.size)
+            if merge_ops > 0:
+                yield node.cpu.submit(merge_ops, name=f"{spec.name}.merge")
+            output: object = (
+                sort_by_value_desc(out_pairs) if spec.sort_output else out_pairs
+            )
+            stats.merge_time = sim.now - t0
+
+            # ---- write output
+            if write_output:
+                t0 = sim.now
+                opath = output_path or f"{inp.path}.out"
+                ofs, orel = node.resolve_fs(opath)
+                yield ofs.write(orel, size=profile.output_bytes(inp.size))
+                stats.write_time = sim.now - t0
+        finally:
+            alloc.free()
+        stats.finished_at = sim.now
+        return PhoenixResult(output=output, stats=stats)
+
+    # -- sequential baseline --------------------------------------------------------
+
+    def _run_sequential(
+        self,
+        spec: MapReduceSpec,
+        inp: InputSpec,
+        write_output: bool,
+        output_path: str | None,
+    ) -> _t.Generator:
+        node, sim, profile = self.node, self.sim, spec.profile
+        stats = JobStats(
+            app=spec.name,
+            mode="sequential",
+            node=node.name,
+            input_bytes=inp.size,
+            started_at=sim.now,
+        )
+        stats.footprint = profile.seq_footprint(inp.size)
+        alloc = node.memory.alloc(stats.footprint, owner=f"{spec.name}.seq")
+        try:
+            stats.peak_pressure = node.memory.pressure
+            # The sequential implementation is a streaming scan: reading
+            # overlaps computing (unless the payload must come from disk).
+            t0 = sim.now
+            fs, rel = node.resolve_fs(inp.path)
+            read_proc = fs.read(rel, nbytes=inp.size)
+            if inp.payload is not None:
+                payload = inp.payload
+            else:
+                payload = yield read_proc
+                read_proc = None
+            stats.read_time = sim.now - t0
+
+            t0 = sim.now
+            compute = node.cpu.submit(
+                profile.sequential_ops(inp.size), name=f"{spec.name}.seq"
+            )
+            if read_proc is not None:
+                yield sim.all_of([compute, read_proc])
+            else:
+                yield compute
+            output = _sequential_compute(spec, payload, inp.params)
+            stats.map_time = sim.now - t0
+            stats.map_tasks = 1
+
+            if write_output:
+                t0 = sim.now
+                opath = output_path or f"{inp.path}.out"
+                ofs, orel = node.resolve_fs(opath)
+                yield ofs.write(orel, size=profile.output_bytes(inp.size))
+                stats.write_time = sim.now - t0
+        finally:
+            alloc.free()
+        stats.finished_at = sim.now
+        return PhoenixResult(output=output, stats=stats)
+
+
+def _sequential_compute(spec: MapReduceSpec, payload: object, params: dict) -> object:
+    """Run the whole algorithm single-threaded over the real payload."""
+    comb = Combiner(spec.combine_fn)
+    if payload is not None and _nonempty(payload):
+        spec.map_fn(payload, comb.emit, params)
+    pairs = comb.pairs()
+    if spec.reduce_fn is not None:
+        grouped = group_by_key(pairs, values_are_lists=spec.combine_fn is None)
+        pairs = [
+            (k, spec.reduce_fn(k, v if isinstance(v, list) else [v], params))
+            for k, v in grouped
+        ]
+    elif spec.needs_sort:
+        pairs = group_by_key(pairs, values_are_lists=spec.combine_fn is None)
+    return sort_by_value_desc(pairs) if spec.sort_output else pairs
+
+
+def _chunk_weights(chunks: list, n: int) -> list[float]:
+    """Fraction of total work per chunk (by real size when available)."""
+    sizes = []
+    for c in chunks:
+        if isinstance(c, (bytes, bytearray, str)) or hasattr(c, "__len__"):
+            try:
+                sizes.append(len(c))  # type: ignore[arg-type]
+                continue
+            except TypeError:
+                pass
+        sizes.append(1)
+    total = sum(sizes)
+    if total <= 0:
+        return [1.0 / max(1, n)] * len(chunks)
+    return [s / total for s in sizes]
+
+
+def _nonempty(payload: object) -> bool:
+    try:
+        return len(payload) > 0  # type: ignore[arg-type]
+    except TypeError:
+        return True

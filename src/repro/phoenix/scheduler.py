@@ -1,0 +1,66 @@
+"""Dynamic task scheduling for Phoenix workers.
+
+Phoenix "automatically manages thread creation [and] dynamic task
+scheduling" (Section I).  The pool is a shared queue: one worker process
+per core pulls tasks until the queue drains, so stragglers self-balance —
+a worker finishing a small split immediately grabs the next.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.cpu import ProcessorSharingCPU
+
+__all__ = ["Task", "run_task_pool"]
+
+
+@dataclasses.dataclass
+class Task:
+    """One schedulable unit: CPU demand + an optional real computation."""
+
+    name: str
+    ops: float
+    #: runs *after* the CPU charge completes; returns the task's result
+    compute: _t.Callable[[], object] | None = None
+
+
+def run_task_pool(
+    sim: Simulator,
+    cpu: "ProcessorSharingCPU",
+    tasks: _t.Sequence[Task],
+    n_workers: int,
+    label: str = "pool",
+) -> Event:
+    """Run ``tasks`` on ``n_workers`` workers over ``cpu``.
+
+    Returns a Process whose value is the list of task results in *task
+    order* (not completion order).  A raising ``compute`` fails the pool.
+    """
+    results: list[object] = [None] * len(tasks)
+    queue: list[int] = list(range(len(tasks)))
+
+    def worker(wid: int) -> _t.Generator:
+        while queue:
+            idx = queue.pop(0)
+            task = tasks[idx]
+            yield cpu.submit(task.ops, name=f"{label}.{task.name}@w{wid}")
+            if task.compute is not None:
+                results[idx] = task.compute()
+
+    def pool() -> _t.Generator:
+        if not tasks:
+            return []
+        workers = [
+            sim.spawn(worker(w), name=f"{label}.worker{w}")
+            for w in range(max(1, n_workers))
+        ]
+        yield sim.all_of(workers)
+        return results
+
+    return sim.spawn(pool(), name=label)

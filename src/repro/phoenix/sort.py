@@ -1,0 +1,107 @@
+"""Real intermediate-data machinery: combine, partition, group, sort.
+
+This is the functional half of the runtime — it operates on the actual
+key/value pairs the user's map emitted (over the materialized payload), so
+tests can assert that word counts really count and matches really match.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = [
+    "Combiner",
+    "hash_partition",
+    "group_by_key",
+    "merge_grouped",
+    "sort_by_value_desc",
+]
+
+
+class Combiner:
+    """Collects map emissions, optionally pre-combining values per key.
+
+    With a ``combine_fn(old, new)`` the structure holds one value per key
+    (e.g. running counts); without, it holds the full value list.
+    """
+
+    __slots__ = ("combine_fn", "data", "emitted")
+
+    def __init__(self, combine_fn: _t.Callable[[object, object], object] | None):
+        self.combine_fn = combine_fn
+        self.data: dict[object, object] = {}
+        #: raw emissions seen (stats; drives intermediate-size accounting)
+        self.emitted = 0
+
+    def emit(self, key: object, value: object) -> None:
+        """The callback handed to user map functions."""
+        self.emitted += 1
+        if self.combine_fn is None:
+            bucket = self.data.setdefault(key, [])
+            bucket.append(value)  # type: ignore[union-attr]
+        else:
+            if key in self.data:
+                self.data[key] = self.combine_fn(self.data[key], value)
+            else:
+                self.data[key] = value
+
+    def pairs(self) -> list[tuple[object, object]]:
+        """(key, value-or-valuelist) pairs in deterministic key order."""
+        return sorted(self.data.items(), key=lambda kv: repr(kv[0]))
+
+
+def hash_partition(
+    pairs: _t.Iterable[tuple[object, object]], n_buckets: int
+) -> list[list[tuple[object, object]]]:
+    """Deterministically spread pairs over ``n_buckets`` reduce buckets.
+
+    Python's str hash is salted per process, so bucket choice uses a stable
+    FNV-1a over ``repr(key)`` — reproducibility beats speed here.
+    """
+    buckets: list[list[tuple[object, object]]] = [[] for _ in range(max(1, n_buckets))]
+    for key, value in pairs:
+        h = _fnv1a(repr(key).encode())
+        buckets[h % len(buckets)].append((key, value))
+    return buckets
+
+
+def _fnv1a(data: bytes) -> int:
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def group_by_key(
+    pairs: _t.Iterable[tuple[object, object]], values_are_lists: bool = False
+) -> list[tuple[object, list]]:
+    """Sort by key and group values (the 'Sort' box of Fig 1)."""
+    grouped: dict[object, list] = {}
+    for key, value in pairs:
+        bucket = grouped.setdefault(key, [])
+        if values_are_lists and isinstance(value, list):
+            bucket.extend(value)
+        else:
+            bucket.append(value)
+    return sorted(grouped.items(), key=lambda kv: repr(kv[0]))
+
+
+def merge_grouped(results: _t.Iterable[list[tuple[object, object]]]) -> list[tuple[object, object]]:
+    """Merge sorted per-worker (key, value) lists into one sorted list."""
+    out: list[tuple[object, object]] = []
+    for part in results:
+        out.extend(part)
+    return sorted(out, key=lambda kv: repr(kv[0]))
+
+
+def sort_by_value_desc(pairs: _t.Iterable[tuple[object, object]]) -> list[tuple[object, object]]:
+    """Final output ordering of Word Count: by frequency, descending."""
+    return sorted(pairs, key=lambda kv: (-_as_num(kv[1]), repr(kv[0])))
+
+
+def _as_num(v: object) -> float:
+    try:
+        return float(v)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0.0

@@ -1,0 +1,235 @@
+"""Shared resources for simulated processes.
+
+* :class:`Resource` — ``capacity`` identical slots with a FIFO wait queue
+  (models disk queues, NIC ports, daemon worker pools).
+* :class:`Store` — an unbounded-or-bounded FIFO of Python objects
+  (models message queues and mailboxes).
+* :class:`Container` — a divisible quantity with ``put``/``get`` of amounts
+  (models byte pools).
+
+All wait queues are FIFO, making contention resolution deterministic.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+__all__ = ["Request", "Resource", "Store", "Container"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req          # waits for a slot
+            yield sim.timeout(work)
+        # slot released here
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim, name=f"req:{resource.name}")
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO queue."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: list[Request] = []
+        self._queue: collections.deque[Request] = collections.deque()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting."""
+        return len(self._queue)
+
+    # -- operations ---------------------------------------------------------
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed(self)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a slot (or withdraw an ungranted request).  Idempotent."""
+        if req in self._users:
+            self._users.remove(req)
+            self._grant_next()
+        else:
+            self._cancel(req)
+
+    def _cancel(self, req: Request) -> None:
+        try:
+            self._queue.remove(req)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.append(nxt)
+            nxt.succeed(self)
+
+
+class Store:
+    """FIFO of arbitrary items with blocking ``get`` and optional bound."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        name: str = "store",
+    ):
+        if capacity < 1:
+            raise SimulationError("store capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: collections.deque[object] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+        self._putters: collections.deque[tuple[Event, object]] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: object) -> Event:
+        """Deposit ``item``; blocks (pending event) while the store is full."""
+        ev = Event(self.sim, name=f"put:{self.name}")
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Withdraw the oldest item; pending while the store is empty."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self.items:
+            ev.succeed(self.items.popleft())
+            # Someone may be waiting to put.
+            if self._putters:
+                put_ev, item = self._putters.popleft()
+                self.items.append(item)
+                put_ev.succeed()
+        elif self._putters:
+            put_ev, item = self._putters.popleft()
+            put_ev.succeed()
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> object | None:
+        """Non-blocking get; None when empty."""
+        if not self.items:
+            return None
+        ev = self.get()
+        return ev.value
+
+
+class Container:
+    """A divisible quantity (e.g. bytes of buffer) with amount put/get."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "container",
+    ):
+        if capacity <= 0:
+            raise SimulationError("container capacity must be > 0")
+        if not 0 <= init <= capacity:
+            raise SimulationError("init must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = float(init)
+        self.name = name
+        self._getters: collections.deque[tuple[Event, float]] = collections.deque()
+        self._putters: collections.deque[tuple[Event, float]] = collections.deque()
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; pending while it would overflow capacity."""
+        if amount <= 0:
+            raise SimulationError("put amount must be > 0")
+        if amount > self.capacity:
+            raise SimulationError("put amount exceeds total capacity")
+        ev = Event(self.sim, name=f"cput:{self.name}")
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; pending while the level is insufficient."""
+        if amount <= 0:
+            raise SimulationError("get amount must be > 0")
+        if amount > self.capacity:
+            raise SimulationError("get amount exceeds total capacity")
+        ev = Event(self.sim, name=f"cget:{self.name}")
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        """Grant queued puts/gets in FIFO order while feasible."""
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self.level += amount
+                    ev.succeed()
+                    progress = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if self.level >= amount:
+                    self._getters.popleft()
+                    self.level -= amount
+                    ev.succeed()
+                    progress = True

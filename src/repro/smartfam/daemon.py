@@ -1,0 +1,287 @@
+"""The smartFAM daemons: SD-side dispatcher and host-side caller (Fig 5).
+
+``SDSmartFAM`` runs on the storage node: it creates one log file per
+preloaded module under the export's log directory, watches them with
+inotify, and on each host write dispatches the module with the decoded
+parameters, writing the result back into the log.
+
+``HostSmartFAM`` runs on the host: ``invoke(module, params)`` performs the
+paper's five invoke steps and four return steps through the NFS mount,
+returning an event carrying the module's result.  The host-side "inotify"
+is NFS mtime polling (kernel inotify does not see server-side writes),
+with the interval from :class:`~repro.config.SmartFAMConfig`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.config import SmartFAMConfig
+from repro.errors import OffloadTimeoutError, ProtocolError, SmartFAMError
+from repro.fs import path as _p
+from repro.fs.inotify import IN_MODIFY
+from repro.fs.nfs import NFSMount
+from repro.sim.events import Event
+from repro.sim.sync import Semaphore
+from repro.smartfam.logfile import INVOKE, RESULT, LogFileCodec, LogRecord
+from repro.smartfam.registry import ModuleRegistry
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.node import Node
+
+__all__ = ["SDSmartFAM", "HostSmartFAM", "LOG_DIR"]
+
+#: log-file folder inside the SD export ("A log-file folder, created in NFS
+#: at the server side", Section IV-A)
+LOG_DIR = "/export/sdlog"
+
+_seqs = itertools.count(1)
+
+
+class SDSmartFAM:
+    """The smartFAM daemon on a McSD storage node."""
+
+    def __init__(
+        self,
+        node: "Node",
+        registry: ModuleRegistry,
+        cfg: SmartFAMConfig | None = None,
+        log_dir: str = LOG_DIR,
+        phoenix_cfg=None,
+    ):
+        from repro.config import PhoenixConfig
+
+        self.node = node
+        self.sim = node.sim
+        self.registry = registry
+        self.cfg = cfg or SmartFAMConfig()
+        self.log_dir = _p.normalize(log_dir)
+        self.phoenix_cfg = phoenix_cfg or PhoenixConfig()
+        #: module invocations served (stats)
+        self.invocations = 0
+        #: fault injection: module -> number of upcoming invocations to crash
+        self._crash_budget: dict[str, int] = {}
+        #: fault injection: module -> number of upcoming results to drop
+        #: (models the daemon dying after the module ran but before the
+        #: result record was written)
+        self._drop_budget: dict[str, int] = {}
+        node.fs.vfs.mkdir(self.log_dir, parents=True)
+        for name in registry.names():
+            path = self.log_path(name)
+            node.fs.vfs.create(path, exist_ok=True)
+            watch = node.inotify.add_watch(path, IN_MODIFY, watch_children=False)
+            self.sim.spawn(
+                self._dispatch_loop(name, path, watch),
+                name=f"smartfam:{node.name}:{name}",
+            )
+
+    def log_path(self, module: str) -> str:
+        """The log file of a module."""
+        return _p.join(self.log_dir, f"{module}.log")
+
+    # -- fault injection (Section VI: fault tolerance future work) ---------
+
+    def inject_module_crash(self, module: str, count: int = 1) -> None:
+        """Make the next ``count`` invocations of ``module`` fail."""
+        self._crash_budget[module] = self._crash_budget.get(module, 0) + count
+
+    def inject_result_drop(self, module: str, count: int = 1) -> None:
+        """Silently drop the next ``count`` results of ``module``."""
+        self._drop_budget[module] = self._drop_budget.get(module, 0) + count
+
+    def _dispatch_loop(self, module: str, path: str, watch) -> _t.Generator:
+        """Steps 2-4 of the invoke protocol, forever."""
+        served: set[int] = set()
+        while True:
+            yield watch.queue.get()  # Step 2: inotify fires
+            # Step 3: the Daemon opens the log and retrieves parameters.
+            payload = yield self.node.fs.read(path, nbytes=self.cfg.logfile_bytes)
+            try:
+                record = LogFileCodec.latest(payload, INVOKE)
+            except ProtocolError:
+                # A torn/garbage write must not kill the daemon: skip the
+                # event; a well-formed record will fire inotify again.
+                self.sim.tracer.count("smartfam.corrupt_log")
+                continue
+            if record is None or record.seq in served:
+                continue  # our own result write, or a duplicate event
+            served.add(record.seq)
+            yield self.sim.timeout(self.cfg.daemon_dispatch_overhead)
+            # Step 4: invoke the data-intensive module.
+            self.sim.spawn(
+                self._run_module(module, path, record),
+                name=f"smartfam:{self.node.name}:{module}#{record.seq}",
+            )
+
+    def _run_module(self, module: str, path: str, record: LogRecord) -> _t.Generator:
+        fn = self.registry.get(module)
+        self.invocations += 1
+        if self._crash_budget.get(module, 0) > 0:
+            self._crash_budget[module] -= 1
+            reply = LogRecord(
+                RESULT,
+                record.seq,
+                module,
+                body=SmartFAMError(f"injected crash in module {module!r}"),
+                ok=False,
+            )
+            current = self.node.fs.vfs.read(path)
+            yield self.node.fs.write(
+                path,
+                data=LogFileCodec.append(current, reply),
+                size=self.cfg.logfile_bytes,
+            )
+            return
+        try:
+            result = yield self.sim.spawn(
+                fn(self.node, dict(record.body or {}), self.phoenix_cfg),
+                name=f"module:{module}#{record.seq}",
+            )
+            reply = LogRecord(RESULT, record.seq, module, body=result, ok=True)
+        except Exception as exc:
+            reply = LogRecord(RESULT, record.seq, module, body=exc, ok=False)
+        if self._drop_budget.get(module, 0) > 0:
+            self._drop_budget[module] -= 1
+            return  # the daemon "died" before persisting the result
+        # Return Step 1: results are written to the module's log file.
+        current = self.node.fs.vfs.read(path)
+        new_payload = LogFileCodec.append(current, reply)
+        yield self.node.fs.write(
+            path, data=new_payload, size=self.cfg.logfile_bytes, append=False
+        )
+
+
+class HostSmartFAM:
+    """The host-side smartFAM endpoint, bound to one SD node's NFS mount."""
+
+    def __init__(
+        self,
+        node: "Node",
+        mount: NFSMount,
+        cfg: SmartFAMConfig | None = None,
+        log_dir_on_mount: str = "/sdlog",
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.mount = mount
+        self.cfg = cfg or SmartFAMConfig()
+        self.log_dir = _p.normalize(log_dir_on_mount)
+        self._locks: dict[str, Semaphore] = {}
+        #: completed invocations (stats)
+        self.calls = 0
+
+    def log_path(self, module: str) -> str:
+        """Mount-relative path of a module's log file."""
+        return _p.join(self.log_dir, f"{module}.log")
+
+    def list_modules(self) -> Event:
+        """Discover the SD node's preloaded modules from the host side.
+
+        The log-file directory *is* the module registry as the host can
+        see it (one log per preloaded module, Section IV-A), so discovery
+        is one NFS readdir.  Process value: sorted module names.
+        """
+
+        def _proc() -> _t.Generator:
+            names = yield self.mount.listdir(self.log_dir)
+            return sorted(
+                name[: -len(".log")] for name in names if name.endswith(".log")
+            )
+
+        return self.sim.spawn(_proc(), name="smartfam-discover")
+
+    def invoke(self, module: str, params: dict, timeout: float | None = None) -> Event:
+        """Offload one call; the returned Process carries the result.
+
+        The log file is a single channel, so concurrent calls to the same
+        module from this host serialize (FIFO) on a per-module lock.
+
+        ``timeout`` bounds the wait for the *result* (measured from the
+        call, covering queueing + execution); on expiry the call is
+        abandoned and :class:`~repro.errors.OffloadTimeoutError` raised —
+        the liveness mechanism a dead SD daemon requires.
+        """
+        if timeout is None:
+            return self.sim.spawn(
+                self._invoke(module, params), name=f"smartfam-call:{module}"
+            )
+        return self.sim.spawn(
+            self._invoke_with_timeout(module, params, timeout),
+            name=f"smartfam-call:{module}",
+        )
+
+    def _invoke_with_timeout(
+        self, module: str, params: dict, timeout: float
+    ) -> _t.Generator:
+        inner = self.sim.spawn(
+            self._invoke(module, params), name=f"smartfam-inner:{module}"
+        )
+        timer = self.sim.timeout(timeout)
+        yield self.sim.any_of([inner, timer])
+        if inner.triggered:
+            if not inner.ok:
+                raise _t.cast(BaseException, inner.value)
+            return inner.value
+        inner.interrupt("smartfam timeout")
+        # absorb the interrupted process so its failure is not unhandled
+        try:
+            yield inner
+        except Exception:
+            pass
+        raise OffloadTimeoutError(module, timeout)
+
+    def _lock(self, module: str) -> Semaphore:
+        lock = self._locks.get(module)
+        if lock is None:
+            lock = Semaphore(self.sim, value=1, name=f"famlock:{module}")
+            self._locks[module] = lock
+        return lock
+
+    def _invoke(self, module: str, params: dict) -> _t.Generator:
+        lock = self._lock(module)
+        yield lock.acquire()
+        try:
+            path = self.log_path(module)
+            seq = next(_seqs)
+            # Invoke Step 1: write the input parameters to the log file.
+            current = yield self.mount.read(path, nbytes=self.cfg.logfile_bytes)
+            payload = LogFileCodec.append(
+                current if isinstance(current, (bytes, bytearray)) else None,
+                LogRecord(INVOKE, seq, module, body=dict(params)),
+            )
+            yield self.mount.write(
+                path, data=payload, size=self.cfg.logfile_bytes
+            )
+            baseline = yield self.mount.stat(path)
+            # Return Steps 2-4: the host-side monitor polls the log's
+            # attributes over NFS (cheap getattr round trips) and only
+            # re-reads the log when it has actually changed.
+            while True:
+                if self.cfg.host_poll_interval > 0:
+                    yield self.sim.timeout(self.cfg.host_poll_interval)
+                else:
+                    yield self.sim.timeout(0.0)
+                attrs = yield self.mount.stat(path)
+                if attrs["mtime"] == baseline["mtime"]:
+                    continue
+                baseline = attrs
+                data = yield self.mount.read(path, nbytes=self.cfg.logfile_bytes)
+                record = LogFileCodec.find(
+                    data if isinstance(data, (bytes, bytearray)) else None,
+                    RESULT,
+                    seq,
+                )
+                if record is not None:
+                    self.calls += 1
+                    if not record.ok:
+                        raise _as_exception(record.body)
+                    return record.body
+        finally:
+            lock.release()
+
+
+def _as_exception(body: object) -> BaseException:
+    if isinstance(body, BaseException):
+        return body
+    return SmartFAMError(f"module failed: {body!r}")

@@ -1,0 +1,88 @@
+"""The log-file wire format of the smartFAM channel.
+
+"The log file of each data-intensive module is an efficient channel for
+the host node to communicate with the smart-storage node" (Section IV-A).
+A log file is an append-only sequence of records; each record is either an
+``invoke`` (host -> SD: input parameters) or a ``result`` (SD -> host).
+Records carry a sequence number so concurrent callers and stale reads are
+unambiguous.
+
+The simulated file payload is a pickled record list; the *declared* file
+size grows by a fixed record size per append, which is what the disk and
+NFS cost models charge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import typing as _t
+
+from repro.errors import ProtocolError
+
+__all__ = ["INVOKE", "RESULT", "LogRecord", "LogFileCodec"]
+
+INVOKE = "invoke"
+RESULT = "result"
+
+
+@dataclasses.dataclass
+class LogRecord:
+    """One entry in a module's log file."""
+
+    kind: str
+    seq: int
+    module: str
+    body: object = None
+    ok: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in (INVOKE, RESULT):
+            raise ProtocolError(f"unknown record kind {self.kind!r}")
+        if self.seq < 0:
+            raise ProtocolError(f"negative sequence number {self.seq}")
+
+
+class LogFileCodec:
+    """Encode/decode the record list carried in a log file payload."""
+
+    @staticmethod
+    def encode(records: _t.Sequence[LogRecord]) -> bytes:
+        """Serialize the full record list."""
+        return pickle.dumps(list(records), protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def decode(payload: bytes | None) -> list[LogRecord]:
+        """Deserialize; empty/absent payload is an empty log."""
+        if not payload:
+            return []
+        try:
+            records = pickle.loads(payload)
+        except Exception as exc:
+            raise ProtocolError(f"corrupt log file: {exc}") from exc
+        if not isinstance(records, list) or not all(
+            isinstance(r, LogRecord) for r in records
+        ):
+            raise ProtocolError("log file does not contain LogRecords")
+        return records
+
+    @staticmethod
+    def append(payload: bytes | None, record: LogRecord) -> bytes:
+        """Payload with ``record`` appended."""
+        records = LogFileCodec.decode(payload)
+        records.append(record)
+        return LogFileCodec.encode(records)
+
+    @staticmethod
+    def latest(payload: bytes | None, kind: str) -> LogRecord | None:
+        """Most recent record of a kind (None if absent)."""
+        records = [r for r in LogFileCodec.decode(payload) if r.kind == kind]
+        return records[-1] if records else None
+
+    @staticmethod
+    def find(payload: bytes | None, kind: str, seq: int) -> LogRecord | None:
+        """The record of ``kind`` with sequence ``seq``, if present."""
+        for r in LogFileCodec.decode(payload):
+            if r.kind == kind and r.seq == seq:
+                return r
+        return None

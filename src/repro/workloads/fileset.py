@@ -1,0 +1,61 @@
+"""Multi-file datasets: the paper's Word Count runs over "a set of files".
+
+A file set is a directory of text files on the SD node; the framework
+treats each file as an outer partition (they already end on record
+boundaries) and the partition-enabled runtime handles the within-file
+fragmenting.  :func:`fileset_input` builds the descriptors;
+:class:`~repro.core.fileset.FileSetJob` (in core) runs them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.phoenix.api import InputSpec
+from repro.units import KB
+from repro.workloads.text import zipf_corpus
+
+__all__ = ["fileset_input"]
+
+
+def fileset_input(
+    dir_path: str,
+    n_files: int,
+    total_declared_bytes: int,
+    payload_bytes_per_file: int = 64 * KB(1),
+    seed: int = 0,
+    vocabulary: int = 2000,
+    skew: float = 0.0,
+) -> list[InputSpec]:
+    """A set of text files under ``dir_path`` summing to the declared size.
+
+    ``skew`` in [0, 1) tilts the size distribution: 0 = equal files,
+    larger values concentrate bytes in the first files (realistic corpora
+    are rarely uniform, and skew exercises the runtime's balancing).
+    """
+    if n_files < 1:
+        raise WorkloadError("need at least one file")
+    if total_declared_bytes < n_files:
+        raise WorkloadError("declared size must cover at least 1 byte per file")
+    if not 0 <= skew < 1:
+        raise WorkloadError("skew must be in [0, 1)")
+    weights = np.array([(1.0 - skew) ** i for i in range(n_files)])
+    weights /= weights.sum()
+    sizes = [max(1, int(total_declared_bytes * w)) for w in weights]
+    sizes[0] += total_declared_bytes - sum(sizes)  # exact total
+    out = []
+    for i, size in enumerate(sizes):
+        payload = zipf_corpus(
+            min(payload_bytes_per_file, size),
+            vocabulary=vocabulary,
+            seed=seed * 1000 + i,
+        )
+        out.append(
+            InputSpec(
+                path=f"{dir_path.rstrip('/')}/part-{i:04d}.txt",
+                size=size,
+                payload=payload,
+            )
+        )
+    return out

@@ -1,0 +1,65 @@
+"""String Match workloads: an "encrypt" file and a "keys" file.
+
+Section V-A: each map searches lines of the encrypt file for target
+strings from the keys file.  The generator plants a known number of key
+occurrences so tests can assert exact match counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.phoenix.api import InputSpec
+from repro.units import KB
+
+__all__ = ["keys_for", "encrypted_input"]
+
+
+def keys_for(n_keys: int = 4, seed: int = 0, length: int = 8) -> list[bytes]:
+    """Deterministic target strings ("keys" file content)."""
+    if n_keys < 1:
+        raise WorkloadError("need at least one key")
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    alphabet = np.frombuffer(b"ABCDEFGHIJKLMNOPQRSTUVWXYZ", dtype=np.uint8)
+    return [bytes(rng.choice(alphabet, size=length)) for _ in range(n_keys)]
+
+
+def encrypted_input(
+    path: str,
+    declared_bytes: int,
+    payload_bytes: int = 256 * KB(1),
+    keys: list[bytes] | None = None,
+    hit_rate: float = 0.05,
+    line_bytes: int = 64,
+    seed: int = 0,
+) -> tuple[InputSpec, list[bytes], int]:
+    """(input, keys, planted_hits): an encrypt file with known matches.
+
+    ``hit_rate`` is the fraction of payload lines containing exactly one
+    planted key.  Returns the number of planted hits so tests can check
+    the match counts exactly.
+    """
+    if declared_bytes < 1:
+        raise WorkloadError("declared_bytes must be >= 1")
+    if not 0 <= hit_rate <= 1:
+        raise WorkloadError("hit_rate must be in [0, 1]")
+    keys = keys if keys is not None else keys_for(seed=seed)
+    rng = np.random.default_rng(seed)
+    alphabet = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz0123456789", dtype=np.uint8)
+    n_lines = max(1, min(payload_bytes, declared_bytes) // line_bytes)
+    lines: list[bytes] = []
+    planted = 0
+    for _ in range(n_lines):
+        body = bytes(rng.choice(alphabet, size=line_bytes - 1))
+        if float(rng.uniform()) < hit_rate:
+            key = keys[int(rng.integers(0, len(keys)))]
+            pos = int(rng.integers(0, max(1, len(body) - len(key))))
+            body = body[:pos] + key + body[pos + len(key):]
+            planted += 1
+        lines.append(body)
+    payload = b"\n".join(lines) + b"\n"
+    spec = InputSpec(
+        path=path, size=declared_bytes, payload=payload, params={"keys": keys}
+    )
+    return spec, keys, planted

@@ -1,0 +1,17 @@
+"""Matrix workloads for the MM benchmark (thin wrapper over apps.matmul)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["matrix_pair"]
+
+
+def matrix_pair(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Two seeded ``n x n`` double matrices (real, materialized)."""
+    if n < 1:
+        raise WorkloadError(f"matrix dimension must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))

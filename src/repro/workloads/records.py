@@ -1,0 +1,41 @@
+"""Record-table workloads for the database-operation module."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.phoenix.api import InputSpec
+from repro.units import KB
+
+__all__ = ["records_input"]
+
+
+def records_input(
+    path: str,
+    declared_bytes: int,
+    payload_bytes: int = 256 * KB(1),
+    n_keys: int = 32,
+    value_scale: float = 100.0,
+    seed: int = 0,
+) -> InputSpec:
+    """A ``key,value`` table: Zipf-ish key popularity, exponential values.
+
+    The ground truth for tests: aggregate the payload lines directly.
+    """
+    if declared_bytes < 1:
+        raise WorkloadError("declared_bytes must be >= 1")
+    if n_keys < 1:
+        raise WorkloadError("n_keys must be >= 1")
+    rng = np.random.default_rng(seed)
+    target = min(payload_bytes, declared_bytes)
+    lines: list[bytes] = []
+    size = 0
+    while size < target:
+        key = f"k{int(rng.zipf(1.5)) % n_keys:03d}".encode()
+        value = float(rng.exponential(value_scale))
+        line = b"%s,%.3f" % (key, value)
+        lines.append(line)
+        size += len(line) + 1
+    payload = b"\n".join(lines) + b"\n"
+    return InputSpec(path=path, size=declared_bytes, payload=payload)

@@ -1,0 +1,29 @@
+"""The paper's data-size sweep points.
+
+Fig 8(a) and Figs 9/10 sweep 500 MB - 1.25 GB; Fig 8(b)/(c) extend to
+2 GB (where the non-partitioned runtime has long since OOM'd).
+"""
+
+from __future__ import annotations
+
+from repro.units import MB
+
+__all__ = ["FIG8A_SIZES", "FIG8BC_SIZES", "FIG9_SIZES", "size_label"]
+
+#: Fig 8(a): 500M, 750M, 1G, 1.25G
+FIG8A_SIZES = (MB(500), MB(750), MB(1000), MB(1250))
+
+#: Fig 8(b)/(c): 500M ... 2G
+FIG8BC_SIZES = (MB(500), MB(750), MB(1000), MB(1250), MB(1500), MB(1750), MB(2000))
+
+#: Fig 9/10: 500M, 750M, 1G, 1.25G
+FIG9_SIZES = FIG8A_SIZES
+
+
+def size_label(nbytes: int) -> str:
+    """The paper's axis labels: 500M, 750M, 1G, 1.25G, ..."""
+    if nbytes % MB(1000) == 0:
+        return f"{nbytes // MB(1000)}G"
+    if nbytes % MB(250) == 0 and nbytes > MB(1000):
+        return f"{nbytes / MB(1000):.2f}G"
+    return f"{nbytes // MB(1)}M"

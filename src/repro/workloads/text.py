@@ -1,0 +1,73 @@
+"""Zipf-distributed text corpora for Word Count.
+
+Natural-language word frequencies are approximately Zipfian; generating
+the payload that way makes WC's combiner behaviour (many repeats of few
+words) realistic rather than degenerate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.phoenix.api import InputSpec
+from repro.units import KB
+
+__all__ = ["zipf_corpus", "text_input", "DEFAULT_PAYLOAD_BYTES"]
+
+#: default materialized payload size for text datasets
+DEFAULT_PAYLOAD_BYTES = 256 * KB(1)
+
+
+def _vocabulary(n_words: int, rng: np.random.Generator) -> list[bytes]:
+    """Deterministic pseudo-words, 3-10 lowercase letters."""
+    letters = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz", dtype=np.uint8)
+    vocab = []
+    for _ in range(n_words):
+        length = int(rng.integers(3, 11))
+        word = bytes(rng.choice(letters, size=length))
+        vocab.append(word)
+    return vocab
+
+
+def zipf_corpus(
+    payload_bytes: int,
+    vocabulary: int = 2000,
+    zipf_a: float = 1.3,
+    seed: int = 0,
+    line_words: int = 12,
+) -> bytes:
+    """Real text of ~``payload_bytes`` with Zipf word frequencies."""
+    if payload_bytes < 1:
+        raise WorkloadError("payload_bytes must be >= 1")
+    if vocabulary < 1:
+        raise WorkloadError("vocabulary must be >= 1")
+    rng = np.random.default_rng(seed)
+    vocab = _vocabulary(vocabulary, rng)
+    avg_word = sum(len(w) for w in vocab) / len(vocab) + 1
+    n_words = max(1, int(payload_bytes / avg_word))
+    # ranks: Zipf draws clipped into the vocabulary
+    ranks = rng.zipf(zipf_a, size=n_words)
+    ranks = np.clip(ranks, 1, vocabulary) - 1
+    parts: list[bytes] = []
+    for i, r in enumerate(ranks):
+        parts.append(vocab[int(r)])
+        parts.append(b"\n" if (i + 1) % line_words == 0 else b" ")
+    out = b"".join(parts)
+    return out[:payload_bytes].rsplit(b" ", 1)[0] + b"\n" if b" " in out[:payload_bytes] else out[:payload_bytes]
+
+
+def text_input(
+    path: str,
+    declared_bytes: int,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+    seed: int = 0,
+    vocabulary: int = 2000,
+) -> InputSpec:
+    """An :class:`InputSpec` for a text dataset (WC and SM workloads)."""
+    if declared_bytes < 1:
+        raise WorkloadError("declared_bytes must be >= 1")
+    payload = zipf_corpus(
+        min(payload_bytes, declared_bytes), vocabulary=vocabulary, seed=seed
+    )
+    return InputSpec(path=path, size=declared_bytes, payload=payload)

@@ -1,0 +1,140 @@
+"""Unit tests for the three benchmark applications' callbacks and profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import (
+    MatMulProfile,
+    assemble_product,
+    make_matmul_spec,
+    matmul_input,
+)
+from repro.apps.stringmatch import SM_PROFILE, make_stringmatch_spec, sm_map
+from repro.apps.wordcount import WC_PROFILE, make_wordcount_spec, wc_map, wc_reduce
+from repro.errors import WorkloadError
+from repro.phoenix.sort import Combiner
+from repro.units import MB
+
+
+# ------------------------------------------------------------------ word count
+
+
+def test_wc_map_emits_each_word():
+    c = Combiner(None)
+    wc_map(b"a b a c", c.emit, {})
+    assert dict(c.pairs()) == {b"a": [1, 1], b"b": [1], b"c": [1]}
+
+
+def test_wc_map_accepts_str():
+    c = Combiner(lambda a, b: a + b)
+    wc_map("x y x", c.emit, {})
+    assert dict(c.pairs()) == {"x": 2, "y": 1}
+
+
+def test_wc_map_rejects_non_text():
+    with pytest.raises(TypeError):
+        wc_map(123, lambda k, v: None, {})
+
+
+def test_wc_reduce_sums():
+    assert wc_reduce(b"w", [1, 1, 1], {}) == 3
+
+
+def test_wc_profile_footprint_is_3x():
+    assert WC_PROFILE.footprint(MB(500)) == MB(1500)
+
+
+def test_wc_spec_wiring():
+    spec = make_wordcount_spec()
+    assert spec.needs_sort and spec.sort_output
+    assert spec.reduce_fn is not None and spec.merge_fn is not None
+
+
+# ------------------------------------------------------------------ string match
+
+
+def test_sm_map_counts_matching_lines():
+    c = Combiner(lambda a, b: a + b)
+    data = b"hello KEY there\nno match\nKEY again\n"
+    sm_map(data, c.emit, {"keys": [b"KEY"]})
+    assert dict(c.pairs()) == {b"KEY": 2}
+
+
+def test_sm_map_multiple_keys_per_line():
+    c = Combiner(lambda a, b: a + b)
+    sm_map(b"AAA BBB\n", c.emit, {"keys": [b"AAA", b"BBB", b"CCC"]})
+    assert dict(c.pairs()) == {b"AAA": 1, b"BBB": 1}
+
+
+def test_sm_map_no_keys_is_noop():
+    c = Combiner(None)
+    sm_map(b"anything\n", c.emit, {})
+    assert c.emitted == 0
+
+
+def test_sm_map_accepts_str_keys_and_data():
+    c = Combiner(lambda a, b: a + b)
+    sm_map("find ME here", c.emit, {"keys": ["ME"]})
+    assert dict(c.pairs()) == {b"ME": 1}
+
+
+def test_sm_profile_footprint_is_2x():
+    assert SM_PROFILE.footprint(MB(500)) == MB(1000)
+
+
+def test_sm_spec_has_no_sort_or_reduce():
+    spec = make_stringmatch_spec()
+    assert not spec.needs_sort
+    assert spec.reduce_fn is None
+
+
+# ------------------------------------------------------------------ matmul
+
+
+def test_mm_profile_flop_cost():
+    p = MatMulProfile(n=100)
+    assert p.flops == 2.0 * 100**3
+    assert p.map_ops(p.input_bytes()) == pytest.approx(p.flops)
+    assert p.map_ops(p.input_bytes() // 2) == pytest.approx(p.flops / 2)
+
+
+def test_mm_profile_rejects_bad_n():
+    with pytest.raises(WorkloadError):
+        MatMulProfile(n=0)
+
+
+def test_mm_input_declared_vs_payload():
+    inp = matmul_input("/data/mm", n=1024, payload_n=32, seed=1)
+    assert inp.size == 2 * 1024 * 1024 * 8
+    a, b = inp.payload
+    assert a.shape == (32, 32)
+
+
+def test_mm_split_covers_all_rows():
+    spec = make_matmul_spec(n=64)
+    inp = matmul_input("/data/mm", n=64, payload_n=64, seed=2)
+    chunks = spec.split(inp.payload, 5)
+    total_rows = sum(c[1].shape[0] for c in chunks)
+    assert total_rows == 64
+    starts = [c[0] for c in chunks]
+    assert starts == sorted(starts)
+
+
+def test_mm_product_matches_numpy():
+    spec = make_matmul_spec(n=48)
+    inp = matmul_input("/data/mm", n=48, payload_n=48, seed=3)
+    a, b = inp.payload
+    c = Combiner(None)
+    for chunk in spec.split(inp.payload, 4):
+        spec.map_fn(chunk, c.emit, {})
+    pairs = [(k, v[0] if isinstance(v, list) else v) for k, v in c.pairs()]
+    product = assemble_product(pairs)
+    np.testing.assert_allclose(product, a @ b, rtol=1e-10)
+
+
+def test_mm_payload_capped_at_n():
+    inp = matmul_input("/data/mm", n=16, payload_n=64, seed=1)
+    a, _ = inp.payload
+    assert a.shape == (16, 16)

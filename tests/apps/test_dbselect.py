@@ -1,0 +1,122 @@
+"""Tests for the database-operation module (filtered aggregation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dbselect import db_map, db_merge, db_reduce, make_dbselect_spec
+from repro.cluster import Testbed
+from repro.errors import WorkloadError
+from repro.phoenix import PhoenixRuntime
+from repro.partition import ExtendedPhoenixRuntime
+from repro.phoenix.sort import Combiner
+from repro.smartfam.registry import mapreduce_module, standard_registry
+from repro.units import MB
+from repro.workloads.records import records_input
+
+
+def scan_truth(payload: bytes, threshold: float, agg: str = "sum"):
+    groups: dict[bytes, list[float]] = {}
+    for line in payload.splitlines():
+        key, _, raw = line.partition(b",")
+        if not raw:
+            continue
+        v = float(raw)
+        if v >= threshold:
+            groups.setdefault(key, []).append(v)
+    if agg == "sum":
+        return {k: sum(v) for k, v in groups.items()}
+    if agg == "count":
+        return {k: float(len(v)) for k, v in groups.items()}
+    if agg == "max":
+        return {k: max(v) for k, v in groups.items()}
+    return {k: min(v) for k, v in groups.items()}
+
+
+def test_db_map_filters_and_parses():
+    c = Combiner(None)
+    data = b"a,10\nb,5\na,20\nbroken\nc,not-a-number\n"
+    db_map(data, c.emit, {"threshold": 8.0})
+    assert dict(c.pairs()) == {b"a": [10.0, 20.0]}
+
+
+def test_db_reduce_aggregates():
+    assert db_reduce(b"k", [1.0, 2.0, 3.0], {"agg": "sum"}) == 6.0
+    assert db_reduce(b"k", [1.0, 2.0], {"agg": "count"}) == 2.0
+    assert db_reduce(b"k", [1.0, 5.0], {"agg": "max"}) == 5.0
+    assert db_reduce(b"k", [1.0, 5.0], {"agg": "min"}) == 1.0
+    with pytest.raises(WorkloadError):
+        db_reduce(b"k", [1.0], {"agg": "median"})
+
+
+def test_db_merge_reaggregates():
+    parts = [[(b"a", 5.0), (b"b", 1.0)], [(b"a", 3.0)]]
+    assert dict(db_merge(parts, {"agg": "sum"})) == {b"a": 8.0, b"b": 1.0}
+    assert dict(db_merge(parts, {"agg": "max"})) == {b"a": 5.0, b"b": 1.0}
+
+
+@pytest.mark.parametrize("agg", ["sum", "count", "max"])
+def test_dbselect_end_to_end_matches_scan(agg):
+    bed = Testbed(seed=13)
+    inp = records_input("/data/t", MB(400), payload_bytes=20_000, seed=13)
+    inp.params.update({"threshold": 120.0, "agg": agg})
+    sd_view, _h, _p = bed.stage_on_sd("t", inp)
+    rt = PhoenixRuntime(bed.sd, bed.config.phoenix)
+
+    def go():
+        res = yield rt.run(make_dbselect_spec(), sd_view, mode="parallel")
+        return res.output
+
+    output = bed.run(go())
+    truth = scan_truth(inp.payload_bytes, 120.0, agg)
+    assert {k: round(v, 9) for k, v in output} == {
+        k: round(v, 9) for k, v in truth.items()
+    }
+
+
+def test_dbselect_partitioned_equals_whole():
+    bed = Testbed(seed=14)
+    inp = records_input("/data/t", MB(900), payload_bytes=30_000, seed=14)
+    inp.params.update({"threshold": 50.0, "agg": "sum"})
+    sd_view, _h, _p = bed.stage_on_sd("t", inp)
+    rt = PhoenixRuntime(bed.sd, bed.config.phoenix)
+    ext = ExtendedPhoenixRuntime(bed.sd, bed.config.phoenix)
+
+    def go():
+        whole = yield rt.run(make_dbselect_spec(), sd_view, mode="parallel")
+        parts = yield ext.run(make_dbselect_spec(), sd_view, fragment_bytes=MB(300))
+        return whole.output, parts.output, parts.n_fragments
+
+    whole_out, part_out, nf = bed.run(go())
+    assert nf == 3
+    assert {k: round(v, 6) for k, v in whole_out} == {
+        k: round(v, 6) for k, v in part_out
+    }
+
+
+def test_dbselect_as_preloaded_module():
+    registry = standard_registry()
+    registry.register("dbselect", mapreduce_module(lambda p: make_dbselect_spec()))
+    bed = Testbed(registry=registry, seed=15)
+    inp = records_input("/data/t", MB(300), payload_bytes=10_000, seed=15)
+    _sd, _h, sd_path = bed.stage_on_sd("t", inp)
+
+    def go():
+        res = yield bed.cluster.channel().invoke(
+            "dbselect",
+            {
+                "input_path": sd_path,
+                "input_size": MB(300),
+                "mode": "parallel",
+                "app": {"threshold": 200.0},
+            },
+        )
+        return res.output
+
+    output = bed.run(go())
+    truth = scan_truth(inp.payload_bytes, 200.0)
+    assert {k: round(v, 6) for k, v in output} == {
+        k: round(v, 6) for k, v in truth.items()
+    }
+    # the new module's log file was created at preload time
+    assert bed.sd.fs.exists("/export/sdlog/dbselect.log")

@@ -1,0 +1,52 @@
+"""Shared fixtures for the McSD reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+from repro.config import NetworkConfig, table1_cluster
+
+# Property tests run derandomized so the recorded green runs are exactly
+# reproducible; flip HYPOTHESIS_PROFILE=explore locally to hunt new cases.
+settings.register_profile("ci", derandomize=True)
+settings.register_profile("explore", derandomize=False)
+import os as _os
+
+settings.load_profile(_os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+from repro.net import Fabric
+from repro.node import Node
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture()
+def fabric(sim: Simulator) -> Fabric:
+    """A fabric with the paper's Gigabit network parameters."""
+    return Fabric(sim, NetworkConfig())
+
+
+@pytest.fixture()
+def cluster_cfg():
+    """The Table I 5-node cluster configuration."""
+    return table1_cluster()
+
+
+@pytest.fixture()
+def host_and_sd(sim: Simulator, fabric: Fabric, cluster_cfg):
+    """A (host, sd) node pair wired to one switch."""
+    host = Node(sim, cluster_cfg.node("host"), fabric)
+    sd = Node(sim, cluster_cfg.node("sd0"), fabric)
+    return host, sd
+
+
+def run_proc(sim: Simulator, gen):
+    """Drive a process generator to completion and return its value."""
+    proc = sim.spawn(gen)
+    sim.run(until=proc)
+    return proc.value

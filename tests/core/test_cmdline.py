@@ -1,0 +1,90 @@
+"""Tests for the paper's command syntax (Section IV-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Testbed
+from repro.core.cmdline import parse_command, run_command
+from repro.errors import ConfigError
+from repro.units import MB
+from repro.workloads import encrypted_input, text_input
+
+
+def test_no_partition_size_means_native_run():
+    """Paper: 'If there is no [partition-size] parameter, the program will
+    run in native way.'"""
+    job = parse_command("wordcount /export/data/f")
+    assert job.mode == "parallel"
+    assert job.fragment_bytes is None
+
+
+def test_manual_partition_size():
+    job = parse_command("wordcount /export/data/f 600M")
+    assert job.mode == "partitioned"
+    assert job.fragment_bytes == MB(600)
+
+
+def test_auto_partition_size():
+    job = parse_command("wordcount /export/data/f auto")
+    assert job.mode == "partitioned"
+    assert job.fragment_bytes is None
+
+
+def test_fractional_units():
+    assert parse_command("wordcount /f 1.25G").fragment_bytes == MB(1250)
+
+
+def test_key_value_options():
+    job = parse_command("dbselect /export/t 300M threshold=100 agg=max")
+    assert job.params == {"threshold": 100, "agg": "max"}
+    assert job.fragment_bytes == MB(300)
+
+
+def test_keys_option_splits_and_encodes():
+    job = parse_command("stringmatch /export/e keys=AAA,BBB")
+    assert job.params["keys"] == [b"AAA", b"BBB"]
+    assert job.mode == "parallel"
+
+
+def test_mode_and_sd_overrides():
+    job = parse_command("wordcount /export/f mode=sequential sd=sd1")
+    assert job.mode == "sequential"
+    assert job.sd_node == "sd1"
+
+
+def test_bad_commands_rejected():
+    with pytest.raises(ConfigError):
+        parse_command("wordcount")
+    with pytest.raises(ConfigError):
+        parse_command("wordcount /f 600M stray-token")
+
+
+def test_run_command_wordcount_end_to_end():
+    bed = Testbed(seed=31)
+    inp = text_input("/data/f", MB(400), payload_bytes=8_000, seed=31)
+    _sd, _h, sd_path = bed.stage_on_sd("f", inp)
+    result = run_command(bed, f"wordcount {sd_path} 200M", input_size=MB(400))
+    assert result.n_fragments == 2
+    assert sum(v for _, v in result.output) == len(inp.payload_bytes.split())
+
+
+def test_run_command_resolves_size_from_file():
+    bed = Testbed(seed=32)
+    inp = text_input("/data/f", MB(100), payload_bytes=4_000, seed=32)
+    _sd, _h, sd_path = bed.stage_on_sd("f", inp)
+    result = run_command(bed, f"wordcount {sd_path}")
+    assert result.stats.input_bytes == MB(100)
+
+
+def test_run_command_stringmatch_with_keys():
+    bed = Testbed(seed=33)
+    inp, keys, planted = encrypted_input(
+        "/data/e", MB(100), payload_bytes=8_000, hit_rate=0.2, seed=33
+    )
+    _sd, _h, sd_path = bed.stage_on_sd("e", inp)
+    key_arg = ",".join(k.decode() for k in keys)
+    result = run_command(
+        bed, f"stringmatch {sd_path} keys={key_arg}", input_size=MB(100)
+    )
+    assert sum(v for _, v in result.output) == planted

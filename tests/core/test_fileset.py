@@ -1,0 +1,118 @@
+"""Tests for multi-file datasets (the paper's 'set of files' input)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.apps import make_wordcount_spec
+from repro.cluster import Testbed
+from repro.core.fileset import run_fileset
+from repro.errors import OffloadError, WorkloadError
+from repro.units import MB
+from repro.workloads.fileset import fileset_input
+
+
+@pytest.fixture()
+def staged():
+    bed = Testbed(seed=41)
+    files = fileset_input(
+        "/data/corpus", n_files=4, total_declared_bytes=MB(800),
+        payload_bytes_per_file=6_000, seed=41,
+    )
+    staged_files = [bed.stage(bed.sd, f"/export{f.path}", f) for f in files]
+    return bed, staged_files
+
+
+def test_fileset_generator_shapes():
+    files = fileset_input("/d", n_files=5, total_declared_bytes=MB(500), seed=1)
+    assert len(files) == 5
+    assert sum(f.size for f in files) == MB(500)
+    assert len({f.path for f in files}) == 5
+    assert all(f.payload_bytes for f in files)
+
+
+def test_fileset_skew():
+    files = fileset_input(
+        "/d", n_files=4, total_declared_bytes=MB(400), seed=1, skew=0.5
+    )
+    sizes = [f.size for f in files]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[0] > 2 * sizes[-1]
+
+
+def test_fileset_validation():
+    with pytest.raises(WorkloadError):
+        fileset_input("/d", 0, MB(1))
+    with pytest.raises(WorkloadError):
+        fileset_input("/d", 4, 2)
+    with pytest.raises(WorkloadError):
+        fileset_input("/d", 2, MB(1), skew=1.0)
+
+
+def test_run_fileset_counts_exactly(staged):
+    bed, files = staged
+    spec = make_wordcount_spec()
+
+    def go():
+        return (yield run_fileset(bed.sd, spec, files, phoenix_cfg=bed.config.phoenix))
+
+    res = bed.run(go())
+    assert res.n_files == 4
+    truth = Counter()
+    for f in files:
+        truth.update(f.payload_bytes.split())
+    assert dict(res.output) == dict(truth)
+    # output stays globally sorted by frequency
+    counts = [v for _, v in res.output]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_run_fileset_partitions_large_files(staged):
+    bed, files = staged
+    spec = make_wordcount_spec()
+
+    def go():
+        return (
+            yield run_fileset(
+                bed.sd, spec, files, fragment_bytes=MB(100),
+                phoenix_cfg=bed.config.phoenix,
+            )
+        )
+
+    res = bed.run(go())
+    # 4 x 200MB files at 100MB fragments -> 2 fragments each
+    assert all(r.n_fragments == 2 for r in res.per_file)
+
+
+def test_run_fileset_empty_rejected(staged):
+    bed, _files = staged
+    with pytest.raises(OffloadError):
+        run_fileset(bed.sd, make_wordcount_spec(), [])
+
+
+def test_run_fileset_requires_merge(staged):
+    bed, files = staged
+    from repro.apps.wordcount import WC_PROFILE, wc_map
+    from repro.phoenix.api import MapReduceSpec
+
+    spec = MapReduceSpec(name="nomerge", map_fn=wc_map, profile=WC_PROFILE)
+    with pytest.raises(OffloadError):
+        run_fileset(bed.sd, spec, files)
+
+
+def test_run_fileset_single_file_passthrough(staged):
+    bed, files = staged
+    spec = make_wordcount_spec()
+
+    def go():
+        return (
+            yield run_fileset(
+                bed.sd, spec, files[:1], phoenix_cfg=bed.config.phoenix
+            )
+        )
+
+    res = bed.run(go())
+    assert res.n_files == 1
+    assert dict(res.output) == dict(Counter(files[0].payload_bytes.split()))

@@ -1,0 +1,120 @@
+"""Tests for multi-McSD scatter-gather (Section VI future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Testbed
+from repro.config import table1_cluster
+from repro.core import ScatterGatherEngine, ScatterJob, Shard
+from repro.errors import OffloadError
+from repro.units import MB
+from repro.workloads import text_input
+
+
+def make_bed(n_sd=2, seed=4):
+    return Testbed(config=table1_cluster(n_sd=n_sd, seed=seed), seed=seed)
+
+
+def test_scatter_job_validation():
+    with pytest.raises(OffloadError):
+        ScatterJob(app="wordcount", shards=[])
+
+
+def test_shards_cover_dataset():
+    bed = make_bed(n_sd=3)
+    inp = text_input("/data/big", MB(900), payload_bytes=30_000, seed=1)
+    shards = bed.stage_shards("big", inp)
+    assert len(shards) == 3
+    assert sum(s.size for s in shards) == MB(900)
+    assert {s.sd_node for s in shards} == {"sd0", "sd1", "sd2"}
+    # each shard is really on its node
+    for s in shards:
+        assert bed.cluster.node(s.sd_node).fs.size_of(s.path) == s.size
+
+
+def test_scatter_wordcount_is_exact():
+    bed = make_bed(n_sd=2)
+    inp = text_input("/data/big", MB(800), payload_bytes=24_000, seed=2)
+    shards = bed.stage_shards("big", inp)
+    eng = ScatterGatherEngine(bed.cluster)
+
+    def go():
+        return (yield eng.run(ScatterJob(app="wordcount", shards=shards)))
+
+    res = bed.run(go())
+    assert res.n_shards == 2
+    assert sum(v for _, v in res.output) == len(inp.payload_bytes.split())
+    # merged output is globally sorted by frequency
+    counts = [v for _, v in res.output]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_scatter_matches_single_sd_output():
+    seed = 6
+    inp = text_input("/data/big", MB(600), payload_bytes=20_000, seed=seed)
+
+    bed1 = make_bed(n_sd=1, seed=seed)
+    shards1 = bed1.stage_shards("big", inp)
+    eng1 = ScatterGatherEngine(bed1.cluster)
+
+    def go1():
+        return (yield eng1.run(ScatterJob(app="wordcount", shards=shards1)))
+
+    single = bed1.run(go1())
+
+    bed2 = make_bed(n_sd=2, seed=seed)
+    shards2 = bed2.stage_shards("big", inp)
+    eng2 = ScatterGatherEngine(bed2.cluster)
+
+    def go2():
+        return (yield eng2.run(ScatterJob(app="wordcount", shards=shards2)))
+
+    double = bed2.run(go2())
+    assert dict(single.output) == dict(double.output)
+
+
+def test_scatter_scales_with_sd_count():
+    """The future-work claim: multiple McSDs work the shards in parallel."""
+    seed = 7
+    times = {}
+    for n_sd in (1, 2, 4):
+        bed = make_bed(n_sd=n_sd, seed=seed)
+        inp = text_input("/data/big", MB(1600), payload_bytes=16_000, seed=seed)
+        shards = bed.stage_shards("big", inp)
+        eng = ScatterGatherEngine(bed.cluster)
+
+        def go(eng=eng, shards=shards):
+            return (yield eng.run(ScatterJob(app="wordcount", shards=shards)))
+
+        times[n_sd] = bed.run(go()).elapsed
+    assert times[2] < 0.62 * times[1]
+    assert times[4] < 0.62 * times[2]
+
+
+def test_scatter_shard_on_unknown_node_rejected():
+    bed = make_bed(n_sd=1)
+    eng = ScatterGatherEngine(bed.cluster)
+    job = ScatterJob(
+        app="wordcount", shards=[Shard(sd_node="sd9", path="/export/x", size=1)]
+    )
+
+    def go():
+        yield eng.run(job)
+
+    with pytest.raises(OffloadError):
+        bed.run(go())
+
+
+def test_scatter_single_shard_passthrough():
+    bed = make_bed(n_sd=1)
+    inp = text_input("/data/one", MB(300), payload_bytes=8_000, seed=3)
+    shards = bed.stage_shards("one", inp)
+    assert len(shards) == 1
+    eng = ScatterGatherEngine(bed.cluster)
+
+    def go():
+        return (yield eng.run(ScatterJob(app="wordcount", shards=shards)))
+
+    res = bed.run(go())
+    assert sum(v for _, v in res.output) == len(inp.payload_bytes.split())

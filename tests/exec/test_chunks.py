@@ -1,0 +1,102 @@
+"""Unit + property tests for real-file chunking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IntegrityError
+from repro.exec import chunk_file, read_chunk
+from repro.workloads import zipf_corpus
+
+
+@pytest.fixture()
+def text_file(tmp_path):
+    data = zipf_corpus(120_000, seed=3)
+    p = tmp_path / "corpus.txt"
+    p.write_bytes(data)
+    return str(p), data
+
+
+def test_chunks_reconstruct_file(text_file):
+    path, data = text_file
+    chunks = chunk_file(path, 17_000)
+    assert b"".join(read_chunk(c) for c in chunks) == data
+
+
+def test_chunks_contiguous_and_cover(text_file):
+    path, data = text_file
+    chunks = chunk_file(path, 10_000)
+    pos = 0
+    for c in chunks:
+        assert c.offset == pos
+        assert c.length > 0
+        pos = c.end
+    assert pos == len(data)
+
+
+def test_no_chunk_splits_a_word(text_file):
+    path, data = text_file
+    vocab = set(data.split())
+    for c in chunk_file(path, 8_192):
+        for word in read_chunk(c).split():
+            assert word in vocab
+
+
+def test_chunk_larger_than_file(text_file):
+    path, data = text_file
+    chunks = chunk_file(path, len(data) * 2)
+    assert len(chunks) == 1
+    assert chunks[0].length == len(data)
+
+
+def test_empty_file(tmp_path):
+    p = tmp_path / "empty"
+    p.write_bytes(b"")
+    chunks = chunk_file(str(p), 100)
+    assert len(chunks) == 1 and chunks[0].length == 0
+
+
+def test_delimiter_free_file_single_chunk(tmp_path):
+    p = tmp_path / "blob"
+    p.write_bytes(b"x" * 50_000)
+    chunks = chunk_file(str(p), 10_000)
+    assert len(chunks) == 1  # cannot cut without splitting the record
+
+
+def test_bad_chunk_size(text_file):
+    path, _ = text_file
+    with pytest.raises(IntegrityError):
+        chunk_file(path, 0)
+
+
+def test_custom_delimiters(tmp_path):
+    data = b"row1|row2|row3|row4|row5"
+    p = tmp_path / "rows"
+    p.write_bytes(data)
+    chunks = chunk_file(str(p), 7, delimiters=b"|")
+    for c in chunks[:-1]:
+        assert read_chunk(c).endswith(b"|")
+    assert b"".join(read_chunk(c) for c in chunks) == data
+
+
+@given(
+    words=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=80),
+    chunk=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_real_chunking_preserves_words(tmp_path_factory, words, chunk, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    data = b" ".join(bytes(rng.choice(list(b"abc"), size=n)) for n in words)
+    p = tmp_path_factory.mktemp("prop") / "f"
+    p.write_bytes(data)
+    chunks = chunk_file(str(p), chunk)
+    assert b"".join(read_chunk(c) for c in chunks) == data
+    from collections import Counter
+
+    assert sum(
+        (Counter(read_chunk(c).split()) for c in chunks), Counter()
+    ) == Counter(data.split())

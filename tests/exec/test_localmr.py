@@ -1,0 +1,101 @@
+"""Tests for the real-machine multiprocessing MapReduce engine."""
+
+from __future__ import annotations
+
+import operator
+from collections import Counter
+
+import pytest
+
+from repro.apps.stringmatch import sm_map
+from repro.apps.wordcount import wc_map, wc_reduce
+from repro.exec import LocalMapReduce
+from repro.workloads import keys_for, zipf_corpus
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    data = zipf_corpus(80_000, seed=11)
+    p = tmp_path / "c.txt"
+    p.write_bytes(data)
+    return str(p), data
+
+
+def wordcount_engine(workers=2):
+    return LocalMapReduce(
+        map_fn=wc_map,
+        reduce_fn=wc_reduce,
+        combine_fn=operator.add,
+        sort_output=True,
+        n_workers=workers,
+    )
+
+
+def test_wordcount_matches_counter(corpus):
+    path, data = corpus
+    res = wordcount_engine().run(path)
+    assert dict(res.output) == dict(Counter(data.split()))
+
+
+def test_output_sorted_by_frequency(corpus):
+    path, _ = corpus
+    res = wordcount_engine().run(path)
+    counts = [v for _, v in res.output]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_parallel_equals_serial(corpus):
+    path, _ = corpus
+    eng = wordcount_engine()
+    par = eng.run(path, parallel=True)
+    ser = eng.run(path, parallel=False)
+    assert par.output == ser.output
+    assert ser.n_workers == 1
+
+
+def test_chunk_size_invariance(corpus):
+    path, data = corpus
+    eng = wordcount_engine()
+    outs = {eng.run(path, chunk_bytes=cb).n_chunks: dict(eng.run(path, chunk_bytes=cb).output) for cb in (5_000, 20_000, 200_000)}
+    expected = dict(Counter(data.split()))
+    assert all(o == expected for o in outs.values())
+    assert max(outs) > 1  # at least one config actually chunked
+
+
+def test_stringmatch_real_engine(tmp_path):
+    keys = keys_for(2, seed=1)
+    lines = [b"aaaa", keys[0] + b" xxx", b"bbbb", b"yy " + keys[1], keys[0]]
+    data = b"\n".join(lines)
+    p = tmp_path / "enc.txt"
+    p.write_bytes(data)
+    eng = LocalMapReduce(
+        map_fn=sm_map,
+        combine_fn=operator.add,
+        delimiters=b"\n",
+        n_workers=2,
+    )
+    res = eng.run(str(p), chunk_bytes=8, params={"keys": keys})
+    assert dict(res.output) == {keys[0]: 2, keys[1]: 1}
+
+
+def test_map_only_without_combiner(tmp_path):
+    data = b"a b a"
+    p = tmp_path / "t"
+    p.write_bytes(data)
+    eng = LocalMapReduce(map_fn=wc_map, n_workers=1)
+    res = eng.run(str(p), parallel=False)
+    assert dict(res.output) == {b"a": [1, 1], b"b": [1]}
+
+
+def test_result_metadata(corpus):
+    path, _ = corpus
+    res = wordcount_engine().run(path, chunk_bytes=10_000)
+    assert res.n_chunks >= 7
+    assert res.elapsed > 0
+    assert res.n_workers == 2
+
+
+def test_bad_chunk_bytes(corpus):
+    path, _ = corpus
+    with pytest.raises(Exception):
+        wordcount_engine().run(path, chunk_bytes=0)

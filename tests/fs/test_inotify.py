@@ -1,0 +1,123 @@
+"""Unit tests for the inotify subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.inotify import IN_CREATE, IN_DELETE, IN_MODIFY, InotifyManager
+from repro.fs.vfs import VFS
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def setup():
+    sim = Simulator()
+    vfs = VFS()
+    mgr = InotifyManager(sim, vfs, latency=0.0)
+    return sim, vfs, mgr
+
+
+def drain(watch):
+    out = []
+    while True:
+        item = watch.queue.try_get()
+        if item is None:
+            return out
+        out.append(item)
+
+
+def test_file_watch_sees_modify(setup):
+    sim, vfs, mgr = setup
+    vfs.create("/log")
+    w = mgr.add_watch("/log", IN_MODIFY)
+    vfs.write("/log", data=b"x", mtime=1.5)
+    sim.run()
+    events = drain(w)
+    assert len(events) == 1
+    assert events[0].is_modify
+    assert events[0].path == "/log"
+
+
+def test_watch_mask_filters(setup):
+    sim, vfs, mgr = setup
+    vfs.create("/f")
+    w = mgr.add_watch("/f", IN_DELETE)
+    vfs.write("/f", data=b"x")
+    vfs.unlink("/f")
+    sim.run()
+    events = drain(w)
+    assert len(events) == 1
+    assert events[0].is_delete
+
+
+def test_directory_watch_sees_children(setup):
+    sim, vfs, mgr = setup
+    vfs.mkdir("/logs")
+    w = mgr.add_watch("/logs")
+    vfs.create("/logs/a.log")
+    vfs.write("/logs/a.log", data=b"data")
+    sim.run()
+    events = drain(w)
+    assert [e.path for e in events] == ["/logs/a.log", "/logs/a.log"]
+    assert events[0].is_create and events[1].is_modify
+
+
+def test_directory_watch_not_recursive(setup):
+    sim, vfs, mgr = setup
+    vfs.mkdir("/logs/deep", parents=True)
+    w = mgr.add_watch("/logs")
+    vfs.create("/logs/deep/f")
+    sim.run()
+    assert drain(w) == []
+
+
+def test_latency_delays_delivery():
+    sim = Simulator()
+    vfs = VFS()
+    mgr = InotifyManager(sim, vfs, latency=0.25)
+    vfs.create("/f")
+    w = mgr.add_watch("/f", IN_MODIFY)
+
+    def consumer(sim, w):
+        ev = yield w.queue.get()
+        return (sim.now, ev.path)
+
+    def writer(sim, vfs):
+        yield sim.timeout(1.0)
+        vfs.write("/f", data=b"x", mtime=sim.now)
+
+    p = sim.spawn(consumer(sim, w))
+    sim.spawn(writer(sim, vfs))
+    sim.run()
+    assert p.value == (1.25, "/f")
+
+
+def test_remove_watch_stops_delivery(setup):
+    sim, vfs, mgr = setup
+    vfs.create("/f")
+    w = mgr.add_watch("/f")
+    mgr.remove_watch(w)
+    vfs.write("/f", data=b"x")
+    sim.run()
+    assert drain(w) == []
+
+
+def test_multiple_watches_on_same_path(setup):
+    sim, vfs, mgr = setup
+    vfs.create("/f")
+    w1 = mgr.add_watch("/f", IN_MODIFY)
+    w2 = mgr.add_watch("/f", IN_MODIFY)
+    vfs.write("/f", data=b"x")
+    sim.run()
+    assert len(drain(w1)) == 1
+    assert len(drain(w2)) == 1
+    assert mgr.delivered == 2
+
+
+def test_watch_on_missing_path_gets_create(setup):
+    sim, vfs, mgr = setup
+    w = mgr.add_watch("/future", IN_CREATE)
+    vfs.create("/future")
+    sim.run()
+    events = drain(w)
+    assert len(events) == 1 and events[0].is_create

@@ -1,0 +1,100 @@
+"""Focused tests for the NFS mtime-polling watch (smartFAM's host side)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs import NFSClient, NFSMount, NFSServer
+from repro.units import MB
+
+from tests.conftest import run_proc
+
+
+@pytest.fixture()
+def mounted(sim, host_and_sd):
+    host, sd = host_and_sd
+    NFSServer(sd, export_root="/export")
+    mount = NFSMount(NFSClient(host), "sd0")
+
+    def seed():
+        yield sd.fs.mkdir("/export", parents=True)
+        yield sd.fs.write("/export/watched", data=b"v1", size=MB(1))
+
+    run_proc(sim, seed())
+    return sim, host, sd, mount
+
+
+def test_watch_stop_halts_polling(mounted):
+    sim, host, sd, mount = mounted
+    watch = mount.watch("/watched", poll_interval=0.1)
+
+    def run_a_while():
+        yield sim.timeout(1.0)
+        watch.stop()
+        polls_at_stop = watch.polls
+        yield sim.timeout(2.0)
+        return polls_at_stop
+
+    polls_at_stop = run_proc(sim, run_a_while())
+    # at most one extra in-flight poll after stop
+    assert watch.polls <= polls_at_stop + 1
+
+
+def test_watch_fires_on_each_change(mounted):
+    sim, host, sd, mount = mounted
+    watch = mount.watch("/watched", poll_interval=0.05)
+    events = []
+
+    def consumer():
+        for _ in range(3):
+            ev = yield watch.queue.get()
+            events.append(ev["mtime"])
+        watch.stop()
+
+    def writer():
+        for i in range(3):
+            yield sim.timeout(0.5)
+            yield sd.fs.write("/export/watched", data=b"v%d" % i, size=MB(1))
+
+    sim.spawn(writer())
+    run_proc(sim, consumer())
+    assert len(events) == 3
+    assert events == sorted(events)
+
+
+def test_watch_detects_file_appearing(mounted):
+    sim, host, sd, mount = mounted
+    watch = mount.watch("/future", poll_interval=0.05)
+
+    def creator():
+        yield sim.timeout(0.4)
+        yield sd.fs.write("/export/future", data=b"born", size=100)
+
+    def consumer():
+        ev = yield watch.queue.get()
+        watch.stop()
+        return ev["size"]
+
+    sim.spawn(creator())
+    assert run_proc(sim, consumer()) == 100
+
+
+def test_watch_silent_without_changes(mounted):
+    sim, host, sd, mount = mounted
+    watch = mount.watch("/watched", poll_interval=0.05)
+
+    def idle():
+        yield sim.timeout(1.0)
+        watch.stop()
+
+    run_proc(sim, idle())
+    assert len(watch.queue) == 0
+    assert watch.polls >= 15  # it really was polling
+
+
+def test_watch_negative_interval_rejected(mounted):
+    sim, host, sd, mount = mounted
+    from repro.errors import NFSError
+
+    with pytest.raises(NFSError):
+        mount.watch("/watched", poll_interval=-1.0)

@@ -1,0 +1,182 @@
+"""Unit tests for the pure VFS state machine and path helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    FileExistsInVFS,
+    FileNotFoundInVFS,
+    FileSystemError,
+    IsADirectoryInVFS,
+    NotADirectoryInVFS,
+)
+from repro.fs import path as p
+from repro.fs.vfs import VFS
+
+
+# ---------------------------------------------------------------- paths
+
+
+def test_normalize():
+    assert p.normalize("/a/b/") == "/a/b"
+    assert p.normalize("//a///b") == "/a/b"
+    assert p.normalize("/") == "/"
+    assert p.normalize("/a/./b") == "/a/b"
+
+
+def test_normalize_rejects_relative_and_dotdot():
+    with pytest.raises(FileSystemError):
+        p.normalize("a/b")
+    with pytest.raises(FileSystemError):
+        p.normalize("/a/../b")
+
+
+def test_parent_basename_join():
+    assert p.parent("/a/b/c") == "/a/b"
+    assert p.parent("/") == "/"
+    assert p.basename("/a/b") == "b"
+    assert p.basename("/") == ""
+    assert p.join("/a", "b", "c/d") == "/a/b/c/d"
+    assert p.join("/", "x") == "/x"
+
+
+def test_is_under():
+    assert p.is_under("/a/b", "/a")
+    assert p.is_under("/a", "/a")
+    assert not p.is_under("/ab", "/a")
+    assert not p.is_under("/a", "/a/b")
+
+
+# ---------------------------------------------------------------- VFS
+
+
+@pytest.fixture()
+def vfs():
+    return VFS()
+
+
+def test_mkdir_and_listdir(vfs):
+    vfs.mkdir("/data")
+    vfs.mkdir("/data/sub")
+    assert vfs.listdir("/") == ["data"]
+    assert vfs.listdir("/data") == ["sub"]
+
+
+def test_mkdir_parents(vfs):
+    vfs.mkdir("/a/b/c", parents=True)
+    assert vfs.exists("/a/b/c")
+    with pytest.raises(FileNotFoundInVFS):
+        vfs.mkdir("/x/y/z")
+
+
+def test_mkdir_existing_dir_is_idempotent(vfs):
+    d1 = vfs.mkdir("/data")
+    d2 = vfs.mkdir("/data")
+    assert d1 is d2
+
+
+def test_mkdir_over_file_rejected(vfs):
+    vfs.create("/f")
+    with pytest.raises(FileExistsInVFS):
+        vfs.mkdir("/f")
+
+
+def test_create_write_read(vfs):
+    vfs.create("/f.txt")
+    vfs.write("/f.txt", data=b"hello", mtime=1.0)
+    assert vfs.read("/f.txt") == b"hello"
+    assert vfs.size_of("/f.txt") == 5
+    assert vfs.stat("/f.txt").mtime == 1.0
+
+
+def test_write_creates_by_default(vfs):
+    vfs.write("/auto.txt", data=b"x")
+    assert vfs.exists("/auto.txt")
+    with pytest.raises(FileNotFoundInVFS):
+        vfs.write("/no.txt", data=b"x", create=False)
+
+
+def test_declared_size_independent_of_payload(vfs):
+    vfs.write("/big", data=b"tiny payload", size=10**9)
+    assert vfs.size_of("/big") == 10**9
+    assert vfs.read("/big") == b"tiny payload"
+
+
+def test_append_concatenates_and_adds_size(vfs):
+    vfs.write("/log", data=b"aa", size=100)
+    vfs.write("/log", data=b"bb", size=50, append=True)
+    assert vfs.read("/log") == b"aabb"
+    assert vfs.size_of("/log") == 150
+
+
+def test_create_exclusive(vfs):
+    vfs.create("/f")
+    with pytest.raises(FileExistsInVFS):
+        vfs.create("/f")
+    vfs.create("/f", exist_ok=True)
+
+
+def test_read_directory_rejected(vfs):
+    vfs.mkdir("/d")
+    with pytest.raises(IsADirectoryInVFS):
+        vfs.read("/d")
+    with pytest.raises(IsADirectoryInVFS):
+        vfs.size_of("/d")
+
+
+def test_file_as_path_component_rejected(vfs):
+    vfs.create("/f")
+    with pytest.raises(NotADirectoryInVFS):
+        vfs.create("/f/child")
+
+
+def test_unlink_file_and_empty_dir(vfs):
+    vfs.create("/f")
+    vfs.unlink("/f")
+    assert not vfs.exists("/f")
+    vfs.mkdir("/d")
+    vfs.unlink("/d")
+    assert not vfs.exists("/d")
+
+
+def test_unlink_nonempty_dir_rejected(vfs):
+    vfs.mkdir("/d")
+    vfs.create("/d/f")
+    with pytest.raises(FileSystemError):
+        vfs.unlink("/d")
+
+
+def test_unlink_missing_raises(vfs):
+    with pytest.raises(FileNotFoundInVFS):
+        vfs.unlink("/ghost")
+
+
+def test_handle_staleness(vfs):
+    vfs.create("/f")
+    h = vfs.handle("/f")
+    assert h.valid()
+    vfs.unlink("/f")
+    assert not h.valid()
+    from repro.errors import StaleHandleError
+
+    with pytest.raises(StaleHandleError):
+        h.ensure()
+
+
+def test_walk_sorted_depth_first(vfs):
+    vfs.mkdir("/b")
+    vfs.mkdir("/a")
+    vfs.create("/a/z")
+    vfs.create("/a/c")
+    paths = [path for path, _ in vfs.walk()]
+    assert paths == ["/", "/a", "/a/c", "/a/z", "/b"]
+
+
+def test_event_hooks(vfs):
+    events = []
+    vfs.on_event(lambda ev, path, inode: events.append((ev, path)))
+    vfs.create("/f")
+    vfs.write("/f", data=b"x")
+    vfs.unlink("/f")
+    assert events == [("create", "/f"), ("modify", "/f"), ("delete", "/f")]

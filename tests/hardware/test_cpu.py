@@ -1,0 +1,200 @@
+"""Unit tests for the processor-sharing CPU model.
+
+The PS model is the analytical heart of the multicore claims, so these
+tests pin its exact fluid semantics: rates, sharing, arrivals, slowdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CPUSpec, DUO_E4400, QUAD_Q9400
+from repro.errors import SimulationError
+from repro.hardware import ProcessorSharingCPU
+from repro.sim import Simulator
+
+GHZ2 = CPUSpec("ref-duo", cores=2, clock_ghz=2.0)  # 2e9 ops/s per core
+
+
+def run_tasks(spec, tasks):
+    """tasks: list of (start, ops). Returns dict name -> (start, end)."""
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, spec)
+    out = {}
+
+    def t(sim, cpu, name, start, ops):
+        if start:
+            yield sim.timeout(start)
+        t0 = sim.now
+        yield cpu.submit(ops, name)
+        out[name] = (t0, sim.now)
+
+    for i, (start, ops) in enumerate(tasks):
+        sim.spawn(t(sim, cpu, f"t{i}", start, ops))
+    sim.run()
+    return sim, cpu, out
+
+
+def test_single_task_runs_at_full_core_speed():
+    _, _, out = run_tasks(GHZ2, [(0.0, 2.0e9)])
+    assert out["t0"] == (0.0, pytest.approx(1.0))
+
+
+def test_tasks_up_to_cores_run_concurrently_at_full_speed():
+    _, _, out = run_tasks(GHZ2, [(0.0, 2.0e9), (0.0, 2.0e9)])
+    assert out["t0"][1] == pytest.approx(1.0)
+    assert out["t1"][1] == pytest.approx(1.0)
+
+
+def test_oversubscription_shares_cores_equally():
+    # 4 equal tasks on 2 cores -> each at half a core -> 2x elapsed
+    _, _, out = run_tasks(GHZ2, [(0.0, 2.0e9)] * 4)
+    for name in out:
+        assert out[name][1] == pytest.approx(2.0)
+
+
+def test_late_arrival_dynamics():
+    # t0: 4e9 ops alone from 0; t1: 2e9 ops arriving at 1.0.
+    # With 2 cores both always get a full core: t0 ends at 2, t1 at 2.
+    _, _, out = run_tasks(GHZ2, [(0.0, 4.0e9), (1.0, 2.0e9)])
+    assert out["t0"][1] == pytest.approx(2.0)
+    assert out["t1"][1] == pytest.approx(2.0)
+
+
+def test_late_arrival_with_contention():
+    # Single-core CPU: t0 needs 2s alone; t1 (1s alone) arrives at 1.0.
+    # From t=1 they share: each at 0.5 core.
+    # t0 remaining 1e9 at t=1 -> needs 2e9... rates: 1e9/2=0.5e9 ops/s each.
+    # t1 finishes its 1e9 at t=3? t0 also has 1e9 left -> both at t=3.
+    uni = CPUSpec("uni", cores=1, clock_ghz=1.0)
+    _, _, out = run_tasks(uni, [(0.0, 2.0e9), (1.0, 1.0e9)])
+    assert out["t0"][1] == pytest.approx(3.0)
+    assert out["t1"][1] == pytest.approx(3.0)
+
+
+def test_work_conservation():
+    # Total delivered core-seconds == total ops / per-core rate.
+    sim, cpu, out = run_tasks(GHZ2, [(0.0, 2.0e9), (0.5, 3.0e9), (1.0, 1.0e9)])
+    total_ops = 2.0e9 + 3.0e9 + 1.0e9
+    assert cpu.busy_core_seconds == pytest.approx(total_ops / 2.0e9, rel=1e-9)
+
+
+def test_zero_ops_completes_immediately():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, GHZ2)
+    ev = cpu.submit(0.0, "empty")
+    assert ev.triggered
+    assert cpu.completed_tasks == 1
+
+
+def test_invalid_ops_rejected():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, GHZ2)
+    with pytest.raises(SimulationError):
+        cpu.submit(-1.0)
+    with pytest.raises(SimulationError):
+        cpu.submit(float("nan"))
+
+
+def test_slowdown_scales_elapsed_time():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, GHZ2)
+    cpu.set_slowdown(2.0)
+    out = {}
+
+    def t(sim, cpu):
+        yield cpu.submit(2.0e9, "slowed")
+        out["end"] = sim.now
+
+    sim.spawn(t(sim, cpu))
+    sim.run()
+    assert out["end"] == pytest.approx(2.0)
+
+
+def test_slowdown_change_midflight():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, GHZ2)
+    out = {}
+
+    def t(sim, cpu):
+        yield cpu.submit(2.0e9, "task")
+        out["end"] = sim.now
+
+    def slower(sim, cpu):
+        yield sim.timeout(0.5)
+        cpu.set_slowdown(2.0)
+
+    sim.spawn(t(sim, cpu))
+    sim.spawn(slower(sim, cpu))
+    sim.run()
+    # 0.5s at full speed (1e9 done), remaining 1e9 at half speed -> +1.0s
+    assert out["end"] == pytest.approx(1.5)
+
+
+def test_slowdown_below_one_rejected():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, GHZ2)
+    with pytest.raises(SimulationError):
+        cpu.set_slowdown(0.5)
+
+
+def test_cancel_releases_capacity():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, CPUSpec("uni", cores=1, clock_ghz=1.0))
+    out = {}
+
+    def winner(sim, cpu):
+        yield sim.timeout(0.0)
+        ev = cpu.submit(1.0e9, "w")
+        yield ev
+        out["end"] = sim.now
+
+    victim_ev = cpu.submit(10.0e9, "victim")
+
+    def canceller(sim, cpu, ev):
+        yield sim.timeout(1.0)
+        assert cpu.cancel(ev)
+
+    sim.spawn(winner(sim, cpu))
+    sim.spawn(canceller(sim, cpu, victim_ev))
+
+    def absorb(sim, ev):
+        try:
+            yield ev
+        except SimulationError:
+            out["cancelled_at"] = sim.now
+
+    sim.spawn(absorb(sim, victim_ev))
+    sim.run()
+    assert out["cancelled_at"] == 1.0
+    # winner: shares until t=1 (0.5e9 done), then full speed: ends at 1.5
+    assert out["end"] == pytest.approx(1.5)
+
+
+def test_quad_vs_duo_speed_ratio():
+    # one job split into 8 equal tasks; quad should be ~(4*2.66)/(2*2.0) faster
+    def total_time(spec):
+        _, _, out = run_tasks(spec, [(0.0, 1.0e9)] * 8)
+        return max(end for _, end in out.values())
+
+    ratio = total_time(DUO_E4400) / total_time(QUAD_Q9400)
+    assert ratio == pytest.approx((4 * 2.66) / (2 * 2.0), rel=1e-6)
+
+
+def test_completion_event_value_is_elapsed_time():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, GHZ2)
+    got = {}
+
+    def t(sim, cpu):
+        elapsed = yield cpu.submit(2.0e9, "x")
+        got["elapsed"] = elapsed
+
+    sim.spawn(t(sim, cpu))
+    sim.run()
+    assert got["elapsed"] == pytest.approx(1.0)
+
+
+def test_many_equal_tasks_finish_simultaneously():
+    _, _, out = run_tasks(QUAD_Q9400, [(0.0, 1.0e9)] * 16)
+    assert len({round(end, 9) for _, end in out.values()}) == 1

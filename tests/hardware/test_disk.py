@@ -1,0 +1,95 @@
+"""Unit tests for the disk model: service time, FIFO queueing, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DiskSpec
+from repro.errors import DiskError
+from repro.hardware import DiskModel
+from repro.sim import Simulator
+from repro.units import MB
+
+
+def make_disk(bw=80e6, seek=0.008):
+    sim = Simulator()
+    return sim, DiskModel(sim, DiskSpec(bandwidth=bw, seek_time=seek))
+
+
+def test_service_time_formula():
+    _, disk = make_disk()
+    assert disk.service_time(MB(80)) == pytest.approx(0.008 + 1.0)
+    assert disk.service_time(0) == pytest.approx(0.008)
+
+
+def test_negative_size_rejected():
+    _, disk = make_disk()
+    with pytest.raises(DiskError):
+        disk.service_time(-1)
+
+
+def test_single_read_elapsed():
+    sim, disk = make_disk()
+
+    def proc(sim, disk):
+        yield disk.read(MB(80))
+        return sim.now
+
+    p = sim.spawn(proc(sim, disk))
+    sim.run()
+    assert p.value == pytest.approx(1.008)
+    assert disk.bytes_read == MB(80)
+    assert disk.requests == 1
+
+
+def test_requests_queue_fifo():
+    sim, disk = make_disk(seek=0.0)
+    ends = {}
+
+    def proc(sim, disk, name, nbytes):
+        yield disk.read(nbytes)
+        ends[name] = sim.now
+
+    sim.spawn(proc(sim, disk, "a", MB(80)))  # 1s
+    sim.spawn(proc(sim, disk, "b", MB(40)))  # 0.5s, queued behind a
+    sim.run()
+    assert ends["a"] == pytest.approx(1.0)
+    assert ends["b"] == pytest.approx(1.5)
+
+
+def test_seek_charged_per_request():
+    sim, disk = make_disk(seek=0.01)
+    # 10 small requests: 10 seeks dominate
+    def proc(sim, disk):
+        for _ in range(10):
+            yield disk.read(0)
+        return sim.now
+
+    p = sim.spawn(proc(sim, disk))
+    sim.run()
+    assert p.value == pytest.approx(0.1)
+
+
+def test_write_stats_separate_from_read():
+    sim, disk = make_disk()
+
+    def proc(sim, disk):
+        yield disk.write(MB(10))
+        yield disk.read(MB(20))
+
+    sim.spawn(proc(sim, disk))
+    sim.run()
+    assert disk.bytes_written == MB(10)
+    assert disk.bytes_read == MB(20)
+    assert disk.requests == 2
+
+
+def test_busy_time_accumulates():
+    sim, disk = make_disk(seek=0.0)
+
+    def proc(sim, disk):
+        yield disk.read(MB(160))
+
+    sim.spawn(proc(sim, disk))
+    sim.run()
+    assert disk.busy_time == pytest.approx(2.0)

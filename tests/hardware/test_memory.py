@@ -1,0 +1,139 @@
+"""Unit tests for the memory model: accounting, thrash curve, OOM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MemoryPolicy
+from repro.errors import OutOfMemoryError, SimulationError
+from repro.hardware import MemoryModel
+from repro.sim import Simulator
+from repro.units import GiB, MB
+
+
+@pytest.fixture()
+def mem():
+    sim = Simulator()
+    return MemoryModel(sim, GiB(2), policy=MemoryPolicy())
+
+
+def test_alloc_free_accounting(mem):
+    a = mem.alloc(MB(100), owner="job")
+    assert mem.used == MB(100)
+    b = mem.alloc(MB(50), owner="job")
+    assert mem.used == MB(150)
+    a.free()
+    assert mem.used == MB(50)
+    b.free()
+    assert mem.used == 0
+
+
+def test_free_is_idempotent(mem):
+    a = mem.alloc(MB(10))
+    a.free()
+    a.free()
+    assert mem.used == 0
+
+
+def test_context_manager_frees(mem):
+    with mem.alloc(MB(10)) as a:
+        assert mem.used == MB(10)
+    assert a.freed
+    assert mem.used == 0
+
+
+def test_oom_past_ram_plus_swap(mem):
+    # 2 GiB RAM, swap_factor 1.5 -> limit 5 GiB
+    mem.alloc(int(GiB(2) * 2.4))
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc(int(GiB(2) * 0.2))
+
+
+def test_try_alloc_returns_none_on_oom(mem):
+    assert mem.try_alloc(mem.limit + 1) is None
+    assert mem.try_alloc(mem.limit) is not None
+
+
+def test_would_fit(mem):
+    assert mem.would_fit(mem.limit)
+    assert not mem.would_fit(mem.limit + 1)
+
+
+def test_negative_alloc_rejected(mem):
+    with pytest.raises(SimulationError):
+        mem.alloc(-1)
+
+
+def test_pressure_and_peak(mem):
+    a = mem.alloc(GiB(1))
+    assert mem.pressure == pytest.approx(0.5)
+    a.free()
+    assert mem.peak_used == GiB(1)
+
+
+def test_thrash_flat_below_threshold(mem):
+    mem.alloc(int(GiB(2) * 0.55))
+    assert mem.thrash_factor() == 1.0
+
+
+def test_thrash_grows_past_threshold(mem):
+    mem.alloc(int(GiB(2) * 1.2))
+    f1 = mem.thrash_factor()
+    assert f1 > 1.0
+    mem.alloc(int(GiB(2) * 0.5))
+    assert mem.thrash_factor() > f1
+
+
+def test_thrash_curve_matches_policy():
+    policy = MemoryPolicy(thrash_fraction=0.6, thrash_coeff=2.0, thrash_exponent=2.0)
+    assert policy.thrash_factor(0.5) == 1.0
+    assert policy.thrash_factor(0.6) == 1.0
+    assert policy.thrash_factor(1.6) == pytest.approx(1.0 + 2.0 * 1.0**2)
+    assert policy.thrash_factor(2.1) == pytest.approx(1.0 + 2.0 * 1.5**2)
+
+
+def test_listener_fires_on_alloc_and_free(mem):
+    seen = []
+    mem.on_thrash_change(seen.append)
+    a = mem.alloc(int(GiB(2) * 1.5))
+    assert seen and seen[-1] > 1.0
+    a.free()
+    assert seen[-1] == 1.0
+
+
+def test_resize_grows_and_shrinks(mem):
+    a = mem.alloc(MB(100), owner="x")
+    a.resize(MB(300))
+    assert mem.used == MB(300)
+    a.resize(MB(50))
+    assert mem.used == MB(50)
+
+
+def test_resize_oom_leaves_state_intact(mem):
+    a = mem.alloc(MB(100))
+    with pytest.raises(OutOfMemoryError):
+        a.resize(mem.limit + MB(1))
+    assert a.nbytes == MB(100)
+    assert mem.used == MB(100)
+
+
+def test_resize_freed_allocation_rejected(mem):
+    a = mem.alloc(MB(10))
+    a.free()
+    with pytest.raises(SimulationError):
+        a.resize(MB(20))
+
+
+def test_usage_by_owner(mem):
+    mem.alloc(MB(10), owner="wc")
+    mem.alloc(MB(20), owner="wc")
+    mem.alloc(MB(5), owner="mm")
+    assert mem.usage_by_owner() == {"wc": MB(30), "mm": MB(5)}
+
+
+def test_swap_factor_zero_means_ram_only():
+    sim = Simulator()
+    m = MemoryModel(sim, MB(100), policy=MemoryPolicy(swap_factor=0.0))
+    m.alloc(MB(100))
+    with pytest.raises(OutOfMemoryError):
+        m.alloc(1)

@@ -1,0 +1,210 @@
+"""Unit tests for the Node abstraction and os_sched helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NetworkConfig, table1_cluster
+from repro.errors import NetworkError, SimulationError
+from repro.net import Fabric
+from repro.node import Node, TaskHandle, spawn_daemon
+from repro.node.os_sched import spawn_daemon as spawn_daemon2
+from repro.sim import Simulator
+from repro.units import GiB, MB
+
+
+@pytest.fixture()
+def pair():
+    cfg = table1_cluster()
+    sim = Simulator(seed=1)
+    fab = Fabric(sim, NetworkConfig())
+    host = Node(sim, cfg.node("host"), fab)
+    sd = Node(sim, cfg.node("sd0"), fab)
+    return sim, host, sd
+
+
+def test_node_composition(pair):
+    sim, host, sd = pair
+    assert host.cpu.cores == 4
+    assert sd.cpu.cores == 2
+    assert host.memory.capacity == GiB(2)
+    assert host.fs is not None and host.inotify is not None
+
+
+def test_memory_pressure_slows_cpu(pair):
+    """The thrash wiring: allocation on the node slows its CPU."""
+    sim, host, sd = pair
+    sd.memory.alloc(int(GiB(2) * 1.5), owner="hog")
+    assert sd.cpu.slowdown > 1.0
+    done = {}
+
+    def task():
+        yield sd.cpu.submit(2.0e9, "t")
+        done["t"] = sim.now
+
+    sim.spawn(task())
+    sim.run()
+    assert done["t"] > 1.0  # would be 1.0s at full speed
+
+
+def test_service_demux_routing(pair):
+    sim, host, sd = pair
+    q_a = sd.open_port("svc-a")
+    q_b = sd.open_port("svc-b")
+    got = {}
+
+    def consumer(q, name):
+        msg = yield q.get()
+        got[name] = msg.payload["body"]
+
+    sim.spawn(consumer(q_a, "a"))
+    sim.spawn(consumer(q_b, "b"))
+
+    def producer():
+        yield host.send(sd.name, "svc-b", {"x": 2}, nbytes=100)
+        yield host.send(sd.name, "svc-a", {"x": 1}, nbytes=100)
+
+    sim.spawn(producer())
+    sim.run(until=2.0)
+    assert got == {"a": {"x": 1}, "b": {"x": 2}}
+
+
+def test_send_negative_bytes_rejected(pair):
+    sim, host, sd = pair
+    with pytest.raises(NetworkError):
+        host.send(sd.name, "p", None, nbytes=-1)
+
+
+def test_default_port_for_untagged_messages(pair):
+    sim, host, sd = pair
+    from repro.net.message import Message
+
+    q = sd.open_port("default")
+
+    def producer():
+        yield host.fabric.send(Message(src="host", dst="sd0", nbytes=10, payload="raw"))
+
+    def consumer():
+        msg = yield q.get()
+        return msg.payload
+
+    sim.spawn(producer())
+    p = sim.spawn(consumer())
+    sim.run(until=p)
+    assert p.value == "raw"
+
+
+def test_mount_longest_prefix_wins(pair):
+    sim, host, sd = pair
+
+    class FakeMount:
+        pass
+
+    outer, inner = FakeMount(), FakeMount()
+    host.add_mount("/mnt", outer)
+    host.add_mount("/mnt/deep", inner)
+    fs, rel = host.resolve_fs("/mnt/deep/file")
+    assert fs is inner and rel == "/file"
+    fs2, rel2 = host.resolve_fs("/mnt/other")
+    assert fs2 is outer and rel2 == "/other"
+    fs3, rel3 = host.resolve_fs("/elsewhere")
+    assert fs3 is host.fs
+
+
+def test_run_ops_is_cpu_submit(pair):
+    sim, host, sd = pair
+
+    def t():
+        yield host.run_ops(2.66e9, "unit")
+        return sim.now
+
+    p = sim.spawn(t())
+    sim.run(until=p)
+    assert p.value == pytest.approx(1.0)
+
+
+# ------------------------------------------------------------------ os_sched
+
+
+def test_task_handle_join_and_cancel():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(5)
+        return "done"
+
+    h = TaskHandle(sim.spawn(body()))
+    assert not h.done
+
+    def waiter():
+        res = yield h.join()
+        return res
+
+    p = sim.spawn(waiter())
+    sim.run(until=p)
+    assert p.value == "done"
+    assert h.done
+
+
+def test_task_handle_cancel_interrupts():
+    sim = Simulator()
+    state = {}
+
+    def body():
+        try:
+            yield sim.timeout(100)
+        except Exception as exc:
+            state["cancelled"] = str(exc)
+
+    h = TaskHandle(sim.spawn(body()))
+
+    def canceller():
+        yield sim.timeout(1)
+        h.cancel("stop")
+
+    sim.spawn(canceller())
+    sim.run()
+    assert "stop" in state["cancelled"]
+
+
+def test_daemon_restarts_on_crash():
+    sim = Simulator()
+    attempts = []
+
+    def flaky():
+        attempts.append(sim.now)
+        yield sim.timeout(1)
+        if len(attempts) < 3:
+            raise RuntimeError("crash")
+        return "stable"
+
+    sup = spawn_daemon(sim, flaky, name="flaky")
+    sim.run(until=sup)
+    assert sup.value == "stable"
+    assert len(attempts) == 3
+
+
+def test_daemon_gives_up_after_max_restarts():
+    sim = Simulator()
+
+    def always_crashes():
+        yield sim.timeout(0.1)
+        raise RuntimeError("hopeless")
+
+    sup = spawn_daemon(sim, always_crashes, name="bad", max_restarts=3)
+    sim.run()
+    assert not sup.ok
+    assert isinstance(sup.value, SimulationError)
+
+
+def test_daemon_no_restart_propagates():
+    sim = Simulator()
+
+    def crashes():
+        yield sim.timeout(0.1)
+        raise ValueError("once")
+
+    sup = spawn_daemon(sim, crashes, name="once", restart=False)
+    sim.run()
+    assert not sup.ok
+    assert isinstance(sup.value, ValueError)

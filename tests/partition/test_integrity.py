@@ -1,0 +1,133 @@
+"""Unit + property tests for the Fig 7 integrity check."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IntegrityError
+from repro.partition.integrity import (
+    DEFAULT_DELIMITERS,
+    integrity_check,
+    safe_boundaries,
+)
+
+
+def test_boundary_already_safe():
+    data = b"hello world"
+    # position 6 is right after the space: safe as-is
+    assert integrity_check(data, 6) == 0
+
+
+def test_boundary_mid_word_advances_past_it():
+    data = b"hello world again"
+    # draft at 8 is inside "world"; next delimiter is index 11 -> boundary 12
+    assert integrity_check(data, 8) == 4
+    disp = integrity_check(data, 8)
+    left, right = data[: 8 + disp], data[8 + disp :]
+    assert left == b"hello world "
+    assert right == b"again"
+
+
+def test_boundary_at_or_past_end():
+    data = b"abc def"
+    assert integrity_check(data, len(data)) == 0
+    assert integrity_check(data, len(data) + 10) == 0
+
+
+def test_no_delimiter_until_end():
+    data = b"aaaa bbbbbbbb"
+    # draft inside the trailing run with no delimiter after it
+    disp = integrity_check(data, 7)
+    assert 7 + disp == len(data)
+
+
+def test_custom_delimiters():
+    data = b"row1\nrow2\nrow3"
+    disp = integrity_check(data, 6, delimiters=b"\n")
+    assert (6 + disp) == 10  # just after the second newline
+    assert data[: 6 + disp] == b"row1\nrow2\n"
+
+
+def test_validation():
+    with pytest.raises(IntegrityError):
+        integrity_check(b"abc", -1)
+    with pytest.raises(IntegrityError):
+        integrity_check(b"abc", 1, delimiters=b"")
+    with pytest.raises(IntegrityError):
+        safe_boundaries(b"abc", 0)
+
+
+def test_safe_boundaries_cover_data():
+    data = b"the quick brown fox jumps over the lazy dog " * 10
+    bounds = safe_boundaries(data, 64)
+    assert bounds[0] == 0
+    assert bounds[-1] == len(data)
+    assert bounds == sorted(bounds)
+
+
+def test_safe_boundaries_empty_data():
+    assert safe_boundaries(b"", 10) == [0, 0]
+
+
+# ------------------------------------------------------------------ properties
+
+
+@given(
+    words=st.lists(
+        st.binary(min_size=1, max_size=12).filter(
+            lambda w: not any(bytes([c]) in DEFAULT_DELIMITERS for c in w)
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+    frag=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_no_word_ever_split(words, frag):
+    """Fragments reconstruct the input and never cut a word in half."""
+    data = b" ".join(words)
+    bounds = safe_boundaries(data, frag)
+    fragments = [data[bounds[i] : bounds[i + 1]] for i in range(len(bounds) - 1)]
+    # reconstruction
+    assert b"".join(fragments) == data
+    # no split words: every fragment's words are words of the input
+    vocab = set(data.split())
+    for fragment in fragments:
+        for word in fragment.split():
+            assert word in vocab
+    # word multiset is preserved exactly
+    from collections import Counter
+
+    assert sum((Counter(f.split()) for f in fragments), Counter()) == Counter(
+        data.split()
+    )
+
+
+@given(
+    data=st.binary(min_size=0, max_size=2000),
+    draft=st.integers(min_value=0, max_value=2500),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_integrity_check_lands_on_safe_point(data, draft):
+    disp = integrity_check(data, draft)
+    boundary = draft + disp
+    assert disp >= 0
+    assert boundary <= len(data) or draft >= len(data)
+    if 0 < boundary < len(data):
+        # boundary sits right after a delimiter
+        assert bytes(data[boundary - 1 : boundary]) in {
+            DEFAULT_DELIMITERS[i : i + 1] for i in range(len(DEFAULT_DELIMITERS))
+        }
+
+
+@given(
+    data=st.binary(min_size=1, max_size=3000),
+    frag=st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_boundaries_monotone_and_complete(data, frag):
+    bounds = safe_boundaries(data, frag)
+    assert bounds[0] == 0
+    assert bounds[-1] == len(data)
+    assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))

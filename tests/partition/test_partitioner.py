@@ -1,0 +1,108 @@
+"""Unit + property tests for fragment planning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PhoenixConfig
+from repro.errors import PartitionError
+from repro.phoenix.api import CostProfile, InputSpec
+from repro.partition.partitioner import auto_fragment_bytes, plan_fragments
+from repro.units import GiB, MB
+
+PROFILE = CostProfile("wc-like", map_ops_per_byte=1.0, footprint_factor=3.0)
+CFG = PhoenixConfig()
+
+
+def make_input(size, payload=b"alpha beta gamma delta " * 50):
+    return InputSpec(path="/data/f", size=size, payload=payload)
+
+
+def test_small_input_single_fragment():
+    plan = plan_fragments(make_input(MB(100)), MB(600), GiB(2), PROFILE, CFG)
+    assert plan.n_fragments == 1
+    assert plan.fragments[0].size == MB(100)
+
+
+def test_declared_sizes_partition_exactly():
+    plan = plan_fragments(make_input(MB(1250)), MB(600), GiB(2), PROFILE, CFG)
+    sizes = [f.size for f in plan.fragments]
+    assert sum(sizes) == MB(1250)
+    assert sizes == [MB(600), MB(600), MB(50)]
+
+
+def test_exact_multiple_has_no_empty_tail():
+    plan = plan_fragments(make_input(MB(1200)), MB(600), GiB(2), PROFILE, CFG)
+    assert [f.size for f in plan.fragments] == [MB(600), MB(600)]
+
+
+def test_offsets_are_cumulative():
+    plan = plan_fragments(make_input(MB(1250)), MB(600), GiB(2), PROFILE, CFG)
+    offsets = [f.offset for f in plan.fragments]
+    assert offsets == [0, MB(600), MB(1200)]
+
+
+def test_payload_reconstructs():
+    payload = b"one two three four five six seven eight nine ten " * 20
+    plan = plan_fragments(
+        make_input(MB(1000), payload), MB(300), GiB(2), PROFILE, CFG
+    )
+    joined = b"".join(f.payload for f in plan.fragments)
+    assert joined == payload
+
+
+def test_auto_sizing_targets_memory_fraction():
+    frag = auto_fragment_bytes(GiB(2), PROFILE, CFG)
+    expected = int(CFG.auto_fragment_fraction * GiB(2) / PROFILE.footprint_factor)
+    assert frag == expected
+    plan = plan_fragments(make_input(MB(1000)), None, GiB(2), PROFILE, CFG)
+    assert plan.auto_sized
+    # per-fragment working set fits in half the memory
+    assert PROFILE.footprint(plan.fragment_bytes) <= 0.5 * GiB(2) + PROFILE.footprint_factor
+
+
+def test_no_payload_plan_still_partitions():
+    inp = InputSpec(path="/data/f", size=MB(1000), payload=None)
+    plan = plan_fragments(inp, MB(400), GiB(2), PROFILE, CFG)
+    assert [f.size for f in plan.fragments] == [MB(400), MB(400), MB(200)]
+    assert all(f.payload is None for f in plan.fragments)
+
+
+def test_non_byte_payload_rejected():
+    inp = InputSpec(path="/data/f", size=MB(1000), payload=(1, 2))
+    with pytest.raises(PartitionError, match="not.*partition"):
+        plan_fragments(inp, MB(400), GiB(2), PROFILE, CFG)
+
+
+def test_bad_fragment_size_rejected():
+    with pytest.raises(PartitionError):
+        plan_fragments(make_input(MB(10)), 0, GiB(2), PROFILE, CFG)
+
+
+def test_params_propagate_to_fragments():
+    inp = InputSpec(
+        path="/data/f", size=MB(800), payload=b"x y z " * 100, params={"keys": [b"k"]}
+    )
+    plan = plan_fragments(inp, MB(300), GiB(2), PROFILE, CFG)
+    assert all(f.params == {"keys": [b"k"]} for f in plan.fragments)
+
+
+@given(
+    size_mb=st.integers(min_value=1, max_value=4000),
+    frag_mb=st.integers(min_value=1, max_value=1000),
+    payload=st.binary(min_size=0, max_size=1500),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_plan_covers_declared_size(size_mb, frag_mb, payload):
+    inp = InputSpec(path="/f", size=MB(size_mb), payload=payload or None)
+    plan = plan_fragments(inp, MB(frag_mb), GiB(2), PROFILE, CFG)
+    assert sum(f.size for f in plan.fragments) == MB(size_mb)
+    assert all(f.size > 0 for f in plan.fragments)
+    if payload:
+        assert b"".join(f.payload or b"" for f in plan.fragments) == payload
+    # offsets tile [0, size)
+    pos = 0
+    for f in plan.fragments:
+        assert f.offset == pos
+        pos += f.size

@@ -1,0 +1,132 @@
+"""Unit tests for the Phoenix API: cost profiles, input specs, splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.phoenix.api import CostProfile, InputSpec, default_split
+from repro.phoenix.scheduler import Task, run_task_pool
+from repro.config import DUO_E4400
+from repro.hardware import ProcessorSharingCPU
+from repro.sim import Simulator
+from repro.units import MB
+
+
+def test_cost_profile_linear_scaling():
+    p = CostProfile("x", map_ops_per_byte=10.0, sort_ops_per_byte=2.0)
+    assert p.map_ops(100) == 1000.0
+    assert p.map_ops(200) == 2.0 * p.map_ops(100)
+    assert p.total_ops(100) == p.map_ops(100) + p.sort_ops(100)
+
+
+def test_cost_profile_footprint_and_sizes():
+    p = CostProfile(
+        "x",
+        map_ops_per_byte=1.0,
+        footprint_factor=3.0,
+        intermediate_ratio=0.5,
+        output_ratio=0.1,
+    )
+    assert p.footprint(MB(100)) == MB(300)
+    assert p.intermediate_bytes(MB(100)) == MB(50)
+    assert p.output_bytes(MB(100)) == MB(10)
+
+
+def test_cost_profile_validation():
+    with pytest.raises(WorkloadError):
+        CostProfile("bad", map_ops_per_byte=-1.0)
+    with pytest.raises(WorkloadError):
+        CostProfile("bad", map_ops_per_byte=1.0, footprint_factor=0.0)
+
+
+def test_input_spec_rejects_negative_size():
+    with pytest.raises(WorkloadError):
+        InputSpec(path="/x", size=-1)
+
+
+def test_input_spec_payload_bytes_accessor():
+    assert InputSpec(path="/x", size=1, payload=b"abc").payload_bytes == b"abc"
+    assert InputSpec(path="/x", size=1, payload=(1, 2)).payload_bytes is None
+    assert InputSpec(path="/x", size=1).payload_bytes is None
+
+
+def test_default_split_bytes_never_splits_words():
+    data = b"alpha beta gamma delta epsilon zeta eta theta"
+    chunks = default_split(data, 4)
+    assert b"".join(chunks) == data
+    whole_words = set(data.split())
+    for chunk in chunks:
+        for word in chunk.split():
+            assert word in whole_words
+
+
+def test_default_split_preserves_all_content():
+    data = (b"word " * 1000).strip()
+    for n in (1, 2, 3, 7, 16):
+        chunks = default_split(data, n)
+        assert len(chunks) == n
+        assert b"".join(chunks) == data
+
+
+def test_default_split_sequences():
+    chunks = default_split(list(range(10)), 3)
+    assert chunks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+
+def test_default_split_none_payload():
+    assert default_split(None, 3) == [None, None, None]
+
+
+def test_default_split_empty_bytes():
+    assert default_split(b"", 3) == [b"", b"", b""]
+
+
+def test_default_split_unknown_type_rejected():
+    with pytest.raises(WorkloadError):
+        default_split(42, 2)
+
+
+# ------------------------------------------------------------------ scheduler
+
+
+def test_task_pool_results_in_task_order():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, DUO_E4400)
+    tasks = [
+        Task(name=f"t{i}", ops=(5 - i) * 1e8, compute=lambda i=i: i) for i in range(5)
+    ]
+    pool = run_task_pool(sim, cpu, tasks, n_workers=2)
+    out = sim.run(until=pool)
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_task_pool_dynamic_balancing():
+    """One long task + many short ones: 2 workers should overlap them."""
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, DUO_E4400)
+    tasks = [Task(name="big", ops=8e9)] + [Task(name=f"s{i}", ops=1e9) for i in range(4)]
+    pool = run_task_pool(sim, cpu, tasks, n_workers=2)
+    sim.run(until=pool)
+    # big alone: 4s; shorts: 4 x 0.5s on the other core -> makespan 4s
+    assert sim.now == pytest.approx(4.0, rel=0.01)
+
+
+def test_task_pool_empty():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, DUO_E4400)
+    pool = run_task_pool(sim, cpu, [], n_workers=2)
+    assert sim.run(until=pool) == []
+
+
+def test_task_pool_compute_failure_fails_pool():
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, DUO_E4400)
+
+    def boom():
+        raise ValueError("bad task")
+
+    tasks = [Task(name="ok", ops=1e8, compute=lambda: 1), Task(name="bad", ops=1e8, compute=boom)]
+    pool = run_task_pool(sim, cpu, tasks, n_workers=2)
+    with pytest.raises(ValueError, match="bad task"):
+        sim.run(until=pool)

@@ -1,0 +1,60 @@
+"""Unit tests for the Phoenix out-of-core rule (Section IV-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PhoenixConfig
+from repro.errors import PhoenixMemoryError
+from repro.phoenix import footprint_bytes, max_supported_input
+from repro.phoenix.memory import check_supportable
+from repro.apps.stringmatch import SM_PROFILE
+from repro.apps.wordcount import WC_PROFILE
+from repro.units import GiB, MB
+
+
+CFG = PhoenixConfig()
+MEM = GiB(2)
+
+
+def test_max_supported_input_fraction():
+    assert max_supported_input(MEM, CFG) == int(0.75 * MEM)
+
+
+def test_paper_boundary_1500m_passes_1750m_fails():
+    """Section V-B: WC/SM fail beyond 1.5G on the 2GB nodes."""
+    check_supportable("wc", MB(1500), MEM, CFG, WC_PROFILE)  # no raise
+    with pytest.raises(PhoenixMemoryError):
+        check_supportable("wc", MB(1750), MEM, CFG, WC_PROFILE)
+
+
+def test_rule_is_input_based_not_footprint_based():
+    """The paper states the limit on *required data size*, so WC (3x) and
+    SM (2x) fail at the same input size despite different footprints."""
+    for profile in (WC_PROFILE, SM_PROFILE):
+        check_supportable("app", MB(1500), MEM, CFG, profile)
+        with pytest.raises(PhoenixMemoryError):
+            check_supportable("app", MB(1700), MEM, CFG, profile)
+
+
+def test_footprint_bytes_delegates_to_profile():
+    assert footprint_bytes(WC_PROFILE, MB(500)) == MB(1500)
+    assert footprint_bytes(SM_PROFILE, MB(500)) == MB(1000)
+
+
+def test_error_carries_footprint_and_app():
+    try:
+        check_supportable("wordcount", MB(2000), MEM, CFG, WC_PROFILE)
+    except PhoenixMemoryError as exc:
+        assert exc.app == "wordcount"
+        assert exc.footprint == WC_PROFILE.footprint(MB(2000))
+        assert exc.capacity == MEM
+    else:  # pragma: no cover
+        pytest.fail("expected PhoenixMemoryError")
+
+
+def test_configurable_fraction():
+    tight = PhoenixConfig(max_input_fraction=0.25)
+    with pytest.raises(PhoenixMemoryError):
+        check_supportable("wc", MB(600), MEM, tight, WC_PROFILE)
+    check_supportable("wc", MB(500), MEM, tight, WC_PROFILE)

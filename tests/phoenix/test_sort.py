@@ -1,0 +1,87 @@
+"""Unit tests for the intermediate-data machinery."""
+
+from __future__ import annotations
+
+from repro.phoenix.sort import (
+    Combiner,
+    group_by_key,
+    hash_partition,
+    merge_grouped,
+    sort_by_value_desc,
+)
+
+
+def test_combiner_without_combine_collects_lists():
+    c = Combiner(None)
+    c.emit("a", 1)
+    c.emit("a", 2)
+    c.emit("b", 3)
+    assert dict(c.pairs()) == {"a": [1, 2], "b": [3]}
+    assert c.emitted == 3
+
+
+def test_combiner_with_combine_folds_values():
+    c = Combiner(lambda old, new: old + new)
+    for _ in range(5):
+        c.emit("x", 1)
+    c.emit("y", 10)
+    assert dict(c.pairs()) == {"x": 5, "y": 10}
+    assert c.emitted == 6
+
+
+def test_combiner_pairs_deterministic_order():
+    c = Combiner(lambda a, b: a + b)
+    for k in ("z", "a", "m"):
+        c.emit(k, 1)
+    assert [k for k, _ in c.pairs()] == sorted(["z", "a", "m"], key=repr)
+
+
+def test_hash_partition_covers_all_pairs():
+    pairs = [(f"k{i}", i) for i in range(100)]
+    buckets = hash_partition(pairs, 4)
+    assert len(buckets) == 4
+    flat = [kv for b in buckets for kv in b]
+    assert sorted(flat) == sorted(pairs)
+
+
+def test_hash_partition_deterministic():
+    pairs = [(f"k{i}", i) for i in range(50)]
+    b1 = hash_partition(pairs, 8)
+    b2 = hash_partition(pairs, 8)
+    assert b1 == b2
+
+
+def test_hash_partition_same_key_same_bucket():
+    pairs = [("hot", i) for i in range(10)]
+    buckets = hash_partition(pairs, 4)
+    non_empty = [b for b in buckets if b]
+    assert len(non_empty) == 1
+    assert len(non_empty[0]) == 10
+
+
+def test_group_by_key_sorts_and_groups():
+    pairs = [("b", 1), ("a", 2), ("b", 3)]
+    grouped = group_by_key(pairs)
+    assert grouped == [("a", [2]), ("b", [1, 3])]
+
+
+def test_group_by_key_with_list_values():
+    pairs = [("a", [1, 2]), ("a", [3])]
+    grouped = group_by_key(pairs, values_are_lists=True)
+    assert grouped == [("a", [1, 2, 3])]
+
+
+def test_merge_grouped():
+    parts = [[("b", 2)], [("a", 1)], [("c", 3)]]
+    assert merge_grouped(parts) == [("a", 1), ("b", 2), ("c", 3)]
+
+
+def test_sort_by_value_desc_ties_broken_by_key():
+    pairs = [("b", 2), ("a", 5), ("c", 2)]
+    assert sort_by_value_desc(pairs) == [("a", 5), ("b", 2), ("c", 2)]
+
+
+def test_sort_by_value_desc_non_numeric_values():
+    pairs = [("a", "x"), ("b", 3)]
+    out = sort_by_value_desc(pairs)
+    assert out[0] == ("b", 3)

@@ -1,0 +1,162 @@
+"""Unit tests for events: lifecycle, composition, failure propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_event_lifecycle():
+    sim = Simulator()
+    ev = sim.event("e")
+    assert not ev.triggered
+    ev.succeed(99)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 99
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(ValueError())
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_callback_after_processing_runs_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("x")
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_failed_event_throws_into_process():
+    sim = Simulator()
+    ev = sim.event()
+
+    def proc(sim, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    p = sim.spawn(proc(sim, ev))
+    ev.fail(RuntimeError("bad"))
+    sim.run()
+    assert p.value == "caught bad"
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    done_at = []
+
+    def waiter(sim, evs):
+        yield sim.all_of(evs)
+        done_at.append(sim.now)
+
+    t1, t2, t3 = sim.timeout(1), sim.timeout(3), sim.timeout(2)
+    sim.spawn(waiter(sim, [t1, t2, t3]))
+    sim.run()
+    assert done_at == [3.0]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    done_at = []
+
+    def waiter(sim, evs):
+        yield sim.any_of(evs)
+        done_at.append(sim.now)
+
+    sim.spawn(waiter(sim, [sim.timeout(5), sim.timeout(1), sim.timeout(3)]))
+    sim.run()
+    assert done_at == [1.0]
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+
+    def waiter(sim):
+        res = yield sim.all_of([])
+        return res
+
+    p = sim.spawn(waiter(sim))
+    sim.run()
+    assert p.value == {}
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+
+    def waiter(sim):
+        evs = [sim.timeout(1, "a"), sim.timeout(2, "b")]
+        res = yield sim.all_of(evs)
+        return sorted(res.values())
+
+    p = sim.spawn(waiter(sim))
+    sim.run()
+    assert p.value == ["a", "b"]
+
+
+def test_all_of_fails_fast_on_sub_failure():
+    sim = Simulator()
+    bad = sim.event()
+
+    def waiter(sim, bad):
+        try:
+            yield sim.all_of([sim.timeout(10), bad])
+        except ValueError:
+            return sim.now
+
+    p = sim.spawn(waiter(sim, bad))
+
+    def failer(sim, bad):
+        yield sim.timeout(1)
+        bad.fail(ValueError("sub failed"))
+
+    sim.spawn(failer(sim, bad))
+    sim.run()
+    assert p.value == 1.0
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+
+    def proc(sim):
+        v = yield sim.timeout(1.0, value="payload")
+        return v
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_condition_rejects_cross_simulator_events():
+    sim1, sim2 = Simulator(), Simulator()
+    foreign = sim2.event()
+    with pytest.raises(SimulationError):
+        sim1.all_of([sim1.event(), foreign])

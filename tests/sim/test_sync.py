@@ -1,0 +1,176 @@
+"""Unit tests for Signal, Semaphore, Barrier, Latch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Barrier, Latch, Semaphore, Signal, Simulator
+
+
+def test_signal_wakes_all_current_waiters():
+    sim = Simulator()
+    sig = Signal(sim)
+    woken = []
+
+    def waiter(sim, sig, name):
+        v = yield sig.wait()
+        woken.append((name, v, sim.now))
+
+    for n in ("a", "b"):
+        sim.spawn(waiter(sim, sig, n))
+
+    def firer(sim, sig):
+        yield sim.timeout(2)
+        n = sig.fire("pulse")
+        return n
+
+    p = sim.spawn(firer(sim, sig))
+    sim.run()
+    assert p.value == 2
+    assert woken == [("a", "pulse", 2.0), ("b", "pulse", 2.0)]
+
+
+def test_signal_pulse_not_sticky():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.fire()  # nobody waiting: pulse lost
+
+    def waiter(sim, sig):
+        yield sig.wait()
+        return sim.now
+
+    def firer(sim, sig):
+        yield sim.timeout(5)
+        sig.fire()
+
+    p = sim.spawn(waiter(sim, sig))
+    sim.spawn(firer(sim, sig))
+    sim.run()
+    assert p.value == 5.0
+    assert sig.fired_count == 2
+
+
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, value=2)
+    active = []
+    peak = []
+
+    def worker(sim, sem, i):
+        yield sem.acquire()
+        active.append(i)
+        peak.append(len(active))
+        yield sim.timeout(1)
+        active.remove(i)
+        sem.release()
+
+    for i in range(6):
+        sim.spawn(worker(sim, sem, i))
+    sim.run()
+    assert max(peak) == 2
+    assert sem.value == 2
+
+
+def test_semaphore_fifo_handoff():
+    sim = Simulator()
+    sem = Semaphore(sim, value=0)
+    order = []
+
+    def waiter(sim, sem, name):
+        yield sem.acquire()
+        order.append(name)
+
+    for n in ("x", "y", "z"):
+        sim.spawn(waiter(sim, sem, n))
+
+    def releaser(sim, sem):
+        for _ in range(3):
+            yield sim.timeout(1)
+            sem.release()
+
+    sim.spawn(releaser(sim, sem))
+    sim.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_semaphore_negative_init_rejected():
+    with pytest.raises(SimulationError):
+        Semaphore(Simulator(), value=-1)
+
+
+def test_barrier_releases_all_parties_together():
+    sim = Simulator()
+    bar = Barrier(sim, parties=3)
+    released = []
+
+    def party(sim, bar, i):
+        yield sim.timeout(i)
+        yield bar.arrive()
+        released.append((i, sim.now))
+
+    for i in range(3):
+        sim.spawn(party(sim, bar, i))
+    sim.run()
+    assert [t for _, t in released] == [2.0, 2.0, 2.0]
+    assert bar.generations == 1
+
+
+def test_barrier_is_cyclic():
+    sim = Simulator()
+    bar = Barrier(sim, parties=2)
+    times = []
+
+    def party(sim, bar):
+        for _ in range(2):
+            yield bar.arrive()
+            times.append(sim.now)
+            yield sim.timeout(1)
+
+    sim.spawn(party(sim, bar))
+    sim.spawn(party(sim, bar))
+    sim.run()
+    assert bar.generations == 2
+
+
+def test_latch_opens_once_and_stays_open():
+    sim = Simulator()
+    latch = Latch(sim, count=2)
+    assert not latch.opened
+    latch.count_down()
+    assert not latch.opened
+    latch.count_down()
+    assert latch.opened
+    latch.count_down()  # extra decrement is a no-op
+    assert latch.opened
+
+    def waiter(sim, latch):
+        yield latch.wait()
+        return sim.now
+
+    p = sim.spawn(waiter(sim, latch))
+    sim.run()
+    assert p.value == 0.0  # already open: immediate
+
+
+def test_latch_zero_count_starts_open():
+    sim = Simulator()
+    assert Latch(sim, count=0).opened
+
+
+def test_latch_wait_before_open():
+    sim = Simulator()
+    latch = Latch(sim, count=1)
+
+    def waiter(sim, latch):
+        yield latch.wait()
+        return sim.now
+
+    def opener(sim, latch):
+        yield sim.timeout(7)
+        latch.count_down()
+
+    p = sim.spawn(waiter(sim, latch))
+    sim.spawn(opener(sim, latch))
+    sim.run()
+    assert p.value == 7.0

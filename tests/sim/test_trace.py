@@ -1,0 +1,93 @@
+"""Unit tests for tracing and time-series stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import TimeSeries, Tracer
+
+
+def test_counters_always_on():
+    t = Tracer(enabled=False)
+    t.count("nfs.bytes", 100)
+    t.count("nfs.bytes", 50)
+    assert t.counters["nfs.bytes"] == 150
+
+
+def test_records_only_when_enabled():
+    t = Tracer(enabled=False)
+    t.record("ev", 1.0, "ignored")
+    assert len(t.records) == 0
+    t.enabled = True
+    t.record("ev", 2.0, "kept")
+    assert len(t.records) == 1
+    assert t.records[0].kind == "ev"
+
+
+def test_of_kind_filter():
+    t = Tracer(enabled=True)
+    t.record("a", 1.0)
+    t.record("b", 2.0)
+    t.record("a", 3.0)
+    assert [r.time for r in t.of_kind("a")] == [1.0, 3.0]
+
+
+def test_record_ring_buffer():
+    t = Tracer(enabled=True, keep=3)
+    for i in range(5):
+        t.record("x", float(i))
+    assert len(t.records) == 3
+    assert t.records[0].time == 2.0
+
+
+def test_clear():
+    t = Tracer(enabled=True)
+    t.record("x", 1.0)
+    t.count("c")
+    t.sample("s", 0.0, 1.0)
+    t.clear()
+    assert not t.records and not t.counters and not t.series
+
+
+def test_timeseries_stats():
+    ts = TimeSeries("q")
+    assert ts.last == 0.0 and ts.mean() == 0.0 and ts.maximum() == 0.0
+    ts.sample(0.0, 2.0)
+    ts.sample(1.0, 4.0)
+    ts.sample(3.0, 0.0)
+    assert len(ts) == 3
+    assert ts.last == 0.0
+    assert ts.mean() == pytest.approx(2.0)
+    assert ts.maximum() == 4.0
+
+
+def test_time_weighted_mean_step_function():
+    ts = TimeSeries("util")
+    ts.sample(0.0, 1.0)   # holds 1.0 for [0, 2)
+    ts.sample(2.0, 3.0)   # holds 3.0 for [2, 4)
+    assert ts.time_weighted_mean(until=4.0) == pytest.approx(2.0)
+
+
+def test_time_weighted_mean_single_sample():
+    ts = TimeSeries("u")
+    ts.sample(1.0, 7.0)
+    assert ts.time_weighted_mean(until=1.0) == 7.0
+
+
+def test_tracer_sample_creates_series():
+    t = Tracer()
+    t.sample("cpu", 0.0, 0.5)
+    t.sample("cpu", 1.0, 0.7)
+    assert t.series["cpu"].maximum() == 0.7
+
+
+def test_simulator_tracer_records_events():
+    sim = Simulator(trace=True)
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert len(sim.tracer.records) >= 2

@@ -1,0 +1,58 @@
+"""Unit tests for the log-file codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.smartfam.logfile import INVOKE, RESULT, LogFileCodec, LogRecord
+
+
+def test_record_validation():
+    with pytest.raises(ProtocolError):
+        LogRecord("bogus", 1, "m")
+    with pytest.raises(ProtocolError):
+        LogRecord(INVOKE, -1, "m")
+
+
+def test_roundtrip_empty():
+    assert LogFileCodec.decode(None) == []
+    assert LogFileCodec.decode(b"") == []
+
+
+def test_append_and_decode():
+    payload = LogFileCodec.append(None, LogRecord(INVOKE, 1, "wc", body={"a": 1}))
+    payload = LogFileCodec.append(payload, LogRecord(RESULT, 1, "wc", body="done"))
+    records = LogFileCodec.decode(payload)
+    assert len(records) == 2
+    assert records[0].kind == INVOKE and records[0].body == {"a": 1}
+    assert records[1].kind == RESULT and records[1].body == "done"
+
+
+def test_latest_of_kind():
+    payload = None
+    for seq in (1, 2, 3):
+        payload = LogFileCodec.append(payload, LogRecord(INVOKE, seq, "m"))
+    latest = LogFileCodec.latest(payload, INVOKE)
+    assert latest is not None and latest.seq == 3
+    assert LogFileCodec.latest(payload, RESULT) is None
+
+
+def test_find_by_seq():
+    payload = None
+    for seq in (5, 7):
+        payload = LogFileCodec.append(payload, LogRecord(RESULT, seq, "m", body=seq))
+    assert LogFileCodec.find(payload, RESULT, 7).body == 7
+    assert LogFileCodec.find(payload, RESULT, 6) is None
+
+
+def test_corrupt_payload_raises():
+    with pytest.raises(ProtocolError):
+        LogFileCodec.decode(b"not a pickle")
+
+
+def test_non_record_list_rejected():
+    import pickle
+
+    with pytest.raises(ProtocolError):
+        LogFileCodec.decode(pickle.dumps([1, 2, 3]))

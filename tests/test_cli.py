@@ -1,0 +1,44 @@
+"""Tests for the `python -m repro` experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE I" in out
+    assert "Intel Core2 Quad Q9400" in out
+    assert out.count("Celeron") == 3
+
+
+def test_single_command(capsys):
+    assert main(["single", "wordcount", "300", "--platform", "duo"]) == 0
+    out = capsys.readouterr().out
+    assert "wordcount 300MB on duo" in out
+    assert "fragments" in out
+
+
+def test_single_oom_reported(capsys):
+    assert main(["single", "wordcount", "1750", "--approach", "parallel"]) == 0
+    out = capsys.readouterr().out
+    assert "not supported" in out
+
+
+def test_pair_command(capsys):
+    assert main(["pair", "mcsd", "stringmatch", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_bad_choice_rejected():
+    with pytest.raises(SystemExit):
+        main(["single", "sorting", "100"])

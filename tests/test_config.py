@@ -1,0 +1,138 @@
+"""Unit tests for the configuration layer (Table I presets, validation)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CELERON_450,
+    CPUSpec,
+    ClusterConfig,
+    DiskSpec,
+    DUO_E4400,
+    MemoryPolicy,
+    NetworkConfig,
+    NodeConfig,
+    NodeRole,
+    PhoenixConfig,
+    QUAD_Q9400,
+    SmartFAMConfig,
+    table1_cluster,
+)
+from repro.errors import ConfigError
+from repro.units import GiB
+
+
+def test_table1_cpu_specs():
+    assert QUAD_Q9400.cores == 4 and QUAD_Q9400.clock_ghz == 2.66
+    assert DUO_E4400.cores == 2 and DUO_E4400.clock_ghz == 2.00
+    assert CELERON_450.cores == 1 and CELERON_450.clock_ghz == 2.20
+
+
+def test_cpu_ops_rate():
+    assert DUO_E4400.ops_per_sec_per_core == pytest.approx(2.0e9)
+
+
+def test_cpu_scaled_copy():
+    uni = DUO_E4400.scaled(cores=1)
+    assert uni.cores == 1 and uni.clock_ghz == 2.0
+    assert DUO_E4400.cores == 2  # original untouched
+
+
+def test_cpu_validation():
+    with pytest.raises(ConfigError):
+        CPUSpec("bad", cores=0, clock_ghz=1.0)
+    with pytest.raises(ConfigError):
+        CPUSpec("bad", cores=1, clock_ghz=0)
+    with pytest.raises(ConfigError):
+        CPUSpec("bad", cores=1, clock_ghz=1, ops_per_cycle=0)
+
+
+def test_disk_validation():
+    with pytest.raises(ConfigError):
+        DiskSpec(bandwidth=0)
+    with pytest.raises(ConfigError):
+        DiskSpec(seek_time=-1)
+
+
+def test_memory_policy_curve_continuity():
+    mp = MemoryPolicy()
+    eps = 1e-9
+    below = mp.thrash_factor(mp.thrash_fraction - eps)
+    at = mp.thrash_factor(mp.thrash_fraction)
+    assert below == at == 1.0
+    assert mp.thrash_factor(mp.thrash_fraction + 0.01) > 1.0
+
+
+def test_memory_policy_validation():
+    with pytest.raises(ConfigError):
+        MemoryPolicy(thrash_fraction=0)
+    with pytest.raises(ConfigError):
+        MemoryPolicy(thrash_coeff=-1)
+    with pytest.raises(ConfigError):
+        MemoryPolicy(swap_factor=-0.1)
+
+
+def test_network_validation():
+    with pytest.raises(ConfigError):
+        NetworkConfig(link_bandwidth=0)
+    with pytest.raises(ConfigError):
+        NetworkConfig(segment_bytes=0)
+
+
+def test_phoenix_config_validation():
+    with pytest.raises(ConfigError):
+        PhoenixConfig(max_input_fraction=0)
+    with pytest.raises(ConfigError):
+        PhoenixConfig(tasks_per_core=0)
+    with pytest.raises(ConfigError):
+        PhoenixConfig(auto_fragment_fraction=1.5)
+
+
+def test_smartfam_config_validation():
+    with pytest.raises(ConfigError):
+        SmartFAMConfig(inotify_latency=-1)
+    with pytest.raises(ConfigError):
+        SmartFAMConfig(logfile_bytes=0)
+
+
+def test_node_config_validation():
+    with pytest.raises(ConfigError):
+        NodeConfig("n", DUO_E4400, mem_bytes=0)
+    with pytest.raises(ConfigError):
+        NodeConfig("n", DUO_E4400, role="weird")
+
+
+def test_table1_cluster_layout():
+    cfg = table1_cluster()
+    assert len(cfg.nodes) == 5
+    assert cfg.node("host").cpu == QUAD_Q9400
+    assert cfg.node("sd0").cpu == DUO_E4400
+    assert len(cfg.by_role(NodeRole.COMPUTE)) == 3
+    assert all(n.mem_bytes == GiB(2) for n in cfg.nodes)
+
+
+def test_table1_customization():
+    cfg = table1_cluster(sd_cpu=QUAD_Q9400, n_compute=1, mem_bytes=GiB(4))
+    assert cfg.node("sd0").cpu == QUAD_Q9400
+    assert len(cfg.nodes) == 3
+    assert cfg.node("host").mem_bytes == GiB(4)
+
+
+def test_cluster_validation():
+    with pytest.raises(ConfigError):
+        ClusterConfig(nodes=())
+    n = NodeConfig("dup", DUO_E4400)
+    with pytest.raises(ConfigError):
+        ClusterConfig(nodes=(n, n))
+    cfg = table1_cluster()
+    with pytest.raises(ConfigError):
+        cfg.node("ghost")
+
+
+def test_configs_are_frozen():
+    cfg = table1_cluster()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.network.link_bandwidth = 1  # type: ignore[misc]

@@ -1,0 +1,94 @@
+"""Property: every execution strategy computes the same answer.
+
+The reproduction's central correctness claim — partitioning, offloading
+and sharding are *performance* techniques, not semantic ones — stated as
+hypothesis properties over random corpora and fragment sizes:
+
+    sequential == parallel == partitioned(any fragment size)
+
+for Word Count on the simulated stack, and simulated == real-engine on
+the multiprocessing side.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import make_wordcount_spec
+from repro.config import table1_cluster
+from repro.net import Fabric
+from repro.node import Node
+from repro.phoenix import InputSpec, PhoenixRuntime
+from repro.partition import ExtendedPhoenixRuntime
+from repro.sim import Simulator
+from repro.units import MB
+
+
+words_st = st.lists(
+    st.sampled_from([b"alpha", b"beta", b"gamma", b"delta", b"epsilon", b"z"]),
+    min_size=1,
+    max_size=300,
+)
+
+
+def fresh_sd():
+    cfg = table1_cluster()
+    sim = Simulator(seed=1)
+    fab = Fabric(sim, cfg.network)
+    sd = Node(sim, cfg.node("sd0"), fab)
+    sd.fs.vfs.mkdir("/data")
+    return sim, sd, cfg
+
+
+@given(words=words_st, size_mb=st.integers(min_value=1, max_value=1500),
+       frag_mb=st.integers(min_value=1, max_value=800))
+@settings(max_examples=40, deadline=None)
+def test_property_all_strategies_agree(words, size_mb, frag_mb):
+    payload = b" ".join(words)
+    sim, sd, cfg = fresh_sd()
+    inp = InputSpec(path="/data/f", size=MB(size_mb), payload=payload)
+    sd.fs.vfs.write("/data/f", data=payload, size=inp.size)
+    rt = PhoenixRuntime(sd, cfg.phoenix)
+    ext = ExtendedPhoenixRuntime(sd, cfg.phoenix)
+    spec = make_wordcount_spec()
+
+    def go():
+        seq = yield rt.run(spec, inp, mode="sequential", write_output=False)
+        par = yield rt.run(
+            spec, inp, mode="parallel", enforce_memory_rule=False, write_output=False
+        )
+        part = yield ext.run(spec, inp, fragment_bytes=MB(frag_mb), write_output=False)
+        return seq.output, par.output, part.output
+
+    p = sim.spawn(go())
+    seq_out, par_out, part_out = sim.run(until=p)
+    truth = dict(Counter(payload.split()))
+    assert dict(seq_out) == truth
+    assert dict(par_out) == truth
+    assert dict(part_out) == truth
+    # identical frequency-sorted ordering too
+    assert [k for k, _ in seq_out] == [k for k, _ in par_out] == [
+        k for k, _ in part_out
+    ]
+
+
+@given(words=words_st, chunk=st.integers(min_value=1, max_value=500))
+@settings(max_examples=30, deadline=None)
+def test_property_real_engine_matches_simulated_semantics(tmp_path_factory, words, chunk):
+    import operator
+
+    from repro.apps.wordcount import wc_map, wc_reduce
+    from repro.exec import LocalMapReduce
+
+    payload = b" ".join(words)
+    p = tmp_path_factory.mktemp("eq") / "f.txt"
+    p.write_bytes(payload)
+    engine = LocalMapReduce(
+        map_fn=wc_map, reduce_fn=wc_reduce, combine_fn=operator.add,
+        sort_output=True, n_workers=2,
+    )
+    res = engine.run(str(p), chunk_bytes=chunk, parallel=False)
+    assert dict(res.output) == dict(Counter(payload.split()))

@@ -1,0 +1,63 @@
+"""Install the offline `wheel` shim into the active site-packages.
+
+Usage: python tools/wheel_shim/install.py
+
+Copies the shim package and writes a .dist-info with the
+``distutils.commands`` entry point so setuptools can discover the
+``bdist_wheel`` command.  Skips installation if a real `wheel` is present.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def main() -> int:
+    # The script's own directory is on sys.path and contains the shim source;
+    # drop it so we only detect a genuinely installed `wheel`.
+    sys.path = [p for p in sys.path if os.path.abspath(p or os.getcwd()) != HERE]
+    try:
+        import wheel  # noqa: F401
+
+        print(f"a `wheel` package is already installed ({wheel.__file__}); nothing to do")
+        return 0
+    except ImportError:
+        pass
+
+    target = site.getsitepackages()[0]
+    pkg_dst = os.path.join(target, "wheel")
+    if os.path.exists(pkg_dst):
+        shutil.rmtree(pkg_dst)
+    shutil.copytree(os.path.join(HERE, "wheel"), pkg_dst)
+
+    dist_info = os.path.join(target, "wheel-0.43.0+mcsd.shim.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as f:
+        f.write(
+            "Metadata-Version: 2.1\n"
+            "Name: wheel\n"
+            "Version: 0.43.0+mcsd.shim\n"
+            "Summary: offline shim of the wheel package (McSD repro sandbox)\n"
+        )
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as f:
+        f.write("[distutils.commands]\nbdist_wheel = wheel.bdist_wheel:bdist_wheel\n")
+    with open(os.path.join(dist_info, "INSTALLER"), "w") as f:
+        f.write("wheel-shim-install\n")
+    with open(os.path.join(dist_info, "RECORD"), "w") as f:
+        for root, _dirs, files in os.walk(pkg_dst):
+            for name in sorted(files):
+                rel = os.path.relpath(os.path.join(root, name), target)
+                f.write(f"{rel},,\n")
+        for name in ("METADATA", "entry_points.txt", "INSTALLER", "RECORD"):
+            f.write(f"{os.path.relpath(os.path.join(dist_info, name), target)},,\n")
+    print(f"installed wheel shim into {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

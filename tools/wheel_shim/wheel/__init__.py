@@ -1,0 +1,11 @@
+"""Minimal offline shim of the `wheel` package.
+
+This sandbox has no network access and no `wheel` distribution, but pip's
+PEP 517/660 paths through setuptools 65.x require `wheel.wheelfile.WheelFile`
+and the `bdist_wheel` distutils command.  This shim implements just enough
+of both for `pip install .` and `pip install -e .` to work.
+
+It is NOT part of the McSD reproduction library; see tools/wheel_shim/install.py.
+"""
+
+__version__ = "0.43.0+mcsd.shim"

@@ -1,0 +1,177 @@
+"""A minimal bdist_wheel distutils command (pure-Python wheels only)."""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import sysconfig
+
+from distutils import log
+from distutils.core import Command
+
+from .wheelfile import WheelFile
+
+WHEEL_TEMPLATE = """\
+Wheel-Version: 1.0
+Generator: wheel-shim ({version})
+Root-Is-Purelib: {purelib}
+{tags}"""
+
+
+def _python_tag() -> str:
+    return f"py{sys.version_info[0]}"
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (pure-Python shim)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary directory for creating the distribution"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+        ("plat-name=", "p", "platform name to embed in generated filenames"),
+        ("universal", None, "make a universal wheel (deprecated no-op)"),
+        ("python-tag=", None, "Python implementation compatibility tag"),
+        ("build-number=", None, "build tag"),
+        ("py-limited-api=", None, "Python abiN tag for the wheel"),
+        ("compression=", None, "zipfile compression"),
+        ("owner=", "u", "Owner name used when creating a tar file"),
+        ("group=", "g", "Group name used when creating a tar file"),
+        ("skip-build", None, "skip rebuilding everything"),
+        ("relative", None, "build the archive using relative paths"),
+    ]
+
+    boolean_options = ["keep-temp", "skip-build", "relative", "universal"]
+
+    def initialize_options(self):
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.keep_temp = False
+        self.plat_name = None
+        self.universal = False
+        self.python_tag = _python_tag()
+        self.build_number = None
+        self.py_limited_api = None
+        self.compression = "deflated"
+        self.owner = None
+        self.group = None
+        self.skip_build = False
+        self.relative = False
+
+    def finalize_options(self):
+        if self.bdist_dir is None:
+            bdist_base = self.get_finalized_command("bdist").bdist_base
+            self.bdist_dir = os.path.join(bdist_base, "wheel")
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+        self.root_is_pure = not (
+            self.distribution.has_ext_modules() or self.distribution.has_c_libraries()
+        )
+        if not self.root_is_pure:
+            raise RuntimeError(
+                "wheel-shim only supports pure-Python distributions"
+            )
+
+    # -- API used by setuptools dist_info / editable_wheel --------------------
+
+    def get_tag(self):
+        """(python_tag, abi_tag, platform_tag) for a pure wheel."""
+        return (self.python_tag, "none", "any")
+
+    def wheel_dist_name(self):
+        name = self.distribution.get_name().replace("-", "_")
+        version = self.distribution.get_version().replace("-", "_")
+        components = [name, version]
+        if self.build_number:
+            components.append(self.build_number)
+        return "-".join(components)
+
+    def write_wheelfile(self, wheelfile_base, generator=None):
+        from . import __version__
+
+        tags = "Tag: {}-{}-{}\n".format(*self.get_tag())
+        content = WHEEL_TEMPLATE.format(
+            version=__version__,
+            purelib="true" if self.root_is_pure else "false",
+            tags=tags,
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def egg2dist(self, egginfo_path, distinfo_path):
+        """Convert an .egg-info directory into a .dist-info directory."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path, exist_ok=True)
+        pkginfo = os.path.join(egginfo_path, "PKG-INFO")
+        if os.path.exists(pkginfo):
+            shutil.copy(pkginfo, os.path.join(distinfo_path, "METADATA"))
+        for extra in ("entry_points.txt", "top_level.txt"):
+            src = os.path.join(egginfo_path, extra)
+            if os.path.exists(src):
+                shutil.copy(src, os.path.join(distinfo_path, extra))
+        self.write_wheelfile(distinfo_path)
+
+    # -- build ----------------------------------------------------------------
+
+    def run(self):
+        build_scripts = self.reinitialize_command("build_scripts")
+        build_scripts.executable = "python"
+        build_scripts.force = True
+
+        if not self.skip_build:
+            self.run_command("build")
+
+        install = self.reinitialize_command("install", reinit_subcommands=True)
+        install.root = self.bdist_dir
+        install.compile = False
+        install.skip_build = self.skip_build
+        install.warn_dir = False
+
+        install_scripts = self.reinitialize_command("install_scripts")
+        install_scripts.no_ep = True
+
+        # Pure-python: everything installs under purelib.
+        basedir_observed = os.path.join(self.bdist_dir, "_fake_prefix")
+        install.install_purelib = basedir_observed
+        install.install_platlib = basedir_observed
+        install.install_lib = basedir_observed
+        install.install_headers = os.path.join(basedir_observed, "_headers")
+        install.install_scripts = os.path.join(basedir_observed + "-data", "scripts")
+        install.install_data = basedir_observed + "-data"
+
+        log.info("installing to %s", self.bdist_dir)
+        self.run_command("install")
+
+        impl_tag, abi_tag, plat_tag = self.get_tag()
+        archive_basename = f"{self.wheel_dist_name()}-{impl_tag}-{abi_tag}-{plat_tag}"
+        if not os.path.exists(self.dist_dir):
+            os.makedirs(self.dist_dir)
+
+        # Build the dist-info next to the installed tree.
+        self.egg_info_dir = self._locate_egg_info()
+        distinfo_dirname = "{}-{}.dist-info".format(
+            self.distribution.get_name().replace("-", "_"),
+            self.distribution.get_version(),
+        )
+        distinfo_path = os.path.join(basedir_observed, distinfo_dirname)
+        self.egg2dist(self.egg_info_dir, distinfo_path)
+
+        wheel_path = os.path.join(self.dist_dir, archive_basename + ".whl")
+        with WheelFile(wheel_path, "w") as wf:
+            wf.write_files(basedir_observed)
+
+        # Let pip find the result through distribution.dist_files.
+        getattr(self.distribution, "dist_files", []).append(
+            ("bdist_wheel", f"{sys.version_info[0]}.{sys.version_info[1]}", wheel_path)
+        )
+
+        if not self.keep_temp:
+            shutil.rmtree(self.bdist_dir, ignore_errors=True)
+
+    def _locate_egg_info(self):
+        ei_cmd = self.get_finalized_command("egg_info")
+        ei_cmd.run()
+        return ei_cmd.egg_info

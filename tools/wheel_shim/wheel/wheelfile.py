@@ -1,0 +1,100 @@
+"""WheelFile: a ZipFile that maintains the RECORD manifest (PEP 427)."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import stat
+import time
+from zipfile import ZIP_DEFLATED, ZipFile, ZipInfo
+
+_WHEEL_NAME_RE = re.compile(
+    r"^(?P<namever>(?P<name>[^\s-]+?)-(?P<ver>[^\s-]+?))"
+    r"(-(?P<build>\d[^\s-]*))?-(?P<pyver>[^\s-]+?)"
+    r"-(?P<abi>[^\s-]+?)-(?P<plat>[^\s-]+?)\.whl$"
+)
+
+
+def _urlsafe_b64(data: bytes) -> str:
+    return base64.urlsafe_b64encode(data).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(ZipFile):
+    """Write-mode zip that records sha256 digests and emits RECORD on close."""
+
+    def __init__(self, file, mode="r", compression=ZIP_DEFLATED):
+        basename = os.path.basename(str(file))
+        match = _WHEEL_NAME_RE.match(basename)
+        if not match:
+            raise ValueError(f"bad wheel filename: {basename!r}")
+        self.parsed_filename = match
+        self.dist_info_path = f"{match.group('namever')}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._file_hashes: dict[str, tuple[str, str] | tuple[None, None]] = {}
+        self._file_sizes: dict[str, int] = {}
+        ZipFile.__init__(self, file, mode, compression=compression, allowZip64=True)
+
+    # -- writing ------------------------------------------------------------
+
+    def write(self, filename, arcname=None, compress_type=None):
+        with open(filename, "rb") as f:
+            st = os.fstat(f.fileno())
+            data = f.read()
+        zinfo = ZipInfo(
+            arcname or filename, date_time=time.localtime(st.st_mtime)[0:6]
+        )
+        zinfo.external_attr = (stat.S_IMODE(st.st_mode) | stat.S_IFMT(st.st_mode)) << 16
+        zinfo.compress_type = compress_type or self.compression
+        self.writestr(zinfo, data, compress_type)
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        ZipFile.writestr(self, zinfo_or_arcname, data, compress_type)
+        fname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, ZipInfo)
+            else zinfo_or_arcname
+        )
+        if fname != self.record_path:
+            self._file_hashes[fname] = (
+                "sha256",
+                _urlsafe_b64(hashlib.sha256(data).digest()),
+            )
+            self._file_sizes[fname] = len(data)
+
+    def write_files(self, base_dir):
+        """Add every regular file under ``base_dir`` (deterministic order)."""
+        deferred = []
+        for root, dirnames, filenames in os.walk(base_dir):
+            dirnames.sort()
+            for name in sorted(filenames):
+                path = os.path.normpath(os.path.join(root, name))
+                if not os.path.isfile(path):
+                    continue
+                arcname = os.path.relpath(path, base_dir).replace(os.path.sep, "/")
+                if arcname == self.record_path:
+                    continue
+                if arcname.startswith(self.dist_info_path):
+                    deferred.append((path, arcname))
+                else:
+                    self.write(path, arcname)
+        for path, arcname in sorted(deferred):
+            self.write(path, arcname)
+
+    def close(self):
+        if self.fp is not None and self.mode == "w" and self._file_hashes:
+            rows = []
+            for fname in self._file_hashes:
+                algo, digest = self._file_hashes[fname]
+                hash_field = f"{algo}={digest}" if algo else ""
+                rows.append(f"{fname},{hash_field},{self._file_sizes.get(fname, '')}")
+            rows.append(f"{self.record_path},,")
+            record = "\n".join(rows) + "\n"
+            zinfo = ZipInfo(self.record_path, date_time=time.localtime()[0:6])
+            zinfo.compress_type = self.compression
+            zinfo.external_attr = (0o664 | stat.S_IFREG) << 16
+            ZipFile.writestr(self, zinfo, record.encode("utf-8"))
+        ZipFile.close(self)
