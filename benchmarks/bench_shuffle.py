@@ -1,0 +1,189 @@
+"""Shuffle microbenchmarks: seed pipeline vs sort-once/merge-after.
+
+This is the perf-gate workload (see ``tools/perf_gate.py``): it times the
+intermediate-data path *only* — from per-worker combiner maps to the final
+output — for both engines' shapes, on wordcount-shaped (Zipf keys, heavy
+repeats) and matmul-shaped ((i, j) tuple keys, mostly distinct) key
+distributions.  The "seed" side runs the frozen reference in
+:mod:`repro.phoenix.seed_shuffle`; the "new" side runs the very helpers
+the engines use (:func:`repro.phoenix.sort.shuffle_parallel` and
+:func:`~repro.phoenix.sort.local_merge_maps`).  Outputs are compared for
+byte-identity on every run — a benchmark that computes the wrong answer
+fails instead of reporting a number.
+
+Run standalone via ``python tools/perf_gate.py`` (writes
+``BENCH_shuffle.json``) or under pytest-benchmark with
+``pytest benchmarks/bench_shuffle.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import operator
+import time
+import typing as _t
+
+from repro.phoenix.seed_shuffle import (
+    seed_local_merge_runs,
+    seed_local_worker_run,
+    seed_shuffle_parallel,
+)
+from repro.phoenix.sort import local_merge_maps, shuffle_parallel
+from repro.workloads import zipf_corpus
+
+#: worker/bucket counts: Phoenix default pool shape (4 tasks/core, quad)
+N_MAPS = 16
+N_BUCKETS = 4
+
+SIZES = (10_000, 100_000, 500_000)
+QUICK_SIZES = (10_000,)
+ENGINES = ("phoenix", "localmr")
+WORKLOADS = ("wordcount", "matmul")
+
+
+def _sum_reduce(key: object, values: list, params: dict) -> object:
+    return sum(values)
+
+
+def wordcount_maps(n_pairs: int, n_maps: int = N_MAPS, seed: int = 0) -> list[dict]:
+    """Per-worker combiner maps for ``n_pairs`` Zipf word emissions.
+
+    Mirrors a combine-enabled wordcount map phase: contiguous corpus
+    slices per worker, each worker folding (word, 1) emissions into
+    running counts.
+    """
+    corpus = zipf_corpus(n_pairs * 8, seed=seed)
+    words = corpus.split()[:n_pairs]
+    per_map = max(1, len(words) // n_maps)
+    maps: list[dict] = []
+    for w in range(n_maps):
+        acc: dict[object, int] = {}
+        for word in words[w * per_map : (w + 1) * per_map if w < n_maps - 1 else len(words)]:
+            acc[word] = acc.get(word, 0) + 1
+        maps.append(acc)
+    return maps
+
+
+def matmul_maps(n_pairs: int, n_maps: int = N_MAPS, seed: int = 0) -> list[dict]:
+    """Per-worker combiner maps with matmul-shaped keys.
+
+    Block matrix multiply emits ((i, j), partial) once per k-block: keys
+    are (row, col) tuples, each repeated ``k_blocks`` times across
+    workers — the mostly-distinct-keys regime, opposite of wordcount.
+    """
+    k_blocks = 4
+    cells = max(1, n_pairs // k_blocks)
+    side = max(1, int(cells**0.5))
+    maps = [dict() for _ in range(n_maps)]
+    emitted = 0
+    for kb in range(k_blocks):
+        for i in range(side):
+            if emitted >= n_pairs:
+                break
+            acc = maps[(kb * side + i) % n_maps]
+            for j in range(side):
+                if emitted >= n_pairs:
+                    break
+                key = (i, j)
+                partial = (i * 31 + j * 17 + kb * 7 + seed) % 1000
+                acc[key] = acc.get(key, 0) + partial
+                emitted += 1
+    return maps
+
+
+def make_maps(workload: str, n_pairs: int, seed: int = 0) -> list[dict]:
+    """Combiner maps for one named workload shape."""
+    if workload == "wordcount":
+        return wordcount_maps(n_pairs, seed=seed)
+    if workload == "matmul":
+        return matmul_maps(n_pairs, seed=seed)
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def _case_flags(workload: str) -> tuple[_t.Callable, _t.Callable, bool]:
+    """(combine_fn, reduce_fn, sort_output) per workload shape."""
+    if workload == "wordcount":
+        return operator.add, _sum_reduce, True
+    return operator.add, _sum_reduce, False
+
+
+def run_seed(engine: str, workload: str, maps: list[dict]) -> list:
+    """One pass through the frozen seed shuffle."""
+    combine_fn, reduce_fn, sort_output = _case_flags(workload)
+    if engine == "phoenix":
+        return seed_shuffle_parallel(
+            maps, combine_fn, reduce_fn, True, sort_output, N_BUCKETS, {}
+        )
+    runs = [seed_local_worker_run(m) for m in maps]
+    return seed_local_merge_runs(runs, combine_fn, reduce_fn, sort_output, {})
+
+
+def run_new(engine: str, workload: str, maps: list[dict]) -> list:
+    """One pass through the sort-once/merge-after shuffle."""
+    combine_fn, reduce_fn, sort_output = _case_flags(workload)
+    if engine == "phoenix":
+        return shuffle_parallel(
+            maps, combine_fn, reduce_fn, True, sort_output, N_BUCKETS, {}
+        )
+    return local_merge_maps(maps, combine_fn, reduce_fn, sort_output, {})
+
+
+def _best_of(fn: _t.Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_case(
+    engine: str, workload: str, n_pairs: int, repeats: int = 3, seed: int = 0
+) -> dict:
+    """Time seed vs new shuffle on one case; verify identical outputs."""
+    maps = make_maps(workload, n_pairs, seed=seed)
+    seed_out = run_seed(engine, workload, maps)
+    new_out = run_new(engine, workload, maps)
+    match = seed_out == new_out
+    seed_s = _best_of(lambda: run_seed(engine, workload, maps), repeats)
+    new_s = _best_of(lambda: run_new(engine, workload, maps), repeats)
+    return {
+        "engine": engine,
+        "workload": workload,
+        "n_pairs": n_pairs,
+        "distinct_keys": len({k for m in maps for k in m}),
+        "seed_s": round(seed_s, 6),
+        "new_s": round(new_s, 6),
+        "speedup": round(seed_s / new_s, 3) if new_s > 0 else float("inf"),
+        "match": match,
+    }
+
+
+def run_suite(sizes: _t.Sequence[int] = SIZES, repeats: int = 3) -> list[dict]:
+    """The full microbenchmark grid: engines x workloads x sizes."""
+    return [
+        run_case(engine, workload, n, repeats=repeats)
+        for engine in ENGINES
+        for workload in WORKLOADS
+        for n in sizes
+    ]
+
+
+# -- pytest-benchmark entry ---------------------------------------------------
+
+
+def bench_shuffle_pipeline(benchmark):
+    """100k-pair wordcount shuffle (both engines) under pytest-benchmark."""
+    from benchmarks.conftest import once
+    from repro.analysis.report import banner
+
+    results = once(
+        benchmark, lambda: run_suite(sizes=(100_000,), repeats=1)
+    )
+    print(banner("SHUFFLE - seed pipeline vs sort-once/merge-after"))
+    for r in results:
+        print(
+            f"{r['engine']:>8} {r['workload']:>10} {r['n_pairs']:>8} pairs | "
+            f"seed {r['seed_s']:.3f}s -> new {r['new_s']:.3f}s "
+            f"({r['speedup']:.2f}x) match={r['match']}"
+        )
+    assert all(r["match"] for r in results)

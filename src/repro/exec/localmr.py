@@ -18,7 +18,7 @@ import typing as _t
 
 from repro.errors import WorkloadError
 from repro.exec.chunks import FileChunk, chunk_file, read_chunk
-from repro.phoenix.sort import group_by_key, sort_by_value_desc
+from repro.phoenix.sort import local_merge_maps
 
 __all__ = ["LocalJobResult", "LocalMapReduce"]
 
@@ -33,8 +33,14 @@ class LocalJobResult:
     n_workers: int
 
 
-def _apply_chunk(args: tuple) -> list[tuple[object, object]]:
-    """Worker body: map one chunk and pre-combine its emissions."""
+def _apply_chunk(args: tuple) -> dict:
+    """Worker body: map one chunk and pre-combine its emissions.
+
+    Returns the raw combiner map — no per-chunk sort, no per-chunk
+    ``repr``: the parent dict-merges the maps and pays one ``repr`` per
+    distinct key for the whole job (see
+    :func:`repro.phoenix.sort.local_merge_maps`).
+    """
     chunk, map_fn, combine_fn, params = args
     data = read_chunk(chunk)
     acc: dict[object, object] = {}
@@ -48,7 +54,7 @@ def _apply_chunk(args: tuple) -> list[tuple[object, object]]:
 
     if data:
         map_fn(data, emit, params)
-    return sorted(acc.items(), key=lambda kv: repr(kv[0]))
+    return acc
 
 
 class LocalMapReduce:
@@ -99,23 +105,11 @@ class LocalMapReduce:
         else:
             parts = [_apply_chunk(t) for t in tasks]
 
-        pairs = [kv for part in parts for kv in part]
-        if self.reduce_fn is not None:
-            grouped = group_by_key(pairs, values_are_lists=self.combine_fn is None)
-            out = [
-                (k, self.reduce_fn(k, v if isinstance(v, list) else [v], params))
-                for k, v in grouped
-            ]
-        elif self.combine_fn is not None:
-            # per-chunk combined values need one cross-chunk fold
-            folded: dict[object, object] = {}
-            for k, v in pairs:
-                folded[k] = self.combine_fn(folded[k], v) if k in folded else v
-            out = sorted(folded.items(), key=lambda kv: repr(kv[0]))
-        else:
-            out = group_by_key(pairs, values_are_lists=True)
-        if self.sort_output:
-            out = sort_by_value_desc(out)
+        # parts are raw combiner maps: dict-merge + one decorate-sort
+        # (one repr per distinct key) instead of flatten + global re-sort
+        out = local_merge_maps(
+            parts, self.combine_fn, self.reduce_fn, self.sort_output, params
+        )
         return LocalJobResult(
             output=out,
             elapsed=time.perf_counter() - t0,

@@ -24,10 +24,13 @@ from repro.phoenix.memory import check_supportable
 from repro.phoenix.scheduler import Task, run_task_pool
 from repro.phoenix.sort import (
     Combiner,
-    group_by_key,
-    hash_partition,
-    merge_grouped,
-    sort_by_value_desc,
+    KeyCache,
+    decorate_sorted,
+    merge_combiner_maps,
+    merge_entry_runs,
+    partition_decorated,
+    sort_decorated_by_value_desc,
+    undecorate,
 )
 from repro.sim.events import Event
 
@@ -155,7 +158,7 @@ class PhoenixRuntime:
             chunks = spec.split(payload, n_tasks)
             stats.map_tasks = len(chunks)
             ops_total = profile.map_ops(inp.size) + profile.setup_ops
-            weights = _chunk_weights(chunks, len(chunks))
+            weights = _chunk_weights(chunks)
             combiners: list[Combiner] = []
 
             def make_map(chunk: object) -> _t.Callable[[], object]:
@@ -185,11 +188,11 @@ class PhoenixRuntime:
                 yield pool
             stats.map_time = sim.now - t0
             stats.emitted_pairs = sum(c.emitted for c in combiners)
-            pairs = [kv for comb in combiners for kv in comb.pairs()]
 
-            # ---- sort stage (cost parallelized across cores; real grouping
-            #      happens with the data below)
-            grouped: list[tuple[object, list]] | None = None
+            # ---- sort stage (cost parallelized across cores; the real data
+            #      work is one dict-merge of the combiner maps plus a single
+            #      decorate-sort computing each key's repr exactly once)
+            entries: list | None = None
             if spec.needs_sort:
                 t0 = sim.now
                 sort_total = profile.sort_ops(inp.size)
@@ -199,31 +202,33 @@ class PhoenixRuntime:
                 yield run_task_pool(
                     sim, node.cpu, sort_tasks, cores, label=f"{spec.name}.sort"
                 )
-                grouped = group_by_key(
-                    pairs, values_are_lists=spec.combine_fn is None
+                entries = decorate_sorted(
+                    merge_combiner_maps((c.data for c in combiners), spec.combine_fn)
                 )
                 stats.sort_time = sim.now - t0
 
-            # ---- reduce stage
+            # ---- reduce stage: buckets inherit the sorted order, so the
+            #      per-bucket outputs are sorted runs merged below
             t0 = sim.now
+            reduced_parts: list[list] | None = None
             if spec.reduce_fn is not None:
-                source = grouped if grouped is not None else group_by_key(
-                    pairs, values_are_lists=spec.combine_fn is None
-                )
-                buckets = hash_partition(source, cores)
+                if entries is None:
+                    entries = decorate_sorted(
+                        merge_combiner_maps(
+                            (c.data for c in combiners), spec.combine_fn
+                        )
+                    )
+                buckets = partition_decorated(entries, cores)
                 total_items = max(1, sum(len(b) for b in buckets))
                 reduce_total = profile.reduce_ops(inp.size)
-                reduced_parts: list[list[tuple[object, object]]] = [
-                    [] for _ in buckets
-                ]
+                reduced_parts = [[] for _ in buckets]
 
                 def make_reduce(bidx: int) -> _t.Callable[[], object]:
                     def _run() -> object:
-                        out = []
-                        for key, values in buckets[bidx]:
-                            vals = values if isinstance(values, list) else [values]
-                            out.append((key, spec.reduce_fn(key, vals, inp.params)))
-                        reduced_parts[bidx] = out
+                        reduced_parts[bidx] = [
+                            (skey, key, spec.reduce_fn(key, values, inp.params))
+                            for skey, key, values in buckets[bidx]
+                        ]
                         return None
 
                     return _run
@@ -239,11 +244,6 @@ class PhoenixRuntime:
                 yield run_task_pool(
                     sim, node.cpu, rtasks, cores, label=f"{spec.name}.reduce"
                 )
-                out_pairs = merge_grouped(reduced_parts)
-            else:
-                out_pairs = (
-                    [(k, v) for k, v in grouped] if grouped is not None else pairs
-                )
             stats.reduce_time = sim.now - t0
 
             # ---- final merge (single-threaded, like Phoenix's merge phase)
@@ -251,9 +251,27 @@ class PhoenixRuntime:
             merge_ops = profile.merge_ops(inp.size)
             if merge_ops > 0:
                 yield node.cpu.submit(merge_ops, name=f"{spec.name}.merge")
-            output: object = (
-                sort_by_value_desc(out_pairs) if spec.sort_output else out_pairs
-            )
+            if reduced_parts is not None:
+                if spec.sort_output:
+                    # the value sort is a total order (distinct sort keys
+                    # break ties); the key-order merge would be wasted work
+                    out_entries: _t.Iterable = (
+                        e for part in reduced_parts for e in part
+                    )
+                else:
+                    out_entries = merge_entry_runs(reduced_parts)
+            elif entries is not None:
+                out_entries = entries
+            else:
+                # no sort, no reduce: per-worker sorted runs in worker
+                # order; the cache holds cross-worker keys to one repr each
+                cache = KeyCache()
+                out_entries = [
+                    e for c in combiners for e in decorate_sorted(c.data, cache)
+                ]
+            if spec.sort_output:
+                out_entries = sort_decorated_by_value_desc(out_entries)
+            output: object = undecorate(out_entries)
             stats.merge_time = sim.now - t0
 
             # ---- write output
@@ -330,19 +348,21 @@ def _sequential_compute(spec: MapReduceSpec, payload: object, params: dict) -> o
     comb = Combiner(spec.combine_fn)
     if payload is not None and _nonempty(payload):
         spec.map_fn(payload, comb.emit, params)
-    pairs = comb.pairs()
-    if spec.reduce_fn is not None:
-        grouped = group_by_key(pairs, values_are_lists=spec.combine_fn is None)
-        pairs = [
-            (k, spec.reduce_fn(k, v if isinstance(v, list) else [v], params))
-            for k, v in grouped
-        ]
-    elif spec.needs_sort:
-        pairs = group_by_key(pairs, values_are_lists=spec.combine_fn is None)
-    return sort_by_value_desc(pairs) if spec.sort_output else pairs
+    if spec.reduce_fn is not None or spec.needs_sort:
+        entries = decorate_sorted(merge_combiner_maps([comb.data], spec.combine_fn))
+        if spec.reduce_fn is not None:
+            entries = [
+                (skey, key, spec.reduce_fn(key, values, params))
+                for skey, key, values in entries
+            ]
+    else:
+        entries = decorate_sorted(comb.data)
+    if spec.sort_output:
+        entries = sort_decorated_by_value_desc(entries)
+    return undecorate(entries)
 
 
-def _chunk_weights(chunks: list, n: int) -> list[float]:
+def _chunk_weights(chunks: list) -> list[float]:
     """Fraction of total work per chunk (by real size when available)."""
     sizes = []
     for c in chunks:
@@ -355,7 +375,7 @@ def _chunk_weights(chunks: list, n: int) -> list[float]:
         sizes.append(1)
     total = sum(sizes)
     if total <= 0:
-        return [1.0 / max(1, n)] * len(chunks)
+        return [1.0 / len(chunks)] * len(chunks) if chunks else []
     return [s / total for s in sizes]
 
 

@@ -8,6 +8,7 @@ a worker finishing a small split immediately grabs the next.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import typing as _t
 
@@ -43,11 +44,12 @@ def run_task_pool(
     order* (not completion order).  A raising ``compute`` fails the pool.
     """
     results: list[object] = [None] * len(tasks)
-    queue: list[int] = list(range(len(tasks)))
+    # deque: workers pull from the head in O(1) (a list's pop(0) is O(n))
+    queue: collections.deque[int] = collections.deque(range(len(tasks)))
 
     def worker(wid: int) -> _t.Generator:
         while queue:
-            idx = queue.pop(0)
+            idx = queue.popleft()
             task = tasks[idx]
             yield cpu.submit(task.ops, name=f"{label}.{task.name}@w{wid}")
             if task.compute is not None:

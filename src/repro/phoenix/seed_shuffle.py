@@ -1,0 +1,158 @@
+"""The seed PR's shuffle, frozen as a reference implementation.
+
+PR 1 replaced the intermediate-data path (flatten → per-worker ``repr``
+sort → full-re-sort grouping → byte-at-a-time FNV-1a partitioning → full
+re-sort merge) with the sort-once/merge-after pipeline in
+:mod:`repro.phoenix.sort`.  This module keeps the *original* dataflow,
+verbatim, for two purposes:
+
+- ``tools/perf_gate.py`` times it against the new pipeline and refuses to
+  pass unless outputs are identical (and reports the speedup into
+  ``BENCH_shuffle.json``);
+- the equivalence property suite (``tests/test_equivalence_properties.py``)
+  asserts, over random workloads, that the new shuffle is byte-identical
+  to this one.
+
+Do not "optimize" this file — its slowness is the baseline.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = [
+    "seed_hash_partition",
+    "seed_group_by_key",
+    "seed_merge_grouped",
+    "seed_sort_by_value_desc",
+    "seed_shuffle_parallel",
+    "seed_local_worker_run",
+    "seed_local_merge_runs",
+]
+
+
+def _fnv1a(data: bytes) -> int:
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def seed_hash_partition(
+    pairs: _t.Iterable[tuple[object, object]], n_buckets: int
+) -> list[list[tuple[object, object]]]:
+    """The seed partitioner: pure-Python FNV-1a over ``repr(key)``."""
+    buckets: list[list[tuple[object, object]]] = [[] for _ in range(max(1, n_buckets))]
+    for key, value in pairs:
+        h = _fnv1a(repr(key).encode())
+        buckets[h % len(buckets)].append((key, value))
+    return buckets
+
+
+def seed_group_by_key(
+    pairs: _t.Iterable[tuple[object, object]], values_are_lists: bool = False
+) -> list[tuple[object, list]]:
+    """The seed grouper: dict accumulate + full ``repr`` re-sort."""
+    grouped: dict[object, list] = {}
+    for key, value in pairs:
+        bucket = grouped.setdefault(key, [])
+        if values_are_lists and isinstance(value, list):
+            bucket.extend(value)
+        else:
+            bucket.append(value)
+    return sorted(grouped.items(), key=lambda kv: repr(kv[0]))
+
+
+def seed_merge_grouped(
+    results: _t.Iterable[list[tuple[object, object]]]
+) -> list[tuple[object, object]]:
+    """The seed merger: concatenate and globally re-sort by ``repr``."""
+    out: list[tuple[object, object]] = []
+    for part in results:
+        out.extend(part)
+    return sorted(out, key=lambda kv: repr(kv[0]))
+
+
+def seed_sort_by_value_desc(
+    pairs: _t.Iterable[tuple[object, object]]
+) -> list[tuple[object, object]]:
+    """The seed output ordering: frequency-descending, ``repr`` tiebreak."""
+    return sorted(pairs, key=lambda kv: (-_as_num(kv[1]), repr(kv[0])))
+
+
+def _as_num(v: object) -> float:
+    try:
+        return float(v)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def seed_shuffle_parallel(
+    combiner_maps: _t.Sequence[dict],
+    combine_fn: _t.Callable[[object, object], object] | None,
+    reduce_fn: _t.Callable[[object, list, dict], object] | None,
+    needs_sort: bool,
+    sort_output: bool,
+    n_buckets: int,
+    params: dict,
+) -> list[tuple[object, object]]:
+    """Exactly the seed ``PhoenixRuntime._run_parallel`` data path."""
+    pairs = [
+        kv
+        for m in combiner_maps
+        for kv in sorted(m.items(), key=lambda kv: repr(kv[0]))
+    ]
+    grouped: list[tuple[object, list]] | None = None
+    if needs_sort:
+        grouped = seed_group_by_key(pairs, values_are_lists=combine_fn is None)
+    if reduce_fn is not None:
+        source = (
+            grouped
+            if grouped is not None
+            else seed_group_by_key(pairs, values_are_lists=combine_fn is None)
+        )
+        buckets = seed_hash_partition(source, n_buckets)
+        reduced_parts: list[list[tuple[object, object]]] = []
+        for bucket in buckets:
+            out = []
+            for key, values in bucket:
+                vals = values if isinstance(values, list) else [values]
+                out.append((key, reduce_fn(key, vals, params)))
+            reduced_parts.append(out)
+        out_pairs = seed_merge_grouped(reduced_parts)
+    else:
+        out_pairs = [(k, v) for k, v in grouped] if grouped is not None else pairs
+    return seed_sort_by_value_desc(out_pairs) if sort_output else out_pairs
+
+
+def seed_local_worker_run(acc: dict) -> list[tuple[object, object]]:
+    """Exactly the seed ``_apply_chunk`` return: per-chunk ``repr`` sort."""
+    return sorted(acc.items(), key=lambda kv: repr(kv[0]))
+
+
+def seed_local_merge_runs(
+    parts: _t.Sequence[list[tuple[object, object]]],
+    combine_fn: _t.Callable[[object, object], object] | None,
+    reduce_fn: _t.Callable[[object, list, dict], object] | None,
+    sort_output: bool,
+    params: dict,
+) -> list[tuple[object, object]]:
+    """Exactly the seed ``LocalMapReduce.run`` post-map path."""
+    pairs = [kv for part in parts for kv in part]
+    if reduce_fn is not None:
+        grouped = seed_group_by_key(pairs, values_are_lists=combine_fn is None)
+        out = [
+            (k, reduce_fn(k, v if isinstance(v, list) else [v], params))
+            for k, v in grouped
+        ]
+    elif combine_fn is not None:
+        folded: dict[object, object] = {}
+        for k, v in pairs:
+            folded[k] = combine_fn(folded[k], v) if k in folded else v
+        out = sorted(folded.items(), key=lambda kv: repr(kv[0]))
+    else:
+        out = seed_group_by_key(pairs, values_are_lists=True)
+    if sort_output:
+        out = seed_sort_by_value_desc(out)
+    return out

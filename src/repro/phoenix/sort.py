@@ -3,19 +3,52 @@
 This is the functional half of the runtime — it operates on the actual
 key/value pairs the user's map emitted (over the materialized payload), so
 tests can assert that word counts really count and matches really match.
+
+The hot path is a **sort-once, merge-after** pipeline (the "Sort" box of
+Fig 1).  Per-worker combiner maps are dict-merged (no per-worker sort, no
+flatten/regroup), leaving one map of *distinct* keys; a single
+decorate-sort pass then computes each key's sort key — ``repr(key)`` —
+exactly once per distinct key per job and carries it, as the first element
+of a ``(sort_key, key, value)`` *decorated entry*, through partitioning,
+reduction, and the final merge, none of which ever re-sort or re-``repr``.
+Partition hashes are ``zlib.crc32`` over the decorated sort-key bytes:
+C-speed and salt-free, hence deterministic across processes (Python's
+``hash`` is salted per process).  Reduce buckets inherit the sorted order,
+so per-bucket outputs are sorted runs; the final merge exploits that via
+Timsort's natural-run galloping (:func:`merge_entry_runs`) or, for
+streaming consumers, a lazy ``heapq.merge`` (:func:`merge_decorated_runs`).
 """
 
 from __future__ import annotations
 
+import functools
+import heapq
+import operator
 import typing as _t
+import zlib
 
 __all__ = [
     "Combiner",
+    "KeyCache",
+    "merge_combiner_maps",
+    "decorate_sorted",
+    "partition_decorated",
+    "merge_entry_runs",
+    "merge_decorated_runs",
+    "sort_decorated_by_value_desc",
+    "undecorate",
+    "shuffle_parallel",
+    "local_merge_maps",
     "hash_partition",
     "group_by_key",
     "merge_grouped",
     "sort_by_value_desc",
 ]
+
+#: A decorated entry: (cached sort key, key, value).
+Entry = _t.Tuple[str, object, object]
+
+_SORT_KEY = operator.itemgetter(0)
 
 
 class Combiner:
@@ -50,27 +83,241 @@ class Combiner:
         return sorted(self.data.items(), key=lambda kv: repr(kv[0]))
 
 
+class KeyCache:
+    """Cross-run ``repr`` memo for paths that decorate the *same* key twice.
+
+    The merged pipeline decorates distinct keys, so it needs no cache; this
+    exists for the unsorted flatten path (no sort, no reduce), where one
+    key may recur across per-worker runs and must still be repr'd once.
+    """
+
+    __slots__ = ("sort_keys",)
+
+    def __init__(self) -> None:
+        self.sort_keys: dict[object, str] = {}
+
+    def sort_key(self, key: object) -> str:
+        """``repr(key)``, computed once per distinct key."""
+        r = self.sort_keys.get(key)
+        if r is None:
+            r = self.sort_keys[key] = repr(key)
+        return r
+
+
+def merge_combiner_maps(
+    maps: _t.Iterable[dict], combine_fn: _t.Callable[[object, object], object] | None
+) -> dict[object, list]:
+    """Dict-merge per-worker combiner maps into one ``key -> values`` map.
+
+    Replaces the seed's flatten-then-regroup dance: without ``combine_fn``
+    workers hold value lists, which are extended; with it, each worker's
+    folded partial is appended — so reducers see exactly the per-worker
+    value lists the seed pipeline produced, with zero sorting.
+    """
+    merged: dict[object, list] = {}
+    merged_get = merged.get
+    if combine_fn is None:
+        for m in maps:
+            for key, values in m.items():
+                bucket = merged_get(key)
+                if bucket is None:
+                    merged[key] = list(values)
+                else:
+                    bucket.extend(values)
+    else:
+        for m in maps:
+            for key, value in m.items():
+                bucket = merged_get(key)
+                if bucket is None:
+                    merged[key] = [value]
+                else:
+                    bucket.append(value)
+    return merged
+
+
+def decorate_sorted(
+    items: dict | _t.Iterable[tuple[object, object]],
+    cache: KeyCache | None = None,
+) -> list[Entry]:
+    """The single sort: decorated ``(sort_key, key, value)`` entries.
+
+    This is the only place the shuffle calls ``repr``; on the merged map
+    every key is distinct, so each is repr'd exactly once.  The sort
+    compares only the precomputed strings, and downstream stages reuse
+    them — nothing after this point sorts or reprs again.
+    """
+    pairs = items.items() if isinstance(items, dict) else items
+    if cache is None:
+        entries = [(repr(k), k, v) for k, v in pairs]
+    else:
+        sort_key = cache.sort_key
+        entries = [(sort_key(k), k, v) for k, v in pairs]
+    entries.sort(key=_SORT_KEY)
+    return entries
+
+
+def partition_decorated(
+    entries: _t.Iterable[Entry], n_buckets: int
+) -> list[list[Entry]]:
+    """Spread decorated entries over reduce buckets.
+
+    The bucket hash is ``zlib.crc32`` of the already-computed sort-key
+    bytes — O(1)-ish per key, no second ``repr``.  Each bucket preserves
+    the input's sorted order, so per-bucket reduce outputs are sorted runs
+    ready for :func:`merge_entry_runs`.
+    """
+    buckets: list[list[Entry]] = [[] for _ in range(max(1, n_buckets))]
+    n = len(buckets)
+    crc32 = zlib.crc32
+    for entry in entries:
+        h = crc32(entry[0].encode("utf-8", "backslashreplace"))
+        buckets[h % n].append(entry)
+    return buckets
+
+
+def merge_entry_runs(runs: _t.Iterable[list[Entry]]) -> list[Entry]:
+    """Eager k-way merge of sorted entry runs — no global re-sort cost.
+
+    Timsort detects the concatenated natural runs and gallops through
+    them, so this is a C-speed merge; comparisons touch only the
+    precomputed sort keys.
+    """
+    out = [e for run in runs for e in run]
+    out.sort(key=_SORT_KEY)
+    return out
+
+
+def merge_decorated_runs(runs: _t.Iterable[_t.Iterable[Entry]]) -> _t.Iterator[Entry]:
+    """Lazy k-way merge of sorted entry runs via ``heapq.merge``.
+
+    Constant memory in the number of runs: the streaming counterpart of
+    :func:`merge_entry_runs` for consumers that cannot materialize all
+    runs at once (the out-of-core partitioning extension streams fragment
+    outputs through this).
+    """
+    return heapq.merge(*runs, key=_SORT_KEY)
+
+
+def sort_decorated_by_value_desc(entries: _t.Iterable[Entry]) -> list[Entry]:
+    """Frequency-descending output order, tie-broken on the cached sort key."""
+    return sorted(entries, key=lambda e: (-_as_num(e[2]), e[0]))
+
+
+def undecorate(entries: _t.Iterable[Entry]) -> list[tuple[object, object]]:
+    """Strip the cached sort keys back off: plain (key, value) pairs."""
+    return [(key, value) for _, key, value in entries]
+
+
+def shuffle_parallel(
+    combiner_maps: _t.Sequence[dict],
+    combine_fn: _t.Callable[[object, object], object] | None,
+    reduce_fn: _t.Callable[[object, list, dict], object] | None,
+    needs_sort: bool,
+    sort_output: bool,
+    n_buckets: int,
+    params: dict,
+) -> list[tuple[object, object]]:
+    """The whole Phoenix-shaped shuffle as one pure function.
+
+    :class:`~repro.phoenix.runtime.PhoenixRuntime` runs these exact stages
+    interleaved with simulated cost charging; this composition exists so
+    benchmarks and equivalence tests exercise the identical dataflow
+    without a simulator.
+    """
+    entries: list[Entry] | None = None
+    if needs_sort or reduce_fn is not None:
+        entries = decorate_sorted(merge_combiner_maps(combiner_maps, combine_fn))
+    if reduce_fn is not None:
+        assert entries is not None
+        buckets = partition_decorated(entries, n_buckets)
+        parts = [
+            [(skey, key, reduce_fn(key, values, params)) for skey, key, values in b]
+            for b in buckets
+        ]
+        if sort_output:
+            # the value sort is a total order (distinct sort keys break
+            # ties), so the key-order merge would be wasted work
+            return undecorate(
+                sort_decorated_by_value_desc(e for part in parts for e in part)
+            )
+        return undecorate(merge_entry_runs(parts))
+    if entries is None:
+        # no sort, no reduce: the per-worker sorted runs, flattened in
+        # worker order (what the seed pipeline emitted for this case);
+        # the cache keeps keys recurring across workers at one repr each
+        cache = KeyCache()
+        out_entries: _t.Iterable[Entry] = [
+            e for m in combiner_maps for e in decorate_sorted(m, cache)
+        ]
+    else:
+        out_entries = entries
+    if sort_output:
+        out_entries = sort_decorated_by_value_desc(out_entries)
+    return undecorate(out_entries)
+
+
+def local_merge_maps(
+    maps: _t.Sequence[dict],
+    combine_fn: _t.Callable[[object, object], object] | None,
+    reduce_fn: _t.Callable[[object, list, dict], object] | None,
+    sort_output: bool,
+    params: dict,
+) -> list[tuple[object, object]]:
+    """Parent-side shuffle of LocalMapReduce: dict-merge the worker maps.
+
+    Workers ship their raw combiner maps (smaller IPC than decorated
+    runs); the parent dict-merges them and pays exactly one ``repr`` per
+    distinct key per job in the single decorate-sort — repr'ing in the
+    workers would cost one per key per *chunk*, which measures slower even
+    before pickling the extra strings.
+    """
+    merged = merge_combiner_maps(maps, combine_fn)
+    if reduce_fn is not None:
+        items: _t.Iterable[tuple[object, object]] = (
+            (k, reduce_fn(k, values, params)) for k, values in merged.items()
+        )
+    elif combine_fn is not None:
+        # per-worker combined partials need one cross-worker fold
+        items = (
+            (k, functools.reduce(combine_fn, values))
+            for k, values in merged.items()
+        )
+    else:
+        items = merged.items()
+    entries = [(repr(k), k, v) for k, v in items]
+    if sort_output:
+        entries = sort_decorated_by_value_desc(entries)
+    else:
+        entries.sort(key=_SORT_KEY)
+    return undecorate(entries)
+
+
+# -- seed-compatible helpers (kept for callers outside the hot path) --------
+
+
 def hash_partition(
     pairs: _t.Iterable[tuple[object, object]], n_buckets: int
 ) -> list[list[tuple[object, object]]]:
     """Deterministically spread pairs over ``n_buckets`` reduce buckets.
 
-    Python's str hash is salted per process, so bucket choice uses a stable
-    FNV-1a over ``repr(key)`` — reproducibility beats speed here.
+    Python's str hash is salted per process, so bucket choice uses
+    ``zlib.crc32`` over ``repr(key)`` — salt-free and C-speed; the hash is
+    memoized per distinct key so repeated keys cost one dict probe.
     """
     buckets: list[list[tuple[object, object]]] = [[] for _ in range(max(1, n_buckets))]
+    n = len(buckets)
+    cache: dict[object, int] = {}
     for key, value in pairs:
-        h = _fnv1a(repr(key).encode())
-        buckets[h % len(buckets)].append((key, value))
+        try:
+            h = cache.get(key)
+            if h is None:
+                h = cache[key] = zlib.crc32(
+                    repr(key).encode("utf-8", "backslashreplace")
+                )
+        except TypeError:  # unhashable key: no memo, hash directly
+            h = zlib.crc32(repr(key).encode("utf-8", "backslashreplace"))
+        buckets[h % n].append((key, value))
     return buckets
-
-
-def _fnv1a(data: bytes) -> int:
-    h = 0xCBF29CE484222325
-    for byte in data:
-        h ^= byte
-        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-    return h
 
 
 def group_by_key(

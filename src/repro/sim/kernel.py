@@ -109,7 +109,9 @@ class Simulator:
             raise SimulationError("time went backwards")
         self.now = t
         self.processed_events += 1
-        self.tracer.record("event", self.now, repr(event))
+        if self.tracer.enabled:
+            # repr(event) is not free; the untraced hot loop must not pay it
+            self.tracer.record("event", self.now, repr(event))
         event._process()
 
     def run(self, until: float | Event | None = None) -> object:

@@ -99,3 +99,47 @@ def test_bad_chunk_bytes(corpus):
     path, _ = corpus
     with pytest.raises(Exception):
         wordcount_engine().run(path, chunk_bytes=0)
+
+
+class _CountingKey:
+    """Value-equal key counting global ``repr`` calls (shuffle contract)."""
+
+    reprs = 0
+
+    def __init__(self, ident: int):
+        self.ident = ident
+
+    def __hash__(self) -> int:
+        return hash(self.ident)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _CountingKey) and self.ident == other.ident
+
+    def __repr__(self) -> str:
+        _CountingKey.reprs += 1
+        return f"_CountingKey({self.ident:04d})"
+
+
+def _counting_map(data, emit, params):
+    for tok in data.split():
+        emit(_CountingKey(int(tok)), 1)
+
+
+def test_engine_reprs_each_distinct_key_once_per_job(tmp_path):
+    # 3 distinct keys spread over many chunks: the whole job must repr
+    # each key once (in the parent), not once per (key, chunk)
+    data = b" ".join(b"%d" % (i % 3) for i in range(60))
+    p = tmp_path / "nums.txt"
+    p.write_bytes(data)
+    eng = LocalMapReduce(
+        map_fn=_counting_map,
+        reduce_fn=lambda k, vs, params: sum(vs),
+        combine_fn=operator.add,
+        sort_output=True,
+        n_workers=1,
+    )
+    _CountingKey.reprs = 0
+    res = eng.run(str(p), chunk_bytes=16, parallel=False)
+    assert res.n_chunks > 1
+    assert _CountingKey.reprs == 3
+    assert [v for _, v in res.output] == [20, 20, 20]

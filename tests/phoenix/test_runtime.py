@@ -240,6 +240,65 @@ def test_output_file_written_with_declared_size():
     assert sd.fs.size_of("/data/f.out") == spec.profile.output_bytes(MB(100))
 
 
+class _CountingKey:
+    """Value-equal key counting global ``repr`` calls (shuffle contract)."""
+
+    reprs = 0
+
+    def __init__(self, ident: int):
+        self.ident = ident
+
+    def __hash__(self) -> int:
+        return hash(self.ident)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _CountingKey) and self.ident == other.ident
+
+    def __repr__(self) -> str:
+        _CountingKey.reprs += 1
+        return f"_CountingKey({self.ident:04d})"
+
+
+def _counting_spec():
+    import operator
+
+    from repro.apps.wordcount import WC_PROFILE
+    from repro.phoenix.api import MapReduceSpec
+
+    def ck_map(data, emit, params):
+        for x in data:
+            emit(_CountingKey(x), 1)
+
+    return MapReduceSpec(
+        name="ck",
+        map_fn=ck_map,
+        profile=WC_PROFILE,
+        reduce_fn=lambda k, vs, params: sum(vs),
+        combine_fn=operator.add,
+        sort_output=True,
+    )
+
+
+@pytest.mark.parametrize("mode", ["parallel", "sequential"])
+def test_runtime_reprs_each_distinct_key_once_per_job(mode):
+    sim, sd, cfg = make_sd()
+    # 25 distinct keys recurring across every map split: the job's shuffle
+    # must repr each exactly once, not once per (key, worker)
+    payload = [i % 25 for i in range(400)]
+    inp = InputSpec(path="/data/f", size=MB(100), payload=payload)
+    stage(sd, inp)
+    rt = PhoenixRuntime(sd, cfg.phoenix)
+
+    def proc():
+        res = yield rt.run(_counting_spec(), inp, mode=mode)
+        return res.output
+
+    _CountingKey.reprs = 0
+    output = run(sim, proc())
+    assert _CountingKey.reprs == 25
+    assert sorted(v for _, v in output) == [16] * 25
+
+
 def test_quad_faster_than_duo():
     from repro.config import QUAD_Q9400
 

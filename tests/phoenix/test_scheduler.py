@@ -1,0 +1,57 @@
+"""Tests for the dynamic task-pool scheduler."""
+
+from __future__ import annotations
+
+from repro.config import QUAD_Q9400
+from repro.hardware.cpu import ProcessorSharingCPU
+from repro.phoenix.scheduler import Task, run_task_pool
+from repro.sim import Simulator
+
+
+def _pool(tasks, n_workers):
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim, QUAD_Q9400)
+    return sim.run(until=run_task_pool(sim, cpu, tasks, n_workers))
+
+
+def test_results_stay_in_task_order_despite_completion_order():
+    completion = []
+
+    def make(i):
+        def compute():
+            completion.append(i)
+            return i
+
+        return compute
+
+    # descending costs: task 0 finishes last among the first wave, but the
+    # pool's results must still come back indexed by task, not by finish
+    tasks = [Task(name=f"t{i}", ops=(10 - i) * 1e6, compute=make(i)) for i in range(10)]
+    results = _pool(tasks, n_workers=4)
+    assert results == list(range(10))
+    assert sorted(completion) == list(range(10))
+    assert completion != list(range(10))
+
+
+def test_single_worker_drains_queue_in_order():
+    order = []
+
+    def make(i):
+        def compute():
+            order.append(i)
+            return i
+
+        return compute
+
+    tasks = [Task(name=f"t{i}", ops=1e6, compute=make(i)) for i in range(5)]
+    assert _pool(tasks, n_workers=1) == list(range(5))
+    assert order == list(range(5))
+
+
+def test_empty_task_list_returns_empty():
+    assert _pool([], n_workers=4) == []
+
+
+def test_tasks_without_compute_yield_none_results():
+    tasks = [Task(name=f"t{i}", ops=1e6) for i in range(3)]
+    assert _pool(tasks, n_workers=2) == [None, None, None]

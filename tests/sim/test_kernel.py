@@ -6,6 +6,17 @@ import pytest
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim import Simulator
+from repro.sim.events import Timeout
+
+
+class _CountingTimeout(Timeout):
+    """Timeout whose ``repr`` bumps a class counter (tracer-cost probe)."""
+
+    reprs = 0
+
+    def __repr__(self) -> str:
+        _CountingTimeout.reprs += 1
+        return "<_CountingTimeout>"
 
 
 def test_clock_starts_at_zero():
@@ -159,6 +170,26 @@ def test_spawn_requires_generator():
 
     with pytest.raises(SimulationError):
         sim.spawn(not_a_generator())  # type: ignore[arg-type]
+
+
+def test_untraced_step_never_reprs_events():
+    sim = Simulator(trace=False)
+    _CountingTimeout.reprs = 0
+    _CountingTimeout(sim, 1.0)
+    sim.run()
+    assert sim.processed_events == 1
+    assert _CountingTimeout.reprs == 0
+
+
+def test_traced_step_records_one_repr_per_event():
+    sim = Simulator(trace=True)
+    _CountingTimeout.reprs = 0
+    _CountingTimeout(sim, 1.0)
+    sim.run()
+    assert _CountingTimeout.reprs == 1
+    events = sim.tracer.of_kind("event")
+    assert len(events) == 1
+    assert events[0].detail == "<_CountingTimeout>"
 
 
 def test_determinism_same_seed_same_schedule():

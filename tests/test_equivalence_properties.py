@@ -8,10 +8,18 @@ hypothesis properties over random corpora and fragment sizes:
 
 for Word Count on the simulated stack, and simulated == real-engine on
 the multiprocessing side.
+
+The second half pins the PR-1 shuffle rewrite: the sort-once/merge-after
+pipeline (`repro.phoenix.sort`) must be byte-identical to the frozen seed
+dataflow (`repro.phoenix.seed_shuffle`) on random key/value workloads,
+across every flag combination (with/without combine, reduce, sort, value-
+ordered output) and across the parallel, sequential, and LocalMapReduce
+paths.
 """
 
 from __future__ import annotations
 
+import operator
 from collections import Counter
 
 import pytest
@@ -92,3 +100,128 @@ def test_property_real_engine_matches_simulated_semantics(tmp_path_factory, word
     )
     res = engine.run(str(p), chunk_bytes=chunk, parallel=False)
     assert dict(res.output) == dict(Counter(payload.split()))
+
+
+# -- shuffle rewrite vs frozen seed pipeline ---------------------------------
+
+from repro.phoenix.api import CostProfile, MapReduceSpec  # noqa: E402
+from repro.phoenix.runtime import _sequential_compute  # noqa: E402
+from repro.phoenix.seed_shuffle import (  # noqa: E402
+    seed_local_merge_runs,
+    seed_local_worker_run,
+    seed_shuffle_parallel,
+)
+from repro.phoenix.sort import local_merge_maps, shuffle_parallel  # noqa: E402
+
+
+def _sum_reduce(key, values, params):
+    return sum(values)
+
+
+# mixed key types whose reprs never collide across distinct keys
+shuffle_key_st = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.text(alphabet="abcdef ", max_size=5),
+    st.tuples(st.integers(0, 9), st.integers(0, 9)),
+)
+# per-worker emission streams: repeated keys within and across workers
+worker_emissions_st = st.lists(
+    st.lists(st.tuples(shuffle_key_st, st.integers(0, 99)), max_size=40),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _combiner_maps(emissions, combine_fn):
+    """Fold raw per-worker emissions the way ``Combiner.emit`` does."""
+    maps = []
+    for worker in emissions:
+        acc = {}
+        for k, v in worker:
+            if combine_fn is None:
+                acc.setdefault(k, []).append(v)
+            else:
+                acc[k] = combine_fn(acc[k], v) if k in acc else v
+        maps.append(acc)
+    return maps
+
+
+@given(
+    emissions=worker_emissions_st,
+    use_combine=st.booleans(),
+    use_reduce=st.booleans(),
+    needs_sort=st.booleans(),
+    sort_output=st.booleans(),
+    n_buckets=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_parallel_shuffle_identical_to_seed(
+    emissions, use_combine, use_reduce, needs_sort, sort_output, n_buckets
+):
+    combine_fn = operator.add if use_combine else None
+    reduce_fn = _sum_reduce if use_reduce else None
+    maps = _combiner_maps(emissions, combine_fn)
+    expected = seed_shuffle_parallel(
+        maps, combine_fn, reduce_fn, needs_sort, sort_output, n_buckets, {}
+    )
+    got = shuffle_parallel(
+        maps, combine_fn, reduce_fn, needs_sort, sort_output, n_buckets, {}
+    )
+    assert got == expected
+
+
+@given(
+    emissions=worker_emissions_st,
+    use_combine=st.booleans(),
+    use_reduce=st.booleans(),
+    sort_output=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_local_merge_identical_to_seed(
+    emissions, use_combine, use_reduce, sort_output
+):
+    combine_fn = operator.add if use_combine else None
+    reduce_fn = _sum_reduce if use_reduce else None
+    maps = _combiner_maps(emissions, combine_fn)
+    # the seed engine's workers sorted each chunk before shipping it
+    runs = [seed_local_worker_run(m) for m in maps]
+    expected = seed_local_merge_runs(runs, combine_fn, reduce_fn, sort_output, {})
+    got = local_merge_maps(maps, combine_fn, reduce_fn, sort_output, {})
+    assert got == expected
+
+
+def _emit_all(data, emit, params):
+    for k, v in data:
+        emit(k, v)
+
+
+@given(
+    emissions=worker_emissions_st,
+    use_combine=st.booleans(),
+    use_reduce=st.booleans(),
+    needs_sort=st.booleans(),
+    sort_output=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_sequential_compute_identical_to_seed(
+    emissions, use_combine, use_reduce, needs_sort, sort_output
+):
+    combine_fn = operator.add if use_combine else None
+    reduce_fn = _sum_reduce if use_reduce else None
+    pairs = [kv for worker in emissions for kv in worker]
+    spec = MapReduceSpec(
+        name="seq-eq",
+        map_fn=_emit_all,
+        profile=CostProfile("seq-eq", 1.0),
+        reduce_fn=reduce_fn,
+        combine_fn=combine_fn,
+        needs_sort=needs_sort,
+        sort_output=sort_output,
+    )
+    got = _sequential_compute(spec, pairs, {})
+    # one worker holding everything is exactly the sequential case
+    expected = seed_shuffle_parallel(
+        _combiner_maps([pairs], combine_fn),
+        combine_fn, reduce_fn, needs_sort, sort_output, 4, {},
+    )
+    assert got == expected

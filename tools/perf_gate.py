@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf gate for the shuffle pipeline: seed reference vs sort-once/merge-after.
+
+Usage:  python tools/perf_gate.py [--quick] [--repeats N] [--out PATH]
+
+Runs the microbenchmark grid from ``benchmarks/bench_shuffle.py`` (engines x
+workloads x sizes), verifies on every case that the new pipeline's output is
+byte-identical to the frozen seed shuffle, prints a table, and writes the
+results to ``BENCH_shuffle.json`` at the repo root.
+
+Exit status:
+    0  all outputs match (and, in full mode, the wordcount-100k gate holds)
+    1  any case produced output differing from the seed pipeline
+    2  full mode only: outputs match but a gated case fell below the
+       required speedup (>= 2x on the 100k-pair wordcount shuffle for both
+       engines)
+
+``--quick`` runs only the smallest size (10k pairs) with one timing repeat —
+a seconds-long correctness smoke for CI; speedups are reported but not gated,
+since microbenchmark timings at that size are noise-dominated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from benchmarks.bench_shuffle import QUICK_SIZES, SIZES, run_suite  # noqa: E402
+
+#: full-mode gate: (engine, workload, n_pairs) -> minimum speedup
+GATES = {
+    ("phoenix", "wordcount", 100_000): 2.0,
+    ("localmr", "wordcount", 100_000): 2.0,
+}
+
+
+def print_table(results: list[dict]) -> None:
+    header = f"{'engine':>8} {'workload':>10} {'pairs':>8} {'keys':>7} " \
+             f"{'seed (s)':>10} {'new (s)':>10} {'speedup':>8}  match"
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        print(
+            f"{r['engine']:>8} {r['workload']:>10} {r['n_pairs']:>8} "
+            f"{r['distinct_keys']:>7} {r['seed_s']:>10.6f} {r['new_s']:>10.6f} "
+            f"{r['speedup']:>7.2f}x  {'ok' if r['match'] else 'MISMATCH'}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="smallest size only, one repeat: fast correctness smoke",
+    )
+    ap.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per case (best-of; default 1 quick / 3 full)",
+    )
+    ap.add_argument(
+        "--out", default=os.path.join(_REPO_ROOT, "BENCH_shuffle.json"),
+        help="where to write the JSON results (default: repo root)",
+    )
+    args = ap.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else SIZES
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    if repeats < 1:
+        ap.error(f"--repeats must be >= 1 (got {repeats})")
+
+    t0 = time.perf_counter()
+    results = run_suite(sizes=sizes, repeats=repeats)
+    elapsed = time.perf_counter() - t0
+
+    print_table(results)
+
+    mismatches = [r for r in results if not r["match"]]
+    gate_failures = []
+    if not args.quick:
+        for r in results:
+            need = GATES.get((r["engine"], r["workload"], r["n_pairs"]))
+            if need is not None and r["speedup"] < need:
+                gate_failures.append((r, need))
+
+    payload = {
+        "benchmark": "shuffle pipeline: seed vs sort-once/merge-after",
+        "mode": "quick" if args.quick else "full",
+        "repeats": repeats,
+        "elapsed_s": round(elapsed, 3),
+        "gates": {f"{e}/{w}/{n}": need for (e, w, n), need in GATES.items()},
+        "all_match": not mismatches,
+        "gate_ok": not gate_failures,
+        "results": results,
+    }
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(f"\nwrote {args.out} ({len(results)} cases in {elapsed:.1f}s)")
+
+    if mismatches:
+        for r in mismatches:
+            print(
+                f"FAIL: {r['engine']}/{r['workload']}/{r['n_pairs']}: "
+                "new shuffle output differs from seed pipeline",
+                file=sys.stderr,
+            )
+        return 1
+    if gate_failures:
+        for r, need in gate_failures:
+            print(
+                f"GATE: {r['engine']}/{r['workload']}/{r['n_pairs']}: "
+                f"speedup {r['speedup']:.2f}x < required {need:.1f}x",
+                file=sys.stderr,
+            )
+        return 2
+    print("all outputs match" + ("" if args.quick else "; all perf gates hold"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
