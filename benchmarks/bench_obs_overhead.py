@@ -1,0 +1,161 @@
+"""Tracing-off overhead check: instrumentation must be ~free when disabled.
+
+The span/metrics call sites added across the sim kernel, NFS, smartFAM,
+Phoenix, and the real engine are guarded by one ``enabled`` check and
+return the shared ``NULL_SPAN``.  This bench quantifies what that guard
+costs on the 10k-pair wordcount case and asserts it stays under 2% of
+the job's runtime:
+
+1. run the case once with tracing *enabled* and count every
+   instrumentation hit (spans opened + flat records + counter bumps) —
+   an upper bound on the number of guarded sites the untraced run
+   executes;
+2. measure the per-call cost of a disabled ``obs.span(...)`` /
+   ``obs.count(...)`` in a tight loop;
+3. compare hits x per-call cost against the measured untraced runtime.
+
+Run via ``pytest benchmarks/bench_obs_overhead.py --benchmark-only`` or
+directly with ``python benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import typing as _t
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_obs_overhead.py`
+    _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+        if _p not in sys.path:
+            sys.path.insert(0, _p)
+
+from repro.cluster.testbed import Testbed
+from repro.obs import Observability
+from repro.units import MB
+from repro.workloads import text_input
+
+#: the gate: disabled instrumentation must cost less than this fraction
+MAX_OVERHEAD = 0.02
+
+#: ~10k words at the default payload word length
+CASE_BYTES = MB(1)
+
+
+def _run_wordcount(trace: bool) -> Testbed:
+    bed = Testbed(seed=3, trace=trace)
+    inp = text_input("/data/input", CASE_BYTES, payload_bytes=80_000, seed=4)
+    _sd, _host, sd_path = bed.stage_on_sd("input", inp)
+    channel = bed.cluster.channel()
+
+    def proc() -> _t.Generator:
+        result = yield channel.invoke(
+            "wordcount",
+            {"input_path": sd_path, "input_size": CASE_BYTES, "mode": "parallel"},
+        )
+        return result
+
+    bed.run(proc())
+    return bed
+
+
+def measure_overhead() -> dict:
+    """Measure disabled-site cost vs untraced job runtime."""
+    # 1) instrumentation *calls* in a fully traced run — an upper bound on
+    #    the guarded sites the untraced run passes through.  Spans and
+    #    records count themselves; obs.count calls are tallied via a
+    #    temporary wrapper (the Counter sums amounts, not calls).
+    count_calls = 0
+    orig_count = Observability.count
+
+    def _counting(self, name: str, amount: float = 1) -> None:
+        nonlocal count_calls
+        count_calls += 1
+        orig_count(self, name, amount)
+
+    Observability.count = _counting  # type: ignore[method-assign]
+    try:
+        traced = _run_wordcount(trace=True)
+    finally:
+        Observability.count = orig_count  # type: ignore[method-assign]
+    obs = traced.sim.obs
+    # every sim event pays one `obs.enabled` check even untraced
+    event_checks = traced.sim.processed_events
+    hits = len(obs.spans) + len(obs.records) + count_calls
+
+    # 2) per-call cost of the disabled paths, tight-loop amortized
+    cold = Observability(enabled=False)
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with cold.span("x", cat="c", track="t"):
+            pass
+    span_cost = (time.perf_counter() - t0) / n
+    t0 = time.perf_counter()
+    for _ in range(n):
+        cold.record("k", 0.0, "d")
+    record_cost = (time.perf_counter() - t0) / n
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if cold.enabled:
+            pass  # pragma: no cover - disabled
+    check_cost = (time.perf_counter() - t0) / n
+    per_call = max(span_cost, record_cost)
+
+    # 3) untraced runtime, best of 3
+    runtime = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _run_wordcount(trace=False)
+        runtime = min(runtime, time.perf_counter() - t0)
+
+    overhead_s = hits * per_call + event_checks * check_cost
+    return {
+        "hits": hits,
+        "spans": len(obs.spans),
+        "records": len(obs.records),
+        "count_calls": count_calls,
+        "event_checks": event_checks,
+        "per_call_us": per_call * 1e6,
+        "check_us": check_cost * 1e6,
+        "overhead_s": overhead_s,
+        "runtime_s": runtime,
+        "overhead_frac": overhead_s / runtime if runtime > 0 else 0.0,
+    }
+
+
+def _report(m: dict) -> None:
+    print(
+        f"instrumentation hits: {m['hits']} "
+        f"({m['spans']} spans, {m['records']} records, "
+        f"{m['count_calls']} counter calls) "
+        f"+ {m['event_checks']} per-event checks"
+    )
+    print(
+        f"disabled per-call cost: {m['per_call_us']:.3f}us, "
+        f"per-check: {m['check_us']:.4f}us"
+    )
+    print(
+        f"estimated untraced overhead: {m['overhead_s'] * 1e3:.3f}ms over a "
+        f"{m['runtime_s'] * 1e3:.1f}ms job = {m['overhead_frac'] * 100:.3f}% "
+        f"(gate: <{MAX_OVERHEAD * 100:.0f}%)"
+    )
+
+
+def bench_obs_overhead(benchmark):
+    """Tracing-off overhead on the 10k wordcount case stays under 2%."""
+    from benchmarks.conftest import once
+
+    m = once(benchmark, measure_overhead)
+    _report(m)
+    assert m["overhead_frac"] < MAX_OVERHEAD, (
+        f"disabled tracing costs {m['overhead_frac'] * 100:.2f}% "
+        f">= {MAX_OVERHEAD * 100:.0f}% of the job"
+    )
+
+
+if __name__ == "__main__":
+    metrics = measure_overhead()
+    _report(metrics)
+    sys.exit(0 if metrics["overhead_frac"] < MAX_OVERHEAD else 1)

@@ -22,6 +22,7 @@ import operator
 import time
 import typing as _t
 
+from repro.obs import Observability
 from repro.phoenix.seed_shuffle import (
     seed_local_merge_runs,
     seed_local_worker_run,
@@ -29,6 +30,9 @@ from repro.phoenix.seed_shuffle import (
 )
 from repro.phoenix.sort import local_merge_maps, shuffle_parallel
 from repro.workloads import zipf_corpus
+
+#: shared no-op sink for untraced runs (span sites cost one branch)
+_DISABLED_OBS = Observability(enabled=False)
 
 #: worker/bucket counts: Phoenix default pool shape (4 tasks/core, quad)
 N_MAPS = 16
@@ -137,15 +141,33 @@ def _best_of(fn: _t.Callable[[], object], repeats: int) -> float:
 
 
 def run_case(
-    engine: str, workload: str, n_pairs: int, repeats: int = 3, seed: int = 0
+    engine: str,
+    workload: str,
+    n_pairs: int,
+    repeats: int = 3,
+    seed: int = 0,
+    obs: Observability | None = None,
 ) -> dict:
-    """Time seed vs new shuffle on one case; verify identical outputs."""
-    maps = make_maps(workload, n_pairs, seed=seed)
-    seed_out = run_seed(engine, workload, maps)
-    new_out = run_new(engine, workload, maps)
-    match = seed_out == new_out
-    seed_s = _best_of(lambda: run_seed(engine, workload, maps), repeats)
-    new_s = _best_of(lambda: run_new(engine, workload, maps), repeats)
+    """Time seed vs new shuffle on one case; verify identical outputs.
+
+    Pass an enabled :class:`~repro.obs.registry.Observability` to record
+    the case as a span tree (``bench.case`` with ``bench.seed``/
+    ``bench.new`` children covering the timed repeats).
+    """
+    obs = obs or _DISABLED_OBS
+    with obs.span(
+        "bench.case", cat="bench", track="bench",
+        engine=engine, workload=workload, n_pairs=n_pairs,
+    ) as case_sp:
+        maps = make_maps(workload, n_pairs, seed=seed)
+        seed_out = run_seed(engine, workload, maps)
+        new_out = run_new(engine, workload, maps)
+        match = seed_out == new_out
+        with obs.span("bench.seed", cat="bench", track="bench", repeats=repeats):
+            seed_s = _best_of(lambda: run_seed(engine, workload, maps), repeats)
+        with obs.span("bench.new", cat="bench", track="bench", repeats=repeats):
+            new_s = _best_of(lambda: run_new(engine, workload, maps), repeats)
+        case_sp.set(seed_s=seed_s, new_s=new_s, match=match)
     return {
         "engine": engine,
         "workload": workload,
@@ -158,14 +180,20 @@ def run_case(
     }
 
 
-def run_suite(sizes: _t.Sequence[int] = SIZES, repeats: int = 3) -> list[dict]:
+def run_suite(
+    sizes: _t.Sequence[int] = SIZES,
+    repeats: int = 3,
+    obs: Observability | None = None,
+) -> list[dict]:
     """The full microbenchmark grid: engines x workloads x sizes."""
-    return [
-        run_case(engine, workload, n, repeats=repeats)
-        for engine in ENGINES
-        for workload in WORKLOADS
-        for n in sizes
-    ]
+    obs = obs or _DISABLED_OBS
+    with obs.span("bench.suite", cat="bench", track="bench", repeats=repeats):
+        return [
+            run_case(engine, workload, n, repeats=repeats, obs=obs)
+            for engine in ENGINES
+            for workload in WORKLOADS
+            for n in sizes
+        ]
 
 
 # -- pytest-benchmark entry ---------------------------------------------------

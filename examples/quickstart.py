@@ -10,9 +10,15 @@ McSD node, and runs the same job three ways:
    host through the smartFAM log-file channel.
 
 Run:  python examples/quickstart.py
+
+Pass ``--trace out.json`` to record a Chrome-trace of the whole run —
+open it in Perfetto (https://ui.perfetto.dev) or summarize it with
+``python tools/trace_view.py out.json``.
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.cluster import Testbed
 from repro.core import DataJob, McSDProgram, McSDRuntime
@@ -22,8 +28,17 @@ from repro.workloads import text_input
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="write a Chrome-trace (Perfetto-loadable) of the run",
+    )
+    args = parser.parse_args()
+
     size = MB(800)
-    bed = Testbed(seed=7)
+    bed = Testbed(seed=7, trace=args.trace is not None)
 
     # Stage an 800 MB (declared) text corpus on the smart-storage node.
     dataset = text_input("/data/corpus.txt", size, seed=7)
@@ -58,6 +73,14 @@ def main() -> None:
 
     top = result.sd_result.output[:5]
     print("top 5 words:", [(k.decode(), v) for k, v in top])
+
+    if args.trace:
+        from repro.obs import export
+
+        export.write_chrome(bed.sim.obs, args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(bed.sim.obs.spans)} spans; open in ui.perfetto.dev "
+              f"or run: python tools/trace_view.py {args.trace})")
 
 
 def make_wc():

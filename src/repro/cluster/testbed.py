@@ -39,10 +39,12 @@ class Testbed:
         smb_params: dict | None = None,
         registry: ModuleRegistry | None = None,
         seed: int = 0,
+        trace: bool = False,
     ):
         self.config = config or table1_cluster(sd_cpu=sd_cpu, seed=seed)
         self.cluster: BuiltCluster = build_cluster(
-            self.config, registry=registry, with_smb=with_smb, smb_params=smb_params
+            self.config, registry=registry, with_smb=with_smb,
+            smb_params=smb_params, trace=trace,
         )
 
     # -- convenience accessors -----------------------------------------------

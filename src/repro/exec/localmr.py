@@ -6,6 +6,14 @@ small), reduced and merged in the parent.  The API mirrors
 :class:`~repro.phoenix.api.MapReduceSpec` so the same ``map``/``reduce``/
 ``merge`` callbacks drive both the simulator and real files — they must be
 module-level picklable functions (a multiprocessing constraint).
+
+Tracing: pass an enabled :class:`~repro.obs.registry.Observability` as
+``obs`` and the engine records a ``localmr.job`` span with chunk/merge
+phases, and each worker ships wall-clock span segments back in its result
+pickle (timestamps from ``time.time``, which is machine-wide, so parent
+and worker segments share one timeline); the parent stitches them into
+the trace on per-worker tracks.  With tracing off (the default) workers
+ship nothing extra and span sites cost one guarded call each.
 """
 
 from __future__ import annotations
@@ -18,9 +26,13 @@ import typing as _t
 
 from repro.errors import WorkloadError
 from repro.exec.chunks import FileChunk, chunk_file, read_chunk
+from repro.obs import Observability
 from repro.phoenix.sort import local_merge_maps
 
 __all__ = ["LocalJobResult", "LocalMapReduce"]
+
+#: shared no-op registry for untraced runs (span sites stay guarded)
+_DISABLED_OBS = Observability(enabled=False)
 
 
 @dataclasses.dataclass
@@ -31,20 +43,39 @@ class LocalJobResult:
     elapsed: float
     n_chunks: int
     n_workers: int
+    #: the root localmr.job span when tracing was enabled, else None
+    span: object | None = dataclasses.field(default=None, repr=False, compare=False)
 
 
-def _apply_chunk(args: tuple) -> dict:
+def _apply_chunk(args: tuple) -> tuple[dict, list | None]:
     """Worker body: map one chunk and pre-combine its emissions.
 
-    Returns the raw combiner map — no per-chunk sort, no per-chunk
-    ``repr``: the parent dict-merges the maps and pays one ``repr`` per
-    distinct key for the whole job (see
-    :func:`repro.phoenix.sort.local_merge_maps`).
+    Returns ``(combiner_map, segments)`` — the raw combiner map (no
+    per-chunk sort, no per-chunk ``repr``: the parent dict-merges the maps
+    and pays one ``repr`` per distinct key for the whole job, see
+    :func:`repro.phoenix.sort.local_merge_maps`) plus, when tracing is on,
+    wall-clock span segments ``(name, t0, t1, wall_dur, attrs)`` for the
+    parent to stitch into its trace.
     """
-    chunk, map_fn, combine_fn, params = args
-    data = read_chunk(chunk)
-    acc: dict[object, object] = {}
+    chunk, map_fn, combine_fn, params, index, want_spans = args
+    segments: list | None = [] if want_spans else None
 
+    t0 = time.time() if want_spans else 0.0
+    w0 = time.perf_counter() if want_spans else 0.0
+    data = read_chunk(chunk)
+    if want_spans:
+        t1 = time.time()
+        segments.append(
+            (
+                "localmr.read_chunk",
+                t0,
+                t1,
+                time.perf_counter() - w0,
+                {"index": index, "bytes": len(data), "pid": os.getpid()},
+            )
+        )
+
+    acc: dict[object, object] = {}
     if combine_fn is None:
         def emit(key: object, value: object) -> None:
             acc.setdefault(key, []).append(value)  # type: ignore[union-attr]
@@ -52,9 +83,21 @@ def _apply_chunk(args: tuple) -> dict:
         def emit(key: object, value: object) -> None:
             acc[key] = combine_fn(acc[key], value) if key in acc else value
 
+    t0 = time.time() if want_spans else 0.0
+    w0 = time.perf_counter() if want_spans else 0.0
     if data:
         map_fn(data, emit, params)
-    return acc
+    if want_spans:
+        segments.append(
+            (
+                "localmr.map_chunk",
+                t0,
+                time.time(),
+                time.perf_counter() - w0,
+                {"index": index, "keys": len(acc), "pid": os.getpid()},
+            )
+        )
+    return acc, segments
 
 
 class LocalMapReduce:
@@ -68,6 +111,7 @@ class LocalMapReduce:
         sort_output: bool = False,
         delimiters: bytes = b" \t\n\r",
         n_workers: int | None = None,
+        obs: Observability | None = None,
     ):
         self.map_fn = map_fn
         self.reduce_fn = reduce_fn
@@ -75,6 +119,7 @@ class LocalMapReduce:
         self.sort_output = sort_output
         self.delimiters = delimiters
         self.n_workers = n_workers or max(1, os.cpu_count() or 1)
+        self.obs = obs or _DISABLED_OBS
 
     def run(
         self,
@@ -89,30 +134,63 @@ class LocalMapReduce:
         granularity, like Phoenix's task pool).
         """
         params = params or {}
+        obs = self.obs
         size = os.path.getsize(path)
         if chunk_bytes is None:
             chunk_bytes = max(1, size // (4 * self.n_workers) or 1)
         if chunk_bytes < 1:
             raise WorkloadError("chunk_bytes must be >= 1")
         t0 = time.perf_counter()
-        chunks = chunk_file(path, chunk_bytes, self.delimiters)
-        tasks = [(c, self.map_fn, self.combine_fn, params) for c in chunks]
+        with obs.span(
+            "localmr.job", cat="localmr", track="localmr",
+            path=path, bytes=size,
+        ) as job_sp:
+            with obs.span("localmr.chunk_plan", cat="localmr", track="localmr"):
+                chunks = chunk_file(path, chunk_bytes, self.delimiters)
+            want_spans = obs.enabled
+            tasks = [
+                (c, self.map_fn, self.combine_fn, params, i, want_spans)
+                for i, c in enumerate(chunks)
+            ]
 
-        if parallel and self.n_workers > 1 and len(chunks) > 1:
-            ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
-            with ctx.Pool(processes=min(self.n_workers, len(chunks))) as pool:
-                parts = pool.map(_apply_chunk, tasks)
-        else:
-            parts = [_apply_chunk(t) for t in tasks]
+            with obs.span(
+                "localmr.map_pool", cat="localmr", track="localmr",
+                chunks=len(chunks),
+            ):
+                if parallel and self.n_workers > 1 and len(chunks) > 1:
+                    ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
+                    with ctx.Pool(processes=min(self.n_workers, len(chunks))) as pool:
+                        results = pool.map(_apply_chunk, tasks)
+                else:
+                    results = [_apply_chunk(t) for t in tasks]
+            parts = [acc for acc, _segs in results]
 
-        # parts are raw combiner maps: dict-merge + one decorate-sort
-        # (one repr per distinct key) instead of flatten + global re-sort
-        out = local_merge_maps(
-            parts, self.combine_fn, self.reduce_fn, self.sort_output, params
-        )
+            # Stitch worker-recorded wall-clock segments into this trace,
+            # one track per worker process.
+            if want_spans:
+                for acc, segs in results:
+                    for name, seg_t0, seg_t1, wall_dur, attrs in segs or ():
+                        obs.add_span(
+                            name,
+                            seg_t0,
+                            seg_t1,
+                            cat="localmr",
+                            track=f"worker-{attrs.get('pid', '?')}",
+                            parent=job_sp,
+                            wall_dur=wall_dur,
+                            attrs=attrs,
+                        )
+
+            # parts are raw combiner maps: dict-merge + one decorate-sort
+            # (one repr per distinct key) instead of flatten + global re-sort
+            with obs.span("localmr.merge", cat="localmr", track="localmr"):
+                out = local_merge_maps(
+                    parts, self.combine_fn, self.reduce_fn, self.sort_output, params
+                )
         return LocalJobResult(
             output=out,
             elapsed=time.perf_counter() - t0,
             n_chunks=len(chunks),
             n_workers=self.n_workers if parallel else 1,
+            span=job_sp if obs.enabled else None,
         )

@@ -73,6 +73,7 @@ class NFSServer:
         op: str = req["op"]
         xid: int = req["xid"]
         self.ops[op] = self.ops.get(op, 0) + 1
+        self.sim.obs.count(f"nfs.op.{op}")
         fs = self.node.fs
         reply: dict = {"xid": xid, "ok": True, "value": None}
         reply_bytes = RPC_HEADER_BYTES
@@ -178,10 +179,16 @@ class NFSMount:
         """Read a remote file; returns the materialized payload."""
 
         def _proc() -> _t.Generator:
-            value = yield self.client.call(
-                self.server, {"op": "read", "path": path, "nbytes": nbytes}
-            )
-            self.bytes_read += value["size"] if nbytes is None else int(nbytes)
+            with self.sim.obs.span(
+                "nfs.read", cat="nfs", track=self.name, path=path
+            ) as sp:
+                value = yield self.client.call(
+                    self.server, {"op": "read", "path": path, "nbytes": nbytes}
+                )
+                charged = value["size"] if nbytes is None else int(nbytes)
+                self.bytes_read += charged
+                self.sim.obs.count("nfs.bytes_read", charged)
+                sp.set(bytes=charged)
             return value["data"]
 
         return self.sim.spawn(_proc(), name=f"{self.name}.read")
@@ -190,10 +197,16 @@ class NFSMount:
         """Like :meth:`read` but returns ``{'data': ..., 'size': ...}``."""
 
         def _proc() -> _t.Generator:
-            value = yield self.client.call(
-                self.server, {"op": "read", "path": path, "nbytes": nbytes}
-            )
-            self.bytes_read += value["size"] if nbytes is None else int(nbytes)
+            with self.sim.obs.span(
+                "nfs.read", cat="nfs", track=self.name, path=path
+            ) as sp:
+                value = yield self.client.call(
+                    self.server, {"op": "read", "path": path, "nbytes": nbytes}
+                )
+                charged = value["size"] if nbytes is None else int(nbytes)
+                self.bytes_read += charged
+                self.sim.obs.count("nfs.bytes_read", charged)
+                sp.set(bytes=charged)
             return value
 
         return self.sim.spawn(_proc(), name=f"{self.name}.read")
@@ -216,10 +229,14 @@ class NFSMount:
                 "size": size,
                 "append": append,
             }
-            yield self.client.call(
-                self.server, req, request_bytes=RPC_HEADER_BYTES + nbytes
-            )
+            with self.sim.obs.span(
+                "nfs.write", cat="nfs", track=self.name, path=path, bytes=nbytes
+            ):
+                yield self.client.call(
+                    self.server, req, request_bytes=RPC_HEADER_BYTES + nbytes
+                )
             self.bytes_written += nbytes
+            self.sim.obs.count("nfs.bytes_written", nbytes)
             return True
 
         return self.sim.spawn(_proc(), name=f"{self.name}.write")

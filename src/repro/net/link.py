@@ -64,6 +64,10 @@ class Link:
                 yield self.sim.timeout(ser)
                 self.busy_time += ser
                 self.bytes_sent += nbytes
+            obs = self.sim.obs
+            obs.count("net.bytes", nbytes)
+            if obs.enabled:
+                obs.observe("net.tx_bytes", nbytes)
             # propagation happens after the transmitter is released
             if self.latency > 0:
                 yield self.sim.timeout(self.latency)

@@ -1,0 +1,41 @@
+"""Observability: spans, metrics, records, and trace export.
+
+The ``repro.obs`` package is the repo's single instrumentation layer:
+
+* :class:`~repro.obs.spans.Span` / :class:`~repro.obs.spans.SpanStore` —
+  hierarchical span tracing (context-manager API, parent/child nesting per
+  track, attributes, sim-clock *and* wall-clock timestamps),
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  histograms with p50/p95/p99,
+* :class:`~repro.obs.records.RecordLog` — the flat (kind, time, detail)
+  record stream the old :class:`~repro.sim.trace.Tracer` exposed, now
+  kind-indexed and with a ``dropped`` overflow counter,
+* :class:`~repro.obs.registry.Observability` — one object tying them
+  together, owned by the :class:`~repro.sim.kernel.Simulator` (as
+  ``sim.obs``) or standing alone for the real engine and benchmarks,
+* :mod:`~repro.obs.export` — Chrome-trace/Perfetto JSON and JSONL
+  exporters plus the loader behind ``tools/trace_view.py``.
+
+Tracing is zero-cost when disabled: :meth:`Observability.span` returns the
+shared :data:`~repro.obs.spans.NULL_SPAN` singleton after one attribute
+check, and hot-path callers guard on ``obs.enabled`` before building any
+detail strings.
+"""
+
+from repro.obs.metrics import Histogram, MetricsRegistry, TimeSeries
+from repro.obs.records import RecordLog, TraceRecord
+from repro.obs.registry import Observability
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanStore
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "RecordLog",
+    "TraceRecord",
+    "Observability",
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "SpanStore",
+]

@@ -1,0 +1,297 @@
+"""Trace exporters and loader.
+
+Two on-disk formats:
+
+* **Chrome trace / Perfetto JSON** — the ``{"traceEvents": [...]}`` dict
+  that ``chrome://tracing`` and https://ui.perfetto.dev load directly.
+  Each finished span becomes one complete event (``"ph": "X"``); tracks
+  map to thread ids with ``thread_name`` metadata, timestamps are
+  microseconds on the primary clock.
+* **JSONL** — one JSON object per line (``type`` = ``span`` | ``record``
+  | ``meta``), friendlier to grep/jq and streaming consumers.
+
+:func:`load_spans` reads either format back into plain span dicts;
+:func:`phase_breakdown` turns them into the per-phase table that
+``tools/trace_view.py`` prints and the perf gate embeds in
+``BENCH_shuffle.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import Observability
+
+__all__ = [
+    "environment_provenance",
+    "chrome_trace",
+    "write_chrome",
+    "write_jsonl",
+    "load_spans",
+    "span_dicts",
+    "phase_breakdown",
+    "format_breakdown",
+]
+
+
+def environment_provenance() -> dict:
+    """Where a measurement ran: python, cpu count, platform."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "argv": list(sys.argv),
+    }
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _span_dict(span) -> dict:
+    return {
+        "type": "span",
+        "id": span.id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "cat": span.cat,
+        "track": span.track,
+        "t0": span.t0,
+        "dur": span.dur,
+        "wall_dur": span.wall_dur,
+        "attrs": _json_safe(span.attrs),
+    }
+
+
+def span_dicts(obs: "Observability") -> list[dict]:
+    """All finished spans as plain dicts (the :func:`load_spans` shape),
+    for feeding :func:`phase_breakdown` without an export round trip."""
+    return [_span_dict(s) for s in obs.spans if s.done]
+
+
+def chrome_trace(obs: "Observability", extra: dict | None = None) -> dict:
+    """The Chrome-trace/Perfetto dict for one run's spans and counters."""
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+    events.append(
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    )
+    for span in obs.spans:
+        if not span.done:
+            continue
+        tid = tids.get(span.track)
+        if tid is None:
+            tid = tids[span.track] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": span.track},
+                }
+            )
+        args = _json_safe(span.attrs)
+        assert isinstance(args, dict)
+        args["span_id"] = span.id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["wall_dur_s"] = round(span.wall_dur, 9)
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.cat or "span",
+                "ts": span.t0 * 1e6,
+                "dur": span.dur * 1e6,
+                "args": args,
+            }
+        )
+    other = {
+        "environment": environment_provenance(),
+        "metrics": _json_safe(obs.metrics.snapshot()),
+        "records_kept": len(obs.records),
+        "records_dropped": obs.records.dropped,
+    }
+    if extra:
+        other.update(_json_safe(extra))  # type: ignore[arg-type]
+    return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": other}
+
+
+def write_chrome(obs: "Observability", path: str, extra: dict | None = None) -> str:
+    """Write the Chrome-trace JSON; returns the path."""
+    with open(path, "w") as f:
+        json.dump(chrome_trace(obs, extra), f, indent=1)
+        f.write("\n")
+    return path
+
+
+def write_jsonl(obs: "Observability", path: str, extra: dict | None = None) -> str:
+    """Write the JSONL trace; returns the path."""
+    with open(path, "w") as f:
+        meta = {
+            "type": "meta",
+            "environment": environment_provenance(),
+            "metrics": _json_safe(obs.metrics.snapshot()),
+            "records_dropped": obs.records.dropped,
+        }
+        if extra:
+            meta.update(_json_safe(extra))  # type: ignore[arg-type]
+        f.write(json.dumps(meta) + "\n")
+        for span in obs.spans:
+            if span.done:
+                f.write(json.dumps(_span_dict(span)) + "\n")
+        for rec in obs.records:
+            f.write(
+                json.dumps(
+                    {
+                        "type": "record",
+                        "kind": rec.kind,
+                        "time": rec.time,
+                        "detail": rec.detail,
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def load_spans(path: str) -> list[dict]:
+    """Read spans back from either export format as plain dicts."""
+    with open(path) as f:
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        tracks = {0: "main"}
+        spans = []
+        for ev in doc["traceEvents"]:
+            if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+                tracks[ev["tid"]] = ev["args"]["name"]
+        for ev in doc["traceEvents"]:
+            if ev.get("ph") != "X":
+                continue
+            args = dict(ev.get("args") or {})
+            spans.append(
+                {
+                    "id": args.pop("span_id", None),
+                    "parent_id": args.pop("parent_id", None),
+                    "name": ev["name"],
+                    "cat": ev.get("cat", ""),
+                    "track": tracks.get(ev.get("tid"), str(ev.get("tid"))),
+                    "t0": ev["ts"] / 1e6,
+                    "dur": ev.get("dur", 0) / 1e6,
+                    "wall_dur": args.pop("wall_dur_s", 0.0),
+                    "attrs": args,
+                }
+            )
+        return spans
+    # JSONL: one object per line
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("type") == "span":
+            obj.pop("type")
+            spans.append(obj)
+    return spans
+
+
+def phase_breakdown(
+    spans: list[dict],
+    root: dict | None = None,
+    root_name: str | None = None,
+) -> dict:
+    """Group a root span's direct children by name into a phase table.
+
+    Without an explicit root, the longest top-level span is used (for a
+    single job trace that is the job span).  Returns ``{"root": ...,
+    "total": seconds, "phases": [row, ...], "covered": fraction}`` where
+    each row has name/count/total/mean/pct and rows are sorted by total
+    time descending.  ``covered`` is sum(phases)/total — the acceptance
+    bar is that instrumented phases cover ~all of the job.
+    """
+    if root is None:
+        candidates = [s for s in spans if s.get("parent_id") is None]
+        if root_name is not None:
+            candidates = [s for s in candidates if s["name"] == root_name] or [
+                s for s in spans if s["name"] == root_name
+            ]
+        if not candidates:
+            return {"root": None, "total": 0.0, "phases": [], "covered": 0.0}
+        root = max(candidates, key=lambda s: s["dur"])
+    children = [s for s in spans if s.get("parent_id") == root["id"]]
+    phases: dict[str, dict] = {}
+    for s in children:
+        row = phases.get(s["name"])
+        if row is None:
+            row = phases[s["name"]] = {
+                "name": s["name"],
+                "count": 0,
+                "total": 0.0,
+                "wall_total": 0.0,
+            }
+        row["count"] += 1
+        row["total"] += s["dur"]
+        row["wall_total"] += s.get("wall_dur") or 0.0
+    total = root["dur"]
+    rows = sorted(phases.values(), key=lambda r: -r["total"])
+    for row in rows:
+        row["mean"] = row["total"] / row["count"]
+        row["pct"] = (100.0 * row["total"] / total) if total > 0 else 0.0
+    summed = sum(r["total"] for r in rows)
+    return {
+        "root": {"name": root["name"], "id": root["id"], "total": total},
+        "total": total,
+        "phases": rows,
+        "covered": (summed / total) if total > 0 else 0.0,
+    }
+
+
+def format_breakdown(breakdown: dict, time_unit: str = "s") -> str:
+    """Render a :func:`phase_breakdown` result as an aligned text table."""
+    if not breakdown["phases"]:
+        return "(no spans)"
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[time_unit]
+    root = breakdown["root"]
+    lines = [
+        f"root: {root['name']} — total {root['total'] * scale:.6g}{time_unit}",
+        f"{'phase':<28} {'count':>6} {'total':>12} {'mean':>12} {'%':>7}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for row in breakdown["phases"]:
+        lines.append(
+            f"{row['name']:<28} {row['count']:>6} "
+            f"{row['total'] * scale:>11.6g}{time_unit} "
+            f"{row['mean'] * scale:>11.6g}{time_unit} {row['pct']:>6.1f}%"
+        )
+    lines.append(
+        f"{'(phases cover)':<28} {'':>6} "
+        f"{sum(r['total'] for r in breakdown['phases']) * scale:>11.6g}{time_unit} "
+        f"{'':>12} {breakdown['covered'] * 100:>6.1f}%"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""The :class:`Observability` registry: one object per run.
+
+The simulator owns one as ``sim.obs`` (its primary clock bound to the
+simulated clock); the real engine and the benchmarks create standalone
+instances whose primary clock is host wall time (``time.time``, which is
+machine-wide, so spans shipped back from worker *processes* land on the
+same timeline).
+
+Everything funnels through here:
+
+* ``span(...)`` — hierarchical spans (``force=True`` records even with
+  tracing off, for the handful of per-job phase spans that double as the
+  engine's own accounting),
+* ``count``/``gauge``/``observe`` — the metrics registry (always on),
+* ``record(...)`` — the flat record stream (on only when enabled),
+* ``sample(...)`` — named time series.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as _t
+
+from repro.obs.metrics import MetricsRegistry, TimeSeries
+from repro.obs.records import RecordLog, TraceRecord
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanStore
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Spans + metrics + records + series for one run."""
+
+    __slots__ = ("enabled", "records", "metrics", "series", "spans", "_clock")
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        keep_records: int = 100_000,
+        clock: _t.Callable[[], float] | None = None,
+    ):
+        #: master switch for spans and records (metrics stay on)
+        self.enabled = enabled
+        self.records = RecordLog(keep_records)
+        self.metrics = MetricsRegistry()
+        self.series: dict[str, TimeSeries] = {}
+        self._clock = clock or time.time
+        self.spans = SpanStore(self.now)
+
+    # -- clock -----------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current primary-clock time."""
+        return self._clock()
+
+    def bind_clock(self, clock: _t.Callable[[], float]) -> None:
+        """Repoint the primary clock (the simulator binds its sim clock)."""
+        self._clock = clock
+
+    # -- spans -----------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        cat: str = "",
+        track: str = "main",
+        force: bool = False,
+        **attrs: object,
+    ) -> Span | NullSpan:
+        """Open a span (context manager).  Disabled tracing returns the
+        shared :data:`~repro.obs.spans.NULL_SPAN` unless ``force`` is set.
+        """
+        if not (self.enabled or force):
+            return NULL_SPAN
+        return self.spans.open(name, cat, track, attrs)
+
+    def add_span(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        cat: str = "",
+        track: str = "main",
+        parent: Span | None = None,
+        wall_dur: float | None = None,
+        attrs: dict | None = None,
+    ) -> Span | NullSpan:
+        """Stitch a pre-measured span (worker segment) into the trace."""
+        if not self.enabled:
+            return NULL_SPAN
+        if isinstance(parent, NullSpan):
+            parent = None
+        return self.spans.add(
+            name, t0, t1, cat=cat, track=track, parent=parent,
+            wall_dur=wall_dur, attrs=attrs,
+        )
+
+    # -- records / metrics / series ------------------------------------------
+
+    def record(self, kind: str, time_: float, detail: str = "") -> None:
+        """Append a flat trace record if tracing is enabled."""
+        if self.enabled:
+            self.records.append(TraceRecord(kind, time_, detail))
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Bump a named counter (always on)."""
+        self.metrics.count(name, amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a named gauge (always on)."""
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Histogram observation — only when tracing is enabled (the
+        histograms grow unbounded, unlike counters)."""
+        if self.enabled:
+            self.metrics.observe(name, value)
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        """Record a time-series sample under ``name``."""
+        ts = self.series.get(name)
+        if ts is None:
+            ts = self.series[name] = TimeSeries(name)
+        ts.sample(t, value)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop spans, records, metrics, and series."""
+        self.spans.clear()
+        self.records.clear()
+        self.metrics.clear()
+        self.series.clear()

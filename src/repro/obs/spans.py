@@ -1,0 +1,291 @@
+"""Hierarchical spans: the timing primitive behind every breakdown.
+
+A :class:`Span` is one named interval with a category, a *track* (the
+logical timeline it lives on — a node, a worker process, a benchmark), an
+attribute dict, and two clocks: the primary clock ``t0``/``t1`` (simulated
+seconds inside the simulator, wall seconds outside it) and the host
+wall-clock ``wall0``/``wall1`` (always ``time.perf_counter``), so a trace
+of a simulation shows both where *simulated* time went and what the
+simulation itself cost to compute.
+
+Nesting is per track: opening a span makes it the parent of every span
+subsequently opened on the same track until it closes.  Simulated
+processes interleave, so concurrent protocol flows must use distinct
+tracks (e.g. ``host:wordcount`` vs ``sd0:wordcount``) — the instrumented
+layers do exactly that.
+
+When tracing is disabled, span sites cost one method call returning the
+shared :data:`NULL_SPAN` singleton — no allocation, no clock reads.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as _t
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "SpanStore"]
+
+
+class Span:
+    """One named interval on a track; a context manager."""
+
+    __slots__ = (
+        "id",
+        "parent_id",
+        "name",
+        "cat",
+        "track",
+        "t0",
+        "t1",
+        "wall0",
+        "wall1",
+        "attrs",
+        "_store",
+    )
+
+    def __init__(
+        self,
+        store: "SpanStore",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        cat: str,
+        track: str,
+        t0: float,
+        wall0: float,
+        attrs: dict,
+    ):
+        self._store = store
+        self.id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.t0 = t0
+        self.t1: float | None = None
+        self.wall0 = wall0
+        self.wall1: float | None = None
+        self.attrs = attrs
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """End the span at the store's current time (idempotent)."""
+        if self.t1 is None and self._store is not None:
+            self._store._close(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.close()
+
+    # -- data ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the span has been closed."""
+        return self.t1 is not None
+
+    @property
+    def dur(self) -> float:
+        """Primary-clock duration (0.0 while still open)."""
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    @property
+    def wall_dur(self) -> float:
+        """Host wall-clock duration (0.0 while still open)."""
+        return (self.wall1 - self.wall0) if self.wall1 is not None else 0.0
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def children(self) -> list["Span"]:
+        """Direct children of this span (creation order).
+
+        Empty for a span detached from its store (e.g. one that crossed a
+        pickle boundary inside a result payload).
+        """
+        if self._store is None:
+            return []
+        return self._store.children(self)
+
+    # -- pickling --------------------------------------------------------------
+    # Spans ride inside result payloads (JobStats.span crosses the smartFAM
+    # log file, worker segments cross the multiprocessing pipe).  The store
+    # holds the live clock closures and the whole span list, so it must not
+    # be dragged along: detach it and let the receiving side see a frozen
+    # span (children() == []).
+
+    def __getstate__(self) -> dict:
+        return {k: getattr(self, k) for k in self.__slots__ if k != "_store"}
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "_store", None)
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"dur={self.dur:.6f}" if self.done else "open"
+        return f"<Span #{self.id} {self.name} track={self.track} {state}>"
+
+
+class NullSpan:
+    """The do-nothing span returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    id = -1
+    parent_id = None
+    name = ""
+    cat = ""
+    track = ""
+    t0 = 0.0
+    t1 = 0.0
+    wall0 = 0.0
+    wall1 = 0.0
+    done = True
+    dur = 0.0
+    wall_dur = 0.0
+
+    @property
+    def attrs(self) -> dict:
+        """Always a fresh empty dict (mutations are discarded)."""
+        return {}
+
+    def close(self) -> None:
+        """No-op."""
+
+    def set(self, **attrs: object) -> "NullSpan":
+        """No-op; returns self."""
+        return self
+
+    def children(self) -> list:
+        """Always empty."""
+        return []
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<NullSpan>"
+
+
+#: the shared disabled-tracing span
+NULL_SPAN = NullSpan()
+
+
+class SpanStore:
+    """All spans of one run, with per-track open stacks.
+
+    ``now`` is the primary clock (bound to the simulator's clock inside a
+    simulation, wall time outside); ``wall`` is always a host monotonic
+    clock.  Spans are kept in creation order, parents before children.
+    """
+
+    __slots__ = ("now", "wall", "spans", "_open", "_next_id")
+
+    def __init__(
+        self,
+        now: _t.Callable[[], float],
+        wall: _t.Callable[[], float] = time.perf_counter,
+    ):
+        self.now = now
+        self.wall = wall
+        self.spans: list[Span] = []
+        self._open: dict[str, list[Span]] = {}
+        self._next_id = 1
+
+    def open(self, name: str, cat: str, track: str, attrs: dict) -> Span:
+        """Start a span; its parent is the track's innermost open span."""
+        stack = self._open.get(track)
+        if stack is None:
+            stack = self._open[track] = []
+        parent_id = stack[-1].id if stack else None
+        span = Span(
+            self,
+            self._next_id,
+            parent_id,
+            name,
+            cat,
+            track,
+            self.now(),
+            self.wall(),
+            attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.t1 = self.now()
+        span.wall1 = self.wall()
+        stack = self._open.get(span.track)
+        if stack and span in stack:
+            # Usually the top of the stack; removing by identity keeps the
+            # store sane if an enclosing span is closed out of order (its
+            # still-open children become siblings of the next span).
+            stack.remove(span)
+
+    def add(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        cat: str = "",
+        track: str = "main",
+        parent: Span | None = None,
+        wall_dur: float | None = None,
+        attrs: dict | None = None,
+    ) -> Span:
+        """Record a pre-measured span (e.g. shipped back from a worker)."""
+        span = Span(
+            self,
+            self._next_id,
+            parent.id if parent is not None else None,
+            name,
+            cat,
+            track,
+            t0,
+            0.0,
+            dict(attrs or {}),
+        )
+        self._next_id += 1
+        span.t1 = t1
+        span.wall1 = wall_dur if wall_dur is not None else (t1 - t0)
+        self.spans.append(span)
+        return span
+
+    # -- queries -------------------------------------------------------------
+
+    def by_name(self, name: str) -> list[Span]:
+        """All spans with the given name, in creation order."""
+        return [s for s in self.spans if s.name == name]
+
+    def roots(self) -> list[Span]:
+        """Spans with no parent."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of a span."""
+        return [s for s in self.spans if s.parent_id == span.id]
+
+    def clear(self) -> None:
+        """Drop all spans and open stacks."""
+        self.spans.clear()
+        self._open.clear()
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> _t.Iterator[Span]:
+        return iter(self.spans)

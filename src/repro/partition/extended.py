@@ -81,69 +81,84 @@ class ExtendedPhoenixRuntime:
         output_path: str | None,
     ) -> _t.Generator:
         node, sim = self.node, self.sim
+        obs = sim.obs
         started_at = sim.now
         if spec.merge_fn is None:
             raise PartitionError(
                 f"{spec.name}: partition-enabled runs need a user merge_fn "
                 "(Section IV-C)"
             )
-        plan = plan_fragments(
-            inp,
-            fragment_bytes,
-            node.memory.capacity,
-            spec.profile,
-            self.cfg,
-            delimiters=spec.delimiters,
-        )
+        with obs.span(
+            "ext.job", cat="partition", track=node.name,
+            app=spec.name, input_bytes=inp.size,
+        ) as ext_sp:
+            with obs.span("ext.partition", cat="partition", track=node.name) as sp:
+                plan = plan_fragments(
+                    inp,
+                    fragment_bytes,
+                    node.memory.capacity,
+                    spec.profile,
+                    self.cfg,
+                    delimiters=spec.delimiters,
+                )
+                # Charge the partition scan: the integrity check reads around
+                # each boundary; the dominant real cost is the boundary seeks,
+                # not a full-file scan (the runtime cuts at offsets).
+                fs, rel = node.resolve_fs(inp.path)
+                for _ in range(max(0, plan.n_fragments - 1)):
+                    yield fs.read(rel, nbytes=4096)
+                sp.set(fragments=plan.n_fragments)
+            ext_sp.set(fragments=plan.n_fragments)
 
-        # Charge the partition scan: the integrity check reads around each
-        # boundary; the dominant real cost is the boundary seeks, not a
-        # full-file scan (the runtime cuts at offsets).
-        fs, rel = node.resolve_fs(inp.path)
-        for _ in range(max(0, plan.n_fragments - 1)):
-            yield fs.read(rel, nbytes=4096)
+            # Process fragments one at a time (Fig 6's iteration loop).
+            # "Intermediate results obtained in each iteration can be merged
+            # to produce a final result" — each iteration persists its output,
+            # which the final merge reads back.
+            frag_stats: list[JobStats] = []
+            outputs: list[object] = []
+            inter_bytes: list[int] = []
+            for i, frag in enumerate(plan.fragments):
+                with obs.span(
+                    "ext.fragment", cat="partition", track=node.name,
+                    index=i, bytes=frag.size,
+                ):
+                    result: PhoenixResult = yield self.inner.run(
+                        spec,
+                        frag,
+                        mode="parallel",
+                        enforce_memory_rule=True,
+                        write_output=False,
+                    )
+                    frag_stats.append(result.stats)
+                    outputs.append(result.output)
+                    if plan.n_fragments > 1:
+                        part_out = spec.profile.output_bytes(frag.size)
+                        inter_bytes.append(part_out)
+                        yield fs.write(f"{rel}.part{i}", size=part_out)
 
-        # Process fragments one at a time (Fig 6's iteration loop).
-        # "Intermediate results obtained in each iteration can be merged to
-        # produce a final result" — each iteration persists its output,
-        # which the final merge reads back.
-        frag_stats: list[JobStats] = []
-        outputs: list[object] = []
-        inter_bytes: list[int] = []
-        for i, frag in enumerate(plan.fragments):
-            result: PhoenixResult = yield self.inner.run(
-                spec,
-                frag,
-                mode="parallel",
-                enforce_memory_rule=True,
-                write_output=False,
-            )
-            frag_stats.append(result.stats)
-            outputs.append(result.output)
-            if plan.n_fragments > 1:
-                part_out = spec.profile.output_bytes(frag.size)
-                inter_bytes.append(part_out)
-                yield fs.write(f"{rel}.part{i}", size=part_out)
+            # User-provided Merge over the intermediate outputs.
+            with obs.span("ext.final_merge", cat="partition", track=node.name):
+                t0 = sim.now
+                merge_ops = spec.profile.merge_ops(inp.size)
+                if plan.n_fragments > 1:
+                    for i, nb in enumerate(inter_bytes):
+                        yield fs.read(f"{rel}.part{i}", nbytes=nb)
+                    if merge_ops > 0:
+                        yield node.cpu.submit(
+                            merge_ops, name=f"{spec.name}.final-merge"
+                        )
+                output = (
+                    spec.merge_fn(outputs, inp.params)
+                    if plan.n_fragments > 1
+                    else outputs[0]
+                )
+                merge_time = sim.now - t0
 
-        # User-provided Merge over the intermediate outputs.
-        t0 = sim.now
-        merge_ops = spec.profile.merge_ops(inp.size)
-        if plan.n_fragments > 1:
-            for i, nb in enumerate(inter_bytes):
-                yield fs.read(f"{rel}.part{i}", nbytes=nb)
-            if merge_ops > 0:
-                yield node.cpu.submit(merge_ops, name=f"{spec.name}.final-merge")
-        output = (
-            spec.merge_fn(outputs, inp.params)
-            if plan.n_fragments > 1
-            else outputs[0]
-        )
-        merge_time = sim.now - t0
-
-        if write_output:
-            opath = output_path or f"{inp.path}.out"
-            ofs, orel = node.resolve_fs(opath)
-            yield ofs.write(orel, size=spec.profile.output_bytes(inp.size))
+            if write_output:
+                with obs.span("ext.write", cat="partition", track=node.name):
+                    opath = output_path or f"{inp.path}.out"
+                    ofs, orel = node.resolve_fs(opath)
+                    yield ofs.write(orel, size=spec.profile.output_bytes(inp.size))
 
         return ExtendedResult(
             output=output,

@@ -56,6 +56,10 @@ class Simulator:
         self._running = False
         self.rng = RngRegistry(seed)
         self.tracer = Tracer(enabled=trace)
+        #: the observability registry (spans/metrics/records); the tracer
+        #: is a compatibility facade over this same object
+        self.obs = self.tracer.obs
+        self.obs.bind_clock(lambda: self.now)
         #: number of events processed so far (monitoring/tests)
         self.processed_events = 0
 
@@ -109,9 +113,9 @@ class Simulator:
             raise SimulationError("time went backwards")
         self.now = t
         self.processed_events += 1
-        if self.tracer.enabled:
+        if self.obs.enabled:
             # repr(event) is not free; the untraced hot loop must not pay it
-            self.tracer.record("event", self.now, repr(event))
+            self.obs.record("event", self.now, repr(event))
         event._process()
 
     def run(self, until: float | Event | None = None) -> object:

@@ -1,9 +1,18 @@
 """Tracing and statistics collection for simulations.
 
-A :class:`Tracer` records ``(time, kind, detail)`` tuples when enabled and
-keeps cheap named counters/accumulators even when record-keeping is off.
-Benchmarks use counters (bytes moved over NFS, pages swapped, map tasks
-run); tests use the record stream to assert on protocol step ordering.
+:class:`Tracer` is now a thin compatibility facade over the
+:class:`~repro.obs.registry.Observability` registry (``sim.obs``): the
+``records``/``counters``/``series`` attributes, ``record``/``count``/
+``sample``/``of_kind``/``clear`` methods, and the ``enabled`` flag all
+read and write the same underlying stores the span/metrics machinery
+uses, so existing call sites and tests keep working unchanged.  New
+capabilities surface through the facade too: :attr:`Tracer.dropped`
+counts records evicted by the ring buffer (the seed deque dropped them
+silently), and ``of_kind`` is served from a kind index maintained on
+append instead of a full linear scan.
+
+:class:`~repro.obs.metrics.TimeSeries` moved to :mod:`repro.obs.metrics`
+and is re-exported here for compatibility.
 """
 
 from __future__ import annotations
@@ -11,96 +20,80 @@ from __future__ import annotations
 import collections
 import typing as _t
 
+from repro.obs.metrics import TimeSeries
+from repro.obs.records import TraceRecord
+from repro.obs.registry import Observability
+
 __all__ = ["TraceRecord", "Tracer", "TimeSeries"]
 
 
-class TraceRecord(_t.NamedTuple):
-    """A single trace entry."""
+class Tracer:
+    """Records trace entries and aggregates counters (facade over obs)."""
 
-    kind: str
-    time: float
-    detail: str
+    def __init__(
+        self,
+        enabled: bool = False,
+        keep: int = 100_000,
+        obs: Observability | None = None,
+    ):
+        if obs is None:
+            obs = Observability(enabled=enabled, keep_records=keep)
+        else:
+            obs.enabled = enabled
+        self.obs = obs
+        self.keep = keep
 
-
-class TimeSeries:
-    """(time, value) samples for one observable, with summary stats."""
-
-    __slots__ = ("name", "times", "values")
-
-    def __init__(self, name: str):
-        self.name = name
-        self.times: list[float] = []
-        self.values: list[float] = []
-
-    def sample(self, t: float, v: float) -> None:
-        """Append a sample."""
-        self.times.append(t)
-        self.values.append(v)
-
-    def __len__(self) -> int:
-        return len(self.values)
+    # -- shared state (views over the registry) ------------------------------
 
     @property
-    def last(self) -> float:
-        """Most recent value (0.0 if empty)."""
-        return self.values[-1] if self.values else 0.0
+    def enabled(self) -> bool:
+        """Whether records (and spans) are being kept."""
+        return self.obs.enabled
 
-    def mean(self) -> float:
-        """Arithmetic mean of the sampled values (0.0 if empty)."""
-        return sum(self.values) / len(self.values) if self.values else 0.0
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self.obs.enabled = value
 
-    def maximum(self) -> float:
-        """Largest sampled value (0.0 if empty)."""
-        return max(self.values) if self.values else 0.0
+    @property
+    def records(self) -> "collections.deque[TraceRecord]":
+        """The stored records (bounded deque, oldest first)."""
+        return self.obs.records.entries
 
-    def time_weighted_mean(self, until: float | None = None) -> float:
-        """Mean weighted by holding time (step-function interpretation)."""
-        if not self.values:
-            return 0.0
-        end = until if until is not None else self.times[-1]
-        total = 0.0
-        span = 0.0
-        for i, v in enumerate(self.values):
-            t0 = self.times[i]
-            t1 = self.times[i + 1] if i + 1 < len(self.times) else end
-            dt = max(0.0, t1 - t0)
-            total += v * dt
-            span += dt
-        return total / span if span > 0 else self.values[-1]
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring buffer since the last clear."""
+        return self.obs.records.dropped
 
+    @property
+    def counters(self) -> collections.Counter:
+        """The shared named counters (also fed by ``obs.count``)."""
+        return self.obs.metrics.counters
 
-class Tracer:
-    """Records trace entries and aggregates counters."""
+    @property
+    def series(self) -> dict[str, TimeSeries]:
+        """Named time series."""
+        return self.obs.series
 
-    def __init__(self, enabled: bool = False, keep: int = 100_000):
-        self.enabled = enabled
-        self.keep = keep
-        self.records: collections.deque[TraceRecord] = collections.deque(maxlen=keep)
-        self.counters: collections.Counter[str] = collections.Counter()
-        self.series: dict[str, TimeSeries] = {}
+    # -- recording -------------------------------------------------------------
 
     def record(self, kind: str, time: float, detail: str = "") -> None:
         """Store a trace record if tracing is enabled."""
-        if self.enabled:
-            self.records.append(TraceRecord(kind, time, detail))
+        self.obs.record(kind, time, detail)
 
     def count(self, name: str, amount: float = 1) -> None:
         """Bump a named counter (always on; counters are cheap)."""
-        self.counters[name] += amount
+        self.obs.metrics.count(name, amount)
 
     def sample(self, name: str, time: float, value: float) -> None:
         """Record a time-series sample under ``name``."""
-        ts = self.series.get(name)
-        if ts is None:
-            ts = self.series[name] = TimeSeries(name)
-        ts.sample(time, value)
+        self.obs.sample(name, time, value)
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
-        """All stored records with the given kind."""
-        return [r for r in self.records if r.kind == kind]
+        """All stored records with the given kind (kind-indexed)."""
+        return self.obs.records.of_kind(kind)
 
     def clear(self) -> None:
-        """Drop records, counters and series."""
-        self.records.clear()
-        self.counters.clear()
-        self.series.clear()
+        """Drop records, counters and series (spans are kept)."""
+        self.obs.records.clear()
+        self.obs.metrics.clear()
+        self.obs.series.clear()

@@ -93,30 +93,41 @@ class SDSmartFAM:
     def _dispatch_loop(self, module: str, path: str, watch) -> _t.Generator:
         """Steps 2-4 of the invoke protocol, forever."""
         served: set[int] = set()
+        obs = self.sim.obs
+        track = f"{self.node.name}:{module}"
         while True:
             yield watch.queue.get()  # Step 2: inotify fires
-            # Step 3: the Daemon opens the log and retrieves parameters.
-            payload = yield self.node.fs.read(path, nbytes=self.cfg.logfile_bytes)
-            try:
-                record = LogFileCodec.latest(payload, INVOKE)
-            except ProtocolError:
-                # A torn/garbage write must not kill the daemon: skip the
-                # event; a well-formed record will fire inotify again.
-                self.sim.tracer.count("smartfam.corrupt_log")
-                continue
-            if record is None or record.seq in served:
-                continue  # our own result write, or a duplicate event
-            served.add(record.seq)
-            yield self.sim.timeout(self.cfg.daemon_dispatch_overhead)
-            # Step 4: invoke the data-intensive module.
-            self.sim.spawn(
-                self._run_module(module, path, record),
-                name=f"smartfam:{self.node.name}:{module}#{record.seq}",
-            )
+            with obs.span(
+                "fam.dispatch", cat="smartfam", track=track, module=module
+            ) as sp:
+                # Step 3: the Daemon opens the log and retrieves parameters.
+                with obs.span("fam.dispatch.read_log", cat="smartfam", track=track):
+                    payload = yield self.node.fs.read(
+                        path, nbytes=self.cfg.logfile_bytes
+                    )
+                try:
+                    record = LogFileCodec.latest(payload, INVOKE)
+                except ProtocolError:
+                    # A torn/garbage write must not kill the daemon: skip the
+                    # event; a well-formed record will fire inotify again.
+                    self.sim.tracer.count("smartfam.corrupt_log")
+                    continue
+                if record is None or record.seq in served:
+                    continue  # our own result write, or a duplicate event
+                served.add(record.seq)
+                sp.set(seq=record.seq)
+                yield self.sim.timeout(self.cfg.daemon_dispatch_overhead)
+                # Step 4: invoke the data-intensive module.
+                self.sim.spawn(
+                    self._run_module(module, path, record),
+                    name=f"smartfam:{self.node.name}:{module}#{record.seq}",
+                )
 
     def _run_module(self, module: str, path: str, record: LogRecord) -> _t.Generator:
         fn = self.registry.get(module)
         self.invocations += 1
+        obs = self.sim.obs
+        track = f"{self.node.name}:{module}"
         if self._crash_budget.get(module, 0) > 0:
             self._crash_budget[module] -= 1
             reply = LogRecord(
@@ -126,30 +137,43 @@ class SDSmartFAM:
                 body=SmartFAMError(f"injected crash in module {module!r}"),
                 ok=False,
             )
-            current = self.node.fs.vfs.read(path)
-            yield self.node.fs.write(
-                path,
-                data=LogFileCodec.append(current, reply),
-                size=self.cfg.logfile_bytes,
-            )
+            with obs.span(
+                "fam.result.write", cat="smartfam", track=track,
+                seq=record.seq, ok=False,
+            ):
+                current = self.node.fs.vfs.read(path)
+                yield self.node.fs.write(
+                    path,
+                    data=LogFileCodec.append(current, reply),
+                    size=self.cfg.logfile_bytes,
+                )
             return
-        try:
-            result = yield self.sim.spawn(
-                fn(self.node, dict(record.body or {}), self.phoenix_cfg),
-                name=f"module:{module}#{record.seq}",
-            )
-            reply = LogRecord(RESULT, record.seq, module, body=result, ok=True)
-        except Exception as exc:
-            reply = LogRecord(RESULT, record.seq, module, body=exc, ok=False)
+        with obs.span(
+            "fam.module.run", cat="smartfam", track=track,
+            module=module, seq=record.seq,
+        ) as run_sp:
+            try:
+                result = yield self.sim.spawn(
+                    fn(self.node, dict(record.body or {}), self.phoenix_cfg),
+                    name=f"module:{module}#{record.seq}",
+                )
+                reply = LogRecord(RESULT, record.seq, module, body=result, ok=True)
+            except Exception as exc:
+                reply = LogRecord(RESULT, record.seq, module, body=exc, ok=False)
+                run_sp.set(error=type(exc).__name__)
         if self._drop_budget.get(module, 0) > 0:
             self._drop_budget[module] -= 1
             return  # the daemon "died" before persisting the result
         # Return Step 1: results are written to the module's log file.
-        current = self.node.fs.vfs.read(path)
-        new_payload = LogFileCodec.append(current, reply)
-        yield self.node.fs.write(
-            path, data=new_payload, size=self.cfg.logfile_bytes, append=False
-        )
+        with obs.span(
+            "fam.result.write", cat="smartfam", track=track,
+            seq=record.seq, ok=reply.ok,
+        ):
+            current = self.node.fs.vfs.read(path)
+            new_payload = LogFileCodec.append(current, reply)
+            yield self.node.fs.write(
+                path, data=new_payload, size=self.cfg.logfile_bytes, append=False
+            )
 
 
 class HostSmartFAM:
@@ -239,46 +263,69 @@ class HostSmartFAM:
         return lock
 
     def _invoke(self, module: str, params: dict) -> _t.Generator:
-        lock = self._lock(module)
-        yield lock.acquire()
-        try:
-            path = self.log_path(module)
-            seq = next(_seqs)
-            # Invoke Step 1: write the input parameters to the log file.
-            current = yield self.mount.read(path, nbytes=self.cfg.logfile_bytes)
-            payload = LogFileCodec.append(
-                current if isinstance(current, (bytes, bytearray)) else None,
-                LogRecord(INVOKE, seq, module, body=dict(params)),
-            )
-            yield self.mount.write(
-                path, data=payload, size=self.cfg.logfile_bytes
-            )
-            baseline = yield self.mount.stat(path)
-            # Return Steps 2-4: the host-side monitor polls the log's
-            # attributes over NFS (cheap getattr round trips) and only
-            # re-reads the log when it has actually changed.
-            while True:
-                if self.cfg.host_poll_interval > 0:
-                    yield self.sim.timeout(self.cfg.host_poll_interval)
-                else:
-                    yield self.sim.timeout(0.0)
-                attrs = yield self.mount.stat(path)
-                if attrs["mtime"] == baseline["mtime"]:
-                    continue
-                baseline = attrs
-                data = yield self.mount.read(path, nbytes=self.cfg.logfile_bytes)
-                record = LogFileCodec.find(
-                    data if isinstance(data, (bytes, bytearray)) else None,
-                    RESULT,
-                    seq,
-                )
-                if record is not None:
-                    self.calls += 1
-                    if not record.ok:
-                        raise _as_exception(record.body)
-                    return record.body
-        finally:
-            lock.release()
+        obs = self.sim.obs
+        track = f"{self.node.name}:{module}"
+        with obs.span(
+            "fam.invoke", cat="smartfam", track=track, module=module
+        ) as call_sp:
+            lock = self._lock(module)
+            yield lock.acquire()
+            try:
+                path = self.log_path(module)
+                seq = next(_seqs)
+                call_sp.set(seq=seq)
+                # Invoke Step 1: write the input parameters to the log file.
+                with obs.span(
+                    "fam.invoke.write_params", cat="smartfam", track=track, seq=seq
+                ):
+                    current = yield self.mount.read(
+                        path, nbytes=self.cfg.logfile_bytes
+                    )
+                    payload = LogFileCodec.append(
+                        current if isinstance(current, (bytes, bytearray)) else None,
+                        LogRecord(INVOKE, seq, module, body=dict(params)),
+                    )
+                    yield self.mount.write(
+                        path, data=payload, size=self.cfg.logfile_bytes
+                    )
+                    baseline = yield self.mount.stat(path)
+                # Return Steps 2-4: the host-side monitor polls the log's
+                # attributes over NFS (cheap getattr round trips) and only
+                # re-reads the log when it has actually changed.
+                with obs.span(
+                    "fam.return.wait", cat="smartfam", track=track, seq=seq
+                ) as wait_sp:
+                    polls = 0
+                    while True:
+                        if self.cfg.host_poll_interval > 0:
+                            yield self.sim.timeout(self.cfg.host_poll_interval)
+                        else:
+                            yield self.sim.timeout(0.0)
+                        attrs = yield self.mount.stat(path)
+                        polls += 1
+                        if attrs["mtime"] == baseline["mtime"]:
+                            continue
+                        baseline = attrs
+                        with obs.span(
+                            "fam.return.read_log", cat="smartfam", track=track,
+                            seq=seq,
+                        ):
+                            data = yield self.mount.read(
+                                path, nbytes=self.cfg.logfile_bytes
+                            )
+                        record = LogFileCodec.find(
+                            data if isinstance(data, (bytes, bytearray)) else None,
+                            RESULT,
+                            seq,
+                        )
+                        if record is not None:
+                            wait_sp.set(polls=polls)
+                            self.calls += 1
+                            if not record.ok:
+                                raise _as_exception(record.body)
+                            return record.body
+            finally:
+                lock.release()
 
 
 def _as_exception(body: object) -> BaseException:

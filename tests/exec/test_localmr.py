@@ -143,3 +143,38 @@ def test_engine_reprs_each_distinct_key_once_per_job(tmp_path):
     assert res.n_chunks > 1
     assert _CountingKey.reprs == 3
     assert [v for _, v in res.output] == [20, 20, 20]
+
+
+def test_traced_run_stitches_worker_segments(corpus):
+    from repro.obs import Observability
+
+    path, _ = corpus
+    obs = Observability(enabled=True)
+    eng = LocalMapReduce(
+        map_fn=wc_map,
+        reduce_fn=wc_reduce,
+        combine_fn=operator.add,
+        sort_output=True,
+        n_workers=2,
+        obs=obs,
+    )
+    res = eng.run(path, chunk_bytes=20_000)
+    job = res.span
+    assert job is not None and job.name == "localmr.job"
+    kids = {s.name for s in job.children()}
+    assert {"localmr.chunk_plan", "localmr.map_pool", "localmr.merge"} <= kids
+    reads = obs.spans.by_name("localmr.read_chunk")
+    maps = obs.spans.by_name("localmr.map_chunk")
+    assert len(reads) == res.n_chunks
+    assert len(maps) == res.n_chunks
+    for seg in reads + maps:
+        assert seg.parent_id == job.id
+        assert seg.track.startswith("worker-")
+        assert seg.attrs["pid"] > 0
+        assert seg.dur >= 0.0 and seg.wall_dur >= 0.0
+
+
+def test_untraced_run_has_no_span(corpus):
+    path, _ = corpus
+    res = wordcount_engine().run(path, chunk_bytes=40_000)
+    assert res.span is None

@@ -1,0 +1,77 @@
+"""Metrics registry: histograms, percentiles, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry, Observability
+
+
+def test_histogram_empty():
+    h = Histogram("lat")
+    assert h.percentile(50) == 0.0
+    assert h.count == 0
+    assert h.summary() == {"count": 0}
+
+
+def test_histogram_single_value():
+    h = Histogram("lat")
+    h.observe(42.0)
+    assert h.p50 == h.p95 == h.p99 == 42.0
+
+
+def test_histogram_percentiles_nearest_rank():
+    h = Histogram("lat")
+    for v in range(1, 101):  # 1..100
+        h.observe(float(v))
+    assert h.p50 == 50.0
+    assert h.p95 == 95.0
+    assert h.p99 == 99.0
+    assert h.percentile(100) == 100.0
+    assert h.percentile(1) == 1.0
+
+
+def test_histogram_unsorted_inserts():
+    h = Histogram("lat")
+    for v in (5.0, 1.0, 9.0, 3.0, 7.0):
+        h.observe(v)
+    assert h.p50 == 5.0
+    assert h.summary()["min"] == 1.0
+    assert h.summary()["max"] == 9.0
+    h.observe(0.5)  # re-dirty after a percentile query
+    assert h.summary()["min"] == 0.5
+
+
+def test_registry_counters_gauges_histograms():
+    m = MetricsRegistry()
+    m.count("ops")
+    m.count("ops", 4)
+    m.gauge("depth", 3.0)
+    m.gauge("depth", 1.0)
+    m.observe("lat", 10.0)
+    m.observe("lat", 20.0)
+    assert m.counters["ops"] == 5
+    assert m.gauges["depth"] == 1.0
+    assert m.histogram("lat").mean() == pytest.approx(15.0)
+    snap = m.snapshot()
+    assert snap["counters"]["ops"] == 5
+    assert snap["histograms"]["lat"]["count"] == 2
+    m.clear()
+    assert not m.counters and not m.gauges and not m.histograms
+
+
+def test_observability_observe_gated_by_enabled():
+    obs = Observability(enabled=False)
+    obs.observe("lat", 1.0)
+    assert "lat" not in obs.metrics.histograms
+    obs.enabled = True
+    obs.observe("lat", 1.0)
+    assert obs.metrics.histogram("lat").count == 1
+
+
+def test_observability_count_always_on():
+    obs = Observability(enabled=False)
+    obs.count("bytes", 10)
+    obs.gauge("q", 2.0)
+    assert obs.metrics.counters["bytes"] == 10
+    assert obs.metrics.gauges["q"] == 2.0

@@ -1,0 +1,148 @@
+"""Span tree semantics: nesting, tracks, disabled path, pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import NULL_SPAN, Observability
+from repro.obs.spans import NullSpan, SpanStore
+
+
+class FakeClockObs(Observability):
+    """Observability on a manually advanced clock."""
+
+    __slots__ = ("t",)
+
+    def __init__(self, enabled: bool = True):
+        super().__init__(enabled=enabled)
+        self.t = 0.0
+        self.bind_clock(lambda: self.t)
+
+    def _advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_obs(enabled: bool = True) -> FakeClockObs:
+    return FakeClockObs(enabled=enabled)
+
+
+def test_nesting_same_track():
+    obs = make_obs()
+    with obs.span("outer", track="a") as outer:
+        obs._advance(1.0)
+        with obs.span("inner", track="a") as inner:
+            obs._advance(2.0)
+    assert inner.parent_id == outer.id
+    assert outer.parent_id is None
+    assert inner.dur == pytest.approx(2.0)
+    assert outer.dur == pytest.approx(3.0)
+    assert [c.name for c in outer.children()] == ["inner"]
+
+
+def test_no_cross_track_nesting():
+    obs = make_obs()
+    with obs.span("host-side", track="host"):
+        with obs.span("sd-side", track="sd0") as sd_sp:
+            pass
+    assert sd_sp.parent_id is None
+
+
+def test_attrs_and_set():
+    obs = make_obs()
+    with obs.span("op", track="t", module="wc") as sp:
+        sp.set(seq=3, polls=7)
+    assert sp.attrs == {"module": "wc", "seq": 3, "polls": 7}
+
+
+def test_exception_marks_error_attr():
+    obs = make_obs()
+    with pytest.raises(ValueError):
+        with obs.span("risky", track="t") as sp:
+            raise ValueError("boom")
+    assert sp.attrs["error"] == "ValueError"
+    assert sp.done
+
+
+def test_disabled_returns_null_span():
+    obs = make_obs(enabled=False)
+    sp = obs.span("anything", track="t", attr=1)
+    assert sp is NULL_SPAN
+    assert isinstance(sp, NullSpan)
+    assert sp.children() == []
+    with sp as entered:
+        entered.set(ignored=True)
+    assert len(obs.spans) == 0
+
+
+def test_force_records_even_when_disabled():
+    obs = make_obs(enabled=False)
+    with obs.span("phase", track="t", force=True) as sp:
+        pass
+    assert sp is not NULL_SPAN
+    assert len(obs.spans) == 1
+
+
+def test_close_is_idempotent():
+    obs = make_obs()
+    sp = obs.span("once", track="t")
+    obs._advance(1.0)
+    sp.close()
+    end = sp.t1
+    obs._advance(5.0)
+    sp.close()
+    assert sp.t1 == end
+
+
+def test_add_span_stitches_premeasured_segment():
+    obs = make_obs()
+    with obs.span("job", track="main") as job:
+        seg = obs.add_span(
+            "worker.map", 10.0, 12.5, track="worker-1",
+            parent=job, wall_dur=2.0, attrs={"pid": 1},
+        )
+    assert seg.parent_id == job.id
+    assert seg.dur == pytest.approx(2.5)
+    assert seg.wall_dur == pytest.approx(2.0)
+    assert seg in job.children()
+
+
+def test_add_span_disabled_is_null():
+    obs = make_obs(enabled=False)
+    assert obs.add_span("w", 0.0, 1.0) is NULL_SPAN
+
+
+def test_span_pickle_detaches_store():
+    obs = make_obs()
+    with obs.span("outer", track="t") as outer:
+        obs._advance(2.0)
+        with obs.span("inner", track="t"):
+            pass
+    clone = pickle.loads(pickle.dumps(outer))
+    assert clone.name == "outer"
+    assert clone.dur == pytest.approx(2.0)
+    assert clone.children() == []  # detached from the store
+    # the original is untouched
+    assert [c.name for c in outer.children()] == ["inner"]
+
+
+def test_store_roots_and_by_name():
+    obs = make_obs()
+    with obs.span("a", track="x"):
+        with obs.span("b", track="x"):
+            pass
+    with obs.span("a", track="y"):
+        pass
+    assert len(obs.spans.by_name("a")) == 2
+    assert [s.name for s in obs.spans.roots()] == ["a", "a"]
+
+
+def test_out_of_order_close_keeps_store_sane():
+    store = SpanStore(now=lambda: 0.0)
+    outer = store.open("outer", "", "t", {})
+    inner = store.open("inner", "", "t", {})
+    outer.close()  # enclosing span closed first
+    inner.close()
+    assert outer.done and inner.done
+    assert store._open.get("t") == []

@@ -91,3 +91,66 @@ def test_simulator_tracer_records_events():
     sim.spawn(proc(sim))
     sim.run()
     assert len(sim.tracer.records) >= 2
+
+
+def test_dropped_counter_surfaces_ring_overflow():
+    t = Tracer(enabled=True, keep=3)
+    assert t.dropped == 0
+    for i in range(5):
+        t.record("x", float(i))
+    assert t.dropped == 2
+    t.clear()
+    assert t.dropped == 0
+
+
+def test_of_kind_consistent_after_eviction():
+    t = Tracer(enabled=True, keep=4)
+    for i in range(4):
+        t.record("a" if i % 2 == 0 else "b", float(i))
+    for i in range(4, 7):  # evicts times 0.0 ("a"), 1.0 ("b"), 2.0 ("a")
+        t.record("c", float(i))
+    assert [r.time for r in t.of_kind("a")] == []
+    assert [r.time for r in t.of_kind("b")] == [3.0]
+    assert [r.time for r in t.of_kind("c")] == [4.0, 5.0, 6.0]
+    assert t.dropped == 3
+    # the index agrees with the surviving entries
+    assert sorted(r.time for r in t.records) == [3.0, 4.0, 5.0, 6.0]
+
+
+def test_of_kind_unknown_kind_empty():
+    t = Tracer(enabled=True)
+    t.record("a", 1.0)
+    assert t.of_kind("nope") == []
+
+
+def test_time_weighted_mean_until_earlier_than_last_sample():
+    ts = TimeSeries("u")
+    ts.sample(0.0, 1.0)
+    ts.sample(2.0, 5.0)
+    # `until` before the last sample: the final interval gets zero
+    # weight instead of a negative one
+    assert ts.time_weighted_mean(until=1.0) == pytest.approx(1.0)
+
+
+def test_time_weighted_mean_out_of_order_times():
+    ts = TimeSeries("u")
+    ts.sample(5.0, 2.0)   # negative interval to the next sample
+    ts.sample(1.0, 4.0)   # holds 4.0 for [1, 3)
+    assert ts.time_weighted_mean(until=3.0) == pytest.approx(4.0)
+
+
+def test_time_weighted_mean_all_zero_weight_returns_last():
+    ts = TimeSeries("u")
+    ts.sample(3.0, 9.0)
+    ts.sample(3.0, 7.0)
+    assert ts.time_weighted_mean(until=3.0) == 7.0
+
+
+def test_tracer_is_a_facade_over_sim_obs():
+    sim = Simulator(trace=True)
+    sim.obs.record("direct", 1.0, "via obs")
+    assert sim.tracer.of_kind("direct")[0].detail == "via obs"
+    sim.tracer.count("c", 2)
+    assert sim.obs.metrics.counters["c"] == 2
+    sim.tracer.enabled = False
+    assert sim.obs.enabled is False

@@ -34,6 +34,12 @@ for p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
         sys.path.insert(0, p)
 
 from benchmarks.bench_shuffle import QUICK_SIZES, SIZES, run_suite  # noqa: E402
+from repro.obs import Observability  # noqa: E402
+from repro.obs.export import (  # noqa: E402
+    environment_provenance,
+    phase_breakdown,
+    write_chrome,
+)
 
 #: full-mode gate: (engine, workload, n_pairs) -> minimum speedup
 GATES = {
@@ -69,6 +75,10 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=os.path.join(_REPO_ROOT, "BENCH_shuffle.json"),
         help="where to write the JSON results (default: repo root)",
     )
+    ap.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="also write a Chrome-trace (Perfetto-loadable) of the bench run",
+    )
     args = ap.parse_args(argv)
 
     sizes = QUICK_SIZES if args.quick else SIZES
@@ -76,8 +86,11 @@ def main(argv: list[str] | None = None) -> int:
     if repeats < 1:
         ap.error(f"--repeats must be >= 1 (got {repeats})")
 
+    # Spans are always on here: a handful per case, and they give the
+    # JSON payload its per-phase breakdown.
+    obs = Observability(enabled=True)
     t0 = time.perf_counter()
-    results = run_suite(sizes=sizes, repeats=repeats)
+    results = run_suite(sizes=sizes, repeats=repeats, obs=obs)
     elapsed = time.perf_counter() - t0
 
     print_table(results)
@@ -90,20 +103,28 @@ def main(argv: list[str] | None = None) -> int:
             if need is not None and r["speedup"] < need:
                 gate_failures.append((r, need))
 
+    from repro.obs.export import span_dicts
+
+    breakdown = phase_breakdown(span_dicts(obs), root_name="bench.suite")
     payload = {
         "benchmark": "shuffle pipeline: seed vs sort-once/merge-after",
         "mode": "quick" if args.quick else "full",
         "repeats": repeats,
         "elapsed_s": round(elapsed, 3),
+        "environment": environment_provenance(),
         "gates": {f"{e}/{w}/{n}": need for (e, w, n), need in GATES.items()},
         "all_match": not mismatches,
         "gate_ok": not gate_failures,
+        "breakdown": breakdown,
         "results": results,
     }
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2)
         f.write("\n")
     print(f"\nwrote {args.out} ({len(results)} cases in {elapsed:.1f}s)")
+    if args.trace:
+        write_chrome(obs, args.trace, extra={"benchmark": payload["benchmark"]})
+        print(f"wrote trace {args.trace} ({len(obs.spans)} spans)")
 
     if mismatches:
         for r in mismatches:

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Per-phase breakdown tables from an exported trace file.
+
+Usage:
+    python tools/trace_view.py TRACE.json [--root NAME] [--group name|cat]
+                               [--tree] [--unit s|ms|us] [--max-depth N]
+
+Reads either export format (Chrome-trace/Perfetto JSON or JSONL, see
+:mod:`repro.obs.export`) and prints:
+
+* the default view — the longest top-level span (the job) and a table of
+  its direct children grouped by name: count, total, mean, percent of the
+  job, plus the fraction of the job the phases cover;
+* ``--root NAME`` — same table for a named span instead;
+* ``--group cat`` — one table over *all* spans grouped by category
+  (phoenix / smartfam / nfs / ...), useful for cross-cutting cost like
+  NFS transfers;
+* ``--tree`` — the indented span hierarchy with durations.
+
+Times are primary-clock seconds: simulated seconds for simulator traces,
+wall seconds for real-engine and benchmark traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from repro.obs.export import (  # noqa: E402
+    format_breakdown,
+    load_spans,
+    phase_breakdown,
+)
+
+
+def group_by_cat(spans: list[dict], unit: str) -> str:
+    """One table over all spans grouped by category."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+    cats: dict[str, dict] = {}
+    for s in spans:
+        row = cats.setdefault(
+            s.get("cat") or "(none)", {"count": 0, "total": 0.0}
+        )
+        row["count"] += 1
+        row["total"] += s["dur"]
+    header = f"{'category':<16} {'spans':>7} {'total':>14}"
+    lines = [header, "-" * len(header)]
+    for cat, row in sorted(cats.items(), key=lambda kv: -kv[1]["total"]):
+        lines.append(
+            f"{cat:<16} {row['count']:>7} {row['total'] * scale:>13.6g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def tree_view(spans: list[dict], unit: str, max_depth: int) -> str:
+    """The indented span hierarchy."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+    by_parent: dict[object, list[dict]] = {}
+    for s in spans:
+        by_parent.setdefault(s.get("parent_id"), []).append(s)
+    for kids in by_parent.values():
+        kids.sort(key=lambda s: s["t0"])
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        if depth > max_depth:
+            return
+        indent = "  " * depth
+        extra = ""
+        attrs = span.get("attrs") or {}
+        if attrs:
+            keys = [k for k in ("module", "app", "seq", "bytes") if k in attrs]
+            if keys:
+                extra = " (" + ", ".join(f"{k}={attrs[k]}" for k in keys) + ")"
+        lines.append(
+            f"{indent}{span['name']:<{max(1, 40 - 2 * depth)}} "
+            f"{span['dur'] * scale:>12.6g}{unit}  [{span.get('track', '')}]"
+            f"{extra}"
+        )
+        for child in by_parent.get(span["id"], []):
+            walk(child, depth + 1)
+
+    for root in by_parent.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
+    ap.add_argument("--root", default=None, help="break down this named span")
+    ap.add_argument(
+        "--group", choices=("name", "cat"), default="name",
+        help="group the root's children by name (default) or all spans by cat",
+    )
+    ap.add_argument("--tree", action="store_true", help="print the span tree")
+    ap.add_argument("--unit", choices=("s", "ms", "us"), default="s")
+    ap.add_argument("--max-depth", type=int, default=6)
+    args = ap.parse_args(argv)
+
+    spans = load_spans(args.trace)
+    if not spans:
+        print("no spans in trace", file=sys.stderr)
+        return 1
+    print(f"{len(spans)} spans from {args.trace}\n")
+
+    if args.tree:
+        print(tree_view(spans, args.unit, args.max_depth))
+        return 0
+    if args.group == "cat":
+        print(group_by_cat(spans, args.unit))
+        return 0
+    breakdown = phase_breakdown(spans, root_name=args.root)
+    print(format_breakdown(breakdown, time_unit=args.unit))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
