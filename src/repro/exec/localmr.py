@@ -1,38 +1,65 @@
 """LocalMapReduce: the McSD programming model on the real machine.
 
-Workers are ``multiprocessing`` processes pulling integrity-checked file
-chunks; per-chunk map outputs are combined in the worker (keeping IPC
-small), reduced and merged in the parent.  The API mirrors
-:class:`~repro.phoenix.api.MapReduceSpec` so the same ``map``/``reduce``/
-``merge`` callbacks drive both the simulator and real files — they must be
-module-level picklable functions (a multiprocessing constraint).
+The hot path is a **streaming, bounded-memory pipeline**:
+
+* Workers come from a persistent :class:`~repro.exec.pool.WorkerPool`
+  (lazily created, reused across fragments and jobs, closable via
+  ``close()``/context manager) and read chunks through per-worker cached
+  ``mmap`` handles — no fresh pool fork per job, no open/seek/read per
+  chunk.
+* Map tasks are batches of consecutive chunks; each worker folds its
+  batch into one combiner map, so IPC carries one map per batch instead
+  of one per chunk.
+* There is no ``pool.map`` barrier: results stream back via
+  ``imap_unordered`` and are dict-merged into a single accumulator *as
+  they arrive* (a reorder buffer keeps the merge in batch order, so
+  results stay deterministic).  Merge CPU overlaps worker map time and
+  peak parent memory is O(accumulator + in-flight results), not
+  O(all chunks).
+* With a ``memory_budget`` set and an input larger than it, the job runs
+  **out of core** (:mod:`repro.exec.outofcore`): fragment-at-a-time
+  map/combine/sort, spill each fragment's sorted run to disk, lazily
+  ``heapq.merge`` the runs before reduce/merge.  Output is identical to
+  the in-memory mode; only peak memory changes.
+
+API notes: ``map``/``reduce``/``merge`` callbacks mirror
+:class:`~repro.phoenix.api.MapReduceSpec` and must be module-level
+picklable functions (a multiprocessing constraint).  With a
+``combine_fn`` the engine may pre-combine across any grouping of chunks
+(per batch, per fragment), so the combiner must be an
+associative/commutative fold — the standard combiner contract.
 
 Tracing: pass an enabled :class:`~repro.obs.registry.Observability` as
-``obs`` and the engine records a ``localmr.job`` span with chunk/merge
-phases, and each worker ships wall-clock span segments back in its result
-pickle (timestamps from ``time.time``, which is machine-wide, so parent
-and worker segments share one timeline); the parent stitches them into
-the trace on per-worker tracks.  With tracing off (the default) workers
-ship nothing extra and span sites cost one guarded call each.
+``obs`` and the engine records a ``localmr.job`` span with
+chunk-plan/map/fragment/spill/merge phases; workers ship wall-clock span
+segments back in their result pickles (``time.time`` timestamps, which
+are machine-wide, so parent and worker segments share one timeline) and
+the parent stitches them onto per-worker tracks.  With tracing off (the
+default) workers ship ``segments=None`` and span sites cost one guarded
+call each.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing as mp
 import os
 import time
 import typing as _t
 
 from repro.errors import WorkloadError
-from repro.exec.chunks import FileChunk, chunk_file, read_chunk
+from repro.exec.chunks import FileChunk, chunk_file
+from repro.exec.outofcore import run_out_of_core
+from repro.exec.pool import WorkerPool, run_batch
 from repro.obs import Observability
-from repro.phoenix.sort import local_merge_maps
+from repro.phoenix.sort import finalize_merged_map, merge_map_into
 
 __all__ = ["LocalJobResult", "LocalMapReduce"]
 
 #: shared no-op registry for untraced runs (span sites stay guarded)
 _DISABLED_OBS = Observability(enabled=False)
+
+#: sentinel: "use the engine-level memory budget"
+_UNSET = object()
 
 
 @dataclasses.dataclass
@@ -45,59 +72,12 @@ class LocalJobResult:
     n_workers: int
     #: the root localmr.job span when tracing was enabled, else None
     span: object | None = dataclasses.field(default=None, repr=False, compare=False)
-
-
-def _apply_chunk(args: tuple) -> tuple[dict, list | None]:
-    """Worker body: map one chunk and pre-combine its emissions.
-
-    Returns ``(combiner_map, segments)`` — the raw combiner map (no
-    per-chunk sort, no per-chunk ``repr``: the parent dict-merges the maps
-    and pays one ``repr`` per distinct key for the whole job, see
-    :func:`repro.phoenix.sort.local_merge_maps`) plus, when tracing is on,
-    wall-clock span segments ``(name, t0, t1, wall_dur, attrs)`` for the
-    parent to stitch into its trace.
-    """
-    chunk, map_fn, combine_fn, params, index, want_spans = args
-    segments: list | None = [] if want_spans else None
-
-    t0 = time.time() if want_spans else 0.0
-    w0 = time.perf_counter() if want_spans else 0.0
-    data = read_chunk(chunk)
-    if want_spans:
-        t1 = time.time()
-        segments.append(
-            (
-                "localmr.read_chunk",
-                t0,
-                t1,
-                time.perf_counter() - w0,
-                {"index": index, "bytes": len(data), "pid": os.getpid()},
-            )
-        )
-
-    acc: dict[object, object] = {}
-    if combine_fn is None:
-        def emit(key: object, value: object) -> None:
-            acc.setdefault(key, []).append(value)  # type: ignore[union-attr]
-    else:
-        def emit(key: object, value: object) -> None:
-            acc[key] = combine_fn(acc[key], value) if key in acc else value
-
-    t0 = time.time() if want_spans else 0.0
-    w0 = time.perf_counter() if want_spans else 0.0
-    if data:
-        map_fn(data, emit, params)
-    if want_spans:
-        segments.append(
-            (
-                "localmr.map_chunk",
-                t0,
-                time.time(),
-                time.perf_counter() - w0,
-                {"index": index, "keys": len(acc), "pid": os.getpid()},
-            )
-        )
-    return acc, segments
+    #: "memory" (everything resident) or "outofcore" (spilled fragments)
+    mode: str = "memory"
+    #: fragments processed (1 for in-memory runs)
+    n_fragments: int = 1
+    #: bytes spilled to disk (0 for in-memory runs)
+    spilled_bytes: int = 0
 
 
 class LocalMapReduce:
@@ -112,6 +92,10 @@ class LocalMapReduce:
         delimiters: bytes = b" \t\n\r",
         n_workers: int | None = None,
         obs: Observability | None = None,
+        start_method: str | None = None,
+        memory_budget: int | None = None,
+        spill_dir: str | None = None,
+        batches_per_worker: int = 2,
     ):
         self.map_fn = map_fn
         self.reduce_fn = reduce_fn
@@ -120,6 +104,35 @@ class LocalMapReduce:
         self.delimiters = delimiters
         self.n_workers = n_workers or max(1, os.cpu_count() or 1)
         self.obs = obs or _DISABLED_OBS
+        #: input bytes above which runs go out of core (None: never)
+        self.memory_budget = memory_budget
+        #: where spill run directories are created (None: system temp)
+        self.spill_dir = spill_dir
+        if batches_per_worker < 1:
+            raise WorkloadError("batches_per_worker must be >= 1")
+        self.batches_per_worker = batches_per_worker
+        #: persistent worker pool, created on first parallel run
+        self.pool = WorkerPool(self.n_workers, start_method)
+
+    @property
+    def start_method(self) -> str:
+        """The resolved multiprocessing start method."""
+        return self.pool.start_method
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the persistent worker pool (idempotent; the next
+        parallel run recreates it)."""
+        self.pool.close()
+
+    def __enter__(self) -> "LocalMapReduce":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------------
 
     def run(
         self,
@@ -127,70 +140,129 @@ class LocalMapReduce:
         chunk_bytes: int | None = None,
         params: dict | None = None,
         parallel: bool = True,
+        memory_budget: int | None | object = _UNSET,
     ) -> LocalJobResult:
         """Execute over ``path``; ``parallel=False`` runs in-process.
 
         ``chunk_bytes=None`` picks ~4 chunks per worker (dynamic-balancing
-        granularity, like Phoenix's task pool).
+        granularity, like Phoenix's task pool).  ``memory_budget``
+        overrides the engine-level budget for this run; an input larger
+        than the effective budget is processed out of core.
         """
         params = params or {}
         obs = self.obs
+        budget = self.memory_budget if memory_budget is _UNSET else memory_budget
         size = os.path.getsize(path)
         if chunk_bytes is None:
             chunk_bytes = max(1, size // (4 * self.n_workers) or 1)
         if chunk_bytes < 1:
             raise WorkloadError("chunk_bytes must be >= 1")
+        out_of_core = budget is not None and size > budget
         t0 = time.perf_counter()
         with obs.span(
             "localmr.job", cat="localmr", track="localmr",
             path=path, bytes=size,
+            mode="outofcore" if out_of_core else "memory",
         ) as job_sp:
             with obs.span("localmr.chunk_plan", cat="localmr", track="localmr"):
                 chunks = chunk_file(path, chunk_bytes, self.delimiters)
-            want_spans = obs.enabled
-            tasks = [
-                (c, self.map_fn, self.combine_fn, params, i, want_spans)
-                for i, c in enumerate(chunks)
-            ]
 
-            with obs.span(
-                "localmr.map_pool", cat="localmr", track="localmr",
-                chunks=len(chunks),
-            ):
-                if parallel and self.n_workers > 1 and len(chunks) > 1:
-                    ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
-                    with ctx.Pool(processes=min(self.n_workers, len(chunks))) as pool:
-                        results = pool.map(_apply_chunk, tasks)
-                else:
-                    results = [_apply_chunk(t) for t in tasks]
-            parts = [acc for acc, _segs in results]
+            if out_of_core:
+                def map_fragment(fragment: _t.Sequence[FileChunk]) -> dict:
+                    return self._map_chunks(fragment, params, parallel, job_sp)
 
-            # Stitch worker-recorded wall-clock segments into this trace,
-            # one track per worker process.
-            if want_spans:
-                for acc, segs in results:
-                    for name, seg_t0, seg_t1, wall_dur, attrs in segs or ():
-                        obs.add_span(
-                            name,
-                            seg_t0,
-                            seg_t1,
-                            cat="localmr",
-                            track=f"worker-{attrs.get('pid', '?')}",
-                            parent=job_sp,
-                            wall_dur=wall_dur,
-                            attrs=attrs,
-                        )
-
-            # parts are raw combiner maps: dict-merge + one decorate-sort
-            # (one repr per distinct key) instead of flatten + global re-sort
-            with obs.span("localmr.merge", cat="localmr", track="localmr"):
-                out = local_merge_maps(
-                    parts, self.combine_fn, self.reduce_fn, self.sort_output, params
+                out, n_fragments, spilled = run_out_of_core(
+                    chunks, map_fragment, self.combine_fn, self.reduce_fn,
+                    self.sort_output, params, budget, obs, self.spill_dir,
                 )
+            else:
+                merged = self._map_chunks(chunks, params, parallel, job_sp)
+                with obs.span("localmr.merge", cat="localmr", track="localmr"):
+                    out = finalize_merged_map(
+                        merged, self.combine_fn, self.reduce_fn,
+                        self.sort_output, params,
+                    )
+                n_fragments, spilled = 1, 0
         return LocalJobResult(
             output=out,
             elapsed=time.perf_counter() - t0,
             n_chunks=len(chunks),
             n_workers=self.n_workers if parallel else 1,
             span=job_sp if obs.enabled else None,
+            mode="outofcore" if out_of_core else "memory",
+            n_fragments=n_fragments,
+            spilled_bytes=spilled,
         )
+
+    # -- internals -------------------------------------------------------------
+
+    def _map_chunks(
+        self,
+        chunks: _t.Sequence[FileChunk],
+        params: dict,
+        parallel: bool,
+        job_sp: object,
+    ) -> dict:
+        """Map ``chunks`` into one merged combiner map.
+
+        Parallel path: batches stream through the persistent pool via
+        ``imap_unordered``; each arriving map is folded into the
+        accumulator immediately (reorder buffer keeps batch order, so the
+        result is deterministic).  Serial path: one batch per chunk,
+        in-process — the seed dataflow, byte for byte.
+        """
+        obs = self.obs
+        want_spans = obs.enabled
+        use_pool = parallel and self.n_workers > 1 and len(chunks) > 1
+        if use_pool:
+            n_batches = min(
+                len(chunks), self.n_workers * self.batches_per_worker
+            )
+            per = -(-len(chunks) // n_batches)  # ceil division
+            batches = [chunks[i : i + per] for i in range(0, len(chunks), per)]
+        else:
+            batches = [[c] for c in chunks]
+        tasks = [
+            (i, batch, self.map_fn, self.combine_fn, params, want_spans)
+            for i, batch in enumerate(batches)
+        ]
+
+        merged: dict[object, list] = {}
+        with obs.span(
+            "localmr.map_pool", cat="localmr", track="localmr",
+            chunks=len(chunks), batches=len(batches),
+        ):
+            if use_pool:
+                results: _t.Iterable = self.pool.imap_unordered(run_batch, tasks)
+            else:
+                results = map(run_batch, tasks)
+            pending: dict[int, dict] = {}
+            next_index = 0
+            for index, acc, segments in results:
+                if want_spans and segments:
+                    self._stitch(segments, job_sp)
+                # merge in batch order as soon as the order is available:
+                # merge CPU overlaps the still-running map tasks
+                pending[index] = acc
+                while next_index in pending:
+                    merge_map_into(
+                        merged, pending.pop(next_index), self.combine_fn
+                    )
+                    next_index += 1
+        return merged
+
+    def _stitch(self, segments: list, job_sp: object) -> None:
+        """Attach worker-recorded wall-clock segments to the trace, one
+        track per worker process."""
+        obs = self.obs
+        for name, seg_t0, seg_t1, wall_dur, attrs in segments:
+            obs.add_span(
+                name,
+                seg_t0,
+                seg_t1,
+                cat="localmr",
+                track=f"worker-{attrs.get('pid', '?')}",
+                parent=job_sp,
+                wall_dur=wall_dur,
+                attrs=attrs,
+            )

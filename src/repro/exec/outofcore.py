@@ -1,0 +1,266 @@
+"""Out-of-core fragment mode: the Fig 6 loop on the real machine.
+
+When a job's input exceeds the engine's memory budget, the streaming
+engine runs the paper's partitioning extension for real: the chunk plan is
+grouped into consecutive *fragments* no larger than the budget, each
+fragment is mapped/combined/decorate-sorted on its own, and the fragment's
+sorted run is spilled to disk as pickled blocks.  At any instant the
+parent holds one fragment's accumulator — not the whole input's — which is
+what bounds peak RSS.  After the last fragment, the spilled runs are
+merged *lazily* (``heapq.merge`` via
+:func:`repro.phoenix.sort.merge_decorated_runs`), equal keys are folded
+across runs, and reduction happens per key as the stream drains, so the
+merge phase holds O(runs) read-ahead blocks plus the final output.
+
+Spill format: each run file is a sequence of *independent* pickled
+blocks (lists of decorated ``(sort_key, key, values)`` entries, bounded
+by :data:`SPILL_BLOCK_ENTRIES` and :data:`SPILL_BLOCK_VALUES`), one
+``pickle.dump`` per block.  Independence matters: a pickler/unpickler
+pair shared across blocks memoizes every object it has ever seen, so a
+shared reader would keep the *entire* run resident while the merge
+drains it — silently un-bounding the memory the spill exists to bound.
+With per-block pickles the reader holds one block's objects per run at a
+time.  Run files live in a fresh temporary directory that is removed on
+success *and* on failure.
+
+Observability: each fragment gets a ``localmr.fragment`` span with a
+nested ``localmr.spill``; spilled volume feeds the always-on
+``localmr.spill_bytes`` / ``localmr.spill_runs`` counters; the final lazy
+merge runs under ``localmr.merge``.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import operator
+import os
+import pickle
+import shutil
+import tempfile
+import typing as _t
+
+from repro.errors import WorkloadError
+from repro.exec.chunks import FileChunk
+from repro.obs import Observability
+from repro.phoenix.sort import (
+    decorate_sorted,
+    merge_decorated_runs,
+    sort_decorated_by_value_desc,
+    undecorate,
+)
+
+__all__ = ["plan_fragments", "run_out_of_core", "write_run", "iter_run"]
+
+#: max decorated entries per pickled spill block
+SPILL_BLOCK_ENTRIES = 2048
+
+#: default max values per pickled spill block — value-list entries (no
+#: combiner) can each carry many values, so blocks must be value-weighted
+#: for any memory bound to hold on list-heavy workloads
+SPILL_BLOCK_VALUES = 8192
+
+#: total merge read-ahead budget, in values, across ALL runs.  The merge
+#: holds one block per run; with a fixed per-block cap that read-ahead is
+#: ``n_runs x cap`` — and ``n_runs`` grows linearly with input size
+#: (input/budget), which would silently make merge memory O(input).  The
+#: run count is known before anything spills, so the per-block cap is
+#: derived as ``MERGE_READAHEAD_VALUES / n_runs``: total read-ahead stays
+#: constant however large the input gets.
+MERGE_READAHEAD_VALUES = 8_192
+
+#: floor on the derived per-block value cap (keeps pickle-call overhead
+#: sane for jobs with hundreds of runs)
+MIN_BLOCK_VALUES = 128
+
+_SORT_KEY = operator.itemgetter(0)
+
+
+def plan_fragments(
+    chunks: _t.Sequence[FileChunk], budget: int
+) -> list[list[FileChunk]]:
+    """Group consecutive chunks into fragments of at most ``budget`` bytes.
+
+    Fragment order preserves chunk order (the merge relies on it for
+    stable value-list ordering).  A single chunk larger than the budget
+    becomes its own fragment — chunk granularity is the floor below which
+    the input cannot be split without breaking records.
+    """
+    if budget < 1:
+        raise WorkloadError(f"memory budget must be >= 1, got {budget}")
+    fragments: list[list[FileChunk]] = []
+    current: list[FileChunk] = []
+    current_bytes = 0
+    for chunk in chunks:
+        if current and current_bytes + chunk.length > budget:
+            fragments.append(current)
+            current, current_bytes = [], 0
+        current.append(chunk)
+        current_bytes += chunk.length
+    if current:
+        fragments.append(current)
+    return fragments
+
+
+def write_run(
+    path: str, entries: _t.Iterable, block_values: int = SPILL_BLOCK_VALUES
+) -> int:
+    """Spill one sorted decorated run as pickled blocks; returns bytes written.
+
+    Blocks are bounded both by entry count and by total carried values
+    (``block_values``), so a reader never holds more than ~one block's
+    worth of data per run regardless of how lopsided the value lists
+    are.  Each block is an independent pickle (fresh memo), so readers
+    can free a block's objects as soon as the merge moves past them.
+    """
+    with open(path, "wb") as f:
+        block: list = []
+        weight = 0
+        for entry in entries:
+            block.append(entry)
+            values = entry[2]
+            weight += len(values) if isinstance(values, list) else 1
+            if len(block) >= SPILL_BLOCK_ENTRIES or weight >= block_values:
+                pickle.dump(block, f, protocol=pickle.HIGHEST_PROTOCOL)
+                block, weight = [], 0
+        if block:
+            pickle.dump(block, f, protocol=pickle.HIGHEST_PROTOCOL)
+        return f.tell()
+
+
+def iter_run(path: str) -> _t.Iterator:
+    """Stream a spilled run back, one block resident at a time."""
+    with open(path, "rb") as f:
+        while True:
+            try:
+                block = pickle.load(f)
+            except EOFError:
+                return
+            yield from block
+
+
+def _fold_equal_keys(stream: _t.Iterator) -> _t.Iterator:
+    """Fold adjacent equal-key entries of a sort-key-ordered stream.
+
+    Value lists from later runs extend earlier ones, so each key's values
+    keep global chunk order.  Distinct keys that share a ``repr`` (hence a
+    sort key) stay distinct: within one sort-key group, grouping is by
+    actual key equality, emitted in first-seen order — the same order the
+    in-memory path's stable sort over dict-insertion order produces.
+    """
+    for sort_key, group in itertools.groupby(stream, key=_SORT_KEY):
+        acc: dict[object, list] = {}
+        for _skey, key, values in group:
+            bucket = acc.get(key)
+            if bucket is None:
+                # entries come fresh off the unpickler; owning is safe
+                acc[key] = values
+            else:
+                bucket.extend(values)
+        for key, values in acc.items():
+            yield sort_key, key, values
+
+
+def _finalize_stream(
+    stream: _t.Iterator,
+    combine_fn: _t.Callable | None,
+    reduce_fn: _t.Callable | None,
+    sort_output: bool,
+    params: dict,
+) -> list[tuple[object, object]]:
+    """Reduce/fold the merged stream per key; mirror of
+    :func:`repro.phoenix.sort.finalize_merged_map` over a lazy stream.
+
+    Value lists exist one key at a time; only the final (key, value)
+    output is materialized.
+    """
+    folded = _fold_equal_keys(stream)
+    if reduce_fn is not None:
+        entries = [
+            (skey, key, reduce_fn(key, values, params))
+            for skey, key, values in folded
+        ]
+    elif combine_fn is not None:
+        entries = [
+            (skey, key, functools.reduce(combine_fn, values))
+            for skey, key, values in folded
+        ]
+    else:
+        entries = list(folded)
+    if sort_output:
+        entries = sort_decorated_by_value_desc(entries)
+    return undecorate(entries)
+
+
+def run_out_of_core(
+    chunks: _t.Sequence[FileChunk],
+    map_fragment: _t.Callable[[_t.Sequence[FileChunk]], dict],
+    combine_fn: _t.Callable | None,
+    reduce_fn: _t.Callable | None,
+    sort_output: bool,
+    params: dict,
+    budget: int,
+    obs: Observability,
+    spill_dir: str | None = None,
+) -> tuple[list[tuple[object, object]], int, int]:
+    """Fragment-at-a-time map/combine/sort/spill, then lazy merge-reduce.
+
+    ``map_fragment`` is the engine's chunk-mapping closure (pool or
+    in-process) returning one merged ``key -> values`` map per fragment.
+    Returns ``(output, n_fragments, spilled_bytes)``.  Spill files live
+    under a fresh directory inside ``spill_dir`` (default: the system
+    temp dir) and are removed whether the run succeeds or raises.
+    """
+    fragments = plan_fragments(chunks, budget)
+    # per-block value cap derived from the run count so the merge's total
+    # read-ahead (one block per run) stays ~MERGE_READAHEAD_VALUES however
+    # many runs the input needs
+    block_values = max(
+        MIN_BLOCK_VALUES,
+        min(SPILL_BLOCK_VALUES, MERGE_READAHEAD_VALUES // len(fragments)),
+    )
+    tmpdir = tempfile.mkdtemp(prefix="localmr-spill-", dir=spill_dir)
+    spilled = 0
+    try:
+        run_paths: list[str] = []
+        for i, fragment in enumerate(fragments):
+            with obs.span(
+                "localmr.fragment", cat="localmr", track="localmr",
+                index=i, chunks=len(fragment),
+                bytes=sum(c.length for c in fragment),
+            ):
+                merged = map_fragment(fragment)
+                if combine_fn is not None:
+                    # fragment-side combine: fold each key's per-batch
+                    # partials to one partial before spilling (licensed by
+                    # the combiner contract; halves spill volume).  The
+                    # cross-run fold then hands reduce per-fragment
+                    # partial lists.
+                    entries = decorate_sorted(
+                        (k, [functools.reduce(combine_fn, vs)])
+                        for k, vs in merged.items()
+                    )
+                else:
+                    entries = decorate_sorted(merged)
+                del merged
+                path = os.path.join(tmpdir, f"run-{i:05d}.spill")
+                with obs.span(
+                    "localmr.spill", cat="localmr", track="localmr", index=i,
+                ) as spill_sp:
+                    nbytes = write_run(path, entries, block_values)
+                    spill_sp.set(bytes=nbytes, entries=len(entries))
+                del entries
+                obs.count("localmr.spill_bytes", nbytes)
+                obs.count("localmr.spill_runs")
+                spilled += nbytes
+                run_paths.append(path)
+        with obs.span(
+            "localmr.merge", cat="localmr", track="localmr", runs=len(run_paths),
+        ):
+            stream = merge_decorated_runs([iter_run(p) for p in run_paths])
+            output = _finalize_stream(
+                stream, combine_fn, reduce_fn, sort_output, params
+            )
+        return output, len(fragments), spilled
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)

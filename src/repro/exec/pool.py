@@ -1,0 +1,253 @@
+"""Persistent worker pool with per-worker cached, mmap-backed chunk reads.
+
+The streaming engine's process management lives here, split from the
+dataflow in :mod:`repro.exec.localmr`:
+
+* :class:`WorkerPool` keeps one ``multiprocessing`` pool alive across
+  fragments *and jobs* — the seed engine forked a fresh pool per ``run()``
+  and paid create/teardown plus cold worker caches every time.
+* Workers read chunks through a small per-process cache of ``mmap``-backed
+  file handles (:func:`read_chunk_cached`): one ``open``+``mmap`` per file
+  per worker lifetime instead of the seed's open/seek/read syscall triple
+  per chunk, with slices served straight from the page cache.
+* Map tasks are *batches* of consecutive chunks (:func:`run_batch`).  A
+  worker folds every chunk of its batch into one combiner map and ships
+  that single map back, so IPC pickling scales with batches (a few per
+  worker) rather than chunks.
+
+Start methods: ``forkserver`` is the default where available — bare
+``fork`` of a threaded parent is deadlock-prone (any lock held by another
+thread at fork time stays locked forever in the child), and the paper's
+daemon-shaped deployments are exactly the threaded-parent case.  ``fork``
+remains selectable for fork-safe parents; Windows gets ``spawn``.
+"""
+
+from __future__ import annotations
+
+import collections
+import mmap
+import multiprocessing as mp
+import os
+import sys
+import time
+import typing as _t
+
+from repro.errors import WorkloadError
+from repro.exec.chunks import FileChunk
+
+__all__ = ["WorkerPool", "read_chunk_cached", "resolve_start_method", "run_batch"]
+
+#: per-process cap on cached (file, mmap) pairs
+_MAX_CACHED_FILES = 8
+
+#: per-process mmap cache: path -> (ino, size, mtime_ns, file, mmap)
+_HANDLES: "collections.OrderedDict[str, tuple[int, int, int, _t.BinaryIO, mmap.mmap | None]]" = (
+    collections.OrderedDict()
+)
+
+
+def _drop_handle(path: str) -> None:
+    ino, size, mtime, f, mm = _HANDLES.pop(path)
+    if mm is not None:
+        mm.close()
+    f.close()
+
+
+def read_chunk_cached(chunk: FileChunk) -> bytes:
+    """The chunk's bytes via this process's cached ``mmap`` of the file.
+
+    One ``stat`` revalidates the cache entry (inode/size/mtime — the file
+    may have been replaced between jobs); a hit costs a single slice off
+    the mapping, no open/seek/read.  Falls back to an empty mapping for
+    zero-length files, which cannot be mmapped.
+    """
+    path = chunk.path
+    st = os.stat(path)
+    entry = _HANDLES.get(path)
+    if entry is not None and (st.st_ino, st.st_size, st.st_mtime_ns) != entry[:3]:
+        _drop_handle(path)
+        entry = None
+    if entry is None:
+        f = open(path, "rb")
+        mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ) if st.st_size else None
+        entry = (st.st_ino, st.st_size, st.st_mtime_ns, f, mm)
+        _HANDLES[path] = entry
+        while len(_HANDLES) > _MAX_CACHED_FILES:
+            _drop_handle(next(iter(_HANDLES)))
+    else:
+        _HANDLES.move_to_end(path)
+    mm = entry[4]
+    if mm is None or chunk.length == 0:
+        return b""
+    return mm[chunk.offset : chunk.end]
+
+
+def run_batch(args: tuple) -> tuple[int, dict, list | None]:
+    """Worker body: map a batch of consecutive chunks into one combiner map.
+
+    Returns ``(batch_index, combiner_map, segments)``.  All of the batch's
+    chunks fold into a single accumulator — with a ``combine_fn`` this is
+    worker-side combining across chunks (licensed by the combiner contract:
+    an associative/commutative fold), without one it is value-list
+    extension in chunk order — so the pipe carries one map per batch.
+    ``segments`` are wall-clock span tuples ``(name, t0, t1, wall_dur,
+    attrs)`` per chunk when tracing is on, else ``None`` (tracing-off runs
+    ship nothing extra over IPC).
+    """
+    index, chunks, map_fn, combine_fn, params, want_spans = args
+    segments: list | None = [] if want_spans else None
+
+    acc: dict[object, object] = {}
+    if combine_fn is None:
+        def emit(key: object, value: object) -> None:
+            acc.setdefault(key, []).append(value)  # type: ignore[union-attr]
+    else:
+        def emit(key: object, value: object) -> None:
+            acc[key] = combine_fn(acc[key], value) if key in acc else value
+
+    for chunk in chunks:
+        t0 = time.time() if want_spans else 0.0
+        w0 = time.perf_counter() if want_spans else 0.0
+        data = read_chunk_cached(chunk)
+        if want_spans:
+            segments.append(
+                (
+                    "localmr.read_chunk",
+                    t0,
+                    time.time(),
+                    time.perf_counter() - w0,
+                    {"batch": index, "bytes": len(data), "pid": os.getpid()},
+                )
+            )
+        t0 = time.time() if want_spans else 0.0
+        w0 = time.perf_counter() if want_spans else 0.0
+        keys_before = len(acc)
+        if data:
+            map_fn(data, emit, params)
+        if want_spans:
+            segments.append(
+                (
+                    "localmr.map_chunk",
+                    t0,
+                    time.time(),
+                    time.perf_counter() - w0,
+                    {
+                        "batch": index,
+                        "keys": len(acc) - keys_before,
+                        "pid": os.getpid(),
+                    },
+                )
+            )
+    return index, acc, segments
+
+
+def resolve_start_method(preferred: str | None = None) -> str:
+    """Pick the multiprocessing start method for a :class:`WorkerPool`.
+
+    ``preferred`` wins when given (validated against this platform);
+    otherwise ``forkserver`` where available, ``spawn`` on Windows,
+    ``fork`` as the last resort.
+    """
+    available = mp.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise WorkloadError(
+                f"start method {preferred!r} not available here "
+                f"(have: {', '.join(available)})"
+            )
+        return preferred
+    if os.name == "nt":
+        return "spawn"
+    if "forkserver" in available and _main_is_reimportable():
+        return "forkserver"
+    return "fork"
+
+
+def _main_is_reimportable() -> bool:
+    """Whether forkserver/spawn workers can reconstruct ``__main__``.
+
+    Those start methods re-import the parent's ``__main__`` in each
+    worker; when the parent is interactive or fed from stdin there is no
+    file to re-import and every worker dies at startup — which the pool
+    answers by forking a replacement, forever.  Detect that case up front
+    and fall back to ``fork``.
+    """
+    main = sys.modules.get("__main__")
+    if main is None:  # pragma: no cover - embedded interpreters
+        return False
+    if getattr(getattr(main, "__spec__", None), "name", None) is not None:
+        return True  # importable by module name (python -m, pytest, ...)
+    main_file = getattr(main, "__file__", None)
+    return main_file is not None and os.path.exists(main_file)
+
+
+class WorkerPool:
+    """A lazily created, persistent ``multiprocessing`` pool.
+
+    The pool is built on first use and reused for every subsequent batch
+    submission until :meth:`close` — across fragments of one out-of-core
+    job and across jobs on the same engine — so worker processes keep
+    their warm module imports and mmap handle caches.  Usable as a
+    context manager; closing is idempotent and the pool resurrects on the
+    next submission after a close.
+    """
+
+    def __init__(self, n_workers: int, start_method: str | None = None):
+        if n_workers < 1:
+            raise WorkloadError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.start_method = resolve_start_method(start_method)
+        self._pool: mp.pool.Pool | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def ensure(self) -> mp.pool.Pool:
+        """The live pool, creating it on first use."""
+        if self._pool is None:
+            ctx = mp.get_context(self.start_method)
+            if self.start_method == "forkserver":
+                try:
+                    # warm the server with the library so each forked
+                    # worker starts with repro importable (no-op if the
+                    # server is already up)
+                    ctx.set_forkserver_preload(["repro"])
+                except Exception:  # pragma: no cover - best-effort
+                    pass
+            self._pool = ctx.Pool(processes=self.n_workers)
+        return self._pool
+
+    @property
+    def alive(self) -> bool:
+        """Whether worker processes currently exist."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Tear down the worker processes (next submission recreates them)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- submission ------------------------------------------------------------
+
+    def imap_unordered(
+        self, fn: _t.Callable, tasks: _t.Sequence
+    ) -> _t.Iterator:
+        """Submit ``tasks`` and yield results as they complete.
+
+        Completion order is arbitrary; callers that need determinism
+        reorder on the task index (see the engine's reorder-buffer merge).
+        """
+        return self.ensure().imap_unordered(fn, tasks)

@@ -31,6 +31,8 @@ __all__ = [
     "Combiner",
     "KeyCache",
     "merge_combiner_maps",
+    "merge_map_into",
+    "finalize_merged_map",
     "decorate_sorted",
     "partition_decorated",
     "merge_entry_runs",
@@ -135,6 +137,38 @@ def merge_combiner_maps(
     return merged
 
 
+def merge_map_into(
+    merged: dict[object, list],
+    m: dict,
+    combine_fn: _t.Callable[[object, object], object] | None,
+) -> None:
+    """Fold one combiner map into ``merged`` (incremental counterpart of
+    :func:`merge_combiner_maps`).
+
+    The streaming engine merges each worker result the moment it arrives —
+    merge CPU overlaps the remaining map work and the parent never holds
+    more than the accumulator plus in-flight results — so the merge has to
+    be expressible one map at a time.  Semantics match the batch function:
+    value lists are extended (no ``combine_fn``), folded partials are
+    appended (with one).
+    """
+    merged_get = merged.get
+    if combine_fn is None:
+        for key, values in m.items():
+            bucket = merged_get(key)
+            if bucket is None:
+                merged[key] = list(values)
+            else:
+                bucket.extend(values)
+    else:
+        for key, value in m.items():
+            bucket = merged_get(key)
+            if bucket is None:
+                merged[key] = [value]
+            else:
+                bucket.append(value)
+
+
 def decorate_sorted(
     items: dict | _t.Iterable[tuple[object, object]],
     cache: KeyCache | None = None,
@@ -188,14 +222,34 @@ def merge_entry_runs(runs: _t.Iterable[list[Entry]]) -> list[Entry]:
 
 
 def merge_decorated_runs(runs: _t.Iterable[_t.Iterable[Entry]]) -> _t.Iterator[Entry]:
-    """Lazy k-way merge of sorted entry runs via ``heapq.merge``.
+    """Lazy k-way heap merge of sorted entry runs.
 
     Constant memory in the number of runs: the streaming counterpart of
     :func:`merge_entry_runs` for consumers that cannot materialize all
-    runs at once (the out-of-core partitioning extension streams fragment
-    outputs through this).
+    runs at once (the out-of-core engine streams spilled fragment runs
+    through this).  Hand-rolled rather than ``heapq.merge(key=...)``: the
+    stdlib version layers a generator and a key-wrapper per element,
+    which measures ~2x slower on the spill-merge path.  Heap items carry
+    the run index, so equal sort keys pop in run order (stability the
+    cross-run value-list fold relies on) and comparisons never reach the
+    (possibly uncomparable) raw entries.
     """
-    return heapq.merge(*runs, key=_SORT_KEY)
+    heap: list[tuple] = []
+    for i, run in enumerate(runs):
+        it = iter(run)
+        for entry in it:
+            heap.append((entry[0], i, entry, it))
+            break
+    heapq.heapify(heap)
+    heapreplace, heappop = heapq.heapreplace, heapq.heappop
+    while heap:
+        _skey, i, entry, it = heap[0]
+        yield entry
+        for nxt in it:
+            heapreplace(heap, (nxt[0], i, nxt, it))
+            break
+        else:
+            heappop(heap)
 
 
 def sort_decorated_by_value_desc(entries: _t.Iterable[Entry]) -> list[Entry]:
@@ -271,7 +325,25 @@ def local_merge_maps(
     workers would cost one per key per *chunk*, which measures slower even
     before pickling the extra strings.
     """
-    merged = merge_combiner_maps(maps, combine_fn)
+    return finalize_merged_map(
+        merge_combiner_maps(maps, combine_fn), combine_fn, reduce_fn,
+        sort_output, params,
+    )
+
+
+def finalize_merged_map(
+    merged: dict[object, list],
+    combine_fn: _t.Callable[[object, object], object] | None,
+    reduce_fn: _t.Callable[[object, list, dict], object] | None,
+    sort_output: bool,
+    params: dict,
+) -> list[tuple[object, object]]:
+    """Reduce/fold + decorate-sort one already-merged ``key -> values`` map.
+
+    The tail of :func:`local_merge_maps`, split out so the streaming
+    engine can feed it an accumulator built incrementally (via
+    :func:`merge_map_into`) instead of a materialized list of maps.
+    """
     if reduce_fn is not None:
         items: _t.Iterable[tuple[object, object]] = (
             (k, reduce_fn(k, values, params)) for k, values in merged.items()

@@ -70,6 +70,43 @@ def test_bad_chunk_size(text_file):
         chunk_file(path, 0)
 
 
+def test_delimiter_exactly_at_draft_boundary(tmp_path):
+    # every draft point lands right after a delimiter: the fast probe
+    # must accept it without scanning a window, and chunks stay exactly
+    # chunk_bytes long
+    data = b"abcd efgh ijkl"
+    p = tmp_path / "exact"
+    p.write_bytes(data)
+    chunks = chunk_file(str(p), 5)
+    assert [(c.offset, c.length) for c in chunks] == [(0, 5), (5, 5), (10, 4)]
+    assert b"".join(read_chunk(c) for c in chunks) == data
+
+
+def test_file_smaller_than_one_window(tmp_path):
+    # whole file fits inside a single 64 KiB probe window: boundary scans
+    # hit EOF rather than a full window
+    data = b" ".join(b"w%03d" % i for i in range(60))  # ~300 bytes
+    p = tmp_path / "tiny"
+    p.write_bytes(data)
+    chunks = chunk_file(str(p), 50)
+    assert len(chunks) > 1
+    assert b"".join(read_chunk(c) for c in chunks) == data
+    for c in chunks[:-1]:
+        assert read_chunk(c).endswith(b" ")
+
+
+def test_boundary_scan_spans_multiple_windows(tmp_path):
+    # first delimiter sits several windows past the draft point: the scan
+    # must extend window by window instead of giving up or splitting the
+    # record
+    data = b"x" * 140_000 + b" " + b"y" * 10
+    p = tmp_path / "long"
+    p.write_bytes(data)
+    chunks = chunk_file(str(p), 1_000)
+    assert [(c.offset, c.length) for c in chunks] == [(0, 140_001), (140_001, 10)]
+    assert b"".join(read_chunk(c) for c in chunks) == data
+
+
 def test_custom_delimiters(tmp_path):
     data = b"row1|row2|row3|row4|row5"
     p = tmp_path / "rows"

@@ -178,3 +178,80 @@ def test_untraced_run_has_no_span(corpus):
     path, _ = corpus
     res = wordcount_engine().run(path, chunk_bytes=40_000)
     assert res.span is None
+
+
+def test_stitched_segments_preserve_worker_order(corpus):
+    from collections import defaultdict
+
+    from repro.obs import Observability
+
+    path, _ = corpus
+    obs = Observability(enabled=True)
+    eng = LocalMapReduce(
+        map_fn=wc_map,
+        reduce_fn=wc_reduce,
+        combine_fn=operator.add,
+        sort_output=True,
+        n_workers=2,
+        obs=obs,
+    )
+    res = eng.run(path, chunk_bytes=8_000)
+    assert res.n_chunks >= 4
+    by_track = defaultdict(list)
+    for s in obs.spans.by_name("localmr.read_chunk") + obs.spans.by_name(
+        "localmr.map_chunk"
+    ):
+        by_track[s.track].append(s)
+    assert by_track and all(t.startswith("worker-") for t in by_track)
+    for track, segs in by_track.items():
+        # a worker's wall-clock segments never interleave: sorted by start
+        # time they alternate read -> map per chunk, exactly as recorded
+        segs.sort(key=lambda s: s.t0)
+        names = [s.name for s in segs]
+        assert names == ["localmr.read_chunk", "localmr.map_chunk"] * (
+            len(segs) // 2
+        )
+        for a, b in zip(segs, segs[1:]):
+            assert a.t1 <= b.t0 + 1e-6
+
+
+def test_run_batch_ships_no_segments_when_tracing_off(corpus):
+    from repro.exec.chunks import chunk_file
+    from repro.exec.pool import run_batch
+
+    path, _ = corpus
+    chunks = chunk_file(path, 20_000)
+    # exactly what a worker receives over IPC with tracing off ...
+    index, acc, segments = run_batch((0, chunks, wc_map, operator.add, {}, False))
+    assert segments is None  # nothing extra rides the result pickle
+    assert index == 0 and acc
+    # ... and with tracing on: one read + one map segment per chunk, in order
+    _, acc2, segs = run_batch((3, chunks, wc_map, operator.add, {}, True))
+    assert acc2 == acc
+    assert [s[0] for s in segs] == [
+        "localmr.read_chunk",
+        "localmr.map_chunk",
+    ] * len(chunks)
+    assert all(s[4]["batch"] == 3 for s in segs)
+
+
+def test_engine_context_manager_closes_pool(corpus):
+    path, _ = corpus
+    with wordcount_engine() as eng:
+        eng.run(path, chunk_bytes=20_000)
+        assert eng.pool.alive
+    assert not eng.pool.alive
+    # closed engines resurrect their pool on the next run
+    res = eng.run(path, chunk_bytes=20_000)
+    assert res.output
+    eng.close()
+    assert not eng.pool.alive
+
+
+def test_result_mode_metadata(corpus):
+    path, _ = corpus
+    with wordcount_engine() as eng:
+        res = eng.run(path, chunk_bytes=20_000)
+    assert res.mode == "memory"
+    assert res.n_fragments == 1
+    assert res.spilled_bytes == 0

@@ -1,23 +1,32 @@
 #!/usr/bin/env python3
-"""Perf gate for the shuffle pipeline: seed reference vs sort-once/merge-after.
+"""Perf gates: shuffle pipeline, and (``--real``) the real execution engine.
 
 Usage:  python tools/perf_gate.py [--quick] [--repeats N] [--out PATH]
+        python tools/perf_gate.py [--quick] --real [--start-method M]
 
-Runs the microbenchmark grid from ``benchmarks/bench_shuffle.py`` (engines x
-workloads x sizes), verifies on every case that the new pipeline's output is
-byte-identical to the frozen seed shuffle, prints a table, and writes the
-results to ``BENCH_shuffle.json`` at the repo root.
+Default mode runs the microbenchmark grid from
+``benchmarks/bench_shuffle.py`` (engines x workloads x sizes), verifies on
+every case that the new pipeline's output is byte-identical to the frozen
+seed shuffle, prints a table, and writes the results to
+``BENCH_shuffle.json`` at the repo root.
+
+``--real`` instead runs the real-machine engine suite from
+``benchmarks/bench_real_engine.py`` — streaming engine vs the frozen
+pre-streaming barrier engine (gated >= 1.3x with byte-identical outputs),
+the out-of-core fragment mode (byte-identical, multi-fragment), and the
+peak-RSS bound probe — and writes ``BENCH_real_engine.json``.  The real
+gates hold in quick mode too (they gate architecture, not microbenchmark
+noise).
 
 Exit status:
-    0  all outputs match (and, in full mode, the wordcount-100k gate holds)
-    1  any case produced output differing from the seed pipeline
-    2  full mode only: outputs match but a gated case fell below the
-       required speedup (>= 2x on the 100k-pair wordcount shuffle for both
-       engines)
+    0  all outputs match (and every applicable perf gate holds)
+    1  any case produced output differing from the reference pipeline
+    2  outputs match but a gated case fell below its required speedup
+       (shuffle: full mode only; real: both modes, including the RSS bound)
 
-``--quick`` runs only the smallest size (10k pairs) with one timing repeat —
-a seconds-long correctness smoke for CI; speedups are reported but not gated,
-since microbenchmark timings at that size are noise-dominated.
+``--quick`` runs the smallest sizes with one timing repeat — a
+seconds-long smoke for CI; shuffle speedups are then reported but not
+gated, since microbenchmark timings at that size are noise-dominated.
 """
 
 from __future__ import annotations
@@ -61,6 +70,61 @@ def print_table(results: list[dict]) -> None:
         )
 
 
+def run_real_gate(args) -> int:
+    """The ``--real`` path: real-engine suite -> BENCH_real_engine.json."""
+    from benchmarks.bench_real_engine import STREAMING_GATE, run_real_suite
+
+    t0 = time.perf_counter()
+    payload = run_real_suite(quick=args.quick, start_method=args.start_method)
+    elapsed = time.perf_counter() - t0
+    payload["elapsed_s"] = round(elapsed, 3)
+    payload["environment"] = environment_provenance()
+
+    out = args.out or os.path.join(_REPO_ROOT, "BENCH_real_engine.json")
+    with open(out, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+    rss = payload["rss"]
+    print(
+        f"real engine: seed {payload['seed_s']:.3f}s vs streaming "
+        f"{payload['streaming_s']:.3f}s => {payload['speedup']:.2f}x "
+        f"(gate >= {STREAMING_GATE}x) over {payload['workload']['n_jobs']} jobs"
+    )
+    print(
+        f"out-of-core: {payload['outofcore']['n_fragments']} fragments, "
+        f"{payload['outofcore']['spilled_bytes']} spilled bytes, "
+        f"{payload['outofcore']['speedup_vs_seed']:.2f}x vs seed (not gated)"
+    )
+    print(
+        f"peak RSS: out-of-core +{rss['outofcore_extra_kib']}KiB <= bound "
+        f"{rss['bound_kib']}KiB; in-memory +{rss['memory_mode_extra_kib']}KiB"
+    )
+    print(f"wrote {out} ({elapsed:.1f}s)")
+
+    if not payload["all_match"] or not rss["outputs_match"]:
+        print(
+            "FAIL: real-engine outputs differ across "
+            "seed/streaming/out-of-core", file=sys.stderr,
+        )
+        return 1
+    if payload["speedup"] < STREAMING_GATE:
+        print(
+            f"GATE: streaming speedup {payload['speedup']:.2f}x < "
+            f"required {STREAMING_GATE}x", file=sys.stderr,
+        )
+        return 2
+    if not rss["bounded"]:
+        print(
+            f"GATE: out-of-core peak RSS +{rss['outofcore_extra_kib']}KiB "
+            f"not bounded (bound {rss['bound_kib']}KiB, in-memory "
+            f"+{rss['memory_mode_extra_kib']}KiB)", file=sys.stderr,
+        )
+        return 2
+    print("real-engine outputs match; streaming and RSS gates hold")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -68,11 +132,20 @@ def main(argv: list[str] | None = None) -> int:
         help="smallest size only, one repeat: fast correctness smoke",
     )
     ap.add_argument(
+        "--real", action="store_true",
+        help="gate the real execution engine instead of the shuffle grid",
+    )
+    ap.add_argument(
+        "--start-method", default=None,
+        choices=("fork", "forkserver", "spawn"),
+        help="(--real only) multiprocessing start method for the engine",
+    )
+    ap.add_argument(
         "--repeats", type=int, default=None,
         help="timing repeats per case (best-of; default 1 quick / 3 full)",
     )
     ap.add_argument(
-        "--out", default=os.path.join(_REPO_ROOT, "BENCH_shuffle.json"),
+        "--out", default=None,
         help="where to write the JSON results (default: repo root)",
     )
     ap.add_argument(
@@ -80,6 +153,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also write a Chrome-trace (Perfetto-loadable) of the bench run",
     )
     args = ap.parse_args(argv)
+
+    if args.real:
+        return run_real_gate(args)
+    if args.out is None:
+        args.out = os.path.join(_REPO_ROOT, "BENCH_shuffle.json")
 
     sizes = QUICK_SIZES if args.quick else SIZES
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
