@@ -196,6 +196,12 @@ class SmartFAMConfig:
     host_poll_interval: float = msec(50)
     daemon_dispatch_overhead: float = msec(1)
     logfile_bytes: int = 4096
+    #: SD-side retries when persisting a RESULT record hits transient I/O
+    result_write_retries: int = 2
+    #: host-side invoke retries in :meth:`HostSmartFAM.invoke_reliable`
+    invoke_retries: int = 2
+    #: base delay for exponential backoff between retries (doubles per try)
+    retry_backoff: float = msec(100)
 
     def __post_init__(self) -> None:
         if min(self.inotify_latency, self.host_poll_interval) < 0:
@@ -204,6 +210,10 @@ class SmartFAMConfig:
             raise ConfigError("dispatch overhead must be >= 0")
         if self.logfile_bytes < 1:
             raise ConfigError("logfile_bytes must be >= 1")
+        if min(self.result_write_retries, self.invoke_retries) < 0:
+            raise ConfigError("retry counts must be >= 0")
+        if self.retry_backoff < 0:
+            raise ConfigError("retry_backoff must be >= 0")
 
 
 class NodeRole:

@@ -22,7 +22,7 @@ import typing as _t
 from repro.core.job import DataJob, JobResult
 from repro.core.loadbalance import Placement
 from repro.core.offload import OffloadEngine
-from repro.errors import OffloadError, OffloadTimeoutError
+from repro.errors import OffloadError, OffloadTimeoutError, is_retryable
 from repro.sim.events import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,14 +51,19 @@ class FaultTolerantInvoker:
         timeout: float | None = 120.0,
         max_retries: int = 1,
         fallback_to_host: bool = True,
+        backoff: float = 0.1,
     ):
         if max_retries < 0:
             raise OffloadError("max_retries must be >= 0")
+        if backoff < 0:
+            raise OffloadError("backoff must be >= 0")
         self.cluster = cluster
         self.sim = cluster.sim
         self.timeout = timeout
         self.max_retries = max_retries
         self.fallback_to_host = fallback_to_host
+        #: base delay between same-target retries (doubles per attempt)
+        self.backoff = backoff
         self.engine = OffloadEngine(cluster)
         #: per-run audit trails (job app -> list of attempts), most recent last
         self.history: list[list[Attempt]] = []
@@ -74,6 +79,7 @@ class FaultTolerantInvoker:
 
     def _run(self, job: DataJob, replicas: list[str]) -> _t.Generator:
         primary = job.sd_node or self.cluster.sd_nodes[0].name
+        obs = self.sim.obs
         trail: list[Attempt] = []
         self.history.append(trail)
         targets = [primary] + [r for r in replicas if r != primary]
@@ -83,7 +89,14 @@ class FaultTolerantInvoker:
             channel = self.cluster.host_channels.get(target)
             if channel is None:
                 continue
+            if trail:
+                obs.count("failover.count")  # moving past an exhausted target
             for attempt in range(self.max_retries + 1):
+                if attempt > 0:
+                    obs.count("retry.count")
+                    obs.count(f"retry.offload.{job.app}")
+                    if self.backoff > 0:
+                        yield self.sim.timeout(self.backoff * (2.0 ** (attempt - 1)))
                 t0 = self.sim.now
                 try:
                     result = yield channel.invoke(
@@ -109,9 +122,15 @@ class FaultTolerantInvoker:
                     trail.append(
                         Attempt(target, t0, self.sim.now, "error", str(exc))
                     )
+                    if not is_retryable(exc):
+                        # permanent (module missing, bad params, OOM): more
+                        # tries on this target cannot change the outcome
+                        break
 
         if self.fallback_to_host:
             t0 = self.sim.now
+            obs.count("failover.count")
+            obs.count("failover.host")
             # degraded mode: pull the data over NFS and run on the host
             host_job = dataclasses.replace(job, sd_node=primary)
             result = yield self.engine.run(

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 __all__ = [
     "McSDError",
+    "is_retryable",
+    "mark_retryable",
     "SimulationError",
     "DeadlockError",
     "InterruptError",
@@ -36,11 +38,47 @@ __all__ = [
     "PlacementError",
     "ConfigError",
     "WorkloadError",
+    "FaultInjectedError",
+    "WorkerCrashError",
+    "SpillCorruptionError",
 ]
 
 
 class McSDError(Exception):
-    """Base class for every error raised by this package."""
+    """Base class for every error raised by this package.
+
+    ``retryable`` classifies the failure for every retry site in the
+    system: *transient* errors (``True``) are worth retrying — the same
+    operation may succeed on the next attempt — while *permanent* errors
+    (``False``, the default) must fail fast: no amount of retrying fixes a
+    missing module, an invalid configuration, or a working set that does
+    not fit in memory.  The class attribute is the default for the type;
+    individual instances may override it (see :func:`mark_retryable`),
+    which is how injected faults flag themselves transient regardless of
+    the carrier exception type.
+    """
+
+    #: default transient/permanent classification for this error type
+    retryable: bool = False
+
+
+def mark_retryable(exc: BaseException, retryable: bool = True) -> BaseException:
+    """Stamp an instance-level transient/permanent override onto ``exc``."""
+    try:
+        exc.retryable = retryable  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - exceptions with __slots__
+        pass
+    return exc
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a failure is transient (retry) or permanent (fail fast).
+
+    Instance-level ``retryable`` wins over the class default; exceptions
+    from outside the taxonomy (OSError and friends from real I/O) default
+    to non-retryable unless explicitly marked.
+    """
+    return bool(getattr(exc, "retryable", False))
 
 
 # --------------------------------------------------------------------------
@@ -132,11 +170,22 @@ class IsADirectoryInVFS(FileSystemError):
 
 
 class StaleHandleError(FileSystemError):
-    """File handle refers to a deleted inode (NFS staleness)."""
+    """File handle refers to a deleted inode (NFS staleness).
+
+    Transient by definition: re-resolving the path gets a fresh handle.
+    """
+
+    retryable = True
 
 
 class NFSError(FileSystemError):
-    """NFS client/server protocol error."""
+    """NFS client/server protocol error.
+
+    Transient by default — NFS is a soft-mount-style RPC protocol here and
+    a failed round trip says nothing about the next one.
+    """
+
+    retryable = True
 
 
 # --------------------------------------------------------------------------
@@ -153,7 +202,14 @@ class ModuleNotRegisteredError(SmartFAMError):
 
 
 class ProtocolError(SmartFAMError):
-    """Malformed log-file record."""
+    """Malformed log-file record.
+
+    Transient: a torn read of a mid-append log decodes as garbage once and
+    fine on the next read; genuinely corrupt logs burn out the retry
+    budget and surface anyway.
+    """
+
+    retryable = True
 
 
 # --------------------------------------------------------------------------
@@ -213,6 +269,8 @@ class OffloadTimeoutError(OffloadError):
     deadlines (the fault-tolerance mechanism of Section VI's future work).
     """
 
+    retryable = True
+
     def __init__(self, module: str, timeout: float):
         super().__init__(f"module {module!r} produced no result within {timeout}s")
         self.module = module
@@ -229,3 +287,58 @@ class ConfigError(McSDError):
 
 class WorkloadError(McSDError):
     """Invalid workload specification."""
+
+
+# --------------------------------------------------------------------------
+# Fault injection & fault-tolerant execution
+# --------------------------------------------------------------------------
+
+
+class FaultInjectedError(McSDError):
+    """An error produced by the deterministic fault-injection layer.
+
+    Raised by injection hooks that have no more specific carrier type;
+    hooks that *do* impersonate a layer's native exception (DiskError,
+    NFSError, ...) stamp that instance with ``retryable=True`` via
+    :func:`mark_retryable` instead.
+    """
+
+    retryable = True
+
+    def __init__(self, site: str, detail: str = ""):
+        super().__init__(f"injected fault at {site}" + (f": {detail}" if detail else ""))
+        self.site = site
+
+
+class WorkerCrashError(McSDError):
+    """A pool worker process died while holding a task.
+
+    Transient by default — the pool respawns workers and re-dispatches the
+    in-flight batch; the *exhausted-retries* variant is raised with an
+    instance-level ``retryable=False`` stamp.
+    """
+
+    retryable = True
+
+    def __init__(self, msg: str, task_index: int | None = None):
+        super().__init__(msg)
+        self.task_index = task_index
+
+
+class SpillCorruptionError(McSDError):
+    """A spilled run block failed its crc32 integrity check.
+
+    Transient: the reader first re-reads the block (in-memory/transport
+    corruption), then the engine recomputes the fragment from its source
+    chunks (on-disk corruption) — the data is never lost, only the spill.
+    """
+
+    retryable = True
+
+    def __init__(self, path: str, block_index: int, run_index: int | None = None):
+        super().__init__(
+            f"spill block {block_index} of {path!r} failed its crc32 check"
+        )
+        self.path = path
+        self.block_index = block_index
+        self.run_index = run_index

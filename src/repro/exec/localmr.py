@@ -50,6 +50,7 @@ from repro.errors import WorkloadError
 from repro.exec.chunks import FileChunk, chunk_file
 from repro.exec.outofcore import run_out_of_core
 from repro.exec.pool import WorkerPool, run_batch
+from repro.faults import FaultInjector, FaultPlan
 from repro.obs import Observability
 from repro.phoenix.sort import finalize_merged_map, merge_map_into
 
@@ -96,6 +97,7 @@ class LocalMapReduce:
         memory_budget: int | None = None,
         spill_dir: str | None = None,
         batches_per_worker: int = 2,
+        faults: FaultPlan | FaultInjector | None = None,
     ):
         self.map_fn = map_fn
         self.reduce_fn = reduce_fn
@@ -111,8 +113,16 @@ class LocalMapReduce:
         if batches_per_worker < 1:
             raise WorkloadError("batches_per_worker must be >= 1")
         self.batches_per_worker = batches_per_worker
+        #: fault injector for chaos runs (None: no instrumented overhead
+        #: beyond one guard branch per hook); a FaultPlan is bound to a
+        #: fresh injector sharing this engine's obs registry
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults, obs=self.obs)
+        self.faults = faults
         #: persistent worker pool, created on first parallel run
-        self.pool = WorkerPool(self.n_workers, start_method)
+        self.pool = WorkerPool(
+            self.n_workers, start_method, faults=self.faults, obs=self.obs
+        )
 
     @property
     def start_method(self) -> str:
@@ -174,6 +184,7 @@ class LocalMapReduce:
                 out, n_fragments, spilled = run_out_of_core(
                     chunks, map_fragment, self.combine_fn, self.reduce_fn,
                     self.sort_output, params, budget, obs, self.spill_dir,
+                    faults=self.faults,
                 )
             else:
                 merged = self._map_chunks(chunks, params, parallel, job_sp)

@@ -14,33 +14,67 @@ merge phase holds O(runs) read-ahead blocks plus the final output.
 
 Spill format: each run file is a sequence of *independent* pickled
 blocks (lists of decorated ``(sort_key, key, values)`` entries, bounded
-by :data:`SPILL_BLOCK_ENTRIES` and :data:`SPILL_BLOCK_VALUES`), one
-``pickle.dump`` per block.  Independence matters: a pickler/unpickler
-pair shared across blocks memoizes every object it has ever seen, so a
-shared reader would keep the *entire* run resident while the merge
-drains it — silently un-bounding the memory the spill exists to bound.
-With per-block pickles the reader holds one block's objects per run at a
-time.  Run files live in a fresh temporary directory that is removed on
-success *and* on failure.
+by :data:`SPILL_BLOCK_ENTRIES` and :data:`SPILL_BLOCK_VALUES`).
+Independence matters: a pickler/unpickler pair shared across blocks
+memoizes every object it has ever seen, so a shared reader would keep the
+*entire* run resident while the merge drains it — silently un-bounding
+the memory the spill exists to bound.  With per-block pickles the reader
+holds one block's objects per run at a time.
+
+Integrity: every block is framed ``<length:u32><crc32:u32><payload>``
+(little-endian) and verified on read.  A crc mismatch is first answered
+by re-reading the block once — transient in-memory or transport
+corruption disappears on the second read — and only then escalated as
+:class:`~repro.errors.SpillCorruptionError`, at which point
+:func:`run_out_of_core` *recomputes the damaged fragment* from its
+source chunks and re-spills it before restarting the merge: the input
+file is the durable copy, so spill corruption costs time, never answers.
+
+Leak safety: run files live in a fresh temporary directory removed on
+success *and* on failure (``finally``), and every live spill directory
+is additionally registered with an ``atexit`` finalizer so an exception
+path that never reaches the ``finally`` (interpreter teardown,
+``KeyboardInterrupt`` in a signal-unsafe spot) still cleans up.  Callers
+that expect ``SIGTERM`` (the chaos harness, batch schedulers) can opt in
+to :func:`install_signal_cleanup`, which chains spill cleanup in front
+of the existing handler — ``atexit`` alone does not run on a fatal
+signal.
+
+Fault sites: ``spill.write`` (actions *corrupt* — flip one payload byte
+after the crc is computed, i.e. durable on-disk corruption — and *fail*)
+and ``spill.read`` (actions *fail* and *corrupt* — in-memory flip before
+the crc check, caught by the single re-read).  Context key ``run`` is
+the fragment/run index, so plans can target a specific run
+deterministically.
 
 Observability: each fragment gets a ``localmr.fragment`` span with a
 nested ``localmr.spill``; spilled volume feeds the always-on
 ``localmr.spill_bytes`` / ``localmr.spill_runs`` counters; the final lazy
-merge runs under ``localmr.merge``.
+merge runs under ``localmr.merge``; recovery feeds ``retry.count`` and
+``localmr.recompute``.
 """
 
 from __future__ import annotations
 
+import atexit
 import functools
 import itertools
 import operator
 import os
 import pickle
 import shutil
+import signal
+import struct
 import tempfile
 import typing as _t
+import zlib
 
-from repro.errors import WorkloadError
+from repro.errors import (
+    FaultInjectedError,
+    SpillCorruptionError,
+    WorkloadError,
+    is_retryable,
+)
 from repro.exec.chunks import FileChunk
 from repro.obs import Observability
 from repro.phoenix.sort import (
@@ -50,7 +84,17 @@ from repro.phoenix.sort import (
     undecorate,
 )
 
-__all__ = ["plan_fragments", "run_out_of_core", "write_run", "iter_run"]
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "plan_fragments",
+    "run_out_of_core",
+    "write_run",
+    "iter_run",
+    "install_signal_cleanup",
+    "live_spill_dirs",
+]
 
 #: max decorated entries per pickled spill block
 SPILL_BLOCK_ENTRIES = 2048
@@ -73,7 +117,82 @@ MERGE_READAHEAD_VALUES = 8_192
 #: sane for jobs with hundreds of runs)
 MIN_BLOCK_VALUES = 128
 
+#: ``<length:u32><crc32:u32>`` frame in front of every spill block
+_BLOCK_HEADER = struct.Struct("<II")
+
 _SORT_KEY = operator.itemgetter(0)
+
+
+# --------------------------------------------------------------------------
+# Spill-directory leak guard
+# --------------------------------------------------------------------------
+
+#: spill directories currently on disk (insertion-ordered for determinism)
+_SPILL_DIRS: dict[str, None] = {}
+_CLEANUP_REGISTERED = False
+
+
+def _cleanup_spill_dirs() -> None:
+    """Remove every still-live spill directory (atexit / signal path)."""
+    while _SPILL_DIRS:
+        path, _ = _SPILL_DIRS.popitem()
+        shutil.rmtree(path, ignore_errors=True)
+
+
+def _track_spill_dir(path: str) -> None:
+    global _CLEANUP_REGISTERED
+    if not _CLEANUP_REGISTERED:
+        atexit.register(_cleanup_spill_dirs)
+        _CLEANUP_REGISTERED = True
+    _SPILL_DIRS[path] = None
+
+
+def _untrack_spill_dir(path: str) -> None:
+    _SPILL_DIRS.pop(path, None)
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def live_spill_dirs() -> list[str]:
+    """Spill directories currently registered (empty when nothing leaks)."""
+    return list(_SPILL_DIRS)
+
+
+def install_signal_cleanup(
+    signums: _t.Sequence[int] = (signal.SIGTERM,),
+) -> list[int]:
+    """Chain spill-dir cleanup in front of the current signal handlers.
+
+    ``atexit`` never runs on a fatal signal, so long-running hosts that
+    expect ``SIGTERM`` (batch schedulers, the chaos harness) opt in here.
+    The previous handler is preserved: a callable handler is invoked
+    after cleanup; the default disposition is re-delivered so the process
+    still dies with the right signal status.  Returns the signals
+    actually hooked (main-thread only — installing from elsewhere is a
+    no-op).
+    """
+    installed: list[int] = []
+    for signum in signums:
+        try:
+            previous = signal.getsignal(signum)
+
+            def _handler(sig: int, frame: object, _prev: object = previous) -> None:
+                _cleanup_spill_dirs()
+                if callable(_prev) and _prev not in (signal.SIG_IGN, signal.SIG_DFL):
+                    _prev(sig, frame)
+                else:
+                    signal.signal(sig, signal.SIG_DFL)
+                    os.kill(os.getpid(), sig)
+
+            signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            continue
+        installed.append(signum)
+    return installed
+
+
+# --------------------------------------------------------------------------
+# Fragment planning
+# --------------------------------------------------------------------------
 
 
 def plan_fragments(
@@ -102,41 +221,146 @@ def plan_fragments(
     return fragments
 
 
-def write_run(
-    path: str, entries: _t.Iterable, block_values: int = SPILL_BLOCK_VALUES
-) -> int:
-    """Spill one sorted decorated run as pickled blocks; returns bytes written.
+# --------------------------------------------------------------------------
+# Run files
+# --------------------------------------------------------------------------
 
-    Blocks are bounded both by entry count and by total carried values
-    (``block_values``), so a reader never holds more than ~one block's
-    worth of data per run regardless of how lopsided the value lists
-    are.  Each block is an independent pickle (fresh memo), so readers
-    can free a block's objects as soon as the merge moves past them.
+
+def write_run(
+    path: str,
+    entries: _t.Iterable,
+    block_values: int = SPILL_BLOCK_VALUES,
+    faults: "FaultInjector | None" = None,
+    run_index: int | None = None,
+) -> int:
+    """Spill one sorted decorated run as crc-framed pickled blocks.
+
+    Returns bytes written.  Blocks are bounded both by entry count and by
+    total carried values (``block_values``), so a reader never holds more
+    than ~one block's worth of data per run regardless of how lopsided
+    the value lists are.  Each block is an independent pickle (fresh
+    memo) behind a ``<length, crc32>`` header, so readers can free a
+    block's objects as soon as the merge moves past them and verify each
+    block independently.
+
+    Injected faults at ``spill.write``: *fail* raises before anything is
+    written (retryable — the caller re-spills), *corrupt* flips one byte
+    of the first block's payload after its crc is computed, i.e. durable
+    on-disk corruption the reader's re-read cannot mask.
     """
-    with open(path, "wb") as f:
+    decision = None
+    if faults is not None:
+        decision = faults.check("spill.write", run=run_index)
+        if decision is not None and decision.action in ("fail", "drop", "kill"):
+            raise FaultInjectedError(
+                "spill.write", f"injected spill-write failure (run {run_index})"
+            )
+
+    def frames() -> _t.Iterator[bytes]:
+        nonlocal decision
         block: list = []
         weight = 0
+
+        def frame() -> bytes:
+            nonlocal decision
+            payload = pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL)
+            header = _BLOCK_HEADER.pack(len(payload), zlib.crc32(payload))
+            if decision is not None and decision.action == "corrupt":
+                payload = faults.corrupt_bytes(payload, decision)
+                decision = None
+            return header + payload
+
         for entry in entries:
             block.append(entry)
             values = entry[2]
             weight += len(values) if isinstance(values, list) else 1
             if len(block) >= SPILL_BLOCK_ENTRIES or weight >= block_values:
-                pickle.dump(block, f, protocol=pickle.HIGHEST_PROTOCOL)
+                yield frame()
                 block, weight = [], 0
         if block:
-            pickle.dump(block, f, protocol=pickle.HIGHEST_PROTOCOL)
+            yield frame()
+
+    with open(path, "wb") as f:
+        for data in frames():
+            f.write(data)
         return f.tell()
 
 
-def iter_run(path: str) -> _t.Iterator:
-    """Stream a spilled run back, one block resident at a time."""
+def _read_block(f: _t.BinaryIO, path: str, block_index: int, run_index: int | None):
+    """One framed block off ``f``; ``None`` at clean EOF.
+
+    Returns ``(payload, crc, offset)`` — verification is the caller's so
+    injected in-memory corruption can land between read and check.
+    """
+    offset = f.tell()
+    header = f.read(_BLOCK_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _BLOCK_HEADER.size:
+        raise SpillCorruptionError(path, block_index, run_index)
+    length, crc = _BLOCK_HEADER.unpack(header)
+    payload = f.read(length)
+    if len(payload) < length:
+        raise SpillCorruptionError(path, block_index, run_index)
+    return payload, crc, offset
+
+
+def iter_run(
+    path: str,
+    faults: "FaultInjector | None" = None,
+    run_index: int | None = None,
+) -> _t.Iterator:
+    """Stream a spilled run back, one verified block resident at a time.
+
+    Every block's crc32 is checked.  A mismatch gets exactly one re-read
+    from disk (transient corruption between the page cache and this
+    process vanishes on the second read); a block that fails twice is
+    durably corrupt and raises :class:`~repro.errors.SpillCorruptionError`
+    carrying the run index, which the engine answers by recomputing the
+    fragment.
+
+    Injected faults at ``spill.read``: *fail* raises at open (retryable —
+    the merge restarts and the next attempt reads normally), *corrupt*
+    flips a byte of the first block's payload in memory before the crc
+    check — exercising the re-read path without touching the file.
+    """
+    corrupt = None
+    if faults is not None:
+        decision = faults.check("spill.read", run=run_index)
+        if decision is not None:
+            if decision.action == "corrupt":
+                corrupt = decision
+            else:
+                raise FaultInjectedError(
+                    "spill.read", f"injected spill-read failure (run {run_index})"
+                )
     with open(path, "rb") as f:
+        block_index = 0
         while True:
-            try:
-                block = pickle.load(f)
-            except EOFError:
+            got = _read_block(f, path, block_index, run_index)
+            if got is None:
                 return
-            yield from block
+            payload, crc, offset = got
+            if corrupt is not None:
+                # in-memory flip: the on-disk copy is fine, so the
+                # re-read below recovers it
+                payload = faults.corrupt_bytes(payload, corrupt)
+                corrupt = None
+            if zlib.crc32(payload) != crc:
+                f.seek(offset)
+                got = _read_block(f, path, block_index, run_index)
+                if got is None:
+                    raise SpillCorruptionError(path, block_index, run_index)
+                payload, crc, _ = got
+                if zlib.crc32(payload) != crc:
+                    raise SpillCorruptionError(path, block_index, run_index)
+            yield from pickle.loads(payload)
+            block_index += 1
+
+
+# --------------------------------------------------------------------------
+# Merge-side folding / finalization
+# --------------------------------------------------------------------------
 
 
 def _fold_equal_keys(stream: _t.Iterator) -> _t.Iterator:
@@ -192,6 +416,11 @@ def _finalize_stream(
     return undecorate(entries)
 
 
+# --------------------------------------------------------------------------
+# The out-of-core driver
+# --------------------------------------------------------------------------
+
+
 def run_out_of_core(
     chunks: _t.Sequence[FileChunk],
     map_fragment: _t.Callable[[_t.Sequence[FileChunk]], dict],
@@ -202,6 +431,8 @@ def run_out_of_core(
     budget: int,
     obs: Observability,
     spill_dir: str | None = None,
+    faults: "FaultInjector | None" = None,
+    max_retries: int = 2,
 ) -> tuple[list[tuple[object, object]], int, int]:
     """Fragment-at-a-time map/combine/sort/spill, then lazy merge-reduce.
 
@@ -209,7 +440,16 @@ def run_out_of_core(
     in-process) returning one merged ``key -> values`` map per fragment.
     Returns ``(output, n_fragments, spilled_bytes)``.  Spill files live
     under a fresh directory inside ``spill_dir`` (default: the system
-    temp dir) and are removed whether the run succeeds or raises.
+    temp dir) and are removed whether the run succeeds or raises — with
+    an ``atexit`` finalizer backstopping interpreter teardown.
+
+    Recovery: a transient spill-write failure re-spills the fragment; a
+    durably corrupt block found during the merge recomputes *that*
+    fragment from its source chunks and restarts the merge; a transient
+    merge-side failure just restarts the merge.  All three are bounded by
+    ``max_retries`` per stage and classified via
+    :func:`repro.errors.is_retryable` — permanent errors propagate at
+    once.
     """
     fragments = plan_fragments(chunks, budget)
     # per-block value cap derived from the run count so the merge's total
@@ -220,47 +460,89 @@ def run_out_of_core(
         min(SPILL_BLOCK_VALUES, MERGE_READAHEAD_VALUES // len(fragments)),
     )
     tmpdir = tempfile.mkdtemp(prefix="localmr-spill-", dir=spill_dir)
+    _track_spill_dir(tmpdir)
     spilled = 0
-    try:
-        run_paths: list[str] = []
-        for i, fragment in enumerate(fragments):
-            with obs.span(
-                "localmr.fragment", cat="localmr", track="localmr",
-                index=i, chunks=len(fragment),
-                bytes=sum(c.length for c in fragment),
-            ):
-                merged = map_fragment(fragment)
-                if combine_fn is not None:
-                    # fragment-side combine: fold each key's per-batch
-                    # partials to one partial before spilling (licensed by
-                    # the combiner contract; halves spill volume).  The
-                    # cross-run fold then hands reduce per-fragment
-                    # partial lists.
-                    entries = decorate_sorted(
-                        (k, [functools.reduce(combine_fn, vs)])
-                        for k, vs in merged.items()
-                    )
-                else:
-                    entries = decorate_sorted(merged)
-                del merged
-                path = os.path.join(tmpdir, f"run-{i:05d}.spill")
-                with obs.span(
-                    "localmr.spill", cat="localmr", track="localmr", index=i,
-                ) as spill_sp:
-                    nbytes = write_run(path, entries, block_values)
-                    spill_sp.set(bytes=nbytes, entries=len(entries))
-                del entries
-                obs.count("localmr.spill_bytes", nbytes)
-                obs.count("localmr.spill_runs")
-                spilled += nbytes
-                run_paths.append(path)
+
+    def spill_fragment(i: int) -> str:
+        """Map/combine/sort fragment ``i`` and spill its run (with bounded
+        retry on transient write faults)."""
+        nonlocal spilled
+        fragment = fragments[i]
         with obs.span(
-            "localmr.merge", cat="localmr", track="localmr", runs=len(run_paths),
+            "localmr.fragment", cat="localmr", track="localmr",
+            index=i, chunks=len(fragment),
+            bytes=sum(c.length for c in fragment),
         ):
-            stream = merge_decorated_runs([iter_run(p) for p in run_paths])
-            output = _finalize_stream(
-                stream, combine_fn, reduce_fn, sort_output, params
-            )
+            merged = map_fragment(fragment)
+            if combine_fn is not None:
+                # fragment-side combine: fold each key's per-batch
+                # partials to one partial before spilling (licensed by
+                # the combiner contract; halves spill volume).  The
+                # cross-run fold then hands reduce per-fragment
+                # partial lists.
+                entries = decorate_sorted(
+                    (k, [functools.reduce(combine_fn, vs)])
+                    for k, vs in merged.items()
+                )
+            else:
+                entries = decorate_sorted(merged)
+            del merged
+            path = os.path.join(tmpdir, f"run-{i:05d}.spill")
+            with obs.span(
+                "localmr.spill", cat="localmr", track="localmr", index=i,
+            ) as spill_sp:
+                for attempt in range(max_retries + 1):
+                    try:
+                        nbytes = write_run(
+                            path, entries, block_values,
+                            faults=faults, run_index=i,
+                        )
+                        break
+                    except Exception as exc:
+                        if not is_retryable(exc) or attempt == max_retries:
+                            raise
+                        obs.count("retry.count")
+                        obs.count("retry.spill_write")
+                spill_sp.set(bytes=nbytes, entries=len(entries))
+            del entries
+            obs.count("localmr.spill_bytes", nbytes)
+            obs.count("localmr.spill_runs")
+            spilled += nbytes
+        return path
+
+    try:
+        run_paths = [spill_fragment(i) for i in range(len(fragments))]
+        for attempt in range(max_retries + 1):
+            try:
+                with obs.span(
+                    "localmr.merge", cat="localmr", track="localmr",
+                    runs=len(run_paths),
+                ):
+                    stream = merge_decorated_runs(
+                        [
+                            iter_run(p, faults=faults, run_index=j)
+                            for j, p in enumerate(run_paths)
+                        ]
+                    )
+                    output = _finalize_stream(
+                        stream, combine_fn, reduce_fn, sort_output, params
+                    )
+                break
+            except SpillCorruptionError as exc:
+                if attempt == max_retries:
+                    raise
+                obs.count("retry.count")
+                obs.count("retry.spill_merge")
+                if exc.run_index is not None:
+                    # the input file is the durable copy: rebuild the
+                    # damaged run from its source chunks, then re-merge
+                    obs.count("localmr.recompute")
+                    run_paths[exc.run_index] = spill_fragment(exc.run_index)
+            except Exception as exc:
+                if not is_retryable(exc) or attempt == max_retries:
+                    raise
+                obs.count("retry.count")
+                obs.count("retry.spill_merge")
         return output, len(fragments), spilled
     finally:
-        shutil.rmtree(tmpdir, ignore_errors=True)
+        _untrack_spill_dir(tmpdir)

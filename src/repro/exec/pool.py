@@ -20,11 +20,27 @@ Start methods: ``forkserver`` is the default where available — bare
 thread at fork time stays locked forever in the child), and the paper's
 daemon-shaped deployments are exactly the threaded-parent case.  ``fork``
 remains selectable for fork-safe parents; Windows gets ``spawn``.
+
+Fault tolerance: the pool is built on ``concurrent.futures``'s process
+pool rather than ``multiprocessing.Pool`` because the former *detects*
+worker death (``BrokenProcessPool``) where the latter hangs an
+``imap_unordered`` forever.  :meth:`WorkerPool.imap_unordered` runs
+dispatch rounds: every pending task is submitted, results stream back as
+they complete, and failures are classified through
+:func:`repro.errors.is_retryable` — transient ones (a dead worker, an
+injected fault) are re-dispatched on the next round with a bounded
+per-task retry budget, permanent ones (a bug in the map function)
+surface immediately.  A broken executor is torn down and respawned
+between rounds.  Injected faults at the ``pool.worker`` site are decided
+parent-side at submission time (deterministic given the plan seed):
+*kill* replaces the task body with an ``os._exit`` so the worker
+genuinely dies mid-task, *fail* replaces it with a raise.
 """
 
 from __future__ import annotations
 
 import collections
+import concurrent.futures as _cf
 import mmap
 import multiprocessing as mp
 import os
@@ -32,8 +48,20 @@ import sys
 import time
 import typing as _t
 
-from repro.errors import WorkloadError
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import (
+    FaultInjectedError,
+    WorkerCrashError,
+    WorkloadError,
+    is_retryable,
+    mark_retryable,
+)
 from repro.exec.chunks import FileChunk
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.obs import Observability
 
 __all__ = ["WorkerPool", "read_chunk_cached", "resolve_start_method", "run_batch"]
 
@@ -181,8 +209,23 @@ def _main_is_reimportable() -> bool:
     return main_file is not None and os.path.exists(main_file)
 
 
+def _injected_kill(args: tuple) -> _t.NoReturn:
+    """Fault-action body: die exactly the way a crashed worker dies.
+
+    ``os._exit`` skips every atexit/finally in the worker, so the parent
+    sees the same ``BrokenProcessPool`` a segfault or OOM-kill produces.
+    """
+    os._exit(3)
+
+
+def _injected_failure(args: tuple) -> _t.NoReturn:
+    """Fault-action body: the task raises instead of computing."""
+    index = args[0] if isinstance(args, tuple) and args else None
+    raise FaultInjectedError("pool.worker", f"injected task failure (task {index})")
+
+
 class WorkerPool:
-    """A lazily created, persistent ``multiprocessing`` pool.
+    """A lazily created, persistent, crash-tolerant process pool.
 
     The pool is built on first use and reused for every subsequent batch
     submission until :meth:`close` — across fragments of one out-of-core
@@ -190,20 +233,44 @@ class WorkerPool:
     their warm module imports and mmap handle caches.  Usable as a
     context manager; closing is idempotent and the pool resurrects on the
     next submission after a close.
+
+    ``max_task_retries`` bounds how many times one task may be
+    re-dispatched after a transient failure (a dead worker or an injected
+    fault) before :class:`~repro.errors.WorkerCrashError` is raised with
+    the permanent stamp.  ``faults``/``obs`` are optional: a
+    :class:`~repro.faults.injector.FaultInjector` evaluated at the
+    ``pool.worker`` site on every submission, and the observability
+    registry that receives the ``retry.count``/``pool.respawn`` counters.
     """
 
-    def __init__(self, n_workers: int, start_method: str | None = None):
+    def __init__(
+        self,
+        n_workers: int,
+        start_method: str | None = None,
+        max_task_retries: int = 2,
+        faults: "FaultInjector | None" = None,
+        obs: "Observability | None" = None,
+    ):
         if n_workers < 1:
             raise WorkloadError(f"n_workers must be >= 1, got {n_workers}")
+        if max_task_retries < 0:
+            raise WorkloadError("max_task_retries must be >= 0")
         self.n_workers = n_workers
         self.start_method = resolve_start_method(start_method)
-        self._pool: mp.pool.Pool | None = None
+        self.max_task_retries = max_task_retries
+        self.faults = faults
+        self.obs = obs
+        #: executor recreations after a detected worker death
+        self.respawns = 0
+        #: task re-dispatches after transient failures
+        self.redispatches = 0
+        self._executor: _cf.ProcessPoolExecutor | None = None
 
     # -- lifecycle -------------------------------------------------------------
 
-    def ensure(self) -> mp.pool.Pool:
-        """The live pool, creating it on first use."""
-        if self._pool is None:
+    def ensure(self) -> _cf.ProcessPoolExecutor:
+        """The live executor, creating it on first use."""
+        if self._executor is None:
             ctx = mp.get_context(self.start_method)
             if self.start_method == "forkserver":
                 try:
@@ -213,20 +280,21 @@ class WorkerPool:
                     ctx.set_forkserver_preload(["repro"])
                 except Exception:  # pragma: no cover - best-effort
                     pass
-            self._pool = ctx.Pool(processes=self.n_workers)
-        return self._pool
+            self._executor = _cf.ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=ctx
+            )
+        return self._executor
 
     @property
     def alive(self) -> bool:
         """Whether worker processes currently exist."""
-        return self._pool is not None
+        return self._executor is not None
 
     def close(self) -> None:
         """Tear down the worker processes (next submission recreates them)."""
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -249,5 +317,95 @@ class WorkerPool:
 
         Completion order is arbitrary; callers that need determinism
         reorder on the task index (see the engine's reorder-buffer merge).
+        Tasks whose worker dies (or whose injected fault fires) are
+        re-dispatched in later rounds, up to ``max_task_retries`` per
+        task; a permanent (non-retryable) task exception propagates
+        immediately.
         """
-        return self.ensure().imap_unordered(fn, tasks)
+        return self._run_rounds(fn, list(tasks))
+
+    def _plan_round(
+        self, fn: _t.Callable, pending: _t.Iterable[int], attempts: list[int]
+    ) -> dict[int, _t.Callable]:
+        """Fault decisions for one dispatch round, taken before anything
+        is submitted.
+
+        Deciding up front — rather than interleaved with submission —
+        keeps the injection sequence a function of (pending set, attempt
+        counts) alone: a pool break detected *during* submission cannot
+        shift which tasks get faulted.
+        """
+        calls = {i: fn for i in pending}
+        inj = self.faults
+        if inj is not None:
+            for i in sorted(calls):
+                decision = inj.check("pool.worker", index=i, attempt=attempts[i])
+                if decision is None:
+                    continue
+                if decision.action == "kill":
+                    calls[i] = _injected_kill
+                else:  # fail / drop / corrupt all degrade to a raised task
+                    calls[i] = _injected_failure
+        return calls
+
+    def _run_rounds(self, fn: _t.Callable, tasks: list) -> _t.Iterator:
+        attempts = [0] * len(tasks)
+        pending = set(range(len(tasks)))
+        while pending:
+            executor = self.ensure()
+            calls = self._plan_round(fn, pending, attempts)
+            futures: dict[_cf.Future, int] = {}
+            broken = False
+            try:
+                for i in sorted(pending):
+                    futures[executor.submit(calls[i], tasks[i])] = i
+            except (BrokenProcessPool, RuntimeError):
+                # the break surfaced at submit time; unsubmitted tasks
+                # simply stay pending for the next round
+                broken = True
+            failed: list[tuple[int, BaseException]] = []
+            for fut in _cf.as_completed(futures):
+                # drop our reference immediately: a finished Future pins
+                # its result object, and holding the whole round's futures
+                # would make parent memory O(all results) — the barrier
+                # the streaming merge exists to avoid (as_completed drops
+                # its own references as it yields)
+                i = futures.pop(fut)
+                try:
+                    result = fut.result()
+                except (BrokenProcessPool, _cf.CancelledError) as exc:
+                    broken = True
+                    failed.append(
+                        (i, WorkerCrashError(
+                            f"worker died while running task {i}: {exc}",
+                            task_index=i,
+                        ))
+                    )
+                    continue
+                except BaseException as exc:
+                    if is_retryable(exc):
+                        failed.append((i, exc))
+                        continue
+                    raise  # permanent: retrying a deterministic bug is futile
+                pending.discard(i)
+                yield result
+            if broken:
+                self.respawns += 1
+                if self.obs is not None:
+                    self.obs.count("pool.respawn")
+                self.close()  # discard the dead executor; next round respawns
+            for i, exc in failed:
+                attempts[i] += 1
+                if attempts[i] > self.max_task_retries:
+                    raise mark_retryable(
+                        WorkerCrashError(
+                            f"task {i} failed after {attempts[i]} attempts "
+                            f"(last: {exc})",
+                            task_index=i,
+                        ),
+                        False,
+                    ) from exc
+                self.redispatches += 1
+                if self.obs is not None:
+                    self.obs.count("retry.count")
+                    self.obs.count("retry.pool")

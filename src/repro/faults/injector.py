@@ -1,0 +1,185 @@
+"""The runtime side of fault injection: deterministic decisions at hooks.
+
+A :class:`FaultInjector` evaluates a :class:`~repro.faults.plan.FaultPlan`
+at every instrumented site.  Hooks call::
+
+    inj = self.sim.faults            # None when no plan is installed
+    if inj is not None:
+        decision = inj.check("disk.read", node=self.name)
+        if decision is not None:
+            ...act on decision.action...
+
+The ``is not None`` guard is the entire cost of an uninstalled layer —
+one attribute load and one branch per hook — which is what keeps the
+no-plan overhead inside the perf gate's 2 % budget.
+
+Determinism: each rule owns a private ``random.Random`` stream seeded
+from ``(plan.seed, rule index, rule site)`` (the same derivation idiom as
+:mod:`repro.sim.rng`), and a draw is consumed for every *matching* event
+whether or not it fires.  Two runs with the same plan and the same
+sequence of hook calls therefore inject at exactly the same points — and
+the simulator's event loop makes the hook-call sequence itself
+deterministic.  Every injection lands in :attr:`FaultInjector.history`,
+so reproducibility is a one-line list comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing as _t
+
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.sim.rng import derive_seed
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+__all__ = ["Injection", "FaultInjector"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Injection:
+    """One fired fault: the audit-trail entry hooks act on."""
+
+    site: str
+    action: str
+    rule_index: int
+    seq: int
+    time: float
+    delay: float = 0.0
+    ctx: tuple = ()
+
+    def signature(self) -> tuple:
+        """The order-stable identity used for reproducibility checks."""
+        return (self.seq, self.site, self.action, self.rule_index, self.ctx)
+
+
+class _RuleState:
+    """Mutable per-rule bookkeeping (the rule itself stays frozen)."""
+
+    __slots__ = ("rule", "index", "rng", "seen", "fired")
+
+    def __init__(self, rule: FaultRule, index: int, plan_seed: int):
+        self.rule = rule
+        self.index = index
+        self.rng = random.Random(derive_seed(plan_seed, f"fault:{index}:{rule.site}"))
+        self.seen = 0
+        self.fired = 0
+
+    def exhausted(self) -> bool:
+        return self.rule.count is not None and self.fired >= self.rule.count
+
+
+class FaultInjector:
+    """Evaluates a fault plan; one per simulator or engine run.
+
+    ``clock`` feeds the rules' time windows (the simulator binds its sim
+    clock; the real engine usually leaves windows unused and passes
+    nothing — window-scoped rules are then dormant).  ``obs`` receives
+    the ``fault.injected`` counters.
+    """
+
+    __slots__ = ("plan", "history", "_states", "_by_site", "_clock", "_obs")
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        clock: _t.Callable[[], float] | None = None,
+        obs: "Observability | None" = None,
+    ):
+        self.plan = plan
+        #: every fired injection, in decision order
+        self.history: list[Injection] = []
+        self._states = [
+            _RuleState(rule, i, plan.seed) for i, rule in enumerate(plan.rules)
+        ]
+        #: site -> matching rule states (resolved lazily, globs included)
+        self._by_site: dict[str, list[_RuleState]] = {}
+        self._clock = clock
+        self._obs = obs
+
+    # -- the hook entry point --------------------------------------------------
+
+    def check(self, site: str, **ctx: object) -> Injection | None:
+        """The decision for one event at ``site`` (None = proceed normally).
+
+        At most one rule fires per event — the first matching, in-window,
+        non-exhausted rule whose probability draw succeeds — so stacked
+        rules on one site behave as an ordered fallback chain.
+        """
+        states = self._by_site.get(site)
+        if states is None:
+            states = self._by_site[site] = [
+                s for s in self._states if s.rule.matches_site(site)
+            ]
+        if not states:
+            return None
+        now = self._clock() if self._clock is not None else 0.0
+        for state in states:
+            rule = state.rule
+            if state.exhausted() or not rule.matches_ctx(ctx):
+                continue
+            if rule.window is not None:
+                if self._clock is None:
+                    continue
+                t0, t1 = rule.window
+                if not (t0 <= now < t1):
+                    continue
+            state.seen += 1
+            if state.seen <= rule.after:
+                continue
+            if rule.probability < 1.0 and state.rng.random() >= rule.probability:
+                continue
+            state.fired += 1
+            injection = Injection(
+                site=site,
+                action=rule.action,
+                rule_index=state.index,
+                seq=len(self.history),
+                time=now,
+                delay=rule.delay,
+                ctx=tuple(sorted((k, _ctx_safe(v)) for k, v in ctx.items())),
+            )
+            self.history.append(injection)
+            if self._obs is not None:
+                self._obs.count("fault.injected")
+                self._obs.count(f"fault.injected.{site}")
+            return injection
+        return None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def injections(self) -> int:
+        """Total faults fired so far."""
+        return len(self.history)
+
+    def signatures(self) -> list[tuple]:
+        """Order-stable identities of every injection (reproducibility)."""
+        return [inj.signature() for inj in self.history]
+
+    def fired_by_site(self) -> dict[str, int]:
+        """Injection counts grouped by site."""
+        out: dict[str, int] = {}
+        for inj in self.history:
+            out[inj.site] = out.get(inj.site, 0) + 1
+        return out
+
+    def corrupt_bytes(self, blob: bytes, injection: Injection) -> bytes:
+        """Deterministically flip one byte of ``blob`` for a corrupt action.
+
+        The position comes from the owning rule's stream, so corruption is
+        as reproducible as the injection itself; empty blobs pass through.
+        """
+        if not blob:
+            return blob
+        state = self._states[injection.rule_index]
+        pos = state.rng.randrange(len(blob))
+        return blob[:pos] + bytes([blob[pos] ^ 0xFF]) + blob[pos + 1 :]
+
+
+def _ctx_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -86,6 +86,8 @@ class InotifyManager:
         self._watches: list[Watch] = []
         #: events delivered (stats)
         self.delivered = 0
+        #: events lost to injected faults (stats)
+        self.dropped = 0
         vfs.on_event(self._on_vfs_event)
 
     def add_watch(self, path: str, mask: int = IN_ALL, watch_children: bool | None = None) -> Watch:
@@ -117,6 +119,14 @@ class InotifyManager:
         targets = [w for w in self._watches if w.matches(mask, path)]
         if not targets:
             return
+        # fault injection: a dropped kernel notification — the event simply
+        # never reaches any queue, which is what consumers must survive
+        inj = self.sim.faults
+        if inj is not None:
+            decision = inj.check("inotify.deliver", path=path, manager=self.name)
+            if decision is not None and decision.action == "drop":
+                self.dropped += 1
+                return
         ev = InotifyEvent(mask=mask, path=path, time=self.sim.now)
 
         if self.latency <= 0:

@@ -148,13 +148,36 @@ class NFSClient:
                 ev.fail(reply["error"])
 
     def call(self, server: str, req: dict, request_bytes: int = RPC_HEADER_BYTES) -> Event:
-        """Issue one RPC; the returned event carries the reply value."""
+        """Issue one RPC; the returned event carries the reply value.
+
+        Injected faults at ``nfs.call``: *fail* makes the RPC return a
+        transient :class:`~repro.errors.NFSError` after one header round
+        trip, *drop* loses the request on the floor (the reply never
+        arrives — only deadlines recover this, exactly like a soft-mount
+        RPC timeout), *delay* defers the send.
+        """
         xid = next(_xids)
         req = dict(req, xid=xid)
         done = Event(self.sim, name=f"nfs-rpc:{req['op']}")
         self._pending[xid] = done
+        inj = self.sim.faults
+        decision = None
+        if inj is not None:
+            decision = inj.check("nfs.call", op=req["op"], server=server)
 
         def _send() -> _t.Generator:
+            if decision is not None:
+                if decision.action == "fail":
+                    yield self.sim.timeout(0.0)
+                    self._pending.pop(xid, None)
+                    done.fail(
+                        NFSError(f"injected RPC failure ({req['op']} -> {server})")
+                    )
+                    return
+                if decision.action == "drop":
+                    return  # the request is lost; the event never resolves
+                if decision.action == "delay":
+                    yield self.sim.timeout(decision.delay)
             yield self.node.send(server, NFS_PORT, req, nbytes=request_bytes)
 
         self.sim.spawn(_send(), name=f"nfscli:{self.node.name}.send")

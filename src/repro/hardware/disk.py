@@ -13,7 +13,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.config import DiskSpec
-from repro.errors import DiskError
+from repro.errors import DiskError, mark_retryable
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Resource
@@ -63,8 +63,26 @@ class DiskModel:
     def _io(self, nbytes: int, is_write: bool, label: str) -> Event:
         nbytes = int(nbytes)
         service = self.service_time(nbytes)
+        # fault injection: decided at submission so the event order (and
+        # therefore the injection sequence) stays deterministic
+        inj = self.sim.faults
+        decision = None
+        if inj is not None:
+            decision = inj.check(
+                "disk.write" if is_write else "disk.read",
+                disk=self.name, bytes=nbytes,
+            )
 
         def _proc() -> _t.Generator:
+            if decision is not None:
+                if decision.action == "delay":
+                    yield self.sim.timeout(decision.delay)
+                elif decision.action in ("fail", "drop"):
+                    # charge the seek (the head moved) but fail the request
+                    yield self.sim.timeout(self.spec.seek_time)
+                    raise mark_retryable(
+                        DiskError(f"injected {label} fault on {self.name}")
+                    )
             with self._server.request() as req:
                 yield req
                 yield self.sim.timeout(service)

@@ -34,6 +34,8 @@ class Fabric:
         self.flows: list[Flow] = []
         #: total bytes delivered endpoint-to-endpoint
         self.bytes_delivered = 0
+        #: messages lost to injected faults (stats)
+        self.dropped = 0
 
     # -- topology ---------------------------------------------------------------
 
@@ -71,11 +73,23 @@ class Fabric:
         return out
 
     def send(self, msg: Message) -> Event:
-        """Deliver ``msg`` into the destination inbox; Process completes then."""
+        """Deliver ``msg`` into the destination inbox; Process completes then.
+
+        Injected faults at ``net.deliver``: *drop* pays the wire cost but
+        never delivers into the inbox (a lost frame — the sender's send
+        still "completes", as a real NIC's does), *delay* adds latency
+        before delivery.
+        """
         dst_inbox = self.inbox(msg.dst)
         self.inbox(msg.src)  # validates attachment
         msg.sent_at = self.sim.now
         flow = Flow(msg.src, msg.dst, msg.nbytes, started_at=self.sim.now)
+        inj = self.sim.faults
+        decision = None
+        if inj is not None:
+            decision = inj.check(
+                "net.deliver", src=msg.src, dst=msg.dst, kind=msg.kind
+            )
 
         if msg.src == msg.dst:
 
@@ -85,6 +99,11 @@ class Fabric:
                 yield self.sim.timeout(0.0)
                 flow.finished_at = self.sim.now
                 self.flows.append(flow)
+                if decision is not None and decision.action == "drop":
+                    self.dropped += 1
+                    return msg
+                if decision is not None and decision.action == "delay":
+                    yield self.sim.timeout(decision.delay)
                 self.bytes_delivered += msg.nbytes
                 yield dst_inbox.put(msg)
                 return msg
@@ -104,6 +123,11 @@ class Fabric:
                 yield self.sim.all_of(down_done)
             flow.finished_at = self.sim.now
             self.flows.append(flow)
+            if decision is not None and decision.action == "drop":
+                self.dropped += 1
+                return msg
+            if decision is not None and decision.action == "delay":
+                yield self.sim.timeout(decision.delay)
             self.bytes_delivered += msg.nbytes
             yield dst_inbox.put(msg)
             return msg

@@ -33,6 +33,7 @@ __all__ = [
     "write_chrome",
     "write_jsonl",
     "load_spans",
+    "load_metrics",
     "span_dicts",
     "phase_breakdown",
     "format_breakdown",
@@ -219,6 +220,35 @@ def load_spans(path: str) -> list[dict]:
             obj.pop("type")
             spans.append(obj)
     return spans
+
+
+def load_metrics(path: str) -> dict:
+    """Read the metrics snapshot back from either export format.
+
+    Chrome traces carry it in ``otherData.metrics``; JSONL traces in the
+    leading ``meta`` line.  Returns the ``{"counters": ..., "gauges":
+    ..., "histograms": ...}`` snapshot dict, or ``{}`` when the trace
+    predates metrics export.
+    """
+    with open(path) as f:
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        other = doc.get("otherData") or {}
+        metrics = other.get("metrics")
+        return metrics if isinstance(metrics, dict) else {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("type") == "meta":
+            metrics = obj.get("metrics")
+            return metrics if isinstance(metrics, dict) else {}
+    return {}
 
 
 def phase_breakdown(

@@ -60,8 +60,31 @@ class Simulator:
         #: is a compatibility facade over this same object
         self.obs = self.tracer.obs
         self.obs.bind_clock(lambda: self.now)
+        #: the installed fault injector, or None (the common case — hooks
+        #: guard on `is not None`, so an uninstalled layer costs one branch)
+        self.faults = None
         #: number of events processed so far (monitoring/tests)
         self.processed_events = 0
+
+    # -- fault injection ------------------------------------------------------
+
+    def install_faults(self, plan):
+        """Install a :class:`~repro.faults.plan.FaultPlan` (or an already
+        built injector) on this simulator; returns the active injector.
+
+        The injector's clock is the simulated clock, so rule windows are
+        sim-time intervals; passing ``None`` uninstalls.
+        """
+        if plan is None:
+            self.faults = None
+            return None
+        from repro.faults.injector import FaultInjector
+
+        if isinstance(plan, FaultInjector):
+            self.faults = plan
+        else:
+            self.faults = FaultInjector(plan, clock=lambda: self.now, obs=self.obs)
+        return self.faults
 
     # -- scheduling ---------------------------------------------------------
 

@@ -18,7 +18,13 @@ import itertools
 import typing as _t
 
 from repro.config import SmartFAMConfig
-from repro.errors import OffloadTimeoutError, ProtocolError, SmartFAMError
+from repro.errors import (
+    OffloadTimeoutError,
+    ProtocolError,
+    SmartFAMError,
+    is_retryable,
+    mark_retryable,
+)
 from repro.fs import path as _p
 from repro.fs.inotify import IN_MODIFY
 from repro.fs.nfs import NFSMount
@@ -60,6 +66,10 @@ class SDSmartFAM:
         self.phoenix_cfg = phoenix_cfg or PhoenixConfig()
         #: module invocations served (stats)
         self.invocations = 0
+        #: results silently lost (injected daemon deaths; stats)
+        self.results_dropped = 0
+        #: sequence numbers currently being executed (idempotency guard)
+        self._in_flight: set[int] = set()
         #: fault injection: module -> number of upcoming invocations to crash
         self._crash_budget: dict[str, int] = {}
         #: fault injection: module -> number of upcoming results to drop
@@ -91,30 +101,53 @@ class SDSmartFAM:
         self._drop_budget[module] = self._drop_budget.get(module, 0) + count
 
     def _dispatch_loop(self, module: str, path: str, watch) -> _t.Generator:
-        """Steps 2-4 of the invoke protocol, forever."""
-        served: set[int] = set()
+        """Steps 2-4 of the invoke protocol, forever.
+
+        Idempotency: dispatch is keyed on the record's sequence number.  A
+        seq is skipped while a run for it is *in flight* or once its RESULT
+        is already in the log — but a seq whose run died before the result
+        was persisted is dispatched again when the host re-writes the same
+        INVOKE record, which is what makes host-side re-invocation after a
+        timeout safe (at-most-once while alive, at-least-once overall).
+
+        Resilience: a transient read failure (torn write, injected disk
+        fault) skips the event rather than killing the loop — the daemon
+        is a long-lived service, and the host's retry re-fires inotify.
+        """
         obs = self.sim.obs
         track = f"{self.node.name}:{module}"
         while True:
             yield watch.queue.get()  # Step 2: inotify fires
+            inj = self.sim.faults
+            if inj is not None:
+                decision = inj.check("fam.dispatch", module=module, node=self.node.name)
+                if decision is not None and decision.action == "drop":
+                    continue  # the daemon "missed" the notification
             with obs.span(
                 "fam.dispatch", cat="smartfam", track=track, module=module
             ) as sp:
                 # Step 3: the Daemon opens the log and retrieves parameters.
-                with obs.span("fam.dispatch.read_log", cat="smartfam", track=track):
-                    payload = yield self.node.fs.read(
-                        path, nbytes=self.cfg.logfile_bytes
-                    )
                 try:
+                    with obs.span("fam.dispatch.read_log", cat="smartfam", track=track):
+                        payload = yield self.node.fs.read(
+                            path, nbytes=self.cfg.logfile_bytes
+                        )
                     record = LogFileCodec.latest(payload, INVOKE)
-                except ProtocolError:
-                    # A torn/garbage write must not kill the daemon: skip the
-                    # event; a well-formed record will fire inotify again.
+                except Exception as exc:
+                    if not is_retryable(exc):
+                        raise
+                    # A torn/garbage write or a transient disk error must
+                    # not kill the daemon: skip the event; a well-formed
+                    # record (or the host's retry) will fire inotify again.
                     self.sim.tracer.count("smartfam.corrupt_log")
                     continue
-                if record is None or record.seq in served:
-                    continue  # our own result write, or a duplicate event
-                served.add(record.seq)
+                if (
+                    record is None
+                    or record.seq in self._in_flight
+                    or LogFileCodec.find(payload, RESULT, record.seq) is not None
+                ):
+                    continue  # running, already answered, or our own write
+                self._in_flight.add(record.seq)
                 sp.set(seq=record.seq)
                 yield self.sim.timeout(self.cfg.daemon_dispatch_overhead)
                 # Step 4: invoke the data-intensive module.
@@ -123,30 +156,54 @@ class SDSmartFAM:
                     name=f"smartfam:{self.node.name}:{module}#{record.seq}",
                 )
 
+    def _should_crash(self, module: str) -> bool:
+        if self._crash_budget.get(module, 0) > 0:
+            self._crash_budget[module] -= 1
+            return True
+        inj = self.sim.faults
+        if inj is not None:
+            decision = inj.check("fam.module", module=module, node=self.node.name)
+            return decision is not None and decision.action in ("fail", "kill")
+        return False
+
+    def _should_drop_result(self, module: str) -> bool:
+        if self._drop_budget.get(module, 0) > 0:
+            self._drop_budget[module] -= 1
+            return True
+        inj = self.sim.faults
+        if inj is not None:
+            decision = inj.check("fam.result", module=module, node=self.node.name)
+            return decision is not None and decision.action == "drop"
+        return False
+
     def _run_module(self, module: str, path: str, record: LogRecord) -> _t.Generator:
+        try:
+            yield from self._run_module_inner(module, path, record)
+        finally:
+            # whatever happened — result written, result dropped, module
+            # crashed — the seq is no longer executing, so a host re-invoke
+            # with the same seq may dispatch again (at-least-once overall)
+            self._in_flight.discard(record.seq)
+
+    def _run_module_inner(
+        self, module: str, path: str, record: LogRecord
+    ) -> _t.Generator:
         fn = self.registry.get(module)
         self.invocations += 1
         obs = self.sim.obs
         track = f"{self.node.name}:{module}"
-        if self._crash_budget.get(module, 0) > 0:
-            self._crash_budget[module] -= 1
+        if self._should_crash(module):
+            # transient by construction: the module died, not the job
             reply = LogRecord(
                 RESULT,
                 record.seq,
                 module,
-                body=SmartFAMError(f"injected crash in module {module!r}"),
+                body=mark_retryable(
+                    SmartFAMError(f"injected crash in module {module!r}")
+                ),
                 ok=False,
             )
-            with obs.span(
-                "fam.result.write", cat="smartfam", track=track,
-                seq=record.seq, ok=False,
-            ):
-                current = self.node.fs.vfs.read(path)
-                yield self.node.fs.write(
-                    path,
-                    data=LogFileCodec.append(current, reply),
-                    size=self.cfg.logfile_bytes,
-                )
+            yield from self._write_result(path, reply, track)
             return
         with obs.span(
             "fam.module.run", cat="smartfam", track=track,
@@ -161,19 +218,42 @@ class SDSmartFAM:
             except Exception as exc:
                 reply = LogRecord(RESULT, record.seq, module, body=exc, ok=False)
                 run_sp.set(error=type(exc).__name__)
-        if self._drop_budget.get(module, 0) > 0:
-            self._drop_budget[module] -= 1
+        if self._should_drop_result(module):
+            self.results_dropped += 1
             return  # the daemon "died" before persisting the result
         # Return Step 1: results are written to the module's log file.
-        with obs.span(
-            "fam.result.write", cat="smartfam", track=track,
-            seq=record.seq, ok=reply.ok,
-        ):
-            current = self.node.fs.vfs.read(path)
-            new_payload = LogFileCodec.append(current, reply)
-            yield self.node.fs.write(
-                path, data=new_payload, size=self.cfg.logfile_bytes, append=False
-            )
+        yield from self._write_result(path, reply, track)
+
+    def _write_result(self, path: str, reply: LogRecord, track: str) -> _t.Generator:
+        """Persist a RESULT record, riding out transient disk faults.
+
+        The write is the daemon's only chance to answer — losing it to a
+        transient error turns a served call into a host-side timeout — so
+        it retries a bounded number of times before giving up (at which
+        point the host's deadline machinery takes over).
+        """
+        obs = self.sim.obs
+        for attempt in range(self.cfg.result_write_retries + 1):
+            try:
+                with obs.span(
+                    "fam.result.write", cat="smartfam", track=track,
+                    seq=reply.seq, ok=reply.ok,
+                ):
+                    current = self.node.fs.vfs.read(path)
+                    new_payload = LogFileCodec.append(current, reply)
+                    yield self.node.fs.write(
+                        path, data=new_payload, size=self.cfg.logfile_bytes,
+                        append=False,
+                    )
+                return
+            except Exception as exc:
+                if not is_retryable(exc) or attempt == self.cfg.result_write_retries:
+                    raise
+                obs.count("retry.count")
+                obs.count("retry.fam.result_write")
+                yield self.sim.timeout(
+                    self.cfg.retry_backoff * (2.0 ** attempt)
+                )
 
 
 class HostSmartFAM:
@@ -194,6 +274,8 @@ class HostSmartFAM:
         self._locks: dict[str, Semaphore] = {}
         #: completed invocations (stats)
         self.calls = 0
+        #: attempts re-issued by :meth:`invoke_reliable` (stats)
+        self.retries = 0
 
     def log_path(self, module: str) -> str:
         """Mount-relative path of a module's log file."""
@@ -235,11 +317,74 @@ class HostSmartFAM:
             name=f"smartfam-call:{module}",
         )
 
+    def invoke_reliable(
+        self,
+        module: str,
+        params: dict,
+        timeout: float | None = None,
+        max_retries: int | None = None,
+        backoff: float | None = None,
+    ) -> Event:
+        """Offload one call with deadline + bounded retry + backoff.
+
+        Each attempt gets its own ``timeout`` (default: no per-attempt
+        deadline — pass one whenever the SD daemon can die silently).
+        Transient failures (:func:`~repro.errors.is_retryable`) retry up
+        to ``max_retries`` times with exponential backoff; permanent
+        failures raise immediately.
+
+        Idempotency: a *timed-out* attempt re-invokes with the **same**
+        sequence number — the daemon skips the seq while the original run
+        is still in flight, and the host picks up a late-but-persisted
+        RESULT record instead of executing the module twice.  An attempt
+        that failed with a *recorded* error result re-invokes under a
+        fresh seq (the old seq is answered; reusing it would re-read the
+        failure forever).
+        """
+        retries = self.cfg.invoke_retries if max_retries is None else max_retries
+        base = self.cfg.retry_backoff if backoff is None else backoff
+        if retries < 0:
+            raise SmartFAMError("max_retries must be >= 0")
+
+        def _proc() -> _t.Generator:
+            obs = self.sim.obs
+            seq = next(_seqs)
+            last_exc: BaseException | None = None
+            for attempt in range(retries + 1):
+                try:
+                    if timeout is None:
+                        return (
+                            yield self.sim.spawn(
+                                self._invoke(module, params, seq=seq),
+                                name=f"smartfam-inner:{module}",
+                            )
+                        )
+                    return (
+                        yield self.sim.spawn(
+                            self._invoke_with_timeout(module, params, timeout, seq=seq),
+                            name=f"smartfam-inner:{module}",
+                        )
+                    )
+                except Exception as exc:
+                    last_exc = exc
+                    if not is_retryable(exc) or attempt == retries:
+                        raise
+                    self.retries += 1
+                    obs.count("retry.count")
+                    obs.count(f"retry.smartfam.{module}")
+                    if not isinstance(exc, OffloadTimeoutError):
+                        seq = next(_seqs)  # the old seq carries a failure RESULT
+                    if base > 0:
+                        yield self.sim.timeout(base * (2.0 ** attempt))
+            raise SmartFAMError(f"unreachable retry state for {module!r}") from last_exc
+
+        return self.sim.spawn(_proc(), name=f"smartfam-reliable:{module}")
+
     def _invoke_with_timeout(
-        self, module: str, params: dict, timeout: float
+        self, module: str, params: dict, timeout: float, seq: int | None = None
     ) -> _t.Generator:
         inner = self.sim.spawn(
-            self._invoke(module, params), name=f"smartfam-inner:{module}"
+            self._invoke(module, params, seq=seq), name=f"smartfam-inner:{module}"
         )
         timer = self.sim.timeout(timeout)
         yield self.sim.any_of([inner, timer])
@@ -262,7 +407,7 @@ class HostSmartFAM:
             self._locks[module] = lock
         return lock
 
-    def _invoke(self, module: str, params: dict) -> _t.Generator:
+    def _invoke(self, module: str, params: dict, seq: int | None = None) -> _t.Generator:
         obs = self.sim.obs
         track = f"{self.node.name}:{module}"
         with obs.span(
@@ -272,7 +417,8 @@ class HostSmartFAM:
             yield lock.acquire()
             try:
                 path = self.log_path(module)
-                seq = next(_seqs)
+                if seq is None:
+                    seq = next(_seqs)
                 call_sp.set(seq=seq)
                 # Invoke Step 1: write the input parameters to the log file.
                 with obs.span(
@@ -281,8 +427,20 @@ class HostSmartFAM:
                     current = yield self.mount.read(
                         path, nbytes=self.cfg.logfile_bytes
                     )
+                    current = (
+                        current if isinstance(current, (bytes, bytearray)) else None
+                    )
+                    # a re-invocation may find its answer already persisted
+                    # (the first attempt's result arrived after the host's
+                    # deadline) — consume it instead of re-executing
+                    existing = LogFileCodec.find(current, RESULT, seq)
+                    if existing is not None:
+                        self.calls += 1
+                        if not existing.ok:
+                            raise _as_exception(existing.body)
+                        return existing.body
                     payload = LogFileCodec.append(
-                        current if isinstance(current, (bytes, bytearray)) else None,
+                        current,
                         LogRecord(INVOKE, seq, module, body=dict(params)),
                     )
                     yield self.mount.write(

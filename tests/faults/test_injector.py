@@ -1,0 +1,144 @@
+"""Tests for the fault injector: determinism, scoping knobs, corruption."""
+
+from __future__ import annotations
+
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.obs import Observability
+
+
+def _inj(*rules, seed=0, clock=None, obs=None):
+    return FaultInjector(FaultPlan(rules=tuple(rules), seed=seed), clock=clock, obs=obs)
+
+
+# -- basic decisions ---------------------------------------------------------
+
+
+def test_unmatched_site_returns_none():
+    inj = _inj(FaultRule("disk.read"))
+    assert inj.check("nfs.call") is None
+    assert inj.injections == 0
+
+
+def test_count_burns_out():
+    inj = _inj(FaultRule("disk.read", count=2))
+    assert inj.check("disk.read") is not None
+    assert inj.check("disk.read") is not None
+    assert inj.check("disk.read") is None
+    assert inj.fired_by_site() == {"disk.read": 2}
+
+
+def test_after_skips_leading_events():
+    inj = _inj(FaultRule("disk.read", after=2, count=1))
+    assert inj.check("disk.read") is None
+    assert inj.check("disk.read") is None
+    assert inj.check("disk.read") is not None
+
+
+def test_where_mismatch_does_not_consume_after_budget():
+    # non-matching ctx is invisible to the rule: `after` counts matching
+    # events only, so a rule can target "the 2nd event on task 1" exactly
+    inj = _inj(FaultRule("pool.worker", where={"index": 1}, after=1, count=1))
+    for _ in range(5):
+        assert inj.check("pool.worker", index=0) is None
+    assert inj.check("pool.worker", index=1) is None  # 1st matching: skipped
+    assert inj.check("pool.worker", index=1) is not None
+
+
+def test_stacked_rules_form_fallback_chain():
+    inj = _inj(
+        FaultRule("spill.write", action="fail", count=1),
+        FaultRule("spill.write", action="corrupt", count=1),
+    )
+    assert inj.check("spill.write").action == "fail"
+    assert inj.check("spill.write").action == "corrupt"
+    assert inj.check("spill.write") is None
+
+
+def test_window_gates_on_clock():
+    now = [0.0]
+    inj = _inj(
+        FaultRule("disk.read", window=(5.0, 10.0)), clock=lambda: now[0]
+    )
+    assert inj.check("disk.read") is None
+    now[0] = 5.0
+    assert inj.check("disk.read") is not None
+    now[0] = 10.0  # half-open: t1 excluded
+    assert inj.check("disk.read") is None
+
+
+def test_window_rule_dormant_without_clock():
+    inj = _inj(FaultRule("disk.read", window=(0.0, 1e9)))
+    assert inj.check("disk.read") is None
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def _drive(seed):
+    inj = _inj(FaultRule("net.deliver", probability=0.5), seed=seed)
+    pattern = [inj.check("net.deliver", msg=i) is not None for i in range(200)]
+    return inj, pattern
+
+
+def test_probability_stream_is_deterministic_per_seed():
+    inj_a, pat_a = _drive(seed=11)
+    inj_b, pat_b = _drive(seed=11)
+    assert pat_a == pat_b
+    assert inj_a.signatures() == inj_b.signatures()
+    assert 0 < sum(pat_a) < 200  # actually probabilistic, not all-or-nothing
+
+
+def test_different_seed_changes_the_pattern():
+    _, pat_a = _drive(seed=11)
+    _, pat_b = _drive(seed=12)
+    assert pat_a != pat_b
+
+
+def test_signature_carries_ordered_ctx():
+    inj = _inj(FaultRule("fam.module", count=1))
+    decision = inj.check("fam.module", module="wordcount", seq=7)
+    assert decision.signature() == (
+        0, "fam.module", "fail", 0, (("module", "wordcount"), ("seq", 7)),
+    )
+
+
+def test_non_primitive_ctx_values_are_reprd():
+    inj = _inj(FaultRule("x", count=1))
+    decision = inj.check("x", obj=[1, 2])
+    assert decision.ctx == (("obj", "[1, 2]"),)
+
+
+# -- corruption --------------------------------------------------------------
+
+
+def test_corrupt_bytes_flips_exactly_one_byte_deterministically():
+    blob = bytes(range(64))
+    outs = []
+    for _ in range(2):
+        inj = _inj(FaultRule("spill.write", action="corrupt", count=1), seed=4)
+        decision = inj.check("spill.write")
+        outs.append(inj.corrupt_bytes(blob, decision))
+    assert outs[0] == outs[1]  # same seed, same flip position
+    assert outs[0] != blob
+    assert sum(a != b for a, b in zip(outs[0], blob)) == 1
+    assert len(outs[0]) == len(blob)
+
+
+def test_corrupt_bytes_empty_blob_passthrough():
+    inj = _inj(FaultRule("spill.write", action="corrupt", count=1))
+    decision = inj.check("spill.write")
+    assert inj.corrupt_bytes(b"", decision) == b""
+
+
+# -- observability -----------------------------------------------------------
+
+
+def test_injections_feed_fault_counters():
+    obs = Observability(enabled=False)  # counters are always-on
+    inj = _inj(FaultRule("disk.read", count=2), obs=obs)
+    inj.check("disk.read")
+    inj.check("disk.read")
+    inj.check("disk.read")  # exhausted: no counter increment
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["fault.injected"] == 2
+    assert counters["fault.injected.disk.read"] == 2

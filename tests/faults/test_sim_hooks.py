@@ -1,0 +1,151 @@
+"""Tests for the simulator-side injection hooks and end-to-end recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Testbed
+from repro.config import table1_cluster
+from repro.core import DataJob, FaultTolerantInvoker
+from repro.errors import DiskError, NFSError, is_retryable
+from repro.faults import FaultPlan, FaultRule, standard_plan
+from repro.fs.inotify import IN_MODIFY, InotifyManager
+from repro.fs.vfs import VFS
+from repro.hardware.disk import DiskModel
+from repro.sim import Simulator
+from repro.units import MB
+from repro.workloads import text_input
+
+
+# -- per-hook unit tests -----------------------------------------------------
+
+
+def test_disk_read_fail_raises_retryable_disk_error():
+    sim = Simulator()
+    disk = DiskModel(sim)
+    sim.install_faults(
+        FaultPlan(rules=(FaultRule("disk.read", action="fail", count=1),), seed=2)
+    )
+
+    def proc():
+        try:
+            yield disk.read(4096)
+        except DiskError as exc:
+            return exc
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert isinstance(p.value, DiskError)
+    assert is_retryable(p.value)
+    assert sim.faults.fired_by_site() == {"disk.read": 1}
+
+
+def test_disk_write_site_is_separate_from_read():
+    sim = Simulator()
+    disk = DiskModel(sim)
+    sim.install_faults(
+        FaultPlan(rules=(FaultRule("disk.write", action="fail", count=1),), seed=2)
+    )
+
+    def proc():
+        n = yield disk.read(100)  # unaffected
+        try:
+            yield disk.write(100)
+        except DiskError as exc:
+            return (n, exc)
+
+    p = sim.spawn(proc())
+    sim.run()
+    n, exc = p.value
+    assert n == 100 and is_retryable(exc)
+
+
+def test_inotify_drop_loses_one_event_then_recovers():
+    sim = Simulator()
+    vfs = VFS()
+    mgr = InotifyManager(sim, vfs, latency=0.0)
+    sim.install_faults(
+        FaultPlan(rules=(FaultRule("inotify.deliver", action="drop", count=1),), seed=2)
+    )
+    vfs.create("/log")
+    w = mgr.add_watch("/log", IN_MODIFY)
+    vfs.write("/log", data=b"a")  # dropped
+    vfs.write("/log", data=b"ab")  # delivered (rule burned out)
+    sim.run()
+    events = []
+    while (item := w.queue.try_get()) is not None:
+        events.append(item)
+    assert mgr.dropped == 1
+    assert len(events) == 1
+
+
+def test_nfs_call_fail_surfaces_transient_nfs_error():
+    bed = Testbed(seed=4)
+    inp = text_input("/data/f", MB(10), payload_bytes=2_000, seed=4)
+    _sd, _host, sd_path = bed.stage_on_sd("f", inp)
+    channel = bed.cluster.channel()
+    bed.sim.install_faults(
+        FaultPlan(rules=(FaultRule("nfs.call", action="fail", count=1),), seed=4)
+    )
+
+    def proc():
+        try:
+            yield channel.mount.stat(channel.log_dir)
+        except NFSError as exc:
+            first = exc
+        # the next RPC goes through: the fault was transient
+        attrs = yield channel.mount.stat(channel.log_dir)
+        return first, attrs
+
+    first, attrs = bed.run(proc())
+    assert is_retryable(first)
+    assert attrs is not None
+
+
+# -- end-to-end recovery under the standard plan -----------------------------
+
+
+@pytest.mark.parametrize("app", ["wordcount", "stringmatch"])
+def test_standard_plan_preserves_job_output(app):
+    def run_once(chaos):
+        bed = Testbed(config=table1_cluster(n_sd=2, seed=6), seed=6)
+        inp = text_input("/data/f", MB(50), payload_bytes=4_000, seed=6)
+        _sd, _host, sd_path = bed.stage_on_sd("f", inp)
+        bed.stage(bed.cluster.sd(1), sd_path, inp)
+        injector = bed.sim.install_faults(standard_plan(6)) if chaos else None
+        job = DataJob(app=app, input_path=sd_path, input_size=MB(50), mode="parallel")
+        ft = FaultTolerantInvoker(bed.cluster, timeout=60.0, max_retries=2)
+
+        def go():
+            return (yield ft.run(job, replicas=["sd1"]))
+
+        result = bed.run(go())
+        return result.output, injector, ft
+
+    baseline, _, _ = run_once(chaos=False)
+    output, injector, ft = run_once(chaos=True)
+    assert output == baseline  # faults cost time, never answers
+    assert injector.injections >= 1
+    # bounded: at most (retries+1) per SD target plus the host fallback
+    assert ft.total_attempts <= 2 * 3 + 1
+
+
+def test_standard_plan_injection_is_reproducible():
+    def run_once():
+        bed = Testbed(config=table1_cluster(n_sd=2, seed=8), seed=8)
+        inp = text_input("/data/f", MB(50), payload_bytes=4_000, seed=8)
+        _sd, _host, sd_path = bed.stage_on_sd("f", inp)
+        bed.stage(bed.cluster.sd(1), sd_path, inp)
+        injector = bed.sim.install_faults(standard_plan(8))
+        job = DataJob(
+            app="wordcount", input_path=sd_path, input_size=MB(50), mode="parallel"
+        )
+        ft = FaultTolerantInvoker(bed.cluster, timeout=60.0, max_retries=2)
+
+        def go():
+            return (yield ft.run(job, replicas=["sd1"]))
+
+        bed.run(go())
+        return injector.signatures()
+
+    assert run_once() == run_once()

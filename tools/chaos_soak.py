@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Chaos soak: the fault-injection acceptance gate.
+
+Usage:
+    python tools/chaos_soak.py [--quick] [--seed N] [--trace DIR]
+
+Runs every benchmark twice through the simulated cluster — once clean,
+once with the standard fault plan installed — and the real streaming
+engine the same way, then asserts the robustness contract:
+
+* **byte-identical output**: the chaos run's pickled output equals the
+  fault-free baseline's, app by app (faults may cost time, never
+  answers);
+* **full plan coverage**: every rule in the plan actually fired (a gate
+  that silently stopped injecting proves nothing);
+* **reproducible injection**: a second chaos run with the same seed
+  produces the identical injection signature sequence;
+* **bounded recovery**: attempts/retries stay inside the configured
+  budgets — no unbounded retry storms;
+* **no leaks** (engine): no spill directories left on disk and no worker
+  processes left running after the engine closes.
+
+``--quick`` runs one simulated app and a smaller engine input (the CI
+smoke configuration); the default soaks wordcount, stringmatch and
+matmul.  ``--trace DIR`` exports one Chrome trace per case, which
+``tools/trace_view.py`` renders with a reliability-counter section.
+
+Exit status 0 iff every check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import multiprocessing as mp
+import os
+import pickle
+import sys
+import tempfile
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from repro.apps.matmul import assemble_product, matmul_input  # noqa: E402
+from repro.cluster import Testbed  # noqa: E402
+from repro.config import table1_cluster  # noqa: E402
+from repro.core import DataJob, FaultTolerantInvoker  # noqa: E402
+from repro.exec import LocalMapReduce  # noqa: E402
+from repro.exec.outofcore import install_signal_cleanup, live_spill_dirs  # noqa: E402
+from repro.faults import standard_engine_plan, standard_plan  # noqa: E402
+from repro.obs import Observability  # noqa: E402
+from repro.obs.export import write_chrome  # noqa: E402
+from repro.units import MB  # noqa: E402
+from repro.workloads import text_input  # noqa: E402
+
+
+# -- simulated cluster cases -------------------------------------------------
+
+#: per-attempt deadline for the chaos invoker (simulated seconds)
+SIM_TIMEOUT = 60.0
+#: same-target retries before failover
+SIM_RETRIES = 2
+
+
+def _sim_job(app: str, seed: int, quick: bool):
+    """A fresh testbed with the app's input staged on both SD nodes."""
+    bed = Testbed(config=table1_cluster(n_sd=2, seed=seed), seed=seed)
+    if app == "matmul":
+        n = 256 if quick else 512
+        inp = matmul_input("/data/mm", n, payload_n=32, seed=seed)
+        _sd, _host, sd_path = bed.stage_on_sd("mm", inp)
+        bed.stage(bed.cluster.sd(1), sd_path, inp)
+        job = DataJob(
+            app="matmul", input_path=sd_path, input_size=inp.size,
+            mode="parallel", params={"n": n},
+        )
+    else:
+        size = MB(50) if quick else MB(200)
+        inp = text_input("/data/f", size, payload_bytes=6_000, seed=seed)
+        _sd, _host, sd_path = bed.stage_on_sd("f", inp)
+        bed.stage(bed.cluster.sd(1), sd_path, inp)
+        job = DataJob(
+            app=app, input_path=sd_path, input_size=size, mode="parallel"
+        )
+    return bed, job
+
+
+def _canonical(app: str, output: object) -> bytes:
+    """The byte-comparable form of a job's answer.
+
+    matmul's raw output is one (row_start, block) entry per map task, and
+    the task count follows the executing node's core count — a failover
+    to the host legitimately changes the blocking.  The *answer* is the
+    assembled product matrix, so byte-identity is asserted on that; the
+    text apps' outputs are already canonical.
+    """
+    if app == "matmul":
+        return pickle.dumps(assemble_product(output))
+    return pickle.dumps(output)
+
+
+def _run_sim_once(app: str, seed: int, quick: bool, chaos: bool):
+    bed, job = _sim_job(app, seed, quick)
+    injector = bed.sim.install_faults(standard_plan(seed)) if chaos else None
+    ft = FaultTolerantInvoker(bed.cluster, timeout=SIM_TIMEOUT, max_retries=SIM_RETRIES)
+
+    def go():
+        return (yield ft.run(job, replicas=["sd1"]))
+
+    result = bed.run(go())
+    return _canonical(app, result.output), injector, ft, bed
+
+
+def sim_case(app: str, seed: int, quick: bool, trace_dir: str | None) -> list:
+    """All gate checks for one simulated app; returns (check, ok, note) rows."""
+    baseline, _, _, _ = _run_sim_once(app, seed, quick, chaos=False)
+    output, injector, ft, bed = _run_sim_once(app, seed, quick, chaos=True)
+    output2, injector2, _, _ = _run_sim_once(app, seed, quick, chaos=True)
+
+    plan = standard_plan(seed)
+    fired = injector.fired_by_site()
+    # every rule's exact site should have seen at least one injection
+    missing = [r.site for r in plan.rules if fired.get(r.site, 0) == 0]
+    # FT invoker budget: (retries+1) per target (primary + 1 replica), +1 host
+    attempt_budget = (SIM_RETRIES + 1) * 2 + 1
+
+    if trace_dir:
+        write_chrome(
+            bed.sim.obs,
+            os.path.join(trace_dir, f"chaos-sim-{app}.json"),
+            extra={"faults": injector.fired_by_site()},
+        )
+    return [
+        ("output identical", output == baseline,
+         f"{len(baseline)} bytes"),
+        ("all rules fired", not missing,
+         f"fired {fired}" + (f", missing {missing}" if missing else "")),
+        ("injection reproducible",
+         injector.signatures() == injector2.signatures() and output2 == baseline,
+         f"{injector.injections} injections"),
+        ("retries bounded", ft.total_attempts <= attempt_budget,
+         f"{ft.total_attempts} attempts <= {attempt_budget}"),
+    ]
+
+
+# -- real-engine case --------------------------------------------------------
+
+
+def _wc_map(data, emit, params):
+    # module-level: crosses the multiprocessing pickle boundary
+    for token in data.split():
+        emit(token, 1)
+
+
+def _wc_combine(a, b):
+    return a + b
+
+
+def _make_engine_input(tmpdir: str, quick: bool) -> str:
+    words = [f"word{i:04d}".encode() for i in range(500)]
+    repeats = 30_000 if quick else 120_000
+    blob = b" ".join(words[(i * 7) % len(words)] for i in range(repeats))
+    path = os.path.join(tmpdir, "chaos-input.txt")
+    with open(path, "wb") as f:
+        f.write(blob)
+    return path
+
+
+def _run_engine_once(path: str, seed: int, chaos: bool, trace: bool):
+    obs = Observability(enabled=trace)
+    engine = LocalMapReduce(
+        _wc_map,
+        combine_fn=_wc_combine,
+        n_workers=2,
+        memory_budget=128 * 1024,
+        obs=obs,
+        faults=standard_engine_plan(seed) if chaos else None,
+    )
+    try:
+        result = engine.run(path, chunk_bytes=32 * 1024)
+    finally:
+        engine.close()
+    return pickle.dumps(result.output), engine, result
+
+
+def engine_case(seed: int, quick: bool, trace_dir: str | None) -> list:
+    """All gate checks for the real out-of-core engine under chaos."""
+    install_signal_cleanup()  # SIGTERM must not leak spill dirs either
+    with tempfile.TemporaryDirectory(prefix="chaos-soak-") as tmpdir:
+        path = _make_engine_input(tmpdir, quick)
+        baseline, _, base_res = _run_engine_once(path, seed, chaos=False, trace=False)
+        output, engine, res = _run_engine_once(
+            path, seed, chaos=True, trace=bool(trace_dir)
+        )
+        output2, engine2, _ = _run_engine_once(path, seed, chaos=True, trace=False)
+
+        fired = engine.faults.fired_by_site()
+        plan = standard_engine_plan(seed)
+        missing = [r.site for r in plan.rules if fired.get(r.site, 0) == 0]
+        counters = engine.obs.metrics.snapshot()["counters"]
+        leftover = live_spill_dirs() + glob.glob(
+            os.path.join(tempfile.gettempdir(), "localmr-spill-*")
+        )
+        children = mp.active_children()
+
+        if trace_dir:
+            write_chrome(
+                engine.obs,
+                os.path.join(trace_dir, "chaos-engine.json"),
+                extra={"faults": fired},
+            )
+        return [
+            ("output identical", output == baseline,
+             f"{len(baseline)} bytes, {base_res.n_fragments} fragments"),
+            ("all rules fired", not missing,
+             f"fired {fired}" + (f", missing {missing}" if missing else "")),
+            ("worker respawned", engine.pool.respawns >= 1,
+             f"{engine.pool.respawns} respawns"),
+            ("fragment recomputed", counters.get("localmr.recompute", 0) >= 1,
+             f"{counters.get('localmr.recompute', 0)} recomputes"),
+            ("injection reproducible",
+             engine.faults.signatures() == engine2.faults.signatures()
+             and output2 == baseline,
+             f"{engine.faults.injections} injections"),
+            ("retries bounded",
+             engine.pool.redispatches <= engine.pool.max_task_retries
+             * (res.n_chunks + 1),
+             f"{engine.pool.redispatches} redispatches"),
+            ("no spill dirs leaked", not leftover, f"{leftover or 'clean'}"),
+            ("no worker processes leaked", not children,
+             f"{[c.pid for c in children] or 'clean'}"),
+        ]
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke: one sim app, smaller engine input")
+    ap.add_argument("--seed", type=int, default=7, help="fault plan seed")
+    ap.add_argument("--trace", default=None, metavar="DIR",
+                    help="export one Chrome trace per case into DIR")
+    args = ap.parse_args(argv)
+
+    if args.trace:
+        os.makedirs(args.trace, exist_ok=True)
+
+    apps = ["wordcount"] if args.quick else ["wordcount", "stringmatch", "matmul"]
+    cases = [
+        (f"sim:{app}", lambda app=app: sim_case(app, args.seed, args.quick, args.trace))
+        for app in apps
+    ]
+    cases.append(("engine:wordcount",
+                  lambda: engine_case(args.seed, args.quick, args.trace)))
+
+    failures = 0
+    for name, run in cases:
+        print(f"== {name}")
+        for check, ok, note in run():
+            status = "ok  " if ok else "FAIL"
+            print(f"  [{status}] {check:<28} {note}")
+            failures += 0 if ok else 1
+    print()
+    if failures:
+        print(f"chaos soak: {failures} check(s) FAILED")
+        return 1
+    print("chaos soak: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,10 @@ Reads either export format (Chrome-trace/Perfetto JSON or JSONL, see
 * ``--group cat`` — one table over *all* spans grouped by category
   (phoenix / smartfam / nfs / ...), useful for cross-cutting cost like
   NFS transfers;
-* ``--tree`` — the indented span hierarchy with durations.
+* ``--tree`` — the indented span hierarchy with durations;
+* a reliability section (injected faults, retries, failovers from the
+  ``fault.*`` / ``retry.*`` / ``failover.*`` / ``pool.*`` counters)
+  whenever the trace recorded any — chaos-soak traces always do.
 
 Times are primary-clock seconds: simulated seconds for simulator traces,
 wall seconds for real-engine and benchmark traces.
@@ -34,9 +37,13 @@ for p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
 
 from repro.obs.export import (  # noqa: E402
     format_breakdown,
+    load_metrics,
     load_spans,
     phase_breakdown,
 )
+
+#: counter prefixes that make up the reliability section
+_RELIABILITY_PREFIXES = ("fault.", "retry.", "failover.", "pool.")
 
 
 def group_by_cat(spans: list[dict], unit: str) -> str:
@@ -91,6 +98,22 @@ def tree_view(spans: list[dict], unit: str, max_depth: int) -> str:
     return "\n".join(lines)
 
 
+def reliability_view(metrics: dict) -> str:
+    """The fault/retry/failover counter table ("" when the run was calm)."""
+    counters = metrics.get("counters") or {}
+    rows = sorted(
+        (name, value)
+        for name, value in counters.items()
+        if name.startswith(_RELIABILITY_PREFIXES)
+    )
+    if not rows:
+        return ""
+    width = max(len(name) for name, _ in rows)
+    lines = ["reliability counters", "-" * max(20, width + 8)]
+    lines += [f"{name:<{width}} {value:>7}" for name, value in rows]
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
@@ -110,14 +133,16 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"{len(spans)} spans from {args.trace}\n")
 
+    reliability = reliability_view(load_metrics(args.trace))
     if args.tree:
         print(tree_view(spans, args.unit, args.max_depth))
-        return 0
-    if args.group == "cat":
+    elif args.group == "cat":
         print(group_by_cat(spans, args.unit))
-        return 0
-    breakdown = phase_breakdown(spans, root_name=args.root)
-    print(format_breakdown(breakdown, time_unit=args.unit))
+    else:
+        breakdown = phase_breakdown(spans, root_name=args.root)
+        print(format_breakdown(breakdown, time_unit=args.unit))
+    if reliability:
+        print("\n" + reliability)
     return 0
 
 
