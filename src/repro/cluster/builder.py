@@ -54,6 +54,21 @@ class BuiltCluster:
         """The index-th SD node."""
         return self.sd_nodes[index]
 
+    @property
+    def sd_channels(self) -> list[HostSmartFAM]:
+        """The host's smartFAM channels, one per SD node, in SD-node order.
+
+        The uniform N-SD accessor: ``sd_channels[i]`` talks to
+        ``sd_nodes[i]`` regardless of how many storage nodes the config
+        declared (scenarios must not hardwire "the one SD node").
+        """
+        return [self.host_channels[n.name] for n in self.sd_nodes]
+
+    @property
+    def sd_names(self) -> list[str]:
+        """SD node names in ``sd_nodes`` order."""
+        return [n.name for n in self.sd_nodes]
+
     def channel(self, sd_name: str = "") -> HostSmartFAM:
         """The host's smartFAM channel to an SD node (default: first)."""
         if not sd_name:

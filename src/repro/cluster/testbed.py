@@ -35,13 +35,14 @@ class Testbed:
         self,
         config: ClusterConfig | None = None,
         sd_cpu: CPUSpec = DUO_E4400,
+        n_sd: int = 1,
         with_smb: bool = False,
         smb_params: dict | None = None,
         registry: ModuleRegistry | None = None,
         seed: int = 0,
         trace: bool = False,
     ):
-        self.config = config or table1_cluster(sd_cpu=sd_cpu, seed=seed)
+        self.config = config or table1_cluster(sd_cpu=sd_cpu, n_sd=n_sd, seed=seed)
         self.cluster: BuiltCluster = build_cluster(
             self.config, registry=registry, with_smb=with_smb,
             smb_params=smb_params, trace=trace,
@@ -99,6 +100,20 @@ class Testbed:
             path=host_path, size=inp.size, payload=inp.payload, params=inp.params
         )
         return sd_view, host_view, sd_path
+
+    def stage_replicated(
+        self, rel_path: str, inp: InputSpec
+    ) -> tuple[InputSpec, str]:
+        """Stage one dataset on *every* SD node at the same export path.
+
+        Returns ``(sd_view, sd_path)`` for the first SD node; the replicas
+        are byte-identical, so a scheduler may place the job on whichever
+        storage node is least loaded (or fail it over when one dies).
+        """
+        sd_view, _host_view, sd_path = self.stage_on_sd(rel_path, inp)
+        for i in range(1, len(self.cluster.sd_nodes)):
+            self.stage(self.cluster.sd(i), sd_path, inp)
+        return sd_view, sd_path
 
     def stage_shards(self, rel_path: str, inp: InputSpec) -> list:
         """Shard a dataset across *all* SD nodes (integrity-checked cuts).

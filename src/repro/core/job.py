@@ -37,6 +37,9 @@ class DataJob:
     params: dict = dataclasses.field(default_factory=dict)
     #: which SD node holds the data ("" = the cluster's first SD node)
     sd_node: str = ""
+    #: who submitted the job — the fair-share scheduler's accounting unit
+    #: (purely host-side; never crosses the smartFAM channel)
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.mode not in ("partitioned", "parallel", "sequential"):

@@ -31,7 +31,59 @@ __all__ = [
     "AlwaysOffloadPolicy",
     "HostOnlyPolicy",
     "AdaptivePolicy",
+    "node_load",
+    "least_loaded",
 ]
+
+
+def node_load(
+    cluster: "BuiltCluster",
+    engine,
+    node,
+    depths: _t.Mapping[str, int] | None = None,
+) -> float:
+    """The live load of a node, as every placement decision sees it.
+
+    Three stacked signals:
+
+    * runnable tasks per core (the PS-CPU's multiprogramming level),
+    * jobs already *placed* on the node but not yet finished
+      (``engine.inflight`` — a burst submitted at one instant still
+      spreads out),
+    * jobs the control plane has queued *for* the node but not yet
+      dispatched (``depths``, the scheduler's per-node queue depth).
+
+    ``node`` may be a :class:`~repro.node.node.Node` or a name.
+    """
+    n = cluster.node(node) if isinstance(node, str) else node
+    load = n.cpu.n_active / n.cpu.cores
+    if engine is not None:
+        load += engine.inflight.get(n.name, 0)
+    if depths:
+        load += depths.get(n.name, 0)
+    return load
+
+
+def least_loaded(
+    cluster: "BuiltCluster",
+    engine,
+    names: _t.Sequence[str],
+    depths: _t.Mapping[str, int] | None = None,
+) -> str:
+    """The least-loaded of ``names`` under :func:`node_load`.
+
+    Ties break toward the earliest candidate in ``names`` — deterministic,
+    and callers list the job's preferred (primary) node first.
+    """
+    if not names:
+        raise PlacementError("least_loaded needs at least one candidate")
+    best = names[0]
+    best_load = node_load(cluster, engine, best, depths)
+    for name in names[1:]:
+        load = node_load(cluster, engine, name, depths)
+        if load < best_load:
+            best, best_load = name, load
+    return best
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,17 +155,33 @@ class AdaptivePolicy(PlacementPolicy):
 
     name = "adaptive"
 
-    def __init__(self, tolerance: float = 1.0):
+    def __init__(
+        self,
+        tolerance: float = 1.0,
+        depth_source: _t.Callable[[], _t.Mapping[str, int]] | None = None,
+    ):
         if tolerance < 0:
             raise PlacementError("tolerance must be >= 0")
         self.tolerance = tolerance
+        #: optional live per-node queue depths (the scheduler binds its own
+        #: via :meth:`bind_depths`, folding queued-but-undispatched work
+        #: into the load signal)
+        self.depth_source = depth_source
+
+    def bind_depths(
+        self, source: _t.Callable[[], _t.Mapping[str, int]] | None
+    ) -> None:
+        """Point the policy at a live per-node queue-depth source."""
+        self.depth_source = source
 
     @staticmethod
-    def load_of(node, engine=None) -> float:
-        """Runnable tasks per core + pending placed jobs on a node."""
+    def load_of(node, engine=None, depths=None) -> float:
+        """Runnable tasks per core + pending placed/queued jobs on a node."""
         load = node.cpu.n_active / node.cpu.cores
         if engine is not None:
             load += engine.inflight.get(node.name, 0)
+        if depths:
+            load += depths.get(node.name, 0)
         return load
 
     def place(self, job: "DataJob", cluster: "BuiltCluster", engine=None) -> Placement:
@@ -121,8 +189,9 @@ class AdaptivePolicy(PlacementPolicy):
         sd_name = self._sd_name(job, cluster)
         sd = cluster.node(sd_name)
         host = cluster.host
-        sd_load = self.load_of(sd, engine)
-        host_load = self.load_of(host, engine)
+        depths = self.depth_source() if self.depth_source is not None else None
+        sd_load = self.load_of(sd, engine, depths)
+        host_load = self.load_of(host, engine, depths)
         if sd_load <= host_load + self.tolerance:
             return Placement(
                 node=sd_name,

@@ -36,10 +36,18 @@ class OffloadEngine:
         #: jobs currently placed on each node (placement-time load signal)
         self.inflight: dict[str, int] = {}
 
-    def run(self, job: DataJob, placement: Placement) -> Event:
-        """Run ``job`` per ``placement``; Process value is a JobResult."""
+    def run(
+        self, job: DataJob, placement: Placement, timeout: float | None = None
+    ) -> Event:
+        """Run ``job`` per ``placement``; Process value is a JobResult.
+
+        ``timeout`` bounds an *offloaded* attempt (queueing + execution on
+        the SD node); expiry raises
+        :class:`~repro.errors.OffloadTimeoutError` — the liveness signal a
+        silently dead SD daemon requires.  Host placements ignore it.
+        """
         if placement.offload:
-            gen = self._run_offloaded(job, placement)
+            gen = self._run_offloaded(job, placement, timeout)
         else:
             gen = self._run_on_host(job)
         target = placement.node if placement.offload else self.cluster.host.name
@@ -56,12 +64,14 @@ class OffloadEngine:
 
     # -- smartFAM path ---------------------------------------------------------
 
-    def _run_offloaded(self, job: DataJob, placement: Placement) -> _t.Generator:
+    def _run_offloaded(
+        self, job: DataJob, placement: Placement, timeout: float | None = None
+    ) -> _t.Generator:
         channel = self.cluster.host_channels.get(placement.node)
         if channel is None:
             raise OffloadError(f"no smartFAM channel to {placement.node!r}")
         t0 = self.sim.now
-        result = yield channel.invoke(job.app, job.invoke_params())
+        result = yield channel.invoke(job.app, job.invoke_params(), timeout=timeout)
         self.offloaded += 1
         return JobResult(
             name=job.app,

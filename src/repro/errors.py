@@ -36,6 +36,7 @@ __all__ = [
     "OffloadError",
     "OffloadTimeoutError",
     "PlacementError",
+    "AdmissionError",
     "ConfigError",
     "WorkloadError",
     "FaultInjectedError",
@@ -279,6 +280,24 @@ class OffloadTimeoutError(OffloadError):
 
 class PlacementError(McSDError):
     """No feasible placement for a job under the active policy."""
+
+
+class AdmissionError(McSDError):
+    """The scheduler refused a job at admission (bounded-queue backpressure).
+
+    Deliberately *not* retryable by the runtime's retry sites: rejection is
+    the control plane shedding load so overload degrades predictably; the
+    submitting client decides whether to resubmit later.  A rejected job
+    never entered the queue — admitted jobs are never dropped.
+    """
+
+    def __init__(self, job: str, queued: int, limit: int):
+        super().__init__(
+            f"job {job!r} rejected at admission: queue full ({queued}/{limit})"
+        )
+        self.job = job
+        self.queued = queued
+        self.limit = limit
 
 
 class ConfigError(McSDError):

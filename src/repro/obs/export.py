@@ -34,6 +34,7 @@ __all__ = [
     "write_jsonl",
     "load_spans",
     "load_metrics",
+    "load_series",
     "span_dicts",
     "phase_breakdown",
     "format_breakdown",
@@ -73,6 +74,14 @@ def _span_dict(span) -> dict:
         "dur": span.dur,
         "wall_dur": span.wall_dur,
         "attrs": _json_safe(span.attrs),
+    }
+
+
+def _series_dicts(obs: "Observability") -> dict:
+    """All time series as ``{name: {"times": [...], "values": [...]}}``."""
+    return {
+        name: {"times": list(ts.times), "values": list(ts.values)}
+        for name, ts in obs.series.items()
     }
 
 
@@ -131,6 +140,7 @@ def chrome_trace(obs: "Observability", extra: dict | None = None) -> dict:
     other = {
         "environment": environment_provenance(),
         "metrics": _json_safe(obs.metrics.snapshot()),
+        "series": _series_dicts(obs),
         "records_kept": len(obs.records),
         "records_dropped": obs.records.dropped,
     }
@@ -154,6 +164,7 @@ def write_jsonl(obs: "Observability", path: str, extra: dict | None = None) -> s
             "type": "meta",
             "environment": environment_provenance(),
             "metrics": _json_safe(obs.metrics.snapshot()),
+            "series": _series_dicts(obs),
             "records_dropped": obs.records.dropped,
         }
         if extra:
@@ -248,6 +259,34 @@ def load_metrics(path: str) -> dict:
         if obj.get("type") == "meta":
             metrics = obj.get("metrics")
             return metrics if isinstance(metrics, dict) else {}
+    return {}
+
+
+def load_series(path: str) -> dict:
+    """Read the time series back from either export format.
+
+    Returns ``{name: {"times": [...], "values": [...]}}`` — Chrome traces
+    carry it in ``otherData.series``, JSONL traces in the ``meta`` line;
+    ``{}`` when the trace predates series export.
+    """
+    with open(path) as f:
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        other = doc.get("otherData") or {}
+        series = other.get("series")
+        return series if isinstance(series, dict) else {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("type") == "meta":
+            series = obj.get("series")
+            return series if isinstance(series, dict) else {}
     return {}
 
 

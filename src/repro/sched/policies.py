@@ -1,0 +1,158 @@
+"""Queue-ordering policies: which admitted job the scheduler dispatches next.
+
+Orthogonal to *placement* (``repro.core.loadbalance`` decides where a job
+runs); an :class:`OrderingPolicy` decides *which* queued job goes next:
+
+* :class:`FIFOOrdering` — arrival order, the baseline.
+* :class:`SJFOrdering` — shortest job first by declared ``input_size``
+  (the paper's cost models are byte-proportional, so declared bytes are
+  the service-time estimate).
+* :class:`FairShareOrdering` — weighted fair share across tenants: each
+  tenant accumulates *charged work* (declared bytes) as its jobs
+  dispatch, and the next job comes from the tenant with the smallest
+  weight-normalised consumption — a deficit scheduler, so a tenant with
+  weight 2 dispatches twice the bytes of a tenant with weight 1 while
+  both have backlog.
+
+Every policy breaks ties on admission sequence, keeping the control plane
+deterministic under the simulator's deterministic event order.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ConfigError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.queue import QueuedJob
+
+__all__ = [
+    "OrderingPolicy",
+    "FIFOOrdering",
+    "SJFOrdering",
+    "FairShareOrdering",
+    "make_ordering",
+]
+
+
+class OrderingPolicy:
+    """Base class: rank queued jobs for dispatch."""
+
+    name = "base"
+
+    def select(self, entries: _t.Sequence["QueuedJob"]) -> "QueuedJob":
+        """The entry to dispatch next out of a non-empty candidate list."""
+        raise NotImplementedError
+
+    def on_dispatch(self, entry: "QueuedJob") -> None:
+        """Hook: ``entry`` was just dispatched (policies keep accounts)."""
+
+    def ordered(self, entries: _t.Sequence["QueuedJob"]) -> list["QueuedJob"]:
+        """All entries in dispatch-preference order (head first).
+
+        The dispatcher walks this to skip entries whose target nodes are
+        at their concurrency limit without violating the policy's order.
+        """
+        remaining = list(entries)
+        out: list[QueuedJob] = []
+        while remaining:
+            pick = self.select(remaining)
+            remaining.remove(pick)
+            out.append(pick)
+        return out
+
+
+class FIFOOrdering(OrderingPolicy):
+    """Dispatch in admission order."""
+
+    name = "fifo"
+
+    def select(self, entries: _t.Sequence["QueuedJob"]) -> "QueuedJob":
+        """Oldest admission first."""
+        return min(entries, key=lambda e: e.seq)
+
+    def ordered(self, entries: _t.Sequence["QueuedJob"]) -> list["QueuedJob"]:
+        """Admission order (O(n log n), not the generic O(n^2) walk)."""
+        return sorted(entries, key=lambda e: e.seq)
+
+
+class SJFOrdering(OrderingPolicy):
+    """Dispatch the smallest declared input first (ties: admission order)."""
+
+    name = "sjf"
+
+    def select(self, entries: _t.Sequence["QueuedJob"]) -> "QueuedJob":
+        """Smallest ``input_size`` first."""
+        return min(entries, key=lambda e: (e.job.input_size, e.seq))
+
+    def ordered(self, entries: _t.Sequence["QueuedJob"]) -> list["QueuedJob"]:
+        """Size order (ties by admission sequence)."""
+        return sorted(entries, key=lambda e: (e.job.input_size, e.seq))
+
+
+class FairShareOrdering(OrderingPolicy):
+    """Weighted fair share across tenants (deficit on charged bytes).
+
+    ``weights`` maps tenant name to a positive share; tenants absent from
+    the map get ``default_weight``.  Charged work survives across queue
+    refills, so a tenant that was idle does not starve everyone else when
+    it returns (its consumption starts where it left off, as in classic
+    start-time-fair queueing the simulation does not need).
+    """
+
+    name = "fair"
+
+    def __init__(
+        self, weights: _t.Mapping[str, float] | None = None,
+        default_weight: float = 1.0,
+    ):
+        if default_weight <= 0:
+            raise ConfigError("default_weight must be > 0")
+        self.weights = dict(weights or {})
+        for tenant, w in self.weights.items():
+            if w <= 0:
+                raise ConfigError(f"tenant {tenant!r} weight must be > 0")
+        self.default_weight = default_weight
+        #: charged bytes per tenant (dispatch-time accounting)
+        self.consumed: dict[str, float] = {}
+
+    def weight_of(self, tenant: str) -> float:
+        """The tenant's configured (or default) share."""
+        return self.weights.get(tenant, self.default_weight)
+
+    def _virtual(self, tenant: str) -> float:
+        return self.consumed.get(tenant, 0.0) / self.weight_of(tenant)
+
+    def select(self, entries: _t.Sequence["QueuedJob"]) -> "QueuedJob":
+        """The entry of the least weight-normalised-consumption tenant."""
+        return min(entries, key=lambda e: (self._virtual(e.job.tenant), e.seq))
+
+    def on_dispatch(self, entry: "QueuedJob") -> None:
+        """Charge the dispatched job's bytes to its tenant."""
+        tenant = entry.job.tenant
+        # every dispatch charges at least one unit so zero-byte jobs still
+        # rotate tenants instead of one tenant monopolising the queue
+        self.consumed[tenant] = self.consumed.get(tenant, 0.0) + max(
+            1.0, float(entry.job.input_size)
+        )
+
+
+def make_ordering(spec: str | OrderingPolicy | None) -> OrderingPolicy:
+    """An :class:`OrderingPolicy` from a name, an instance, or ``None``.
+
+    ``None`` and ``"fifo"`` give FIFO; ``"sjf"`` shortest-job-first;
+    ``"fair"`` equal-weight fair share (pass a
+    :class:`FairShareOrdering` instance for explicit weights).
+    """
+    if spec is None:
+        return FIFOOrdering()
+    if isinstance(spec, OrderingPolicy):
+        return spec
+    if spec == "fifo":
+        return FIFOOrdering()
+    if spec == "sjf":
+        return SJFOrdering()
+    if spec == "fair":
+        return FairShareOrdering()
+    raise ConfigError(f"unknown ordering policy {spec!r}")

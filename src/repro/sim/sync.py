@@ -74,6 +74,21 @@ class Semaphore:
             self._waiters.append(ev)
         return ev
 
+    def cancel(self, ev: Event) -> bool:
+        """Withdraw a still-pending :meth:`acquire`.
+
+        An interrupted waiter (e.g. a timed-out smartFAM call) must remove
+        its queued acquire, or the next ``release`` would hand the permit
+        to a dead process and strand it forever.  Returns True when the
+        event was queued and removed; a triggered event is not cancellable
+        (its holder owns a permit and must ``release`` it).
+        """
+        try:
+            self._waiters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
     def release(self) -> None:
         """Return one permit, waking the oldest waiter if any."""
         if self._waiters:

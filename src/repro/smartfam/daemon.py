@@ -19,6 +19,7 @@ import typing as _t
 
 from repro.config import SmartFAMConfig
 from repro.errors import (
+    InterruptError,
     OffloadTimeoutError,
     ProtocolError,
     SmartFAMError,
@@ -68,6 +69,8 @@ class SDSmartFAM:
         self.invocations = 0
         #: results silently lost (injected daemon deaths; stats)
         self.results_dropped = 0
+        #: a killed daemon stops dispatching and never answers (see kill())
+        self.dead = False
         #: sequence numbers currently being executed (idempotency guard)
         self._in_flight: set[int] = set()
         #: fault injection: module -> number of upcoming invocations to crash
@@ -100,6 +103,21 @@ class SDSmartFAM:
         """Silently drop the next ``count`` results of ``module``."""
         self._drop_budget[module] = self._drop_budget.get(module, 0) + count
 
+    def kill(self) -> None:
+        """Kill the daemon: it stops dispatching and never answers again.
+
+        The smartFAM channel gives no failure notification — the log files
+        stay on disk, the host's INVOKE writes land, and nothing ever
+        replies — so the host only learns of the death through its own
+        deadlines.  In-flight module runs complete (the node is alive, the
+        daemon process died) but their results are dropped.
+        """
+        self.dead = True
+
+    def revive(self) -> None:
+        """Restart a killed daemon (it resumes dispatching new writes)."""
+        self.dead = False
+
     def _dispatch_loop(self, module: str, path: str, watch) -> _t.Generator:
         """Steps 2-4 of the invoke protocol, forever.
 
@@ -118,6 +136,8 @@ class SDSmartFAM:
         track = f"{self.node.name}:{module}"
         while True:
             yield watch.queue.get()  # Step 2: inotify fires
+            if self.dead:
+                continue  # killed daemon: the write lands, nobody reacts
             inj = self.sim.faults
             if inj is not None:
                 decision = inj.check("fam.dispatch", module=module, node=self.node.name)
@@ -218,9 +238,9 @@ class SDSmartFAM:
             except Exception as exc:
                 reply = LogRecord(RESULT, record.seq, module, body=exc, ok=False)
                 run_sp.set(error=type(exc).__name__)
-        if self._should_drop_result(module):
+        if self.dead or self._should_drop_result(module):
             self.results_dropped += 1
-            return  # the daemon "died" before persisting the result
+            return  # the daemon died before persisting the result
         # Return Step 1: results are written to the module's log file.
         yield from self._write_result(path, reply, track)
 
@@ -414,7 +434,15 @@ class HostSmartFAM:
             "fam.invoke", cat="smartfam", track=track, module=module
         ) as call_sp:
             lock = self._lock(module)
-            yield lock.acquire()
+            acq = lock.acquire()
+            try:
+                yield acq
+            except InterruptError:
+                # A timed-out caller must not strand the channel: withdraw
+                # the queued acquire, or hand a just-granted permit back.
+                if not lock.cancel(acq) and acq.triggered:
+                    lock.release()
+                raise
             try:
                 path = self.log_path(module)
                 if seq is None:

@@ -7,12 +7,16 @@ same statistical character, which the MapReduce callbacks actually
 process.  All generators are seeded and deterministic.
 """
 
+from repro.workloads.arrivals import Arrival, ArrivalProcess, DriveReport
 from repro.workloads.keys import encrypted_input, keys_for
 from repro.workloads.matrices import matrix_pair
 from repro.workloads.sizes import FIG8A_SIZES, FIG8BC_SIZES, FIG9_SIZES, size_label
 from repro.workloads.text import text_input, zipf_corpus
 
 __all__ = [
+    "Arrival",
+    "ArrivalProcess",
+    "DriveReport",
     "zipf_corpus",
     "text_input",
     "encrypted_input",

@@ -1,0 +1,157 @@
+"""Open-loop job arrival processes for serving experiments.
+
+A closed loop (submit, wait, submit) can never overload the system —
+offered load falls to whatever the cluster sustains.  Serving benchmarks
+need an *open* loop: jobs arrive on their own clock whether or not earlier
+ones finished, so queues actually build and admission control actually
+triggers.  :class:`ArrivalProcess` is that clock — a seeded Poisson stream
+or a verbatim trace — and :meth:`ArrivalProcess.drive` replays it into a
+:class:`~repro.sched.scheduler.ClusterScheduler`, collecting per-job
+outcomes without letting one failed job abort the stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing as _t
+
+from repro.core.job import DataJob, JobResult
+from repro.errors import AdmissionError, WorkloadError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.scheduler import ClusterScheduler
+    from repro.sim.process import Process
+
+__all__ = ["Arrival", "DriveReport", "ArrivalProcess"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Arrival:
+    """One job and the instant it arrives."""
+
+    at: float
+    job: DataJob
+
+
+@dataclasses.dataclass
+class DriveReport:
+    """Everything that happened while a stream was served."""
+
+    #: (arrival time, job, result) for each job that completed
+    completed: list[tuple[float, DataJob, JobResult]]
+    #: (arrival time, job, exception) for admitted jobs that failed
+    failed: list[tuple[float, DataJob, BaseException]]
+    #: (arrival time, job, AdmissionError) for jobs refused at admission
+    rejected: list[tuple[float, DataJob, AdmissionError]]
+    #: sim time the stream's first job arrived / the last job finished
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def admitted(self) -> int:
+        """Jobs that made it past admission (completed or failed)."""
+        return len(self.completed) + len(self.failed)
+
+    @property
+    def span(self) -> float:
+        """Seconds from first arrival to last completion."""
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per second over :attr:`span`."""
+        return len(self.completed) / self.span if self.span > 0 else 0.0
+
+
+class ArrivalProcess:
+    """A deterministic stream of job arrivals (time order)."""
+
+    def __init__(self, arrivals: _t.Sequence[Arrival]):
+        self.arrivals = sorted(arrivals, key=lambda a: a.at)
+        for a in self.arrivals:
+            if a.at < 0:
+                raise WorkloadError(f"negative arrival time {a.at}")
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def __iter__(self) -> _t.Iterator[Arrival]:
+        return iter(self.arrivals)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def poisson(
+        cls,
+        job_factory: _t.Callable[[int], DataJob],
+        rate: float,
+        n: int,
+        seed: int = 0,
+        start: float = 0.0,
+    ) -> "ArrivalProcess":
+        """``n`` arrivals with exponential gaps at ``rate`` jobs/second.
+
+        ``job_factory(i)`` builds the i-th job; the stream is fully
+        determined by ``seed`` (same seed, same instants).
+        """
+        if rate <= 0:
+            raise WorkloadError(f"arrival rate must be > 0, got {rate}")
+        if n < 0:
+            raise WorkloadError(f"negative arrival count {n}")
+        rng = random.Random(seed)
+        t = start
+        arrivals = []
+        for i in range(n):
+            t += rng.expovariate(rate)
+            arrivals.append(Arrival(t, job_factory(i)))
+        return cls(arrivals)
+
+    @classmethod
+    def from_trace(
+        cls, trace: _t.Iterable[tuple[float, DataJob]]
+    ) -> "ArrivalProcess":
+        """A stream replaying explicit ``(time, job)`` pairs."""
+        return cls([Arrival(t, job) for t, job in trace])
+
+    # -- serving -----------------------------------------------------------
+
+    def drive(self, scheduler: "ClusterScheduler") -> "Process":
+        """Replay the stream into ``scheduler``; Process value: DriveReport.
+
+        Open loop: each job is submitted at its own instant regardless of
+        earlier jobs.  Rejections are recorded, never raised; a failed job
+        lands in ``report.failed`` and the stream keeps going.
+        """
+        return scheduler.sim.spawn(
+            self._drive(scheduler), name="arrivals.drive"
+        )
+
+    def _drive(self, scheduler: "ClusterScheduler") -> _t.Generator:
+        sim = scheduler.sim
+        report = DriveReport([], [], [], started_at=sim.now)
+        pending: list[tuple[float, DataJob, object]] = []
+        first = True
+        for arrival in self.arrivals:
+            if arrival.at > sim.now:
+                yield sim.timeout(arrival.at - sim.now)
+            if first:
+                report.started_at = sim.now
+                first = False
+            try:
+                done = scheduler.submit(arrival.job)
+            except AdmissionError as exc:
+                report.rejected.append((sim.now, arrival.job, exc))
+                continue
+            pending.append((sim.now, arrival.job, done))
+        # Wait for every admitted job individually — a barrier (all_of)
+        # would fail fast on the first error and drop the rest.
+        for arrived_at, job, done in pending:
+            try:
+                result = yield done
+            except Exception as exc:
+                report.failed.append((arrived_at, job, exc))
+            else:
+                report.completed.append((arrived_at, job, result))
+        report.finished_at = sim.now
+        return report

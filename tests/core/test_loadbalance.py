@@ -1,0 +1,67 @@
+"""Tests for the shared load signal (node_load / least_loaded)."""
+
+from __future__ import annotations
+
+import types
+
+import pytest
+
+from repro.cluster import Testbed
+from repro.config import table1_cluster
+from repro.core import DataJob
+from repro.core.loadbalance import AdaptivePolicy, least_loaded, node_load
+from repro.errors import PlacementError
+
+
+def fake_engine(**inflight) -> types.SimpleNamespace:
+    return types.SimpleNamespace(inflight=dict(inflight))
+
+
+@pytest.fixture()
+def bed():
+    return Testbed(config=table1_cluster(n_sd=2, seed=1), seed=1)
+
+
+def test_node_load_stacks_all_three_signals(bed):
+    cluster = bed.cluster
+    assert node_load(cluster, None, "sd0") == 0.0  # idle CPU, nothing placed
+    assert node_load(cluster, fake_engine(sd0=2), "sd0") == 2.0
+    assert node_load(cluster, fake_engine(sd0=2), "sd0", {"sd0": 3}) == 5.0
+    # other nodes' inflight/depths do not bleed over
+    assert node_load(cluster, fake_engine(sd0=2), "sd1", {"sd0": 3}) == 0.0
+    # accepts a Node object as well as a name
+    assert node_load(cluster, None, cluster.sd(0)) == 0.0
+
+
+def test_least_loaded_prefers_the_lower_load(bed):
+    eng = fake_engine(sd0=2, sd1=0)
+    assert least_loaded(bed.cluster, eng, ["sd0", "sd1"]) == "sd1"
+    assert least_loaded(bed.cluster, eng, ["sd1", "sd0"]) == "sd1"
+
+
+def test_least_loaded_ties_break_toward_first_candidate(bed):
+    eng = fake_engine()
+    # callers list the preferred (primary) node first; a tie keeps it
+    assert least_loaded(bed.cluster, eng, ["sd1", "sd0"]) == "sd1"
+    assert least_loaded(bed.cluster, eng, ["sd0", "sd1"]) == "sd0"
+    # only a strictly better later candidate displaces the first
+    assert least_loaded(bed.cluster, eng, ["sd1", "sd0"], {"sd1": 1}) == "sd0"
+
+
+def test_least_loaded_requires_candidates(bed):
+    with pytest.raises(PlacementError):
+        least_loaded(bed.cluster, None, [])
+
+
+def test_adaptive_policy_folds_bound_queue_depths(bed):
+    """A deep scheduler queue for the SD node sheds the job to the host."""
+    job = DataJob(
+        app="wordcount", input_path="/export/data/x", input_size=100,
+        sd_node="sd0",
+    )
+    policy = AdaptivePolicy(tolerance=0.5)
+    assert policy.place(job, bed.cluster).offload
+    policy.bind_depths(lambda: {"sd0": 3})
+    placement = policy.place(job, bed.cluster)
+    assert not placement.offload
+    assert placement.node == bed.cluster.host.name

@@ -1,0 +1,105 @@
+"""Tests for the result cache (keys, hit/miss, invalidation, eviction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Testbed
+from repro.core import DataJob
+from repro.core.job import JobResult
+from repro.sched import ResultCache
+from repro.units import MB
+from repro.workloads import text_input
+
+
+@pytest.fixture()
+def env():
+    bed = Testbed(seed=3)
+    inp = text_input("/data/c", MB(1), payload_bytes=600, seed=3)
+    _sd, _host, sd_path = bed.stage_on_sd("c", inp)
+    job = DataJob(app="wordcount", input_path=sd_path, input_size=MB(1))
+    return bed, sd_path, job, inp
+
+
+def result(name: str = "r") -> JobResult:
+    return JobResult(name=name, where="sd0", elapsed=1.0, output=[("a", 1)])
+
+
+def test_key_includes_app_path_and_inode(env):
+    bed, sd_path, job, _ = env
+    key = ResultCache.key_for(job, bed.cluster)
+    assert key is not None
+    assert key[0] == "wordcount" and key[1] == sd_path
+    # same job, different params => different key
+    other = DataJob(
+        app="wordcount", input_path=sd_path, input_size=MB(1),
+        params={"pattern": "x"},
+    )
+    assert ResultCache.key_for(other, bed.cluster) != key
+
+
+def test_uncacheable_jobs_get_no_key(env):
+    bed, sd_path, _, _ = env
+    missing = DataJob(
+        app="wordcount", input_path="/export/data/nope", input_size=MB(1)
+    )
+    assert ResultCache.key_for(missing, bed.cluster) is None
+    unhashable = DataJob(
+        app="wordcount", input_path=sd_path, input_size=MB(1),
+        params={"x": []},
+    )
+    assert ResultCache.key_for(unhashable, bed.cluster) is None
+
+
+def test_hit_and_miss_counters(env):
+    bed, _, job, _ = env
+    cache = ResultCache()
+    key = ResultCache.key_for(job, bed.cluster)
+    assert cache.get(key) is None
+    cache.put(key, result())
+    assert cache.get(key).name == "r"
+    assert cache.get(None) is None  # uncacheable lookups count as misses
+    assert (cache.hits, cache.misses) == (1, 2)
+
+
+def test_vfs_write_invalidates_eagerly(env):
+    """Re-staging the input (same path, mtime 0.0) must drop the entry."""
+    bed, sd_path, job, inp = env
+    cache = ResultCache()
+    cache.watch(bed.sd.fs.vfs)
+    key = ResultCache.key_for(job, bed.cluster)
+    cache.put(key, result())
+    bed.stage(bed.sd, sd_path, inp)  # rewrite in place
+    assert cache.invalidations == 1
+    assert cache.get(key) is None
+    assert len(cache) == 0
+
+
+def test_delete_invalidates(env):
+    bed, sd_path, job, _ = env
+    cache = ResultCache()
+    cache.watch(bed.sd.fs.vfs)
+    key = ResultCache.key_for(job, bed.cluster)
+    cache.put(key, result())
+    bed.sd.fs.vfs.unlink(sd_path)
+    assert cache.invalidations == 1
+    assert len(cache) == 0
+
+
+def test_fifo_eviction_at_capacity():
+    cache = ResultCache(capacity=2)
+    k1 = ("app", "/p1", "partitioned", None, (), 1, 0.0)
+    k2 = ("app", "/p2", "partitioned", None, (), 2, 0.0)
+    k3 = ("app", "/p3", "partitioned", None, (), 3, 0.0)
+    cache.put(k1, result("r1"))
+    cache.put(k2, result("r2"))
+    cache.put(k3, result("r3"))
+    assert len(cache) == 2
+    assert cache.get(k1) is None  # oldest evicted
+    assert cache.get(k2).name == "r2"
+    assert cache.get(k3).name == "r3"
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)

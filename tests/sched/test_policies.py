@@ -1,0 +1,86 @@
+"""Tests for queue-ordering policies (FIFO, SJF, weighted fair share)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DataJob
+from repro.errors import ConfigError
+from repro.sched import (
+    FairShareOrdering,
+    FIFOOrdering,
+    SJFOrdering,
+    make_ordering,
+)
+from repro.sched.queue import QueuedJob
+
+
+def entry(seq: int, size: int = 100, tenant: str = "default") -> QueuedJob:
+    job = DataJob(
+        app="wordcount", input_path="/x", input_size=size, tenant=tenant
+    )
+    return QueuedJob(job, seq, 0.0, done=None)
+
+
+def test_fifo_orders_by_admission_seq():
+    entries = [entry(3), entry(1), entry(2)]
+    assert [e.seq for e in FIFOOrdering().ordered(entries)] == [1, 2, 3]
+
+
+def test_sjf_orders_by_size_then_seq():
+    entries = [entry(1, size=300), entry(2, size=100), entry(3, size=100)]
+    assert [e.seq for e in SJFOrdering().ordered(entries)] == [2, 3, 1]
+
+
+def test_fair_share_converges_to_weights():
+    """Weight 2:1 tenants with backlog dispatch work in a 2:1 ratio."""
+    ordering = FairShareOrdering({"gold": 2.0, "silver": 1.0})
+    backlog = [
+        entry(i, tenant="gold" if i % 2 == 0 else "silver") for i in range(24)
+    ]
+    dispatched = []
+    while len(dispatched) < 18:  # both tenants still have backlog throughout
+        pick = ordering.select(backlog)
+        backlog.remove(pick)
+        ordering.on_dispatch(pick)
+        dispatched.append(pick)
+    gold = sum(1 for e in dispatched if e.tenant == "gold")
+    silver = len(dispatched) - gold
+    assert abs(gold - 2 * silver) <= 1
+    assert ordering.consumed["gold"] / ordering.consumed["silver"] == (
+        pytest.approx(2.0, rel=0.1)
+    )
+
+
+def test_fair_share_charges_at_least_one_unit():
+    """Zero-byte jobs still rotate tenants instead of monopolising."""
+    ordering = FairShareOrdering()
+    ordering.on_dispatch(entry(0, size=0, tenant="a"))
+    assert ordering.consumed["a"] == 1.0
+    # with "a" charged, the next pick is the other tenant despite later seq
+    pick = ordering.select([entry(1, size=0, tenant="a"), entry(2, tenant="b")])
+    assert pick.tenant == "b"
+
+
+def test_fair_share_unknown_tenant_gets_default_weight():
+    ordering = FairShareOrdering({"gold": 2.0}, default_weight=1.0)
+    assert ordering.weight_of("gold") == 2.0
+    assert ordering.weight_of("nobody") == 1.0
+
+
+def test_fair_share_rejects_bad_weights():
+    with pytest.raises(ConfigError):
+        FairShareOrdering({"t": 0.0})
+    with pytest.raises(ConfigError):
+        FairShareOrdering(default_weight=-1.0)
+
+
+def test_make_ordering_resolves_names_and_instances():
+    assert isinstance(make_ordering(None), FIFOOrdering)
+    assert isinstance(make_ordering("fifo"), FIFOOrdering)
+    assert isinstance(make_ordering("sjf"), SJFOrdering)
+    assert isinstance(make_ordering("fair"), FairShareOrdering)
+    inst = FairShareOrdering({"a": 3.0})
+    assert make_ordering(inst) is inst
+    with pytest.raises(ConfigError):
+        make_ordering("priority")

@@ -1,0 +1,67 @@
+"""Tests for the bounded admission queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DataJob
+from repro.errors import AdmissionError
+from repro.sched import FairShareOrdering, FIFOOrdering, JobQueue
+from repro.sched.queue import QueuedJob
+
+
+def entry(seq: int, sd_node: str = "", tenant: str = "default") -> QueuedJob:
+    job = DataJob(
+        app="wordcount", input_path="/x", input_size=100,
+        sd_node=sd_node, tenant=tenant,
+    )
+    candidates = (sd_node,) if sd_node else ("sd0", "sd1")
+    return QueuedJob(job, seq, 0.0, done=None, candidates=candidates)
+
+
+def test_admission_bound_raises_when_full():
+    q = JobQueue(FIFOOrdering(), limit=2)
+    q.admit(entry(0))
+    q.admit(entry(1))
+    assert q.full
+    with pytest.raises(AdmissionError) as exc:
+        q.admit(entry(2))
+    assert exc.value.queued == 2
+    assert exc.value.limit == 2
+    assert len(q) == 2
+
+
+def test_requeue_is_never_refused():
+    """An admitted job's fault-path re-queue must not bounce off the bound."""
+    q = JobQueue(FIFOOrdering(), limit=1)
+    first = entry(0)
+    q.admit(first)
+    assert q.full
+    q.requeue(entry(1))  # already admitted once, came back from a failure
+    assert len(q) == 2
+
+
+def test_take_removes_and_charges_the_ordering():
+    ordering = FairShareOrdering()
+    q = JobQueue(ordering, limit=4)
+    e = entry(0, tenant="gold")
+    q.admit(e)
+    assert q.take(e) is e
+    assert len(q) == 0
+    assert ordering.consumed["gold"] == 100.0
+
+
+def test_depths_count_only_pinned_entries():
+    q = JobQueue(FIFOOrdering(), limit=8)
+    q.admit(entry(0, sd_node="sd0"))
+    q.admit(entry(1, sd_node="sd0"))
+    q.admit(entry(2, sd_node="sd1"))
+    q.admit(entry(3))  # free to go anywhere: attributed to no single node
+    assert q.depths() == {"sd0": 2, "sd1": 1}
+    assert q.depth_for("sd0") == 2
+    assert q.depth_for("sd2") == 0
+
+
+def test_zero_limit_is_rejected():
+    with pytest.raises(AdmissionError):
+        JobQueue(FIFOOrdering(), limit=0)

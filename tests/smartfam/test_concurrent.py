@@ -1,0 +1,125 @@
+"""Concurrent jobs over one SD daemon: serialization without interleaving.
+
+The log file of a module is a single channel — two hosts-side calls to
+the same module must serialize on the per-module lock so their INVOKE /
+RESULT records never interleave (a torn pair would answer one call with
+the other's result).  Distinct modules have distinct log files and run
+concurrently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Testbed
+from repro.core import DataJob
+from repro.errors import OffloadTimeoutError
+from repro.smartfam.logfile import INVOKE, RESULT, LogFileCodec
+from repro.units import MB
+from repro.workloads import text_input
+
+
+@pytest.fixture()
+def env():
+    bed = Testbed(seed=11)
+    inp = text_input("/data/c", MB(20), payload_bytes=6_000, seed=11)
+    _sd, _host, sd_path = bed.stage_on_sd("c", inp)
+    job = DataJob(
+        app="wordcount", input_path=sd_path, input_size=MB(20), mode="parallel"
+    )
+    return bed, inp, job
+
+
+def test_concurrent_same_module_calls_do_not_interleave(env):
+    bed, inp, job = env
+    channel = bed.cluster.channel()
+
+    def go():
+        a = channel.invoke("wordcount", job.invoke_params())
+        b = channel.invoke("wordcount", job.invoke_params())
+        return (yield a), (yield b)
+
+    ra, rb = bed.run(go())
+    expected = len(inp.payload_bytes.split())
+    assert sum(v for _, v in ra.output) == expected
+    assert sum(v for _, v in rb.output) == expected
+
+    daemon = bed.cluster.sd_daemons["sd0"]
+    assert daemon.invocations == 2
+    records = LogFileCodec.decode(
+        bed.sd.fs.vfs.read(daemon.log_path("wordcount"))
+    )
+    # strict INVOKE/RESULT pairing, each result answering the invoke
+    # written immediately before it — no interleaved seq numbers
+    assert [r.kind for r in records] == [INVOKE, RESULT, INVOKE, RESULT]
+    assert records[0].seq == records[1].seq
+    assert records[2].seq == records[3].seq
+    assert records[0].seq != records[2].seq
+    assert all(r.ok for r in records)
+
+
+def test_distinct_modules_run_concurrently(env):
+    bed, _inp, job = env
+    channel = bed.cluster.channel()
+    grep_params = dict(job.invoke_params(), app={"pattern": "the"})
+
+    def serial():
+        yield channel.invoke("wordcount", job.invoke_params())
+        yield channel.invoke("stringmatch", grep_params)
+
+    bed.run(serial())
+    t_serial = bed.sim.now
+
+    bed2 = Testbed(seed=11)
+    bed2.stage_on_sd(
+        "c", text_input("/data/c", MB(20), payload_bytes=6_000, seed=11)
+    )
+    channel2 = bed2.cluster.channel()
+
+    def concurrent():
+        a = channel2.invoke("wordcount", job.invoke_params())
+        b = channel2.invoke("stringmatch", grep_params)
+        yield a
+        yield b
+
+    bed2.run(concurrent())
+    assert bed2.sim.now < t_serial
+    # each module kept its own clean log
+    daemon = bed2.cluster.sd_daemons["sd0"]
+    for module in ("wordcount", "stringmatch"):
+        records = LogFileCodec.decode(
+            bed2.sd.fs.vfs.read(daemon.log_path(module))
+        )
+        assert [r.kind for r in records] == [INVOKE, RESULT]
+        assert records[0].seq == records[1].seq
+
+
+def test_concurrent_timeouts_leave_the_channel_clean(env):
+    """Abandoned calls must release/withdraw the per-module lock."""
+    bed, inp, job = env
+    bed.cluster.sd_daemons["sd0"].kill()
+    channel = bed.cluster.channel()
+
+    def go():
+        a = channel.invoke("wordcount", job.invoke_params(), timeout=5.0)
+        b = channel.invoke("wordcount", job.invoke_params(), timeout=5.0)
+        outcomes = []
+        for ev in (a, b):
+            try:
+                yield ev
+            except OffloadTimeoutError:
+                outcomes.append("timeout")
+        return outcomes
+
+    assert bed.run(go()) == ["timeout", "timeout"]
+    assert channel._lock("wordcount").value == 1  # no leaked permit
+
+    bed.cluster.sd_daemons["sd0"].revive()
+
+    def again():
+        return (
+            yield channel.invoke("wordcount", job.invoke_params(), timeout=120.0)
+        )
+
+    res = bed.run(again())
+    assert sum(v for _, v in res.output) == len(inp.payload_bytes.split())

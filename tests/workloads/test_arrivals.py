@@ -1,0 +1,61 @@
+"""Tests for open-loop arrival processes (Poisson stream, trace replay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DataJob
+from repro.errors import WorkloadError
+from repro.workloads import Arrival, ArrivalProcess, DriveReport
+
+
+def job(i: int = 0) -> DataJob:
+    return DataJob(app="wordcount", input_path=f"/in/{i}", input_size=100)
+
+
+def test_poisson_is_seed_deterministic():
+    a = ArrivalProcess.poisson(job, rate=3.0, n=10, seed=42)
+    b = ArrivalProcess.poisson(job, rate=3.0, n=10, seed=42)
+    c = ArrivalProcess.poisson(job, rate=3.0, n=10, seed=43)
+    assert [x.at for x in a] == [x.at for x in b]
+    assert [x.at for x in a] != [x.at for x in c]
+    assert len(a) == 10
+
+
+def test_poisson_times_increase_at_the_rate():
+    stream = ArrivalProcess.poisson(job, rate=2.0, n=500, seed=1, start=5.0)
+    times = [x.at for x in stream]
+    assert times == sorted(times)
+    assert times[0] >= 5.0
+    mean_gap = (times[-1] - 5.0) / len(times)
+    assert mean_gap == pytest.approx(0.5, rel=0.2)
+
+
+def test_poisson_validates_inputs():
+    with pytest.raises(WorkloadError):
+        ArrivalProcess.poisson(job, rate=0.0, n=1)
+    with pytest.raises(WorkloadError):
+        ArrivalProcess.poisson(job, rate=1.0, n=-1)
+
+
+def test_from_trace_sorts_and_rejects_negative_times():
+    stream = ArrivalProcess.from_trace([(2.0, job(1)), (1.0, job(0))])
+    assert [a.at for a in stream] == [1.0, 2.0]
+    assert stream.arrivals[0].job.input_path == "/in/0"
+    with pytest.raises(WorkloadError):
+        ArrivalProcess([Arrival(-0.5, job())])
+
+
+def test_drive_report_throughput_math():
+    report = DriveReport(
+        completed=[(0.0, job(), None)] * 4,
+        failed=[(0.0, job(), RuntimeError())],
+        rejected=[],
+        started_at=10.0,
+        finished_at=12.0,
+    )
+    assert report.admitted == 5
+    assert report.span == 2.0
+    assert report.throughput == pytest.approx(2.0)
+    empty = DriveReport([], [], [], started_at=1.0, finished_at=1.0)
+    assert empty.throughput == 0.0

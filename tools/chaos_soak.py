@@ -47,6 +47,8 @@ from repro.apps.matmul import assemble_product, matmul_input  # noqa: E402
 from repro.cluster import Testbed  # noqa: E402
 from repro.config import table1_cluster  # noqa: E402
 from repro.core import DataJob, FaultTolerantInvoker  # noqa: E402
+from repro.sched import ClusterScheduler  # noqa: E402
+from repro.workloads import ArrivalProcess  # noqa: E402
 from repro.exec import LocalMapReduce  # noqa: E402
 from repro.exec.outofcore import install_signal_cleanup, live_spill_dirs  # noqa: E402
 from repro.faults import standard_engine_plan, standard_plan  # noqa: E402
@@ -142,6 +144,98 @@ def sim_case(app: str, seed: int, quick: bool, trace_dir: str | None) -> list:
          f"{injector.injections} injections"),
         ("retries bounded", ft.total_attempts <= attempt_budget,
          f"{ft.total_attempts} attempts <= {attempt_budget}"),
+    ]
+
+
+# -- scheduler case ----------------------------------------------------------
+
+#: per-attempt deadline while a daemon may be dead (simulated seconds)
+SCHED_TIMEOUT = 10.0
+
+
+def _run_sched_once(seed: int, quick: bool, kill: bool):
+    """One served stream on a 2-SD cluster; optionally kill sd0 mid-stream."""
+    n_jobs = 12 if quick else 24
+    rate = 2.0
+    bed = Testbed(config=table1_cluster(n_sd=2, seed=seed), seed=seed)
+    inp = text_input("/data/s", MB(20), payload_bytes=6_000, seed=seed)
+    _, sd_path = bed.stage_replicated("s", inp)
+    sched = ClusterScheduler(
+        bed.cluster,
+        attempt_timeout=SCHED_TIMEOUT,
+        per_node_limit=1,
+        max_queue=n_jobs + 1,
+        max_retries=2,
+        cache=None,
+    )
+
+    def factory(i: int) -> DataJob:
+        return DataJob(
+            app="wordcount", input_path=sd_path, input_size=inp.size,
+            mode="parallel",
+        )
+
+    stream = ArrivalProcess.poisson(factory, rate=rate, n=n_jobs, seed=seed)
+    drive = stream.drive(sched)
+    kill_at = 0.5 * n_jobs / rate  # mid-stream
+    if kill:
+
+        def killer():
+            yield bed.sim.timeout(kill_at)
+            bed.cluster.sd_daemons["sd0"].kill()
+
+        bed.sim.spawn(killer(), name="chaos.kill-sd0")
+    report = bed.run(drive)
+    return report, sched, bed, kill_at
+
+
+def sched_case(seed: int, quick: bool, trace_dir: str | None) -> list:
+    """Kill one of two SD nodes mid-stream; admitted jobs still complete.
+
+    The contract mirrors the admission semantics: the control plane may
+    refuse work only at admission (AdmissionError), so once the stream is
+    admitted a dead daemon can cost time (deadline + re-queue on the
+    surviving node or the host) but never answers.
+    """
+    clean, clean_sched, _, _ = _run_sched_once(seed, quick, kill=False)
+    chaos, chaos_sched, bed, kill_at = _run_sched_once(seed, quick, kill=True)
+
+    baseline = pickle.dumps(clean.completed[0][2].output)
+    mismatched = [
+        i for i, (_, _, res) in enumerate(chaos.completed)
+        if pickle.dumps(res.output) != baseline
+    ]
+    survivors = {
+        rec.where for rec in chaos_sched.completed
+        if rec.dispatched_at >= kill_at and rec.where != "sd0"
+    }
+
+    if trace_dir:
+        write_chrome(
+            bed.sim.obs,
+            os.path.join(trace_dir, "chaos-sched.json"),
+            extra={"stats": chaos_sched.stats()},
+        )
+    counters = bed.sim.obs.metrics.snapshot()["counters"]
+    return [
+        ("all admitted completed",
+         not chaos.failed and chaos.admitted == len(chaos.completed),
+         f"{len(chaos.completed)} completed, {len(chaos.failed)} failed, "
+         f"{len(chaos.rejected)} rejected at admission"),
+        ("outputs identical", not mismatched and len(chaos.completed) > 0,
+         f"{len(chaos.completed)} outputs vs clean baseline"),
+        ("dead node quarantined", "sd0" in chaos_sched.unhealthy,
+         f"unhealthy={sorted(chaos_sched.unhealthy)}"),
+        ("work re-routed", bool(survivors),
+         f"post-kill completions on {sorted(survivors) or 'nothing'}"),
+        ("recovery bounded",
+         counters.get("sched.requeued", 0) <= chaos.admitted * 3,
+         f"{int(counters.get('sched.requeued', 0))} requeues, "
+         f"{int(counters.get('sched.attempt_failures', 0))} failed attempts"),
+        ("clean run untouched",
+         not clean.failed and not clean.rejected
+         and not clean_sched.unhealthy,
+         f"{len(clean.completed)} clean completions"),
     ]
 
 
@@ -254,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
         (f"sim:{app}", lambda app=app: sim_case(app, args.seed, args.quick, args.trace))
         for app in apps
     ]
+    cases.append(("sched:kill-sd0",
+                  lambda: sched_case(args.seed, args.quick, args.trace)))
     cases.append(("engine:wordcount",
                   lambda: engine_case(args.seed, args.quick, args.trace)))
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Perf gates: shuffle pipeline, and (``--real``) the real execution engine.
+"""Perf gates: shuffle pipeline, the real engine, or the serving scheduler.
 
 Usage:  python tools/perf_gate.py [--quick] [--repeats N] [--out PATH]
         python tools/perf_gate.py [--quick] --real [--start-method M]
+        python tools/perf_gate.py [--quick] --serving
 
 Default mode runs the microbenchmark grid from
 ``benchmarks/bench_shuffle.py`` (engines x workloads x sizes), verifies on
@@ -17,6 +18,14 @@ the out-of-core fragment mode (byte-identical, multi-fragment), and the
 peak-RSS bound probe — and writes ``BENCH_real_engine.json``.  The real
 gates hold in quick mode too (they gate architecture, not microbenchmark
 noise).
+
+``--serving`` runs the cluster-scheduler serving suite from
+``benchmarks/bench_serving.py`` (open-loop Poisson stream through
+``ClusterScheduler``) and writes ``BENCH_serving.json``.  Three gates,
+all held in quick mode too because they run in deterministic simulated
+time: 2-SD throughput >= 1.5x 1-SD at equal offered load, weighted
+fair-share completed-work ratio within 20% of the configured weights,
+and result-cache hit/invalidate behaviour.
 
 Exit status:
     0  all outputs match (and every applicable perf gate holds)
@@ -125,6 +134,68 @@ def run_real_gate(args) -> int:
     return 0
 
 
+def run_serving_gate(args) -> int:
+    """The ``--serving`` path: scheduler suite -> BENCH_serving.json."""
+    from benchmarks.bench_serving import (
+        FAIRNESS_TOLERANCE,
+        THROUGHPUT_GATE,
+        run_serving_suite,
+    )
+
+    t0 = time.perf_counter()
+    payload = run_serving_suite(quick=args.quick)
+    elapsed = time.perf_counter() - t0
+    payload["elapsed_s"] = round(elapsed, 3)
+    payload["environment"] = environment_provenance()
+
+    out = args.out or os.path.join(_REPO_ROOT, "BENCH_serving.json")
+    with open(out, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+    tput = payload["throughput"]
+    fair = payload["fairness"]
+    cache = payload["cache"]
+    print(
+        f"serving: 1-SD {tput['single']['jobs_per_sec']:.3f} vs 2-SD "
+        f"{tput['dual']['jobs_per_sec']:.3f} jobs/s => {tput['ratio']:.2f}x "
+        f"(gate >= {THROUGHPUT_GATE}x); 2-SD p95 "
+        f"{tput['dual']['latency']['p95_s']:.2f}s"
+    )
+    print(
+        f"fairness: completed-work ratio {fair['got_ratio']:.2f} vs weights "
+        f"{fair['want_ratio']:.1f} (deviation {fair['deviation']:.1%} <= "
+        f"{FAIRNESS_TOLERANCE:.0%}, saturated={fair['saturated_at_horizon']})"
+    )
+    print(
+        f"cache: {cache['hits']} hits / {cache['misses']} misses, "
+        f"{cache['invalidations']} invalidations"
+    )
+    print(f"wrote {out} ({elapsed:.1f}s)")
+
+    if not cache["outputs_consistent"]:
+        print("FAIL: cached results differ from recomputed ones", file=sys.stderr)
+        return 1
+    failures = []
+    if not tput["gate_ok"]:
+        failures.append(
+            f"throughput ratio {tput['ratio']:.2f}x < {THROUGHPUT_GATE}x"
+        )
+    if not fair["gate_ok"]:
+        failures.append(
+            f"fairness deviation {fair['deviation']:.1%} > "
+            f"{FAIRNESS_TOLERANCE:.0%} (or horizon drained the queue)"
+        )
+    if not cache["gate_ok"]:
+        failures.append("cache hit/invalidate behaviour off")
+    if failures:
+        for msg in failures:
+            print(f"GATE: {msg}", file=sys.stderr)
+        return 2
+    print("serving gates hold: scaling, fairness, cache")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -134,6 +205,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--real", action="store_true",
         help="gate the real execution engine instead of the shuffle grid",
+    )
+    ap.add_argument(
+        "--serving", action="store_true",
+        help="gate the cluster scheduler's serving suite instead",
     )
     ap.add_argument(
         "--start-method", default=None,
@@ -154,8 +229,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
 
+    if args.real and args.serving:
+        ap.error("--real and --serving are mutually exclusive")
     if args.real:
         return run_real_gate(args)
+    if args.serving:
+        return run_serving_gate(args)
     if args.out is None:
         args.out = os.path.join(_REPO_ROOT, "BENCH_shuffle.json")
 

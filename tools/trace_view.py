@@ -18,7 +18,12 @@ Reads either export format (Chrome-trace/Perfetto JSON or JSONL, see
 * ``--tree`` — the indented span hierarchy with durations;
 * a reliability section (injected faults, retries, failovers from the
   ``fault.*`` / ``retry.*`` / ``failover.*`` / ``pool.*`` counters)
-  whenever the trace recorded any — chaos-soak traces always do.
+  whenever the trace recorded any — chaos-soak traces always do;
+* a scheduler section (queue depth over time from the
+  ``sched.queue_depth`` series, admissions/rejections, per-tenant
+  completions, cache hit rate, and latency percentiles from the
+  ``sched.*`` counters and histograms) whenever the trace came from a
+  run served through ``ClusterScheduler``.
 
 Times are primary-clock seconds: simulated seconds for simulator traces,
 wall seconds for real-engine and benchmark traces.
@@ -38,6 +43,7 @@ for p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
 from repro.obs.export import (  # noqa: E402
     format_breakdown,
     load_metrics,
+    load_series,
     load_spans,
     phase_breakdown,
 )
@@ -114,6 +120,76 @@ def reliability_view(metrics: dict) -> str:
     return "\n".join(lines)
 
 
+def _depth_sparkline(times: list[float], values: list[float], width: int = 48) -> str:
+    """Queue depth over time as a fixed-width text sparkline."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    t0, t1 = times[0], times[-1]
+    span = max(t1 - t0, 1e-12)
+    # bucket by time, keeping each bucket's max depth (bursts matter)
+    buckets = [0.0] * width
+    for t, v in zip(times, values):
+        i = min(width - 1, int((t - t0) / span * width))
+        buckets[i] = max(buckets[i], v)
+    peak = max(max(buckets), 1.0)
+    line = "".join(blocks[int(b / peak * (len(blocks) - 1))] for b in buckets)
+    return (
+        f"queue depth  [{line}]  peak {int(peak)} "
+        f"({t0:.6g}s .. {t1:.6g}s)"
+    )
+
+
+def scheduler_view(metrics: dict, series: dict) -> str:
+    """The control-plane section ("" when the run was not scheduled)."""
+    counters = metrics.get("counters") or {}
+    sched = {k: v for k, v in counters.items() if k.startswith("sched.")}
+    if not sched:
+        return ""
+    lines = ["scheduler", "-" * 24]
+
+    depth = series.get("sched.queue_depth") or {}
+    spark = _depth_sparkline(
+        list(depth.get("times") or []), list(depth.get("values") or [])
+    )
+    if spark:
+        lines.append(spark)
+
+    def c(name: str) -> int:
+        return int(counters.get(name, 0))
+
+    lines.append(
+        f"admitted {c('sched.admitted')}  rejected {c('sched.rejected')}  "
+        f"dispatched {c('sched.dispatched')}  completed {c('sched.completed')}  "
+        f"requeued {c('sched.requeued')}  failed {c('sched.failed')}"
+    )
+    hits, misses = c("sched.cache.hit"), c("sched.cache.miss")
+    if hits or misses:
+        rate = hits / max(1, hits + misses)
+        lines.append(f"cache: {hits} hits / {misses} misses ({rate:.0%} hit rate)")
+
+    tenants = sorted(
+        name.split(".")[2]
+        for name in sched
+        if name.startswith("sched.tenant.") and name.endswith(".completed")
+    )
+    for tenant in tenants:
+        lines.append(
+            f"tenant {tenant}: {c(f'sched.tenant.{tenant}.completed')} jobs, "
+            f"{int(counters.get(f'sched.tenant.{tenant}.work', 0))} bytes"
+        )
+
+    hists = metrics.get("histograms") or {}
+    for name in ("sched.latency.queue", "sched.latency.run", "sched.latency.total"):
+        h = hists.get(name)
+        if h and h.get("count"):
+            lines.append(
+                f"{name}: p50 {h['p50']:.6g}s  p95 {h['p95']:.6g}s  "
+                f"p99 {h['p99']:.6g}s  (n={h['count']})"
+            )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
@@ -133,7 +209,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"{len(spans)} spans from {args.trace}\n")
 
-    reliability = reliability_view(load_metrics(args.trace))
+    metrics = load_metrics(args.trace)
+    reliability = reliability_view(metrics)
+    scheduler = scheduler_view(metrics, load_series(args.trace))
     if args.tree:
         print(tree_view(spans, args.unit, args.max_depth))
     elif args.group == "cat":
@@ -143,6 +221,8 @@ def main(argv: list[str] | None = None) -> int:
         print(format_breakdown(breakdown, time_unit=args.unit))
     if reliability:
         print("\n" + reliability)
+    if scheduler:
+        print("\n" + scheduler)
     return 0
 
 
