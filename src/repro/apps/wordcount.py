@@ -41,13 +41,22 @@ WC_PROFILE = CostProfile(
 
 
 def wc_map(data: object, emit: Emit, params: dict) -> None:
-    """Emit (word, 1) for every word in this split."""
-    if isinstance(data, (bytes, bytearray)):
-        words: _t.Iterable[object] = bytes(data).split()
+    """Emit (word, 1) for every word in this split.
+
+    Accepts ``bytes``/``bytearray``/``memoryview`` (zero-copy chunk views
+    from :func:`repro.exec.chunks.read_chunk_view`) or ``str``.
+    """
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        words: list = bytes(data).split()
     elif isinstance(data, str):
         words = data.split()
     else:
         raise TypeError(f"word count expects text, got {type(data).__name__}")
+    many = getattr(emit, "many", None)
+    if many is not None:
+        # vectorized counting: the engine folds the whole token list in C
+        many(words, 1)
+        return
     for word in words:
         emit(word, 1)
 

@@ -21,19 +21,36 @@ still works, it just cannot speed up — which is exactly why the paper's
 performance claims are carried by the simulator (DESIGN.md §2).
 """
 
-from repro.exec.chunks import chunk_file, read_chunk
+from repro.exec.chunks import (
+    chunk_file,
+    read_chunk,
+    read_chunk_cached,
+    read_chunk_view,
+)
 from repro.exec.localmr import LocalJobResult, LocalMapReduce
 from repro.exec.outofcore import plan_fragments
 from repro.exec.pool import WorkerPool, resolve_start_method
 from repro.exec.seed_engine import SeedLocalMapReduce
+from repro.exec.transport import (
+    PickleTransport,
+    ShmRingTransport,
+    Transport,
+    make_transport,
+)
 
 __all__ = [
     "chunk_file",
     "read_chunk",
+    "read_chunk_cached",
+    "read_chunk_view",
     "LocalMapReduce",
     "LocalJobResult",
     "WorkerPool",
     "resolve_start_method",
     "plan_fragments",
     "SeedLocalMapReduce",
+    "Transport",
+    "PickleTransport",
+    "ShmRingTransport",
+    "make_transport",
 ]

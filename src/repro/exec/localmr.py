@@ -41,6 +41,7 @@ call each.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import os
 import time
@@ -52,7 +53,12 @@ from repro.exec.outofcore import run_out_of_core
 from repro.exec.pool import WorkerPool, run_batch
 from repro.faults import FaultInjector, FaultPlan
 from repro.obs import Observability
-from repro.phoenix.sort import finalize_merged_map, merge_map_into
+from repro.phoenix.sort import (
+    finalize_folded_map,
+    finalize_merged_map,
+    fold_map_into,
+    merge_map_into,
+)
 
 __all__ = ["LocalJobResult", "LocalMapReduce"]
 
@@ -61,6 +67,9 @@ _DISABLED_OBS = Observability(enabled=False)
 
 #: sentinel: "use the engine-level memory budget"
 _UNSET = object()
+
+#: cached chunk plans per engine (repeat jobs over an unchanged file)
+_MAX_CACHED_PLANS = 4
 
 
 @dataclasses.dataclass
@@ -79,6 +88,9 @@ class LocalJobResult:
     n_fragments: int = 1
     #: bytes spilled to disk (0 for in-memory runs)
     spilled_bytes: int = 0
+    #: how worker results traveled: "shm"/"pickle", or "inline" for
+    #: in-process (serial) runs that never crossed a process boundary
+    transport: str = "inline"
 
 
 class LocalMapReduce:
@@ -98,6 +110,7 @@ class LocalMapReduce:
         spill_dir: str | None = None,
         batches_per_worker: int = 2,
         faults: FaultPlan | FaultInjector | None = None,
+        transport: str = "auto",
     ):
         self.map_fn = map_fn
         self.reduce_fn = reduce_fn
@@ -119,9 +132,18 @@ class LocalMapReduce:
         if isinstance(faults, FaultPlan):
             faults = FaultInjector(faults, obs=self.obs)
         self.faults = faults
-        #: persistent worker pool, created on first parallel run
+        #: persistent worker pool, created on first parallel run;
+        #: ``transport`` selects the worker→parent result path
+        #: ("auto"/"shm"/"pickle", see :mod:`repro.exec.transport`)
         self.pool = WorkerPool(
-            self.n_workers, start_method, faults=self.faults, obs=self.obs
+            self.n_workers, start_method, faults=self.faults, obs=self.obs,
+            transport=transport,
+        )
+        #: chunk-plan cache: (path identity, chunk size, delimiters) ->
+        #: plan.  Replanning an unchanged file costs a full boundary scan
+        #: per job; the stat triple in the key invalidates on any rewrite.
+        self._chunk_plans: "collections.OrderedDict[tuple, list[FileChunk]]" = (
+            collections.OrderedDict()
         )
 
     @property
@@ -162,12 +184,14 @@ class LocalMapReduce:
         params = params or {}
         obs = self.obs
         budget = self.memory_budget if memory_budget is _UNSET else memory_budget
-        size = os.path.getsize(path)
+        st = os.stat(path)
+        size = st.st_size
         if chunk_bytes is None:
             chunk_bytes = max(1, size // (4 * self.n_workers) or 1)
         if chunk_bytes < 1:
             raise WorkloadError("chunk_bytes must be >= 1")
         out_of_core = budget is not None and size > budget
+        use_pool = parallel and self.n_workers > 1
         t0 = time.perf_counter()
         with obs.span(
             "localmr.job", cat="localmr", track="localmr",
@@ -175,7 +199,7 @@ class LocalMapReduce:
             mode="outofcore" if out_of_core else "memory",
         ) as job_sp:
             with obs.span("localmr.chunk_plan", cat="localmr", track="localmr"):
-                chunks = chunk_file(path, chunk_bytes, self.delimiters)
+                chunks = self._plan_chunks(path, st, chunk_bytes)
 
             if out_of_core:
                 def map_fragment(fragment: _t.Sequence[FileChunk]) -> dict:
@@ -185,14 +209,21 @@ class LocalMapReduce:
                     chunks, map_fragment, self.combine_fn, self.reduce_fn,
                     self.sort_output, params, budget, obs, self.spill_dir,
                     faults=self.faults,
+                    prefolded=self.combine_fn is not None,
                 )
             else:
                 merged = self._map_chunks(chunks, params, parallel, job_sp)
                 with obs.span("localmr.merge", cat="localmr", track="localmr"):
-                    out = finalize_merged_map(
-                        merged, self.combine_fn, self.reduce_fn,
-                        self.sort_output, params,
-                    )
+                    if self.combine_fn is not None:
+                        # the accumulator is scalar-folded (fold_map_into)
+                        out = finalize_folded_map(
+                            merged, self.reduce_fn, self.sort_output, params,
+                        )
+                    else:
+                        out = finalize_merged_map(
+                            merged, self.combine_fn, self.reduce_fn,
+                            self.sort_output, params,
+                        )
                 n_fragments, spilled = 1, 0
         return LocalJobResult(
             output=out,
@@ -203,9 +234,39 @@ class LocalMapReduce:
             mode="outofcore" if out_of_core else "memory",
             n_fragments=n_fragments,
             spilled_bytes=spilled,
+            transport=(
+                self.pool.transport_name
+                if use_pool and len(chunks) > 1 else "inline"
+            ),
         )
 
     # -- internals -------------------------------------------------------------
+
+    def _plan_chunks(
+        self, path: str, st: os.stat_result, chunk_bytes: int
+    ) -> list[FileChunk]:
+        """The chunk plan, cached per (file identity, granularity).
+
+        Repeat jobs over an unchanged file — the serving pattern the
+        persistent pool exists for — skip the boundary scan entirely;
+        any rewrite (inode/size/mtime change) misses the cache and
+        replans.  Plans are immutable (``FileChunk`` is frozen) so
+        sharing one list across jobs is safe.
+        """
+        key = (
+            path, st.st_ino, st.st_size, st.st_mtime_ns,
+            chunk_bytes, self.delimiters,
+        )
+        plans = self._chunk_plans
+        chunks = plans.get(key)
+        if chunks is None:
+            chunks = chunk_file(path, chunk_bytes, self.delimiters)
+            plans[key] = chunks
+            while len(plans) > _MAX_CACHED_PLANS:
+                plans.popitem(last=False)
+        else:
+            plans.move_to_end(key)
+        return chunks
 
     def _map_chunks(
         self,
@@ -221,9 +282,16 @@ class LocalMapReduce:
         accumulator immediately (reorder buffer keeps batch order, so the
         result is deterministic).  Serial path: one batch per chunk,
         in-process — the seed dataflow, byte for byte.
+
+        With a ``combine_fn`` the accumulator is *scalar-folded*
+        (``key -> folded value`` via :func:`fold_map_into` — no per-key
+        partial lists); without one it holds value lists in chunk order
+        (:func:`merge_map_into`).  Downstream consumers pick the matching
+        finalizer.
         """
         obs = self.obs
         want_spans = obs.enabled
+        combine_fn = self.combine_fn
         use_pool = parallel and self.n_workers > 1 and len(chunks) > 1
         if use_pool:
             n_batches = min(
@@ -234,14 +302,15 @@ class LocalMapReduce:
         else:
             batches = [[c] for c in chunks]
         tasks = [
-            (i, batch, self.map_fn, self.combine_fn, params, want_spans)
+            (i, batch, self.map_fn, combine_fn, params, want_spans)
             for i, batch in enumerate(batches)
         ]
 
-        merged: dict[object, list] = {}
+        merged: dict = {}
         with obs.span(
             "localmr.map_pool", cat="localmr", track="localmr",
             chunks=len(chunks), batches=len(batches),
+            transport=self.pool.transport_name if use_pool else "inline",
         ):
             if use_pool:
                 results: _t.Iterable = self.pool.imap_unordered(run_batch, tasks)
@@ -256,9 +325,16 @@ class LocalMapReduce:
                 # merge CPU overlaps the still-running map tasks
                 pending[index] = acc
                 while next_index in pending:
-                    merge_map_into(
-                        merged, pending.pop(next_index), self.combine_fn
-                    )
+                    arrived = pending.pop(next_index)
+                    if not merged:
+                        # adopt batch 0 outright: it is fresh off the
+                        # transport (or run_batch's own accumulator),
+                        # exclusively ours — no key-by-key fold needed
+                        merged = arrived
+                    elif combine_fn is not None:
+                        fold_map_into(merged, arrived, combine_fn)
+                    else:
+                        merge_map_into(merged, arrived, combine_fn)
                     next_index += 1
         return merged
 

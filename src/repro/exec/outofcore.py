@@ -433,11 +433,16 @@ def run_out_of_core(
     spill_dir: str | None = None,
     faults: "FaultInjector | None" = None,
     max_retries: int = 2,
+    prefolded: bool = False,
 ) -> tuple[list[tuple[object, object]], int, int]:
     """Fragment-at-a-time map/combine/sort/spill, then lazy merge-reduce.
 
     ``map_fragment`` is the engine's chunk-mapping closure (pool or
-    in-process) returning one merged ``key -> values`` map per fragment.
+    in-process) returning one merged ``key -> values`` map per fragment —
+    or, with ``prefolded=True`` (requires ``combine_fn``), a
+    *scalar-folded* ``key -> value`` map whose per-key combine is already
+    complete (the streaming engine's :func:`~repro.phoenix.sort.fold_map_into`
+    accumulator), which spills without the per-key reduce pass.
     Returns ``(output, n_fragments, spilled_bytes)``.  Spill files live
     under a fresh directory inside ``spill_dir`` (default: the system
     temp dir) and are removed whether the run succeeds or raises — with
@@ -475,15 +480,21 @@ def run_out_of_core(
         ):
             merged = map_fragment(fragment)
             if combine_fn is not None:
-                # fragment-side combine: fold each key's per-batch
-                # partials to one partial before spilling (licensed by
-                # the combiner contract; halves spill volume).  The
-                # cross-run fold then hands reduce per-fragment
-                # partial lists.
-                entries = decorate_sorted(
-                    (k, [functools.reduce(combine_fn, vs)])
-                    for k, vs in merged.items()
-                )
+                # fragment-side combine: one folded partial per key
+                # before spilling (licensed by the combiner contract;
+                # halves spill volume).  The cross-run fold then hands
+                # reduce per-fragment partial lists.  A prefolded
+                # accumulator already holds the scalar; a value-list
+                # accumulator folds here.
+                if prefolded:
+                    entries = decorate_sorted(
+                        (k, [v]) for k, v in merged.items()
+                    )
+                else:
+                    entries = decorate_sorted(
+                        (k, [functools.reduce(combine_fn, vs)])
+                        for k, vs in merged.items()
+                    )
             else:
                 entries = decorate_sorted(merged)
             del merged

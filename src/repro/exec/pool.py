@@ -7,13 +7,21 @@ dataflow in :mod:`repro.exec.localmr`:
   fragments *and jobs* — the seed engine forked a fresh pool per ``run()``
   and paid create/teardown plus cold worker caches every time.
 * Workers read chunks through a small per-process cache of ``mmap``-backed
-  file handles (:func:`read_chunk_cached`): one ``open``+``mmap`` per file
-  per worker lifetime instead of the seed's open/seek/read syscall triple
-  per chunk, with slices served straight from the page cache.
+  file handles (:func:`repro.exec.chunks.read_chunk_cached`): one
+  ``open``+``mmap`` per file per worker lifetime instead of the seed's
+  open/seek/read syscall triple per chunk, with slices served straight
+  from the page cache.
 * Map tasks are *batches* of consecutive chunks (:func:`run_batch`).  A
   worker folds every chunk of its batch into one combiner map and ships
-  that single map back, so IPC pickling scales with batches (a few per
+  that single map back, so result traffic scales with batches (a few per
   worker) rather than chunks.
+* Results travel through a swappable :class:`~repro.exec.transport.Transport`
+  (``transport="auto"|"shm"|"pickle"``): by default a shared-memory ring
+  where workers pickle straight into preallocated slots and the parent
+  unpickles off a ``memoryview`` — no per-batch payload on the result
+  pipe.  Submission is *windowed* by free slots: tasks are submitted
+  while slots are available and as completions free them, with
+  ``transport.slot_wait`` counting the times the window closed.
 
 Start methods: ``forkserver`` is the default where available — bare
 ``fork`` of a threaded parent is deadlock-prone (any lock held by another
@@ -25,24 +33,29 @@ Fault tolerance: the pool is built on ``concurrent.futures``'s process
 pool rather than ``multiprocessing.Pool`` because the former *detects*
 worker death (``BrokenProcessPool``) where the latter hangs an
 ``imap_unordered`` forever.  :meth:`WorkerPool.imap_unordered` runs
-dispatch rounds: every pending task is submitted, results stream back as
-they complete, and failures are classified through
+dispatch rounds: pending tasks are submitted as the slot window allows,
+results stream back as they complete, and failures are classified through
 :func:`repro.errors.is_retryable` — transient ones (a dead worker, an
-injected fault) are re-dispatched on the next round with a bounded
-per-task retry budget, permanent ones (a bug in the map function)
-surface immediately.  A broken executor is torn down and respawned
-between rounds.  Injected faults at the ``pool.worker`` site are decided
-parent-side at submission time (deterministic given the plan seed):
-*kill* replaces the task body with an ``os._exit`` so the worker
-genuinely dies mid-task, *fail* replaces it with a raise.
+injected fault, a corrupt transport frame) are re-dispatched on the next
+round with a bounded per-task retry budget, permanent ones (a bug in the
+map function) surface immediately.  A broken executor is torn down and
+respawned between rounds; its assigned transport slots are released as
+each doomed future is consumed, so the ring recovers from a worker
+killed mid-slot-write.  Injected faults at the ``pool.worker`` and
+``transport.slot`` sites are decided parent-side at submission time
+(deterministic given the plan seed): ``pool.worker``-*kill* replaces the
+task body with an ``os._exit`` so the worker genuinely dies mid-task,
+*fail* replaces it with a raise; ``transport.slot`` actions ride the
+wrapped task into the worker's slot-write (see
+:mod:`repro.exec.transport`).
 """
 
 from __future__ import annotations
 
 import collections
 import concurrent.futures as _cf
-import mmap
 import multiprocessing as mp
+import operator
 import os
 import sys
 import time
@@ -52,12 +65,15 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.errors import (
     FaultInjectedError,
+    TransportCorruptionError,
+    TransportError,
     WorkerCrashError,
     WorkloadError,
     is_retryable,
     mark_retryable,
 )
-from repro.exec.chunks import FileChunk
+from repro.exec.chunks import read_chunk_cached
+from repro.exec.transport import Transport, make_transport
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -65,49 +81,10 @@ if _t.TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["WorkerPool", "read_chunk_cached", "resolve_start_method", "run_batch"]
 
-#: per-process cap on cached (file, mmap) pairs
-_MAX_CACHED_FILES = 8
-
-#: per-process mmap cache: path -> (ino, size, mtime_ns, file, mmap)
-_HANDLES: "collections.OrderedDict[str, tuple[int, int, int, _t.BinaryIO, mmap.mmap | None]]" = (
-    collections.OrderedDict()
-)
-
-
-def _drop_handle(path: str) -> None:
-    ino, size, mtime, f, mm = _HANDLES.pop(path)
-    if mm is not None:
-        mm.close()
-    f.close()
-
-
-def read_chunk_cached(chunk: FileChunk) -> bytes:
-    """The chunk's bytes via this process's cached ``mmap`` of the file.
-
-    One ``stat`` revalidates the cache entry (inode/size/mtime — the file
-    may have been replaced between jobs); a hit costs a single slice off
-    the mapping, no open/seek/read.  Falls back to an empty mapping for
-    zero-length files, which cannot be mmapped.
-    """
-    path = chunk.path
-    st = os.stat(path)
-    entry = _HANDLES.get(path)
-    if entry is not None and (st.st_ino, st.st_size, st.st_mtime_ns) != entry[:3]:
-        _drop_handle(path)
-        entry = None
-    if entry is None:
-        f = open(path, "rb")
-        mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ) if st.st_size else None
-        entry = (st.st_ino, st.st_size, st.st_mtime_ns, f, mm)
-        _HANDLES[path] = entry
-        while len(_HANDLES) > _MAX_CACHED_FILES:
-            _drop_handle(next(iter(_HANDLES)))
-    else:
-        _HANDLES.move_to_end(path)
-    mm = entry[4]
-    if mm is None or chunk.length == 0:
-        return b""
-    return mm[chunk.offset : chunk.end]
+# C helper behind collections.Counter: folds an iterable of hashables into
+# a dict at C speed (``d[k] = d.get(k, 0) + 1`` per element, no Python
+# frame per key).  ``collections`` re-exports the C version when built.
+_count_elements = collections._count_elements
 
 
 def run_batch(args: tuple) -> tuple[int, dict, list | None]:
@@ -117,10 +94,24 @@ def run_batch(args: tuple) -> tuple[int, dict, list | None]:
     chunks fold into a single accumulator — with a ``combine_fn`` this is
     worker-side combining across chunks (licensed by the combiner contract:
     an associative/commutative fold), without one it is value-list
-    extension in chunk order — so the pipe carries one map per batch.
+    extension in chunk order — so the transport carries one map per batch.
+    The fold is specialized per combiner shape: the hot (existing-key)
+    path is a bare ``try``/``except`` dict probe — zero-cost when the key
+    is present under CPython 3.11 — and ``operator.add`` combiners fold
+    with the inline ``+`` operator instead of a call per emission.
+
+    The emit callable also carries a vectorized form, ``emit.many(keys,
+    value)``, equivalent to ``for k in keys: emit(k, value)``.  Map
+    functions that already hold a sequence of keys (tokenizers, parsers)
+    can hand it over whole and skip one Python call per emission; for
+    ``operator.add`` combiners with ``value == 1`` — the counting shape —
+    the fold runs entirely in C via ``Counter``'s ``_count_elements``
+    helper.  Emission order, and therefore first-seen key order in the
+    accumulator, is identical on both forms.
+
     ``segments`` are wall-clock span tuples ``(name, t0, t1, wall_dur,
     attrs)`` per chunk when tracing is on, else ``None`` (tracing-off runs
-    ship nothing extra over IPC).
+    ship nothing extra over the transport).
     """
     index, chunks, map_fn, combine_fn, params, want_spans = args
     segments: list | None = [] if want_spans else None
@@ -129,9 +120,39 @@ def run_batch(args: tuple) -> tuple[int, dict, list | None]:
     if combine_fn is None:
         def emit(key: object, value: object) -> None:
             acc.setdefault(key, []).append(value)  # type: ignore[union-attr]
+
+        def emit_many(keys: _t.Iterable, value: object) -> None:
+            grow = acc.setdefault
+            for key in keys:
+                grow(key, []).append(value)  # type: ignore[union-attr]
+    elif combine_fn is operator.add:
+        def emit(key: object, value: object) -> None:
+            try:
+                old = acc[key]
+            except KeyError:
+                acc[key] = value
+            else:
+                acc[key] = old + value
+
+        def emit_many(keys: _t.Iterable, value: object) -> None:
+            if type(value) is int and value == 1:
+                _count_elements(acc, keys)
+            else:
+                for key in keys:
+                    emit(key, value)
     else:
         def emit(key: object, value: object) -> None:
-            acc[key] = combine_fn(acc[key], value) if key in acc else value
+            try:
+                old = acc[key]
+            except KeyError:
+                acc[key] = value
+            else:
+                acc[key] = combine_fn(old, value)
+
+        def emit_many(keys: _t.Iterable, value: object) -> None:
+            for key in keys:
+                emit(key, value)
+    emit.many = emit_many  # type: ignore[attr-defined]
 
     for chunk in chunks:
         t0 = time.time() if want_spans else 0.0
@@ -234,13 +255,20 @@ class WorkerPool:
     context manager; closing is idempotent and the pool resurrects on the
     next submission after a close.
 
+    ``transport`` selects the result path (``"auto"``: the shared-memory
+    ring where it works, else pickle; see :mod:`repro.exec.transport`);
+    the transport is created lazily with the executor and torn down with
+    :meth:`close` (the shm segment is unlinked).
+
     ``max_task_retries`` bounds how many times one task may be
-    re-dispatched after a transient failure (a dead worker or an injected
-    fault) before :class:`~repro.errors.WorkerCrashError` is raised with
-    the permanent stamp.  ``faults``/``obs`` are optional: a
+    re-dispatched after a transient failure (a dead worker, an injected
+    fault, a corrupt transport frame) before
+    :class:`~repro.errors.WorkerCrashError` is raised with the permanent
+    stamp.  ``faults``/``obs`` are optional: a
     :class:`~repro.faults.injector.FaultInjector` evaluated at the
-    ``pool.worker`` site on every submission, and the observability
-    registry that receives the ``retry.count``/``pool.respawn`` counters.
+    ``pool.worker`` and ``transport.slot`` sites on every submission, and
+    the observability registry that receives the ``retry.*``,
+    ``pool.respawn`` and ``transport.*`` counters.
     """
 
     def __init__(
@@ -250,6 +278,7 @@ class WorkerPool:
         max_task_retries: int = 2,
         faults: "FaultInjector | None" = None,
         obs: "Observability | None" = None,
+        transport: str = "auto",
     ):
         if n_workers < 1:
             raise WorkloadError(f"n_workers must be >= 1, got {n_workers}")
@@ -260,11 +289,13 @@ class WorkerPool:
         self.max_task_retries = max_task_retries
         self.faults = faults
         self.obs = obs
+        self.transport_kind = transport
         #: executor recreations after a detected worker death
         self.respawns = 0
         #: task re-dispatches after transient failures
         self.redispatches = 0
         self._executor: _cf.ProcessPoolExecutor | None = None
+        self._transport: Transport | None = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -285,16 +316,37 @@ class WorkerPool:
             )
         return self._executor
 
+    def ensure_transport(self) -> Transport:
+        """The live transport, creating it on first use (shm creation
+        failing degrades to pickle inside :func:`make_transport`)."""
+        if self._transport is None:
+            self._transport = make_transport(
+                self.transport_kind, self.n_workers, obs=self.obs
+            )
+        return self._transport
+
+    @property
+    def transport_name(self) -> str:
+        """The resolved transport's name (``"shm"``/``"pickle"``)."""
+        return self.ensure_transport().name
+
     @property
     def alive(self) -> bool:
         """Whether worker processes currently exist."""
         return self._executor is not None
 
-    def close(self) -> None:
-        """Tear down the worker processes (next submission recreates them)."""
+    def _close_executor(self) -> None:
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
+
+    def close(self) -> None:
+        """Tear down the workers and the transport (the shm segment is
+        unlinked); the next submission recreates both."""
+        self._close_executor()
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            transport.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -317,83 +369,143 @@ class WorkerPool:
 
         Completion order is arbitrary; callers that need determinism
         reorder on the task index (see the engine's reorder-buffer merge).
-        Tasks whose worker dies (or whose injected fault fires) are
-        re-dispatched in later rounds, up to ``max_task_retries`` per
-        task; a permanent (non-retryable) task exception propagates
-        immediately.
+        Tasks whose worker dies (or whose injected fault fires, or whose
+        transport frame arrives corrupt) are re-dispatched in later
+        rounds, up to ``max_task_retries`` per task; a permanent
+        (non-retryable) task exception propagates immediately.
         """
         return self._run_rounds(fn, list(tasks))
 
     def _plan_round(
-        self, fn: _t.Callable, pending: _t.Iterable[int], attempts: list[int]
-    ) -> dict[int, _t.Callable]:
+        self, fn: _t.Callable, pending: _t.Iterable[int], attempts: list[int],
+        check_slots: bool,
+    ) -> tuple[dict[int, _t.Callable], dict[int, str]]:
         """Fault decisions for one dispatch round, taken before anything
         is submitted.
 
         Deciding up front — rather than interleaved with submission —
         keeps the injection sequence a function of (pending set, attempt
         counts) alone: a pool break detected *during* submission cannot
-        shift which tasks get faulted.
+        shift which tasks get faulted.  ``transport.slot`` decisions are
+        only drawn when the transport has slots (the site is dormant on
+        the pickle path), and ride the wrapped task into the worker.
         """
         calls = {i: fn for i in pending}
+        slot_faults: dict[int, str] = {}
         inj = self.faults
         if inj is not None:
             for i in sorted(calls):
                 decision = inj.check("pool.worker", index=i, attempt=attempts[i])
-                if decision is None:
-                    continue
-                if decision.action == "kill":
-                    calls[i] = _injected_kill
-                else:  # fail / drop / corrupt all degrade to a raised task
-                    calls[i] = _injected_failure
-        return calls
+                if decision is not None:
+                    if decision.action == "kill":
+                        calls[i] = _injected_kill
+                    else:  # fail / drop / corrupt all degrade to a raised task
+                        calls[i] = _injected_failure
+                if check_slots:
+                    slot_decision = inj.check(
+                        "transport.slot", index=i, attempt=attempts[i]
+                    )
+                    if slot_decision is not None:
+                        slot_faults[i] = slot_decision.action
+        return calls, slot_faults
 
     def _run_rounds(self, fn: _t.Callable, tasks: list) -> _t.Iterator:
         attempts = [0] * len(tasks)
         pending = set(range(len(tasks)))
         while pending:
             executor = self.ensure()
-            calls = self._plan_round(fn, pending, attempts)
-            futures: dict[_cf.Future, int] = {}
+            transport = self.ensure_transport()
+            calls, slot_faults = self._plan_round(
+                fn, pending, attempts, check_slots=transport.name == "shm"
+            )
+            queue = collections.deque(sorted(pending))
+            futures: dict[_cf.Future, tuple[int, int]] = {}
             broken = False
-            try:
-                for i in sorted(pending):
-                    futures[executor.submit(calls[i], tasks[i])] = i
-            except (BrokenProcessPool, RuntimeError):
-                # the break surfaced at submit time; unsubmitted tasks
-                # simply stay pending for the next round
-                broken = True
             failed: list[tuple[int, BaseException]] = []
-            for fut in _cf.as_completed(futures):
-                # drop our reference immediately: a finished Future pins
-                # its result object, and holding the whole round's futures
-                # would make parent memory O(all results) — the barrier
-                # the streaming merge exists to avoid (as_completed drops
-                # its own references as it yields)
-                i = futures.pop(fut)
-                try:
-                    result = fut.result()
-                except (BrokenProcessPool, _cf.CancelledError) as exc:
-                    broken = True
-                    failed.append(
-                        (i, WorkerCrashError(
-                            f"worker died while running task {i}: {exc}",
-                            task_index=i,
-                        ))
+
+            def submit_ready() -> None:
+                """Submit queued tasks while the slot window is open."""
+                nonlocal broken
+                while queue and not broken:
+                    slot = transport.acquire()
+                    if slot is None:
+                        # ring full: wait for a completion to free a slot
+                        if self.obs is not None:
+                            self.obs.count("transport.slot_wait")
+                        return
+                    i = queue.popleft()
+                    wfn, wargs = transport.wrap(
+                        calls[i], tasks[i], slot, slot_faults.get(i)
                     )
-                    continue
-                except BaseException as exc:
-                    if is_retryable(exc):
+                    try:
+                        futures[executor.submit(wfn, wargs)] = (i, slot)
+                    except (BrokenProcessPool, RuntimeError):
+                        # the break surfaced at submit time; unsubmitted
+                        # tasks simply stay pending for the next round
+                        transport.release(slot)
+                        broken = True
+
+            submit_ready()
+            if queue and not futures and not broken:  # pragma: no cover
+                raise TransportError(
+                    "no free transport slot with no task in flight "
+                    "(slot accounting leak)"
+                )
+            while futures:
+                done, _ = _cf.wait(futures, return_when=_cf.FIRST_COMPLETED)
+                for fut in done:
+                    # pop our reference immediately: a finished Future
+                    # pins its result object, and holding the whole
+                    # round's futures would make parent memory O(all
+                    # results) — the barrier the streaming merge exists
+                    # to avoid
+                    i, slot = futures.pop(fut)
+                    try:
+                        raw = fut.result()
+                    except (BrokenProcessPool, _cf.CancelledError) as exc:
+                        # the worker died holding this slot; whatever
+                        # half-frame it left there is released for reuse
+                        # — the next assignment overwrites it
+                        transport.release(slot)
+                        broken = True
+                        failed.append(
+                            (i, WorkerCrashError(
+                                f"worker died while running task {i}: {exc}",
+                                task_index=i,
+                            ))
+                        )
+                        continue
+                    except BaseException as exc:
+                        transport.release(slot)
+                        if is_retryable(exc):
+                            failed.append((i, exc))
+                            continue
+                        raise  # permanent: retrying a deterministic bug is futile
+                    try:
+                        result = transport.decode(raw, task_index=i)
+                    except TransportCorruptionError as exc:
+                        transport.release(slot)
+                        if self.obs is not None:
+                            self.obs.count("transport.corrupt")
                         failed.append((i, exc))
                         continue
-                    raise  # permanent: retrying a deterministic bug is futile
-                pending.discard(i)
-                yield result
+                    transport.release(slot)
+                    pending.discard(i)
+                    yield result
+                submit_ready()
+                if queue and not futures and not broken:  # pragma: no cover
+                    raise TransportError(
+                        "no free transport slot with no task in flight "
+                        "(slot accounting leak)"
+                    )
             if broken:
                 self.respawns += 1
                 if self.obs is not None:
                     self.obs.count("pool.respawn")
-                self.close()  # discard the dead executor; next round respawns
+                # discard the dead executor; next round respawns.  The
+                # transport survives: every slot was released as its
+                # future was consumed, so the ring is whole.
+                self._close_executor()
             for i, exc in failed:
                 attempts[i] += 1
                 if attempts[i] > self.max_task_retries:

@@ -1,0 +1,345 @@
+"""Worker→parent result transport: the swappable zero-copy data plane.
+
+Every map batch ends with the worker handing its combiner map back to
+the parent.  The *transport* is the seam that decides how those bytes
+travel:
+
+* :class:`PickleTransport` — the status quo: the result rides the
+  executor's result pipe as an ordinary pickle.  Two full copies (worker
+  ``dumps`` → pipe → parent ``loads``) plus pipe syscalls sized by the
+  payload.
+* :class:`ShmRingTransport` — a ring of preallocated slots in one
+  ``multiprocessing.shared_memory`` segment.  The parent assigns a free
+  slot at submission; the worker pickles its result **directly into the
+  slot** (a ``pickle.Pickler`` over a writer that lands bytes straight
+  in shared memory) behind a ``<length:u32><crc32:u32>`` little-endian
+  frame — the spill-block format of :mod:`repro.exec.outofcore` — and
+  ships only a tiny ``("slot", i, nbytes)`` descriptor over the pipe.
+  The parent verifies the crc and unpickles **off a ``memoryview`` of
+  the slot**: no intermediate ``bytes`` materializes on either side.
+
+Slot lifecycle is entirely parent-managed, which is what keeps the ring
+recoverable under chaos: a slot is *free* → *assigned* (at submit) →
+*released* (when the task's future is consumed — successfully decoded,
+failed, or the worker died mid-write).  A worker killed mid-slot leaves
+arbitrary garbage in the slot; the parent releases it on the
+``BrokenProcessPool`` path and the next assignment simply overwrites the
+frame.  A corrupt frame (crc mismatch) raises the *retryable*
+:class:`~repro.errors.TransportCorruptionError`, so the pool's bounded
+retry re-runs the map batch — the input chunks are the durable copy.
+
+Degradation is always toward correctness: shm creation failing
+(``/dev/shm`` missing or exhausted) falls back to the pickle transport;
+a result too large for a slot, or a worker that cannot attach the
+segment, returns the result inline through the pipe.  Both paths bump
+the ``transport.fallback`` counter.  ``transport.bytes`` counts payload
+bytes moved through slots and ``transport.slot_wait`` counts times the
+parent had to wait for a free slot before submitting.
+
+Fault site ``transport.slot`` (worker-side, decision taken parent-side
+at submission for determinism): *kill* dies mid-slot-write via
+``os._exit`` after half the frame is written, *corrupt* flips one
+payload byte after the crc is computed, *fail* raises in place of the
+slot write.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import typing as _t
+import zlib
+
+from multiprocessing import shared_memory
+
+from repro.errors import TransportCorruptionError, TransportError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+__all__ = [
+    "Transport",
+    "PickleTransport",
+    "ShmRingTransport",
+    "make_transport",
+    "DEFAULT_SLOT_BYTES",
+    "SLOTS_PER_WORKER",
+]
+
+#: default payload capacity per ring slot (plus the 8-byte frame header)
+DEFAULT_SLOT_BYTES = 1 << 20
+
+#: ring slots allocated per pool worker — 2x the engine's default
+#: batches-per-worker, so a full round of batches never waits on a slot
+SLOTS_PER_WORKER = 4
+
+#: ``<length:u32><crc32:u32>`` frame in front of every slot payload
+#: (the spill-block format of :mod:`repro.exec.outofcore`)
+_FRAME = struct.Struct("<II")
+
+
+class Transport:
+    """The seam: how worker results travel back to the parent.
+
+    The pool drives the protocol: ``acquire`` a slot before submitting,
+    ``wrap`` the task so the worker routes its result through the
+    transport, ``decode`` the raw future result back into the value, and
+    ``release`` the slot exactly once when the future is consumed —
+    whether it decoded, raised, or died.
+    """
+
+    name = "none"
+
+    def acquire(self) -> int | None:
+        """A free slot id, or ``None`` when the ring is full."""
+        raise NotImplementedError
+
+    def release(self, slot: int) -> None:
+        """Return ``slot`` to the free list (idempotence not required —
+        the pool releases each assignment exactly once)."""
+        raise NotImplementedError
+
+    def wrap(
+        self, fn: _t.Callable, args: object, slot: int, fault: str | None = None
+    ) -> tuple[_t.Callable, object]:
+        """The (picklable) task body and args that route through ``slot``."""
+        raise NotImplementedError
+
+    def decode(self, raw: object, task_index: int | None = None) -> object:
+        """The task's result from the raw future value."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear down transport resources (idempotent)."""
+
+
+class PickleTransport(Transport):
+    """Results ride the executor's result pipe as ordinary pickles.
+
+    Slot accounting degenerates: every acquire succeeds (the pipe is the
+    buffer), so the pool's windowed submission reduces to submit-all —
+    exactly the pre-transport behavior.
+    """
+
+    name = "pickle"
+
+    def acquire(self) -> int | None:
+        return -1
+
+    def release(self, slot: int) -> None:
+        pass
+
+    def wrap(
+        self, fn: _t.Callable, args: object, slot: int, fault: str | None = None
+    ) -> tuple[_t.Callable, object]:
+        return fn, args
+
+    def decode(self, raw: object, task_index: int | None = None) -> object:
+        return raw
+
+    def close(self) -> None:
+        pass
+
+
+# -- worker side of the shm ring --------------------------------------------
+
+#: per-worker-process cache of attached segments: name -> SharedMemory
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        shm = _ATTACHED[name] = shared_memory.SharedMemory(name=name)
+    return shm
+
+
+class _SlotFull(Exception):
+    """Internal: the pickle outgrew the slot (worker falls back inline)."""
+
+
+class _SlotWriter:
+    """File-like target that lands ``Pickler`` output straight in shm."""
+
+    __slots__ = ("buf", "pos", "end")
+
+    def __init__(self, buf: memoryview, start: int, end: int):
+        self.buf = buf
+        self.pos = start
+        self.end = end
+
+    def write(self, data) -> int:
+        n = len(data)
+        new = self.pos + n
+        if new > self.end:
+            raise _SlotFull
+        self.buf[self.pos : new] = data
+        self.pos = new
+        return n
+
+
+def _shm_task(packed: tuple) -> tuple:
+    """Worker body: run the inner task, frame its result into the slot.
+
+    Returns a tiny descriptor — ``("slot", slot, nbytes)`` on success,
+    ``("inline", slot, result)`` when the result outgrew the slot or the
+    segment could not be attached (clean degradation to the pipe).
+    Injected ``transport.slot`` faults (decided parent-side, carried in
+    ``packed`` for determinism): *kill* half-writes the frame then dies,
+    *corrupt* flips a payload byte after the crc, *fail* raises.
+    """
+    shm_name, slot, offset, capacity, fault, fn, args = packed
+    result = fn(args)
+    if fault == "fail":
+        from repro.errors import FaultInjectedError
+
+        raise FaultInjectedError(
+            "transport.slot", f"injected slot-write failure (slot {slot})"
+        )
+    try:
+        buf = _attach(shm_name).buf
+    except OSError:
+        return ("inline", slot, result)
+    start = offset + _FRAME.size
+    writer = _SlotWriter(buf, start, offset + capacity)
+    try:
+        pickle.Pickler(writer, protocol=pickle.HIGHEST_PROTOCOL).dump(result)
+    except _SlotFull:
+        return ("inline", slot, result)
+    nbytes = writer.pos - start
+    payload = buf[start : start + nbytes]
+    try:
+        crc = zlib.crc32(payload)
+        if fault == "kill":
+            # die mid-slot: half a frame, header never written — the
+            # parent must see a dead worker and a recoverable ring
+            _FRAME.pack_into(buf, offset, nbytes, 0)
+            os._exit(3)
+        if fault == "corrupt":
+            payload[nbytes // 2] ^= 0xFF
+    finally:
+        payload.release()
+    _FRAME.pack_into(buf, offset, nbytes, crc)
+    return ("slot", slot, nbytes)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class ShmRingTransport(Transport):
+    """Preallocated shared-memory ring: results land in slots, not pipes."""
+
+    name = "shm"
+
+    def __init__(
+        self,
+        n_slots: int,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        obs: "Observability | None" = None,
+    ):
+        if n_slots < 1:
+            raise TransportError(f"n_slots must be >= 1, got {n_slots}")
+        if slot_bytes <= _FRAME.size:
+            raise TransportError(f"slot_bytes must exceed {_FRAME.size}")
+        self.n_slots = n_slots
+        self.slot_bytes = slot_bytes
+        self.obs = obs
+        self._shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            create=True, size=n_slots * slot_bytes
+        )
+        self._free = list(range(n_slots - 1, -1, -1))  # pop() hands out slot 0 first
+
+    @property
+    def shm_name(self) -> str:
+        if self._shm is None:
+            raise TransportError("transport is closed")
+        return self._shm.name
+
+    def acquire(self) -> int | None:
+        return self._free.pop() if self._free else None
+
+    def release(self, slot: int) -> None:
+        self._free.append(slot)
+
+    def wrap(
+        self, fn: _t.Callable, args: object, slot: int, fault: str | None = None
+    ) -> tuple[_t.Callable, object]:
+        return _shm_task, (
+            self.shm_name, slot, slot * self.slot_bytes, self.slot_bytes,
+            fault, fn, args,
+        )
+
+    def decode(self, raw: object, task_index: int | None = None) -> object:
+        kind, slot, rest = raw
+        if kind == "inline":
+            # the worker could not use the slot (result too large or
+            # attach failed): the result came through the pipe
+            if self.obs is not None:
+                self.obs.count("transport.fallback")
+            return rest
+        offset = slot * self.slot_bytes
+        buf = self._shm.buf
+        length, crc = _FRAME.unpack_from(buf, offset)
+        nbytes = rest
+        if length != nbytes:
+            raise TransportCorruptionError(
+                slot, task_index,
+                f"frame length {length} != descriptor {nbytes}",
+            )
+        start = offset + _FRAME.size
+        payload = buf[start : start + nbytes]
+        try:
+            if zlib.crc32(payload) != crc:
+                raise TransportCorruptionError(slot, task_index)
+            result = pickle.loads(payload)
+        finally:
+            payload.release()
+        if self.obs is not None:
+            self.obs.count("transport.bytes", nbytes)
+        return result
+
+    def close(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_transport(
+    kind: str,
+    n_workers: int,
+    slot_bytes: int = DEFAULT_SLOT_BYTES,
+    obs: "Observability | None" = None,
+) -> Transport:
+    """Build the transport for a pool of ``n_workers``.
+
+    ``kind`` is ``"pickle"``, ``"shm"``, or ``"auto"`` (shm where it
+    works).  shm creation failing — no ``/dev/shm``, exhausted tmpfs, a
+    platform without POSIX shared memory — degrades to the pickle
+    transport and bumps ``transport.fallback``; results are identical
+    either way, only the copy count changes.
+    """
+    if kind == "pickle":
+        return PickleTransport()
+    if kind not in ("shm", "auto"):
+        raise TransportError(
+            f"unknown transport {kind!r} (have: pickle, shm, auto)"
+        )
+    try:
+        return ShmRingTransport(
+            n_slots=n_workers * SLOTS_PER_WORKER, slot_bytes=slot_bytes, obs=obs
+        )
+    except OSError:
+        if obs is not None:
+            obs.count("transport.fallback")
+        return PickleTransport()

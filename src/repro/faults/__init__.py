@@ -21,6 +21,7 @@ from repro.faults.plan import (
     FaultRule,
     standard_engine_plan,
     standard_plan,
+    transport_chaos_plan,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "Injection",
     "standard_plan",
     "standard_engine_plan",
+    "transport_chaos_plan",
 ]

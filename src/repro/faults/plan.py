@@ -45,6 +45,8 @@ site                      hook
 ``fam.module``            SD daemon module run (ctx: module)
 ``fam.result``            SD daemon result write (ctx: module)
 ``pool.worker``           :class:`repro.exec.pool.WorkerPool` (index)
+``transport.slot``        shm slot write, :mod:`repro.exec.transport`
+                          (index; decided parent-side at submission)
 ``spill.write``           :func:`repro.exec.outofcore.write_run` (run)
 ``spill.read``            :func:`repro.exec.outofcore.iter_run` (run)
 ========================  ============================================
@@ -58,7 +60,14 @@ import typing as _t
 
 from repro.errors import ConfigError
 
-__all__ = ["ACTIONS", "FaultRule", "FaultPlan", "standard_plan", "standard_engine_plan"]
+__all__ = [
+    "ACTIONS",
+    "FaultRule",
+    "FaultPlan",
+    "standard_plan",
+    "standard_engine_plan",
+    "transport_chaos_plan",
+]
 
 ACTIONS = ("fail", "drop", "delay", "corrupt", "kill")
 
@@ -170,6 +179,26 @@ def standard_engine_plan(seed: int = 0) -> FaultPlan:
             FaultRule("pool.worker", action="fail", count=1, where={"index": 1}),
             FaultRule("spill.write", action="corrupt", count=1, where={"run": 0}),
             FaultRule("spill.read", action="fail", count=1, where={"run": 1}),
+        ),
+        seed=seed,
+    )
+
+
+def transport_chaos_plan(seed: int = 0) -> FaultPlan:
+    """The chaos plan for the shared-memory transport ring.
+
+    Kept separate from :func:`standard_engine_plan` (whose coverage gate
+    asserts every rule fires on the pickle path too): a worker killed
+    *mid-slot-write* — half a frame in shared memory, header never
+    committed — which the pool must answer by respawning, releasing the
+    slot, and re-dispatching; plus a frame corrupted after its crc, which
+    the parent's verify must catch as a retryable
+    :class:`~repro.errors.TransportCorruptionError`.
+    """
+    return FaultPlan(
+        rules=(
+            FaultRule("transport.slot", action="kill", count=1, where={"index": 0}),
+            FaultRule("transport.slot", action="corrupt", count=1, where={"index": 1}),
         ),
         seed=seed,
     )

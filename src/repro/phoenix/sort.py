@@ -32,7 +32,9 @@ __all__ = [
     "KeyCache",
     "merge_combiner_maps",
     "merge_map_into",
+    "fold_map_into",
     "finalize_merged_map",
+    "finalize_folded_map",
     "decorate_sorted",
     "partition_decorated",
     "merge_entry_runs",
@@ -51,6 +53,12 @@ __all__ = [
 Entry = _t.Tuple[str, object, object]
 
 _SORT_KEY = operator.itemgetter(0)
+_VALUE_KEY = operator.itemgetter(2)
+_PAIR_VALUE = operator.itemgetter(1)
+
+
+def _REPR_KEY(kv: tuple) -> str:
+    return repr(kv[0])
 
 
 class Combiner:
@@ -169,6 +177,41 @@ def merge_map_into(
                 bucket.append(value)
 
 
+def fold_map_into(
+    merged: dict[object, object],
+    m: dict,
+    combine_fn: _t.Callable[[object, object], object],
+) -> None:
+    """Scalar-fold one combiner map into ``merged``: ``key -> folded value``.
+
+    The allocation-lean counterpart of :func:`merge_map_into` for jobs
+    *with* a combiner: instead of appending each batch's partial to a
+    per-key list (one list plus one append per key per batch) and folding
+    the lists at finalize time, the partial folds into the accumulator
+    immediately — the merge loop allocates nothing per key.  Licensed by
+    the combiner contract (the engine may pre-combine across any grouping
+    of chunks); the hot (existing-key) path is a bare ``try``/``except``
+    dict probe, and ``operator.add`` combiners fold with the inline ``+``
+    operator instead of a call per key.
+    """
+    if combine_fn is operator.add:
+        for key, value in m.items():
+            try:
+                old = merged[key]
+            except KeyError:
+                merged[key] = value
+            else:
+                merged[key] = old + value
+    else:
+        for key, value in m.items():
+            try:
+                old = merged[key]
+            except KeyError:
+                merged[key] = value
+            else:
+                merged[key] = combine_fn(old, value)
+
+
 def decorate_sorted(
     items: dict | _t.Iterable[tuple[object, object]],
     cache: KeyCache | None = None,
@@ -253,8 +296,25 @@ def merge_decorated_runs(runs: _t.Iterable[_t.Iterable[Entry]]) -> _t.Iterator[E
 
 
 def sort_decorated_by_value_desc(entries: _t.Iterable[Entry]) -> list[Entry]:
-    """Frequency-descending output order, tie-broken on the cached sort key."""
-    return sorted(entries, key=lambda e: (-_as_num(e[2]), e[0]))
+    """Frequency-descending output order, tie-broken on the cached sort key.
+
+    When every value is a plain number, two stable passes with C-speed
+    itemgetter keys — sort-key ascending, then value descending
+    (``reverse=True`` preserves the order of equal elements) — equal one
+    sort by ``(-value, sort_key)`` without a Python-level key lambda
+    allocating a tuple per entry.  Any other value type falls back to the
+    seed's permissive ordering, whose :func:`_as_num` coercion treats
+    non-numbers as equal (and parses numeric strings!), which direct
+    comparison would not reproduce — among entries whose fallback keys
+    tie, the sort-key pass already restored the order a direct stable
+    sort would keep.
+    """
+    entries = list(entries)
+    entries.sort(key=_SORT_KEY)
+    if all(type(e[2]) is int or type(e[2]) is float for e in entries):
+        return sorted(entries, key=_VALUE_KEY, reverse=True)
+    entries.sort(key=lambda e: (-_as_num(e[2]), e[0]))
+    return entries
 
 
 def undecorate(entries: _t.Iterable[Entry]) -> list[tuple[object, object]]:
@@ -345,23 +405,62 @@ def finalize_merged_map(
     :func:`merge_map_into`) instead of a materialized list of maps.
     """
     if reduce_fn is not None:
-        items: _t.Iterable[tuple[object, object]] = (
-            (k, reduce_fn(k, values, params)) for k, values in merged.items()
-        )
+        entries = [
+            (repr(k), k, reduce_fn(k, values, params))
+            for k, values in merged.items()
+        ]
     elif combine_fn is not None:
         # per-worker combined partials need one cross-worker fold
-        items = (
-            (k, functools.reduce(combine_fn, values))
+        entries = [
+            (repr(k), k, functools.reduce(combine_fn, values))
             for k, values in merged.items()
-        )
+        ]
     else:
-        items = merged.items()
-    entries = [(repr(k), k, v) for k, v in items]
+        entries = [(repr(k), k, v) for k, v in merged.items()]
+    entries.sort(key=_SORT_KEY)
     if sort_output:
-        entries = sort_decorated_by_value_desc(entries)
-    else:
-        entries.sort(key=_SORT_KEY)
+        # fast path only for plain numbers: _as_num orders anything else
+        # differently than direct comparison (see sort_decorated_by_value_desc)
+        if all(type(e[2]) is int or type(e[2]) is float for e in entries):
+            entries = sorted(entries, key=_VALUE_KEY, reverse=True)
+        else:
+            entries.sort(key=lambda e: (-_as_num(e[2]), e[0]))
     return undecorate(entries)
+
+
+def finalize_folded_map(
+    merged: dict[object, object],
+    reduce_fn: _t.Callable[[object, list, dict], object] | None,
+    sort_output: bool,
+    params: dict,
+) -> list[tuple[object, object]]:
+    """Reduce + decorate-sort a *scalar-folded* ``key -> value`` map.
+
+    The counterpart of :func:`finalize_merged_map` for accumulators built
+    with :func:`fold_map_into`: each key's combine is already complete,
+    so there is no per-key list to fold — ``reduce_fn`` (whose contract
+    must tolerate any pre-combining once a combiner is declared) receives
+    the single folded partial.
+
+    Unlike the multi-stage shuffle, nothing downstream reuses the sort
+    key here, so this skips the decorate/undecorate round trip and sorts
+    plain ``(key, value)`` pairs: one stable ``repr``-order pass (the
+    same key order every decorated path produces), then for sorted output
+    one stable value-descending pass with a C-speed itemgetter key.
+    """
+    if reduce_fn is not None:
+        out = [(k, reduce_fn(k, [v], params)) for k, v in merged.items()]
+    else:
+        out = list(merged.items())
+    out.sort(key=_REPR_KEY)
+    if sort_output:
+        # fast path only for plain numbers: _as_num orders anything else
+        # differently than direct comparison (see sort_decorated_by_value_desc)
+        if all(type(kv[1]) is int or type(kv[1]) is float for kv in out):
+            out = sorted(out, key=_PAIR_VALUE, reverse=True)
+        else:
+            out.sort(key=lambda kv: (-_as_num(kv[1]), repr(kv[0])))
+    return out
 
 
 # -- seed-compatible helpers (kept for callers outside the hot path) --------

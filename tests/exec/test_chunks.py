@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import IntegrityError
-from repro.exec import chunk_file, read_chunk
+from repro.exec import chunk_file, read_chunk, read_chunk_cached, read_chunk_view
+from repro.exec.chunks import _HANDLES, _MAX_CACHED_FILES, FileChunk
 from repro.workloads import zipf_corpus
 
 
@@ -115,6 +118,78 @@ def test_custom_delimiters(tmp_path):
     for c in chunks[:-1]:
         assert read_chunk(c).endswith(b"|")
     assert b"".join(read_chunk(c) for c in chunks) == data
+
+
+# -- the mmap handle cache ---------------------------------------------------
+
+
+def test_handle_cache_is_bounded_and_lru(tmp_path):
+    paths = []
+    for i in range(_MAX_CACHED_FILES + 3):
+        p = tmp_path / f"f{i}"
+        p.write_bytes(b"data for file %d " % i)
+        paths.append(str(p))
+    for p in paths:
+        read_chunk_cached(FileChunk(p, 0, 4))
+    assert len(_HANDLES) <= _MAX_CACHED_FILES
+    # the most recent files survive, the oldest were evicted
+    assert paths[-1] in _HANDLES
+    assert paths[0] not in _HANDLES
+
+
+def test_handle_cache_hit_moves_to_mru(tmp_path):
+    a = tmp_path / "a"
+    a.write_bytes(b"aaaa bbbb")
+    read_chunk_cached(FileChunk(str(a), 0, 4))
+    # fill the cache with other files, re-touching ``a`` midway: the hit
+    # must refresh its position so it outlives files read before it
+    fill = []
+    for i in range(_MAX_CACHED_FILES - 1):
+        p = tmp_path / f"fill{i}"
+        p.write_bytes(b"x y z")
+        fill.append(str(p))
+        read_chunk_cached(FileChunk(str(p), 0, 2))
+    read_chunk_cached(FileChunk(str(a), 0, 4))  # hit: a becomes MRU
+    overflow = tmp_path / "overflow"
+    overflow.write_bytes(b"q r s")
+    read_chunk_cached(FileChunk(str(overflow), 0, 2))
+    assert str(a) in _HANDLES  # survived the eviction...
+    assert fill[0] not in _HANDLES  # ...which took the true LRU instead
+
+
+def test_shrunk_file_raises_instead_of_truncating(tmp_path):
+    p = tmp_path / "shrink"
+    p.write_bytes(b"0123456789" * 20)
+    chunk = FileChunk(str(p), 100, 50)
+    assert read_chunk_cached(chunk) == (b"0123456789" * 20)[100:150]
+    with open(p, "r+b") as f:
+        f.truncate(80)  # the planned chunk now extends past EOF
+    with pytest.raises(IntegrityError):
+        read_chunk_cached(chunk)
+    with pytest.raises(IntegrityError):
+        read_chunk_view(chunk)
+
+
+def test_read_chunk_view_zero_copy_roundtrip(tmp_path):
+    p = tmp_path / "view"
+    data = b"alpha beta gamma delta"
+    p.write_bytes(data)
+    view = read_chunk_view(FileChunk(str(p), 6, 10))
+    try:
+        assert isinstance(view, memoryview)
+        assert bytes(view) == data[6:16]
+    finally:
+        view.release()
+    assert bytes(read_chunk_view(FileChunk(str(p), 0, 0))) == b""
+
+
+def test_cache_survives_rewrite_with_same_path(tmp_path):
+    p = tmp_path / "rewrite"
+    p.write_bytes(b"first version here")
+    assert read_chunk_cached(FileChunk(str(p), 0, 5)) == b"first"
+    os.utime(p)  # mtime-only change still invalidates
+    p.write_bytes(b"secnd version here")
+    assert read_chunk_cached(FileChunk(str(p), 0, 5)) == b"secnd"
 
 
 @given(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import multiprocessing as mp
+import operator
 import os
 
 import pytest
@@ -110,3 +111,56 @@ def test_read_chunk_cached_revalidates_replaced_file(tmp_path):
     q.write_bytes(b"new contents here")
     os.replace(str(q), str(p))
     assert read_chunk_cached(FileChunk(str(p), 0, 3)) == b"new"
+
+
+# -- vectorized emission -----------------------------------------------------
+
+
+def _run_one_batch(tmp_path, data: bytes, map_fn, combine_fn):
+    p = tmp_path / "vec"
+    p.write_bytes(data)
+    task = (0, [FileChunk(str(p), 0, len(data))], map_fn, combine_fn, {}, False)
+    _, acc, _ = run_batch(task)
+    return acc
+
+
+def _loop_map(data, emit, params):
+    for tok in data.split():
+        emit(tok, 2)
+
+
+def _many_map(data, emit, params):
+    emit.many(data.split(), 2)
+
+
+def _loop_count(data, emit, params):
+    for tok in data.split():
+        emit(tok, 1)
+
+
+def _many_count(data, emit, params):
+    emit.many(data.split(), 1)
+
+
+def _mul(a, b):
+    return a * b
+
+
+@pytest.mark.parametrize("combine", [None, operator.add, _mul])
+def test_emit_many_matches_per_key_loop(tmp_path, combine):
+    data = b"b a b c a b"
+    loop = _run_one_batch(tmp_path, data, _loop_map, combine)
+    many = _run_one_batch(tmp_path, data, _many_map, combine)
+    assert many == loop
+    # first-seen insertion order is part of the contract
+    assert list(many) == list(loop) == [b"b", b"a", b"c"]
+
+
+def test_emit_many_counting_fast_path(tmp_path):
+    # operator.add with value 1 folds through Counter's C helper — the
+    # result must still be indistinguishable from the scalar loop
+    data = b"x y x z x y"
+    loop = _run_one_batch(tmp_path, data, _loop_count, operator.add)
+    many = _run_one_batch(tmp_path, data, _many_count, operator.add)
+    assert many == loop == {b"x": 3, b"y": 2, b"z": 1}
+    assert list(many) == list(loop)
