@@ -62,6 +62,8 @@ from collections import Counter
 from repro.analysis.report import banner
 from repro.apps.wordcount import wc_map, wc_reduce
 from repro.exec import LocalMapReduce, SeedLocalMapReduce
+from repro.obs import Observability, critical_path
+from repro.obs.export import span_dicts
 from repro.workloads import zipf_corpus
 
 #: gate workload: ~1.5 MB of Zipf text, wide vocabulary (more distinct
@@ -255,6 +257,32 @@ def run_real_suite(
             stream_s <= pickle_s * SHM_VS_PICKLE_TOLERANCE
         )
 
+        # -- critical path over one traced streaming job ---------------------
+        # untimed: tracing costs real time, so this job rides outside the
+        # gated measurements.  The span tree is parent-id linked (one
+        # process track plus worker tracks stitched under the batch
+        # spans), so the walk's exclusive segments partition the job span
+        # exactly — coverage < 90% would mean spans escaped the tree.
+        traced_obs = Observability(enabled=True)
+        with _wordcount_engine(
+            n_workers=n_workers, start_method=start_method, obs=traced_obs,
+        ) as traced_eng:
+            traced_eng.run(path, chunk_bytes=GATE_CHUNK_BYTES)
+        cp = critical_path(span_dicts(traced_obs), root_name="localmr.job")
+        critpath = {
+            "wall_s": round(cp["wall"], 4),
+            "covered": round(cp["covered"], 4),
+            "segments": len(cp["path"]),
+            "by_name": [
+                {
+                    "name": r["name"], "count": r["count"],
+                    "self_s": round(r["self"], 4), "pct": round(r["pct"], 2),
+                }
+                for r in cp["by_name"]
+            ],
+            "covered_ok": cp["covered"] >= 0.90,
+        }
+
         # -- peak-RSS bound ---------------------------------------------------
         rss_mem = _measure_rss(rss_path, RSS_CHUNK_BYTES, budget=None)
         rss_ooc = _measure_rss(rss_path, RSS_CHUNK_BYTES, budget=RSS_BUDGET)
@@ -311,7 +339,9 @@ def run_real_suite(
                 and throughput_mb_s >= THROUGHPUT_FLOOR_MB_S
                 and shm_ok
                 and rss_ok
+                and critpath["covered_ok"]
             ),
+            "critpath": critpath,
             "outofcore": {
                 "elapsed_s": round(ooc_s, 4),
                 "speedup_vs_seed": round(ooc_speedup, 3),

@@ -12,10 +12,15 @@ Three cases, all in simulated time (deterministic, seconds of wall clock):
   fair), and the completed-work ratio must sit within 20% of 2.
 * **cache** — one job repeated: every submission after the first must be
   a cache hit, and a rewrite of the input must invalidate.
+* **critpath** — one traced job end to end: the containment critical
+  path over the recorded spans (the paper's dispatch/compute/return
+  attribution, recovered mechanically) must cover >= 90% of the job's
+  wall time, and the scheduler's SLO health snapshot rides along.
 
 ``run_serving_suite`` returns the JSON payload for
 ``tools/perf_gate.py --serving`` (gates: throughput ratio, fairness band,
-cache behaviour — all architectural, so they hold in ``--quick`` too).
+cache behaviour, critical-path coverage — all architectural, so they
+hold in ``--quick`` too).
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ import typing as _t
 from repro.cluster.testbed import Testbed
 from repro.core.job import DataJob
 from repro.core.loadbalance import AlwaysOffloadPolicy
+from repro.obs import SLOPolicy, job_critical_path
+from repro.obs.export import span_dicts
 from repro.sched import ClusterScheduler, FairShareOrdering
 from repro.units import MB
 from repro.workloads import ArrivalProcess, text_input
@@ -32,6 +39,7 @@ from repro.workloads import ArrivalProcess, text_input
 __all__ = [
     "THROUGHPUT_GATE",
     "FAIRNESS_TOLERANCE",
+    "CRITPATH_COVERAGE_GATE",
     "run_serving_suite",
 ]
 
@@ -39,6 +47,8 @@ __all__ = [
 THROUGHPUT_GATE = 1.5
 #: completed-work ratio may deviate from the weight ratio by this fraction
 FAIRNESS_TOLERANCE = 0.20
+#: the critical path's exclusive segments must cover this much wall time
+CRITPATH_COVERAGE_GATE = 0.90
 
 #: generous per-attempt deadline — nothing dies in this benchmark
 _TIMEOUT = 3600.0
@@ -248,22 +258,89 @@ def cache_case(quick: bool = False) -> dict:
     }
 
 
+# -- critical path ----------------------------------------------------------
+
+
+def critpath_case(quick: bool = False) -> dict:
+    """One traced job: containment critical path + SLO health snapshot.
+
+    A single job keeps the containment tree unambiguous (concurrent jobs
+    would interleave their node-track spans under one synthetic root).
+    The gate is coverage: the path's exclusive segments must account for
+    >= 90% of the job's recorded wall time — spans escaping the tree,
+    not the walk, are what would break it.
+    """
+    size = MB(20) if quick else MB(50)
+    tb = Testbed(n_sd=1, trace=True)
+    inp = text_input("/data/critpath.txt", size, seed=5)
+    _, sd_path = tb.stage_replicated("critpath.txt", inp)
+    sched = ClusterScheduler(
+        tb.cluster,
+        policy=AlwaysOffloadPolicy(),
+        attempt_timeout=_TIMEOUT,
+        cache=None,
+        slo=SLOPolicy(tenant="*", target_s=_TIMEOUT, error_budget=0.05),
+    )
+    ev = sched.submit(DataJob(
+        app="wordcount", input_path=sd_path, input_size=inp.size,
+    ))
+    tb.sim.run(until=ev)
+    spans = span_dicts(tb.sim.obs)
+    cp = job_critical_path(spans, root_name="job")
+    health = sched.health_report()
+    path = [
+        {
+            "name": seg["name"],
+            "track": seg["track"],
+            "self_s": round(seg["self"], 6),
+            "slack_s": round(seg["slack"], 6),
+            "depth": seg["depth"],
+        }
+        for seg in cp["path"]
+    ]
+    by_name = [
+        {
+            "name": row["name"],
+            "count": row["count"],
+            "self_s": round(row["self"], 6),
+            "pct": round(row["pct"], 2),
+        }
+        for row in cp["by_name"]
+    ]
+    return {
+        "input_mb": size // MB(1),
+        "spans_recorded": len(spans),
+        "wall_s": round(cp["wall"], 6),
+        "covered": round(cp["covered"], 4),
+        "path": path,
+        "by_name": by_name,
+        "health": health.to_dict(),
+        "coverage_gate": CRITPATH_COVERAGE_GATE,
+        "gate_ok": (
+            cp["covered"] >= CRITPATH_COVERAGE_GATE and health.healthy
+        ),
+    }
+
+
 # -- suite ------------------------------------------------------------------
 
 
 def run_serving_suite(quick: bool = False) -> dict:
-    """All three cases; the ``BENCH_serving.json`` payload."""
+    """All four cases; the ``BENCH_serving.json`` payload."""
     throughput = throughput_case(quick)
     fairness = fairness_case(quick)
     cache = cache_case(quick)
+    critpath = critpath_case(quick)
     return {
         "benchmark": "serving: open-loop job stream through ClusterScheduler",
         "mode": "quick" if quick else "full",
         "throughput": throughput,
         "fairness": fairness,
         "cache": cache,
+        "critpath": critpath,
         "gate_ok": (
-            throughput["gate_ok"] and fairness["gate_ok"] and cache["gate_ok"]
+            throughput["gate_ok"] and fairness["gate_ok"]
+            and cache["gate_ok"] and critpath["gate_ok"]
         ),
     }
 

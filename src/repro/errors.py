@@ -39,6 +39,7 @@ __all__ = [
     "AdmissionError",
     "ConfigError",
     "WorkloadError",
+    "ProvenanceError",
     "FaultInjectedError",
     "WorkerCrashError",
     "SpillCorruptionError",
@@ -308,6 +309,24 @@ class ConfigError(McSDError):
 
 class WorkloadError(McSDError):
     """Invalid workload specification."""
+
+
+class ProvenanceError(McSDError):
+    """A trace artifact does not belong to the run being analyzed.
+
+    Raised by the :mod:`repro.obs.export` loaders when a caller states the
+    run id it expects and the file carries a different one — mixing spans
+    from one run with metrics from another produces breakdowns that look
+    plausible and mean nothing.
+    """
+
+    def __init__(self, path: str, expected: str, found: str | None):
+        super().__init__(
+            f"{path!r} belongs to run {found!r}, expected run {expected!r}"
+        )
+        self.path = path
+        self.expected = expected
+        self.found = found
 
 
 # --------------------------------------------------------------------------

@@ -111,6 +111,7 @@ class LocalMapReduce:
         batches_per_worker: int = 2,
         faults: FaultPlan | FaultInjector | None = None,
         transport: str = "auto",
+        blackbox_dir: str | None = None,
     ):
         self.map_fn = map_fn
         self.reduce_fn = reduce_fn
@@ -137,7 +138,7 @@ class LocalMapReduce:
         #: ("auto"/"shm"/"pickle", see :mod:`repro.exec.transport`)
         self.pool = WorkerPool(
             self.n_workers, start_method, faults=self.faults, obs=self.obs,
-            transport=transport,
+            transport=transport, blackbox_dir=blackbox_dir,
         )
         #: chunk-plan cache: (path identity, chunk size, delimiters) ->
         #: plan.  Replanning an unchanged file costs a full boundary scan
@@ -340,15 +341,27 @@ class LocalMapReduce:
 
     def _stitch(self, segments: list, job_sp: object) -> None:
         """Attach worker-recorded wall-clock segments to the trace, one
-        track per worker process."""
+        track per worker process.
+
+        ``worker.heartbeat`` pseudo-segments are resource samples, not
+        intervals: they divert into per-worker time series
+        (``worker-{pid}.rss_kib`` / ``.cpu_s`` / ``.util``) instead of
+        the span tree.
+        """
         obs = self.obs
         for name, seg_t0, seg_t1, wall_dur, attrs in segments:
+            pid = attrs.get("pid", "?")
+            if name == "worker.heartbeat":
+                obs.sample(f"worker-{pid}.rss_kib", seg_t0, attrs["rss_kib"])
+                obs.sample(f"worker-{pid}.cpu_s", seg_t0, attrs["cpu_s"])
+                obs.sample(f"worker-{pid}.util", seg_t0, attrs["util"])
+                continue
             obs.add_span(
                 name,
                 seg_t0,
                 seg_t1,
                 cat="localmr",
-                track=f"worker-{attrs.get('pid', '?')}",
+                track=f"worker-{pid}",
                 parent=job_sp,
                 wall_dur=wall_dur,
                 attrs=attrs,

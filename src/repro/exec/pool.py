@@ -61,6 +61,11 @@ import sys
 import time
 import typing as _t
 
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - Windows
+    _resource = None  # type: ignore[assignment]
+
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.errors import (
@@ -85,6 +90,50 @@ __all__ = ["WorkerPool", "read_chunk_cached", "resolve_start_method", "run_batch
 # a dict at C speed (``d[k] = d.get(k, 0) + 1`` per element, no Python
 # frame per key).  ``collections`` re-exports the C version when built.
 _count_elements = collections._count_elements
+
+# per-worker heartbeat baseline: (cpu_s, perf_counter) at the previous
+# heartbeat, for utilization over the interval since then
+_hb_prev: dict[str, float] = {}
+
+
+def _heartbeat(index: int) -> tuple | None:
+    """One per-worker resource sample as a pseudo-segment.
+
+    Shape-compatible with the span segments ``run_batch`` ships —
+    ``(name, t0, t1, wall_dur, attrs)`` with a zero-length interval — so
+    it rides the existing transport payload; the parent's stitcher
+    diverts it into the ``worker-{pid}`` time series instead of the span
+    tree.  ``util`` is CPU seconds burned since this worker's previous
+    heartbeat divided by the wall seconds between them (1.0 = a fully
+    busy worker).  Returns ``None`` where ``resource`` is unavailable.
+    """
+    if _resource is None:  # pragma: no cover - Windows
+        return None
+    ru = _resource.getrusage(_resource.RUSAGE_SELF)
+    cpu_s = ru.ru_utime + ru.ru_stime
+    now = time.time()
+    wall = time.perf_counter()
+    prev_cpu = _hb_prev.get("cpu")
+    prev_wall = _hb_prev.get("wall")
+    if prev_cpu is None or prev_wall is None or wall <= prev_wall:
+        util = 0.0
+    else:
+        util = min(1.0, (cpu_s - prev_cpu) / (wall - prev_wall))
+    _hb_prev["cpu"] = cpu_s
+    _hb_prev["wall"] = wall
+    return (
+        "worker.heartbeat",
+        now,
+        now,
+        0.0,
+        {
+            "batch": index,
+            "pid": os.getpid(),
+            "rss_kib": ru.ru_maxrss,  # KiB on Linux, bytes on macOS
+            "cpu_s": round(cpu_s, 6),
+            "util": round(util, 4),
+        },
+    )
 
 
 def run_batch(args: tuple) -> tuple[int, dict, list | None]:
@@ -111,7 +160,11 @@ def run_batch(args: tuple) -> tuple[int, dict, list | None]:
 
     ``segments`` are wall-clock span tuples ``(name, t0, t1, wall_dur,
     attrs)`` per chunk when tracing is on, else ``None`` (tracing-off runs
-    ship nothing extra over the transport).
+    ship nothing extra over the transport).  The final segment of a traced
+    batch is a ``worker.heartbeat`` pseudo-segment carrying the worker's
+    RSS, cumulative CPU seconds, and utilization since its previous
+    heartbeat — the parent stitches it into per-worker time series rather
+    than the span tree.
     """
     index, chunks, map_fn, combine_fn, params, want_spans = args
     segments: list | None = [] if want_spans else None
@@ -187,6 +240,10 @@ def run_batch(args: tuple) -> tuple[int, dict, list | None]:
                     },
                 )
             )
+    if want_spans:
+        hb = _heartbeat(index)
+        if hb is not None:
+            segments.append(hb)
     return index, acc, segments
 
 
@@ -269,6 +326,12 @@ class WorkerPool:
     ``pool.worker`` and ``transport.slot`` sites on every submission, and
     the observability registry that receives the ``retry.*``,
     ``pool.respawn`` and ``transport.*`` counters.
+
+    ``blackbox_dir`` (default: the ``REPRO_BLACKBOX_DIR`` environment
+    variable) names a directory for post-mortem dumps: when a task
+    exhausts its retries, the registry's flight recorder — if one is
+    attached — is written there as a JSONL black box and the dump path is
+    included in the raised error's message.
     """
 
     def __init__(
@@ -279,6 +342,7 @@ class WorkerPool:
         faults: "FaultInjector | None" = None,
         obs: "Observability | None" = None,
         transport: str = "auto",
+        blackbox_dir: str | None = None,
     ):
         if n_workers < 1:
             raise WorkloadError(f"n_workers must be >= 1, got {n_workers}")
@@ -290,6 +354,11 @@ class WorkerPool:
         self.faults = faults
         self.obs = obs
         self.transport_kind = transport
+        self.blackbox_dir = (
+            blackbox_dir
+            if blackbox_dir is not None
+            else os.environ.get("REPRO_BLACKBOX_DIR") or None
+        )
         #: executor recreations after a detected worker death
         self.respawns = 0
         #: task re-dispatches after transient failures
@@ -359,6 +428,27 @@ class WorkerPool:
             self.close()
         except Exception:
             pass
+
+    def _dump_blackbox(self, task_index: int, exc: BaseException) -> str | None:
+        """Write the flight ring on a permanent task failure; returns path.
+
+        Needs both a dump directory and a registry with a flight recorder
+        attached; silently a no-op otherwise (the crash still raises).
+        """
+        if self.blackbox_dir is None or self.obs is None:
+            return None
+        path = os.path.join(
+            self.blackbox_dir,
+            f"blackbox-pool-{self.obs.run_id or os.getpid()}.jsonl",
+        )
+        try:
+            return self.obs.dump_blackbox(
+                path,
+                reason=f"task {task_index} exhausted retries: {exc}",
+                extra={"task_index": task_index},
+            )
+        except OSError:  # pragma: no cover - dump dir unwritable
+            return None
 
     # -- submission ------------------------------------------------------------
 
@@ -509,12 +599,15 @@ class WorkerPool:
             for i, exc in failed:
                 attempts[i] += 1
                 if attempts[i] > self.max_task_retries:
+                    msg = (
+                        f"task {i} failed after {attempts[i]} attempts "
+                        f"(last: {exc})"
+                    )
+                    box = self._dump_blackbox(i, exc)
+                    if box is not None:
+                        msg += f" [black box: {box}]"
                     raise mark_retryable(
-                        WorkerCrashError(
-                            f"task {i} failed after {attempts[i]} attempts "
-                            f"(last: {exc})",
-                            task_index=i,
-                        ),
+                        WorkerCrashError(msg, task_index=i),
                         False,
                     ) from exc
                 self.redispatches += 1

@@ -1,0 +1,270 @@
+"""Critical-path analysis over a recorded span tree.
+
+Given the span dicts of a completed run (the
+:func:`~repro.obs.export.load_spans` /
+:func:`~repro.obs.export.span_dicts` shape), extract the chain of spans
+that actually determined end-to-end time — the question the paper's
+host-vs-SD breakdowns answer by hand — plus, per edge, the *slack*: how
+far the span could shrink before a competing sibling becomes critical.
+
+The walk is the standard backward scan: start at the root's end, find
+the child active then, descend, continue from that child's start, and
+attribute any uncovered gap to the parent itself.  By construction the
+segments' exclusive times partition the root's duration exactly, so the
+path always "sums to wall time" — the acceptance bar of >= 90% coverage
+guards against spans escaping the tree, not against the algorithm.
+
+Two tree shapes are supported:
+
+* :func:`critical_path` — the explicit parent/child links
+  (``parent_id``), right for single-track traces like the real engine's
+  ``localmr.job`` tree;
+* :func:`job_critical_path` — *containment* linking: a span's parent is
+  the smallest span whose interval encloses it, whatever its track.
+  That is what a cluster job needs — ``sched.queue``/``dispatch``/
+  ``run`` live on the scheduler track while ``fam.invoke`` →
+  ``fam.module.run`` → ``fam.result.write`` live on node tracks, with
+  no cross-track parent ids — and it is how the paper's
+  dispatch/compute/return-wait attribution is recovered from a trace.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = [
+    "critical_path",
+    "job_critical_path",
+    "format_critical_path",
+]
+
+#: tolerance for float timestamp comparisons (seconds)
+_EPS = 1e-9
+
+
+def _pick_root(
+    spans: list[dict], root_name: str | None
+) -> dict | None:
+    candidates = [s for s in spans if s.get("parent_id") is None]
+    if root_name is not None:
+        candidates = [s for s in candidates if s["name"] == root_name] or [
+            s for s in spans if s["name"] == root_name
+        ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda s: s["dur"])
+
+
+def _walk(
+    span: dict,
+    end: float,
+    children_of: _t.Callable[[dict], list[dict]],
+    depth: int,
+    out: list[dict],
+) -> None:
+    """Backward scan of ``span``'s window ``[span.t0, end]``.
+
+    Emits one segment per exclusive stretch, children interleaved in
+    reverse time order so ``out`` ends up root-first, time-ascending
+    after the final reverse.
+    """
+    t0 = span["t0"]
+    cursor = end
+    kids = sorted(
+        (k for k in children_of(span) if k["t0"] < cursor - _EPS),
+        key=lambda k: (k["t0"] + k["dur"], k["t0"]),
+        reverse=True,
+    )
+    for k in kids:
+        k_end = min(k["t0"] + k["dur"], cursor)
+        if k_end <= t0 + _EPS or k_end <= k["t0"] + _EPS:
+            continue
+        # the margin before the runner-up sibling becomes critical: the
+        # distance from this child's (clamped) end back to the next
+        # later-ending competitor, or to the window start if unopposed
+        runner = next(
+            (r for r in kids if r is not k and r["t0"] + r["dur"] < k_end - _EPS),
+            None,
+        )
+        slack = k_end - (
+            min(runner["t0"] + runner["dur"], cursor) if runner is not None
+            else max(k["t0"], t0)
+        )
+        if cursor - k_end > _EPS:
+            out.append(_segment(span, k_end, cursor, depth, slack=0.0))
+        out_len = len(out)
+        _walk(k, k_end, children_of, depth + 1, out)
+        # stamp the chosen child's slack on its first (latest) segment
+        if len(out) > out_len:
+            out[out_len]["slack"] = round(slack, 9)
+        cursor = max(k["t0"], t0)
+        if cursor <= t0 + _EPS:
+            break
+    if cursor > t0 + _EPS:
+        out.append(_segment(span, t0, cursor, depth, slack=0.0))
+
+
+def _segment(
+    span: dict, t0: float, t1: float, depth: int, slack: float
+) -> dict:
+    return {
+        "name": span["name"],
+        "cat": span.get("cat", ""),
+        "track": span.get("track", ""),
+        "span_id": span.get("id"),
+        "t0": t0,
+        "t1": t1,
+        "self": t1 - t0,
+        "slack": round(slack, 9),
+        "depth": depth,
+    }
+
+
+def _finish(root: dict, segments: list[dict]) -> dict:
+    segments.reverse()  # backward walk emitted latest-first
+    total = root["dur"]
+    by_name: dict[str, dict] = {}
+    for seg in segments:
+        row = by_name.get(seg["name"])
+        if row is None:
+            row = by_name[seg["name"]] = {
+                "name": seg["name"], "count": 0, "self": 0.0,
+            }
+        row["count"] += 1
+        row["self"] += seg["self"]
+    rows = sorted(by_name.values(), key=lambda r: -r["self"])
+    for row in rows:
+        row["pct"] = (100.0 * row["self"] / total) if total > 0 else 0.0
+    covered = sum(s["self"] for s in segments)
+    return {
+        "root": {
+            "name": root["name"], "id": root.get("id"),
+            "t0": root["t0"], "dur": total,
+        },
+        "wall": total,
+        "path": segments,
+        "by_name": rows,
+        "covered": (covered / total) if total > 0 else 0.0,
+    }
+
+
+def critical_path(
+    spans: list[dict],
+    root: dict | None = None,
+    root_name: str | None = None,
+) -> dict:
+    """Critical path through a parent-id-linked span tree.
+
+    Without an explicit ``root``, the longest top-level span is used
+    (optionally filtered by ``root_name``).  Returns ``{"root": ...,
+    "wall": seconds, "path": [segment, ...], "by_name": [row, ...],
+    "covered": fraction}`` where each path segment carries its exclusive
+    time (``self``), its slack, and its depth on the path.
+    """
+    if root is None:
+        root = _pick_root(spans, root_name)
+    if root is None or root["dur"] <= 0:
+        return {"root": None, "wall": 0.0, "path": [], "by_name": [],
+                "covered": 0.0}
+    by_parent: dict[object, list[dict]] = {}
+    for s in spans:
+        by_parent.setdefault(s.get("parent_id"), []).append(s)
+    segments: list[dict] = []
+    _walk(
+        root, root["t0"] + root["dur"],
+        lambda s: by_parent.get(s.get("id"), []),
+        0, segments,
+    )
+    return _finish(root, segments)
+
+
+def job_critical_path(
+    spans: list[dict],
+    window: tuple[float, float] | None = None,
+    root_name: str = "job",
+) -> dict:
+    """Critical path across tracks, linked by interval containment.
+
+    ``window`` bounds the analysis to one job's lifetime (submit →
+    finish); by default the whole trace's extent is used.  A synthetic
+    root named ``root_name`` spans the window; every recorded span whose
+    interval falls inside the window joins the tree under its smallest
+    enclosing span.  Spans that merely *overlap* the window edge are
+    clamped by the walk, not dropped.
+    """
+    done = [s for s in spans if s.get("dur", 0) > 0]
+    if not done:
+        return {"root": None, "wall": 0.0, "path": [], "by_name": [],
+                "covered": 0.0}
+    if window is None:
+        w0 = min(s["t0"] for s in done)
+        w1 = max(s["t0"] + s["dur"] for s in done)
+    else:
+        w0, w1 = window
+    inside = [
+        s for s in done
+        if s["t0"] >= w0 - _EPS and s["t0"] + s["dur"] <= w1 + _EPS
+    ]
+    root = {"name": root_name, "id": None, "t0": w0, "dur": w1 - w0,
+            "track": "", "cat": ""}
+    if root["dur"] <= 0:
+        return {"root": None, "wall": 0.0, "path": [], "by_name": [],
+                "covered": 0.0}
+    # containment forest: parent = smallest strictly-enclosing span
+    ordered = sorted(inside, key=lambda s: (s["t0"], -s["dur"]))
+    children: dict[object, list[dict]] = {id(root): []}
+    stack: list[dict] = [root]
+    for s in ordered:
+        while len(stack) > 1:
+            top = stack[-1]
+            if (
+                top["t0"] - _EPS <= s["t0"]
+                and s["t0"] + s["dur"] <= top["t0"] + top["dur"] + _EPS
+            ):
+                break
+            stack.pop()
+        parent = stack[-1]
+        children.setdefault(id(parent), []).append(s)
+        stack.append(s)
+    segments: list[dict] = []
+    _walk(
+        root, w1,
+        lambda s: children.get(id(s), []),
+        0, segments,
+    )
+    return _finish(root, segments)
+
+
+def format_critical_path(cp: dict, time_unit: str = "s") -> str:
+    """Render a critical path as an aligned text report."""
+    if not cp["path"]:
+        return "(no critical path: empty or zero-length trace)"
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[time_unit]
+    root = cp["root"]
+    lines = [
+        f"critical path of {root['name']} — wall "
+        f"{cp['wall'] * scale:.6g}{time_unit}, "
+        f"{len(cp['path'])} segments cover {cp['covered'] * 100:.1f}%",
+        "",
+        f"{'span':<38} {'self':>12} {'slack':>12} {'%':>6}  track",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for seg in cp["path"]:
+        indent = "  " * min(seg["depth"], 8)
+        name = f"{indent}{seg['name']}"
+        pct = 100.0 * seg["self"] / cp["wall"] if cp["wall"] > 0 else 0.0
+        lines.append(
+            f"{name:<38} {seg['self'] * scale:>11.6g}{time_unit} "
+            f"{seg['slack'] * scale:>11.6g}{time_unit} {pct:>5.1f}%  "
+            f"{seg['track']}"
+        )
+    lines.append("")
+    header = f"{'by span name':<38} {'count':>6} {'self':>12} {'%':>6}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cp["by_name"]:
+        lines.append(
+            f"{row['name']:<38} {row['count']:>6} "
+            f"{row['self'] * scale:>11.6g}{time_unit} {row['pct']:>5.1f}%"
+        )
+    return "\n".join(lines)

@@ -14,6 +14,12 @@ Two on-disk formats:
 :func:`phase_breakdown` turns them into the per-phase table that
 ``tools/trace_view.py`` prints and the perf gate embeds in
 ``BENCH_shuffle.json``.
+
+Every export is stamped with the producing registry's ``run_id``.  The
+loaders take an optional ``run_id`` argument: pass the id you expect and
+a mismatched file raises :class:`~repro.errors.ProvenanceError` instead
+of silently mixing artifacts from different runs; files that predate run
+ids produce a single warning.  :func:`load_run_id` reads the stamp.
 """
 
 from __future__ import annotations
@@ -23,6 +29,9 @@ import os
 import platform
 import sys
 import typing as _t
+import warnings
+
+from repro.errors import ProvenanceError
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import Observability
@@ -35,6 +44,7 @@ __all__ = [
     "load_spans",
     "load_metrics",
     "load_series",
+    "load_run_id",
     "span_dicts",
     "phase_breakdown",
     "format_breakdown",
@@ -138,6 +148,7 @@ def chrome_trace(obs: "Observability", extra: dict | None = None) -> dict:
             }
         )
     other = {
+        "run_id": obs.run_id,
         "environment": environment_provenance(),
         "metrics": _json_safe(obs.metrics.snapshot()),
         "series": _series_dicts(obs),
@@ -162,6 +173,7 @@ def write_jsonl(obs: "Observability", path: str, extra: dict | None = None) -> s
     with open(path, "w") as f:
         meta = {
             "type": "meta",
+            "run_id": obs.run_id,
             "environment": environment_provenance(),
             "metrics": _json_safe(obs.metrics.snapshot()),
             "series": _series_dicts(obs),
@@ -188,8 +200,13 @@ def write_jsonl(obs: "Observability", path: str, extra: dict | None = None) -> s
     return path
 
 
-def load_spans(path: str) -> list[dict]:
-    """Read spans back from either export format as plain dicts."""
+def _load_trace(path: str) -> tuple[dict | None, dict]:
+    """Parse either export format: ``(chrome_doc_or_None, meta)``.
+
+    ``meta`` is the Chrome ``otherData`` dict or the JSONL leading
+    ``meta`` object — where the run id, metrics, and series live.  For
+    JSONL it additionally carries the parsed lines under ``"_lines"``.
+    """
     with open(path) as f:
         text = f.read()
     try:
@@ -197,6 +214,54 @@ def load_spans(path: str) -> list[dict]:
     except json.JSONDecodeError:
         doc = None
     if isinstance(doc, dict) and "traceEvents" in doc:
+        return doc, dict(doc.get("otherData") or {})
+    lines = []
+    meta: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("type") == "meta" and not meta:
+            meta = dict(obj)
+        else:
+            lines.append(obj)
+    meta["_lines"] = lines
+    return None, meta
+
+
+def _check_provenance(path: str, meta: dict, run_id: str | None) -> None:
+    if run_id is None:
+        return
+    found = meta.get("run_id")
+    if found is None:
+        warnings.warn(
+            f"{path!r} carries no run id (pre-provenance export); "
+            f"cannot confirm it belongs to run {run_id!r}",
+            stacklevel=3,
+        )
+        return
+    if found != run_id:
+        raise ProvenanceError(path, run_id, found)
+
+
+def load_run_id(path: str) -> str | None:
+    """The run id a trace file was exported under (None when absent)."""
+    _, meta = _load_trace(path)
+    rid = meta.get("run_id")
+    return rid if isinstance(rid, str) else None
+
+
+def load_spans(path: str, run_id: str | None = None) -> list[dict]:
+    """Read spans back from either export format as plain dicts.
+
+    ``run_id`` (when given) asserts the file's provenance: a stamped file
+    from a different run raises :class:`~repro.errors.ProvenanceError`;
+    an unstamped file warns.
+    """
+    doc, meta = _load_trace(path)
+    _check_provenance(path, meta, run_id)
+    if doc is not None:
         tracks = {0: "main"}
         spans = []
         for ev in doc["traceEvents"]:
@@ -220,74 +285,42 @@ def load_spans(path: str) -> list[dict]:
                 }
             )
         return spans
-    # JSONL: one object per line
     spans = []
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        obj = json.loads(line)
+    for obj in meta.get("_lines", []):
         if obj.get("type") == "span":
+            obj = dict(obj)
             obj.pop("type")
             spans.append(obj)
     return spans
 
 
-def load_metrics(path: str) -> dict:
+def load_metrics(path: str, run_id: str | None = None) -> dict:
     """Read the metrics snapshot back from either export format.
 
     Chrome traces carry it in ``otherData.metrics``; JSONL traces in the
     leading ``meta`` line.  Returns the ``{"counters": ..., "gauges":
     ..., "histograms": ...}`` snapshot dict, or ``{}`` when the trace
-    predates metrics export.
+    predates metrics export.  ``run_id`` asserts provenance as in
+    :func:`load_spans`.
     """
-    with open(path) as f:
-        text = f.read()
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError:
-        doc = None
-    if isinstance(doc, dict) and "traceEvents" in doc:
-        other = doc.get("otherData") or {}
-        metrics = other.get("metrics")
-        return metrics if isinstance(metrics, dict) else {}
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        obj = json.loads(line)
-        if obj.get("type") == "meta":
-            metrics = obj.get("metrics")
-            return metrics if isinstance(metrics, dict) else {}
-    return {}
+    _, meta = _load_trace(path)
+    _check_provenance(path, meta, run_id)
+    metrics = meta.get("metrics")
+    return metrics if isinstance(metrics, dict) else {}
 
 
-def load_series(path: str) -> dict:
+def load_series(path: str, run_id: str | None = None) -> dict:
     """Read the time series back from either export format.
 
     Returns ``{name: {"times": [...], "values": [...]}}`` — Chrome traces
     carry it in ``otherData.series``, JSONL traces in the ``meta`` line;
-    ``{}`` when the trace predates series export.
+    ``{}`` when the trace predates series export.  ``run_id`` asserts
+    provenance as in :func:`load_spans`.
     """
-    with open(path) as f:
-        text = f.read()
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError:
-        doc = None
-    if isinstance(doc, dict) and "traceEvents" in doc:
-        other = doc.get("otherData") or {}
-        series = other.get("series")
-        return series if isinstance(series, dict) else {}
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        obj = json.loads(line)
-        if obj.get("type") == "meta":
-            series = obj.get("series")
-            return series if isinstance(series, dict) else {}
-    return {}
+    _, meta = _load_trace(path)
+    _check_provenance(path, meta, run_id)
+    series = meta.get("series")
+    return series if isinstance(series, dict) else {}
 
 
 def phase_breakdown(

@@ -1,0 +1,247 @@
+"""The flight recorder: an always-on black box for post-mortem triage.
+
+A :class:`FlightRecorder` keeps a bounded ring of the most recent
+observability events — closed spans, flat records, and counter deltas —
+cheap enough to leave enabled in production runs where full tracing is
+off.  When something dies (a chaos gate fails, a worker crash exhausts
+its retries), the ring is dumped to a JSONL "black box" file: the last
+few thousand events leading up to the failure, with provenance, readable
+by ``grep``/``jq`` and by :func:`read_dump`.
+
+Cost discipline: the ring reuses :class:`~repro.obs.records.RecordLog`'s
+bounded-deque-plus-dropped-counter shape (``deque(maxlen=...)`` eviction
+is O(1) and counted, never silent), entries are plain tuples (no dict
+per event), and the only work per event is one ``deque.append``.  The
+overhead gate in ``benchmarks/bench_obs_overhead.py`` holds the
+recorder-on cost under the same 2% bar as tracing-off instrumentation.
+
+Installation: pass ``flight=True`` (or a capacity, or an instance) to
+:class:`~repro.obs.registry.Observability`, or flip the process-wide
+default with :func:`install_default` / the ``REPRO_FLIGHT`` environment
+variable so every registry created afterwards records.  Live recorders
+register themselves in a weak set; :func:`dump_live` snapshots all of
+them into a directory — the one-call hook ``tools/chaos_soak.py`` and
+``tools/perf_gate.py`` use on gate failure.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import time
+import typing as _t
+import weakref
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import Span
+
+__all__ = [
+    "FlightRecorder",
+    "FlightEntry",
+    "install_default",
+    "default_capacity",
+    "dump_live",
+    "read_dump",
+]
+
+#: default ring capacity (events, not bytes)
+DEFAULT_CAPACITY = 4096
+
+#: process-wide default: None = off, int = capacity for new registries
+_default_capacity: int | None = None
+
+#: every live recorder, for one-call failure dumps
+_LIVE: "weakref.WeakSet[FlightRecorder]" = weakref.WeakSet()
+
+#: bounded strong refs to the most recently created recorders — a gate
+#: that fails *after* a case's registry went out of scope can still dump
+#: the case's ring.  Bounded, so long-lived processes hold at most this
+#: many dead rings.
+_RECENT: "collections.deque[FlightRecorder]" = collections.deque(maxlen=8)
+
+
+class FlightEntry(_t.NamedTuple):
+    """One ring entry.  ``kind`` is ``span`` | ``record`` | ``count``."""
+
+    kind: str
+    time: float
+    name: str
+    detail: object
+
+    def to_dict(self) -> dict:
+        """The JSONL shape."""
+        out: dict = {"type": self.kind, "time": self.time, "name": self.name}
+        if self.kind == "span":
+            dur, cat, track = self.detail  # type: ignore[misc]
+            out.update(dur=dur, cat=cat, track=track)
+        elif self.kind == "count":
+            out["amount"] = self.detail
+        else:
+            out["detail"] = self.detail
+        return out
+
+
+def install_default(capacity: int | None = DEFAULT_CAPACITY) -> None:
+    """Set the process-wide default for new :class:`Observability` objects.
+
+    ``capacity=None`` turns the default off again.  Existing registries
+    are unaffected.  The ``REPRO_FLIGHT`` environment variable (``1`` or
+    a capacity) does the same at import time.
+    """
+    global _default_capacity
+    _default_capacity = capacity
+
+
+def default_capacity() -> int | None:
+    """The current process-wide default (None = recorders off)."""
+    return _default_capacity
+
+
+def _env_default() -> None:
+    raw = os.environ.get("REPRO_FLIGHT", "").strip()
+    if not raw or raw == "0":
+        return
+    try:
+        cap = int(raw)
+    except ValueError:
+        cap = DEFAULT_CAPACITY
+    install_default(cap if cap > 1 else DEFAULT_CAPACITY)
+
+
+_env_default()
+
+
+class FlightRecorder:
+    """A bounded ring of recent spans/records/counter deltas.
+
+    One per :class:`~repro.obs.registry.Observability`; the registry
+    funnels every counter bump and flat record through :meth:`note_count`
+    / :meth:`note_record` even when tracing is disabled, and closed spans
+    through :meth:`note_span` when tracing is on.
+    """
+
+    __slots__ = ("capacity", "entries", "dropped", "run_id", "__weakref__")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, run_id: str = ""):
+        if capacity < 1:
+            raise ValueError(f"flight capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.entries: collections.deque[FlightEntry] = collections.deque(
+            maxlen=capacity
+        )
+        #: entries evicted by the ring since the last clear
+        self.dropped = 0
+        #: the owning registry's run id (stamped into dumps)
+        self.run_id = run_id
+        _LIVE.add(self)
+        _RECENT.append(self)
+
+    # -- the hot paths (one deque.append each) -------------------------------
+
+    def note_span(self, span: "Span") -> None:
+        """Record one closed span (name, window, cat, track)."""
+        entries = self.entries
+        if len(entries) == self.capacity:
+            self.dropped += 1
+        entries.append(
+            FlightEntry(
+                "span", span.t0, span.name, (span.dur, span.cat, span.track)
+            )
+        )
+
+    def note_record(self, kind: str, time_: float, detail: str) -> None:
+        """Record one flat trace record."""
+        entries = self.entries
+        if len(entries) == self.capacity:
+            self.dropped += 1
+        entries.append(FlightEntry("record", time_, kind, detail))
+
+    def note_count(self, name: str, amount: float, time_: float) -> None:
+        """Record one counter delta."""
+        entries = self.entries
+        if len(entries) == self.capacity:
+            self.dropped += 1
+        entries.append(FlightEntry("count", time_, name, amount))
+
+    # -- lifecycle / dump ------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop the ring and the drop counter."""
+        self.entries.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> _t.Iterator[FlightEntry]:
+        return iter(self.entries)
+
+    def dump(
+        self,
+        path: str,
+        reason: str = "",
+        extra: dict | None = None,
+        counters: dict | None = None,
+    ) -> str:
+        """Write the ring (oldest first) as a JSONL black box; returns path.
+
+        The leading line is a ``flight_meta`` object with the run id, the
+        dump reason, wall-clock dump time, drop count, and optionally the
+        owning registry's counter snapshot.
+        """
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        meta = {
+            "type": "flight_meta",
+            "run_id": self.run_id,
+            "reason": reason,
+            "dumped_at": time.time(),
+            "entries": len(self.entries),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+        }
+        if counters:
+            meta["counters"] = dict(counters)
+        if extra:
+            meta.update(extra)
+        with open(path, "w") as f:
+            f.write(json.dumps(meta) + "\n")
+            for entry in self.entries:
+                f.write(json.dumps(entry.to_dict()) + "\n")
+        return path
+
+
+def dump_live(
+    dump_dir: str, reason: str = "", prefix: str = "flight"
+) -> list[str]:
+    """Dump every live recorder into ``dump_dir``; returns written paths.
+
+    File names carry the run id so dumps from concurrent registries in
+    one process do not collide.  Recorders with no entries are skipped —
+    an empty black box would only muddy triage.
+    """
+    paths = []
+    for i, rec in enumerate(sorted(_LIVE, key=id)):
+        if not len(rec):
+            continue
+        name = f"{prefix}-{rec.run_id or i}.jsonl"
+        paths.append(rec.dump(os.path.join(dump_dir, name), reason=reason))
+    return paths
+
+
+def read_dump(path: str) -> tuple[dict, list[dict]]:
+    """Read a black-box file back as ``(meta, entries)``."""
+    meta: dict = {}
+    entries: list[dict] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("type") == "flight_meta":
+                meta = obj
+            else:
+                entries.append(obj)
+    return meta, entries

@@ -14,13 +14,22 @@ Everything funnels through here:
 * ``count``/``gauge``/``observe`` — the metrics registry (always on),
 * ``record(...)`` — the flat record stream (on only when enabled),
 * ``sample(...)`` — named time series.
+
+Every registry carries a :attr:`run_id` — a short random token stamped
+into every export so loaders can refuse to mix artifacts from different
+runs — and optionally a :class:`~repro.obs.flight.FlightRecorder`, a
+bounded always-on ring of recent events that counter bumps and records
+feed even when tracing is off, dumped as a JSONL black box on failure.
 """
 
 from __future__ import annotations
 
 import time
 import typing as _t
+import uuid
 
+from repro.obs import flight as _flight
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry, TimeSeries
 from repro.obs.records import RecordLog, TraceRecord
 from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanStore
@@ -28,24 +37,42 @@ from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanStore
 __all__ = ["Observability"]
 
 
+def _new_run_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
 class Observability:
     """Spans + metrics + records + series for one run."""
 
-    __slots__ = ("enabled", "records", "metrics", "series", "spans", "_clock")
+    __slots__ = (
+        "enabled", "records", "metrics", "series", "spans", "flight",
+        "run_id", "_clock",
+    )
 
     def __init__(
         self,
         enabled: bool = False,
         keep_records: int = 100_000,
         clock: _t.Callable[[], float] | None = None,
+        flight: "FlightRecorder | bool | int | None" = None,
     ):
         #: master switch for spans and records (metrics stay on)
         self.enabled = enabled
+        #: provenance token stamped into every export from this registry
+        self.run_id = _new_run_id()
         self.records = RecordLog(keep_records)
         self.metrics = MetricsRegistry()
         self.series: dict[str, TimeSeries] = {}
         self._clock = clock or time.time
         self.spans = SpanStore(self.now)
+        #: the always-on black-box ring (None: not recording)
+        self.flight: FlightRecorder | None = None
+        if flight is None:
+            default = _flight.default_capacity()
+            if default is not None:
+                self.enable_flight(default)
+        elif flight is not False:
+            self.enable_flight(flight)
 
     # -- clock -----------------------------------------------------------------
 
@@ -56,6 +83,33 @@ class Observability:
     def bind_clock(self, clock: _t.Callable[[], float]) -> None:
         """Repoint the primary clock (the simulator binds its sim clock)."""
         self._clock = clock
+
+    # -- flight recorder -------------------------------------------------------
+
+    def enable_flight(
+        self, flight: "FlightRecorder | bool | int" = True
+    ) -> FlightRecorder:
+        """Attach (or replace) the flight recorder; returns it.
+
+        ``True`` uses the default capacity, an int sets it, an instance
+        is adopted as-is.  Closed spans, flat records, and counter deltas
+        start landing in the ring immediately.
+        """
+        if isinstance(flight, FlightRecorder):
+            rec = flight
+            rec.run_id = self.run_id
+        elif flight is True:
+            rec = FlightRecorder(run_id=self.run_id)
+        else:
+            rec = FlightRecorder(capacity=int(flight), run_id=self.run_id)
+        self.flight = rec
+        self.spans.on_close = rec.note_span
+        return rec
+
+    def disable_flight(self) -> None:
+        """Detach the flight recorder (the ring is discarded)."""
+        self.flight = None
+        self.spans.on_close = None
 
     # -- spans -----------------------------------------------------------------
 
@@ -98,13 +152,22 @@ class Observability:
     # -- records / metrics / series ------------------------------------------
 
     def record(self, kind: str, time_: float, detail: str = "") -> None:
-        """Append a flat trace record if tracing is enabled."""
+        """Append a flat trace record if tracing is enabled.
+
+        The flight recorder, when attached, sees the record regardless of
+        the tracing switch — that is what makes the black box useful in
+        production runs where full tracing is off.
+        """
+        if self.flight is not None:
+            self.flight.note_record(kind, time_, detail)
         if self.enabled:
             self.records.append(TraceRecord(kind, time_, detail))
 
     def count(self, name: str, amount: float = 1) -> None:
         """Bump a named counter (always on)."""
         self.metrics.count(name, amount)
+        if self.flight is not None:
+            self.flight.note_count(name, amount, self._clock())
 
     def gauge(self, name: str, value: float) -> None:
         """Set a named gauge (always on)."""
@@ -123,11 +186,30 @@ class Observability:
             ts = self.series[name] = TimeSeries(name)
         ts.sample(t, value)
 
+    # -- failure dumps ---------------------------------------------------------
+
+    def dump_blackbox(
+        self, path: str, reason: str = "", extra: dict | None = None
+    ) -> str | None:
+        """Dump the flight ring (with this run's counters) to ``path``.
+
+        Returns the written path, or ``None`` when no recorder is
+        attached — callers print the path in their failure message.
+        """
+        if self.flight is None:
+            return None
+        return self.flight.dump(
+            path, reason=reason, extra=extra,
+            counters=dict(self.metrics.counters),
+        )
+
     # -- lifecycle -------------------------------------------------------------
 
     def clear(self) -> None:
-        """Drop spans, records, metrics, and series."""
+        """Drop spans, records, metrics, series, and the flight ring."""
         self.spans.clear()
         self.records.clear()
         self.metrics.clear()
         self.series.clear()
+        if self.flight is not None:
+            self.flight.clear()

@@ -190,7 +190,7 @@ class SpanStore:
     clock.  Spans are kept in creation order, parents before children.
     """
 
-    __slots__ = ("now", "wall", "spans", "_open", "_next_id")
+    __slots__ = ("now", "wall", "spans", "_open", "_next_id", "on_close")
 
     def __init__(
         self,
@@ -202,6 +202,8 @@ class SpanStore:
         self.spans: list[Span] = []
         self._open: dict[str, list[Span]] = {}
         self._next_id = 1
+        #: called with each span as it closes (the flight recorder's tap)
+        self.on_close: _t.Callable[[Span], None] | None = None
 
     def open(self, name: str, cat: str, track: str, attrs: dict) -> Span:
         """Start a span; its parent is the track's innermost open span."""
@@ -234,6 +236,8 @@ class SpanStore:
             # store sane if an enclosing span is closed out of order (its
             # still-open children become siblings of the next span).
             stack.remove(span)
+        if self.on_close is not None:
+            self.on_close(span)
 
     def add(
         self,

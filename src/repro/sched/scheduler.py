@@ -49,6 +49,7 @@ from repro.core.loadbalance import (
 )
 from repro.core.offload import OffloadEngine
 from repro.errors import AdmissionError, OffloadTimeoutError, is_retryable
+from repro.obs.slo import HealthReport, SLOPolicy, SLOTracker, build_health_report
 from repro.sched.cache import ResultCache
 from repro.sched.policies import OrderingPolicy, make_ordering
 from repro.sched.queue import JobQueue, QueuedJob
@@ -124,6 +125,13 @@ class ClusterScheduler:
         ``True`` (default) builds a :class:`ResultCache` watching every SD
         node's VFS; pass an instance to share/configure one, or
         ``None``/``False`` to disable memoization.
+    slo:
+        Per-tenant latency objectives — anything
+        :class:`~repro.obs.slo.SLOTracker` accepts (a single
+        :class:`~repro.obs.slo.SLOPolicy`, an iterable, a mapping, or a
+        ready tracker).  Every completion and permanent failure feeds the
+        tracker; :meth:`health_report` snapshots it.  ``None`` (default)
+        still tracks latencies, just with no objective to verdict against.
     """
 
     def __init__(
@@ -136,6 +144,8 @@ class ClusterScheduler:
         attempt_timeout: float | None = None,
         max_retries: int = 2,
         cache: ResultCache | bool | None = True,
+        slo: SLOTracker | SLOPolicy | _t.Mapping[str, SLOPolicy]
+        | _t.Iterable[SLOPolicy] | None = None,
     ):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -154,6 +164,10 @@ class ClusterScheduler:
         self.per_node_limit = max(1, per_node_limit)
         self.attempt_timeout = attempt_timeout
         self.max_retries = max_retries
+        #: per-tenant SLO evaluation (always present; policies optional)
+        self.slo: SLOTracker = (
+            slo if isinstance(slo, SLOTracker) else SLOTracker(slo)
+        )
         #: nodes whose daemon missed a deadline (skipped until marked healthy)
         self.unhealthy: set[str] = set()
         #: dispatched jobs whose runner process has not started yet — the
@@ -245,6 +259,7 @@ class ClusterScheduler:
         )
         obs.count("sched.completed")
         obs.count(f"sched.tenant.{job.tenant}.completed")
+        self.slo.observe(job.tenant, now, 0.0)
         done.succeed(result)
 
     # -- dispatch ----------------------------------------------------------
@@ -384,6 +399,10 @@ class ClusterScheduler:
         # permanent: unknown app, bad params, host-side crash — retrying
         # cannot change the outcome, so the submitter gets the exception
         obs.count("sched.failed")
+        now = self.sim.now
+        self.slo.observe(
+            entry.job.tenant, now, now - entry.submitted_at, failed=True
+        )
         entry.done.fail(exc)
         self._wake.fire()
 
@@ -414,6 +433,7 @@ class ClusterScheduler:
         obs.observe("sched.latency.queue", record.queue_wait)
         obs.observe("sched.latency.run", record.service)
         obs.observe("sched.latency.total", record.total)
+        self.slo.observe(job.tenant, now, record.total)
         if self.cache is not None:
             self.cache.put(entry.cache_key, result)
         entry.done.succeed(result)
@@ -429,6 +449,21 @@ class ClusterScheduler:
 
     def _sample_depth(self) -> None:
         self.sim.obs.sample("sched.queue_depth", self.sim.now, len(self.queue))
+
+    def health_report(self) -> HealthReport:
+        """One instant's health snapshot — the admission/autoscaling signal.
+
+        Evaluates every tenant's SLO at the current sim time, with the
+        current queue depth and quarantine list; ``sched.latency.*``
+        histogram summaries ride along when tracing recorded them.
+        """
+        return build_health_report(
+            self.slo,
+            now=self.sim.now,
+            queue_depth=len(self.queue),
+            unhealthy_nodes=self.unhealthy,
+            obs=self.sim.obs,
+        )
 
     def stats(self) -> dict:
         """Summary counters for benchmarks and reports."""

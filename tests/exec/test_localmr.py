@@ -225,13 +225,20 @@ def test_run_batch_ships_no_segments_when_tracing_off(corpus):
     index, acc, segments = run_batch((0, chunks, wc_map, operator.add, {}, False))
     assert segments is None  # nothing extra rides the result pickle
     assert index == 0 and acc
-    # ... and with tracing on: one read + one map segment per chunk, in order
+    # ... and with tracing on: one read + one map segment per chunk, in
+    # order, plus the worker's trailing resource heartbeat
     _, acc2, segs = run_batch((3, chunks, wc_map, operator.add, {}, True))
     assert acc2 == acc
-    assert [s[0] for s in segs] == [
+    names = [s[0] for s in segs]
+    assert names[-1] == "worker.heartbeat"
+    assert names[:-1] == [
         "localmr.read_chunk",
         "localmr.map_chunk",
     ] * len(chunks)
+    hb = segs[-1]
+    assert hb[1] == hb[2] and hb[3] == 0.0  # a sample, not an interval
+    assert hb[4]["rss_kib"] > 0 and hb[4]["cpu_s"] >= 0.0
+    assert 0.0 <= hb[4]["util"] <= 1.0
     assert all(s[4]["batch"] == 3 for s in segs)
 
 

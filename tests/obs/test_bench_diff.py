@@ -1,0 +1,81 @@
+"""``tools/bench_diff.py``: flattening, direction heuristics, gating."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "tools",
+)
+
+
+def _load_bench_diff():
+    spec = importlib.util.spec_from_file_location(
+        "bench_diff", os.path.join(_TOOLS, "bench_diff.py")
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def bd():
+    return _load_bench_diff()
+
+
+def test_flatten_paths_and_bools(bd):
+    doc = {"a": 1, "b": {"c": 2.5, "ok": True}, "d": [3, {"e": 4}], "s": "x"}
+    flat = bd.flatten(doc)
+    assert flat == {"a": 1.0, "b.c": 2.5, "b.ok": 1.0, "d.0": 3.0, "d.1.e": 4.0}
+
+
+def test_diff_flags_and_direction(bd):
+    old = {"speedup": 2.0, "latency": {"p95_s": 1.0}, "run_id": "aaa"}
+    new = {"speedup": 1.0, "latency": {"p95_s": 1.05}, "run_id": "bbb"}
+    diff = bd.diff_payloads(old, new, threshold_pct=10.0)
+    rows = {r[0]: r for r in diff["changed"]}
+    # run_id is volatile and ignored entirely
+    assert "run_id" not in rows
+    # speedup halved: flagged, and smaller throughput is a regression
+    assert rows["speedup"][5] and rows["speedup"][6]
+    # p95 up 5%: under threshold, not flagged
+    assert not rows["latency.p95_s"][5]
+
+
+def test_latency_up_is_regression(bd):
+    diff = bd.diff_payloads({"p95_s": 1.0}, {"p95_s": 2.0})
+    (row,) = diff["changed"]
+    assert row[5] and row[6]  # flagged and a regression
+    # the same move down is an improvement
+    diff = bd.diff_payloads({"p95_s": 2.0}, {"p95_s": 1.0})
+    (row,) = diff["changed"]
+    assert row[5] and not row[6]
+
+
+def test_added_removed_paths(bd):
+    diff = bd.diff_payloads({"gone": 1}, {"fresh": 2})
+    assert diff["added"] == ["fresh"] and diff["removed"] == ["gone"]
+
+
+def test_format_diff_report(bd):
+    diff = bd.diff_payloads({"speedup": 2.0, "n": 5}, {"speedup": 1.0, "n": 5})
+    text = bd.format_diff(diff)
+    assert "1 changed, 1 unchanged" in text
+    assert "speedup" in text and "-50.0%" in text
+    assert "! = regression" in text
+
+
+def test_main_gate_exit_codes(bd, tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    a.write_text(json.dumps({"speedup": 2.0}))
+    b.write_text(json.dumps({"speedup": 1.0}))
+    # non-gating by default, even on a regression
+    assert bd.main([str(a), str(b)]) == 0
+    assert bd.main([str(a), str(b), "--gate"]) == 1
+    # improvement passes the gate
+    assert bd.main([str(b), str(a), "--gate"]) == 0

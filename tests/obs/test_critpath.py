@@ -1,0 +1,175 @@
+"""Critical-path extraction: partition property, slack, containment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.testbed import Testbed
+from repro.core.job import DataJob
+from repro.core.loadbalance import AlwaysOffloadPolicy
+from repro.obs.critpath import (
+    critical_path,
+    format_critical_path,
+    job_critical_path,
+)
+from repro.obs.export import span_dicts
+from repro.sched import ClusterScheduler
+from repro.units import MB
+from repro.workloads import text_input
+
+
+def sp(
+    id_: int,
+    name: str,
+    t0: float,
+    t1: float,
+    parent: int | None = None,
+    track: str = "main",
+    cat: str = "",
+) -> dict:
+    return {
+        "id": id_, "parent_id": parent, "name": name, "cat": cat,
+        "track": track, "t0": float(t0), "dur": float(t1 - t0),
+        "wall_dur": 0.0, "attrs": {},
+    }
+
+
+def _assert_partitions(cp: dict) -> None:
+    """The walk's defining invariant: exclusive segments partition the
+    root's window exactly — time-ordered, disjoint, gap-free."""
+    assert cp["covered"] == pytest.approx(1.0)
+    assert sum(s["self"] for s in cp["path"]) == pytest.approx(cp["wall"])
+    cursor = cp["root"]["t0"]
+    for seg in cp["path"]:
+        assert seg["t0"] == pytest.approx(cursor)
+        assert seg["t1"] > seg["t0"]
+        cursor = seg["t1"]
+    assert cursor == pytest.approx(cp["root"]["t0"] + cp["root"]["dur"])
+
+
+def test_single_span():
+    cp = critical_path([sp(1, "job", 0, 10)])
+    assert cp["wall"] == pytest.approx(10.0)
+    assert [s["name"] for s in cp["path"]] == ["job"]
+    _assert_partitions(cp)
+
+
+def test_nested_tree_partitions_wall():
+    spans = [
+        sp(1, "root", 0, 10),
+        sp(2, "A", 1, 4, parent=1),
+        sp(3, "B", 5, 9, parent=1),
+        sp(4, "C", 6, 8, parent=3),
+    ]
+    cp = critical_path(spans)
+    _assert_partitions(cp)
+    assert [(s["name"], s["t0"], s["t1"]) for s in cp["path"]] == [
+        ("root", 0.0, 1.0), ("A", 1.0, 4.0), ("root", 4.0, 5.0),
+        ("B", 5.0, 6.0), ("C", 6.0, 8.0), ("B", 8.0, 9.0),
+        ("root", 9.0, 10.0),
+    ]
+    by = {r["name"]: r for r in cp["by_name"]}
+    assert by["root"]["self"] == pytest.approx(3.0)
+    assert by["A"]["self"] == pytest.approx(3.0)
+    assert by["B"]["self"] == pytest.approx(2.0)
+    assert by["C"]["self"] == pytest.approx(2.0)
+    assert by["root"]["pct"] == pytest.approx(30.0)
+
+
+def test_slack_against_runner_up_sibling():
+    spans = [
+        sp(1, "root", 0, 10),
+        sp(2, "A", 1, 4, parent=1),
+        sp(3, "B", 5, 9, parent=1),
+    ]
+    cp = critical_path(spans)
+    _assert_partitions(cp)
+    segs = {(s["name"], s["t1"]): s for s in cp["path"]}
+    # B could shrink 5s before the runner-up sibling A (end 4) becomes
+    # critical; A is unopposed within its stretch, so its slack is its
+    # own exclusive extent
+    assert segs[("B", 9.0)]["slack"] == pytest.approx(5.0)
+    assert segs[("A", 4.0)]["slack"] == pytest.approx(3.0)
+
+
+def test_overlapping_siblings_clamped():
+    spans = [
+        sp(1, "root", 0, 10),
+        sp(2, "X", 0, 6, parent=1),
+        sp(3, "Y", 4, 10, parent=1),
+    ]
+    cp = critical_path(spans)
+    _assert_partitions(cp)
+    assert [(s["name"], s["t0"], s["t1"]) for s in cp["path"]] == [
+        ("X", 0.0, 4.0), ("Y", 4.0, 10.0),
+    ]
+    # Y's margin: X ends at 6, Y at 10
+    assert cp["path"][1]["slack"] == pytest.approx(4.0)
+
+
+def test_root_name_filter_and_empty():
+    spans = [sp(1, "a", 0, 5), sp(2, "b", 0, 8)]
+    assert critical_path(spans)["root"]["name"] == "b"  # longest wins
+    assert critical_path(spans, root_name="a")["root"]["name"] == "a"
+    missing = critical_path(spans, root_name="nope")
+    assert missing["root"] is None and missing["path"] == []
+    assert critical_path([])["covered"] == 0.0
+
+
+def test_containment_links_across_tracks():
+    # no parent ids at all: sched track + node track, linked by interval
+    spans = [
+        sp(1, "sched.run", 0, 10, track="sched:j0"),
+        sp(2, "fam.invoke", 2, 9, track="sd0"),
+        sp(3, "fam.module.run", 3, 8, track="sd0"),
+    ]
+    for s in spans:
+        s["parent_id"] = None
+    cp = job_critical_path(spans, root_name="job")
+    assert cp["root"]["name"] == "job"
+    _assert_partitions(cp)
+    by = {r["name"]: r for r in cp["by_name"]}
+    assert by["fam.module.run"]["self"] == pytest.approx(5.0)
+    assert by["fam.invoke"]["self"] == pytest.approx(2.0)
+    assert by["sched.run"]["self"] == pytest.approx(3.0)
+
+
+def test_containment_window_bounds():
+    spans = [
+        sp(1, "inside", 1, 3),
+        sp(2, "outside", 10, 12),
+    ]
+    cp = job_critical_path(spans, window=(0.0, 4.0), root_name="w")
+    assert cp["wall"] == pytest.approx(4.0)
+    assert {s["name"] for s in cp["path"]} == {"inside", "w"}
+
+
+def test_recorded_cluster_trace_coverage():
+    """The acceptance bar: a real recorded serving trace's critical path
+    covers >= 90% of the job's wall time."""
+    tb = Testbed(n_sd=1, trace=True)
+    inp = text_input("/data/cp.txt", MB(2), seed=5)
+    _, sd_path = tb.stage_replicated("cp.txt", inp)
+    sched = ClusterScheduler(
+        tb.cluster, policy=AlwaysOffloadPolicy(), attempt_timeout=3600.0,
+        cache=None,
+    )
+    ev = sched.submit(DataJob(
+        app="wordcount", input_path=sd_path, input_size=inp.size,
+    ))
+    tb.sim.run(until=ev)
+    cp = job_critical_path(span_dicts(tb.sim.obs), root_name="job")
+    assert cp["covered"] >= 0.90
+    assert all(s["slack"] >= 0.0 for s in cp["path"])
+    assert sum(s["self"] for s in cp["path"]) == pytest.approx(cp["wall"])
+
+
+def test_format_critical_path():
+    spans = [sp(1, "root", 0, 10), sp(2, "A", 1, 4, parent=1)]
+    text = format_critical_path(critical_path(spans), time_unit="ms")
+    assert "critical path of root" in text
+    assert "cover 100.0%" in text
+    assert "slack" in text and "by span name" in text
+    assert "ms" in text
+    empty = critical_path([])
+    assert format_critical_path(empty).startswith("(no critical path")

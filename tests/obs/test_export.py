@@ -6,11 +6,14 @@ import json
 
 import pytest
 
+from repro.errors import ProvenanceError
 from repro.obs import Observability
 from repro.obs.export import (
     chrome_trace,
     environment_provenance,
     format_breakdown,
+    load_metrics,
+    load_run_id,
     load_spans,
     phase_breakdown,
     span_dicts,
@@ -113,6 +116,48 @@ def test_phase_breakdown_empty():
 def test_environment_provenance_fields():
     env = environment_provenance()
     assert {"python", "implementation", "platform", "cpu_count", "argv"} <= set(env)
+
+
+def test_run_id_round_trip(tmp_path):
+    obs = build_trace()
+    for path in (
+        write_chrome(obs, str(tmp_path / "a.json")),
+        write_jsonl(obs, str(tmp_path / "b.jsonl")),
+    ):
+        assert load_run_id(path) == obs.run_id
+        # matching run id loads cleanly
+        assert load_spans(path, run_id=obs.run_id)
+        assert load_metrics(path, run_id=obs.run_id)
+
+
+def test_mismatched_run_id_raises(tmp_path):
+    obs = build_trace()
+    path = write_jsonl(obs, str(tmp_path / "t.jsonl"))
+    with pytest.raises(ProvenanceError) as exc_info:
+        load_spans(path, run_id="someoneelse")
+    err = exc_info.value
+    assert err.path == path
+    assert err.expected == "someoneelse"
+    assert err.found == obs.run_id
+    with pytest.raises(ProvenanceError):
+        load_metrics(path, run_id="someoneelse")
+
+
+def test_unstamped_file_warns(tmp_path):
+    obs = build_trace()
+    path = write_jsonl(obs, str(tmp_path / "old.jsonl"))
+    # simulate a pre-provenance export: strip the stamp from the meta line
+    lines = open(path).read().splitlines()
+    meta = json.loads(lines[0])
+    del meta["run_id"]
+    with open(path, "w") as f:
+        f.write("\n".join([json.dumps(meta)] + lines[1:]) + "\n")
+    assert load_run_id(path) is None
+    with pytest.warns(UserWarning, match="no run id"):
+        spans = load_spans(path, run_id="whatever")
+    assert spans  # still loads
+    # no expectation, no check, no warning
+    assert load_spans(path)
 
 
 def test_unjsonable_attrs_become_repr(tmp_path):

@@ -1,0 +1,177 @@
+"""SLO tracker semantics against hand-computed fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.testbed import Testbed
+from repro.core.job import DataJob
+from repro.core.loadbalance import AlwaysOffloadPolicy
+from repro.obs.slo import (
+    HealthReport,
+    SLOPolicy,
+    SLOTracker,
+    build_health_report,
+)
+from repro.sched import ClusterScheduler
+from repro.units import MB
+from repro.workloads import text_input
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SLOPolicy(target_s=0.0)
+    with pytest.raises(ValueError):
+        SLOPolicy(percentile=0.0)
+    with pytest.raises(ValueError):
+        SLOPolicy(error_budget=0.0)
+    with pytest.raises(ValueError):
+        SLOPolicy(error_budget=1.5)
+    with pytest.raises(ValueError):
+        SLOPolicy(window_s=-1.0)
+
+
+def test_burn_rate_hand_computed():
+    """20 samples, 2 over target, budget 10% -> burn exactly 1.0."""
+    policy = SLOPolicy(
+        tenant="t", target_s=1.0, percentile=95.0,
+        error_budget=0.1, window_s=60.0,
+    )
+    tracker = SLOTracker({"t": policy})
+    for i in range(1, 21):
+        latency = 2.0 if i in (5, 15) else 0.5
+        tracker.observe("t", t=float(i), latency=latency)
+    st = tracker.status("t", now=30.0)
+    assert st is not None
+    assert st.window_total == 20 and st.window_bad == 2
+    assert st.window_bad_fraction == pytest.approx(0.1)
+    assert st.burn_rate == pytest.approx(1.0)
+    # nearest-rank p95 of 20 samples is the 19th smallest: a 2.0s outlier
+    assert st.percentile_latency == pytest.approx(2.0)
+    assert not st.met  # p95 over target even though burn is sustainable
+    # lifetime: 2/20 bad against a 0.1 budget -> budget exactly spent
+    assert st.budget_remaining == pytest.approx(0.0)
+
+
+def test_met_when_all_good():
+    tracker = SLOTracker(SLOPolicy(tenant="t", target_s=1.0, error_budget=0.1))
+    for i in range(10):
+        tracker.observe("t", t=float(i), latency=0.5)
+    st = tracker.status("t", now=10.0)
+    assert st.met
+    assert st.burn_rate == 0.0
+    assert st.percentile_latency == pytest.approx(0.5)
+    assert st.budget_remaining == pytest.approx(1.0)
+
+
+def test_window_expiry():
+    policy = SLOPolicy(tenant="t", target_s=1.0, window_s=5.0)
+    tracker = SLOTracker({"t": policy})
+    for i in range(10):  # t = 0..9
+        tracker.observe("t", t=float(i), latency=0.1)
+    st = tracker.status("t", now=10.0)
+    assert st.total == 10  # lifetime keeps everything
+    assert st.window_total == 4  # only t in (5, 10], i.e. 6..9
+
+
+def test_failed_always_burns_budget():
+    tracker = SLOTracker(SLOPolicy(tenant="t", target_s=10.0, error_budget=0.5))
+    tracker.observe("t", t=1.0, latency=0.0, failed=True)
+    st = tracker.status("t", now=2.0)
+    assert st.bad == 1 and st.window_bad == 1
+
+
+def test_percentile_nearest_rank():
+    tracker = SLOTracker(SLOPolicy(tenant="t", target_s=100.0, percentile=50.0))
+    for i in range(1, 11):
+        tracker.observe("t", t=1.0, latency=float(i))
+    st = tracker.status("t", now=2.0)
+    assert st.percentile_latency == pytest.approx(5.0)  # ceil(0.5*10) = 5th
+    p95 = SLOTracker(SLOPolicy(tenant="t", target_s=100.0, percentile=95.0))
+    for i in range(1, 11):
+        p95.observe("t", t=1.0, latency=float(i))
+    assert p95.status("t", now=2.0).percentile_latency == pytest.approx(10.0)
+
+
+def test_star_policy_is_default():
+    star = SLOPolicy(tenant="*", target_s=2.0)
+    gold = SLOPolicy(tenant="gold", target_s=0.5)
+    tracker = SLOTracker([star, gold])
+    assert tracker.policy_for("anyone") is star
+    assert tracker.policy_for("gold") is gold
+
+
+def test_no_policy_no_verdict():
+    tracker = SLOTracker()
+    tracker.observe("t", t=1.0, latency=0.5)
+    assert tracker.status("t", now=2.0) is None
+    assert tracker.latency_stats("t")["n"] == 1
+
+
+def test_empty_window_is_met():
+    tracker = SLOTracker(SLOPolicy(tenant="t"))
+    st = tracker.status("t", now=100.0)
+    assert st.met and st.window_total == 0 and st.burn_rate == 0.0
+
+
+def test_health_report_aggregation():
+    good = SLOPolicy(tenant="good", target_s=10.0, error_budget=0.1)
+    bad = SLOPolicy(tenant="bad", target_s=0.1, error_budget=0.01)
+    tracker = SLOTracker([good, bad])
+    tracker.observe("good", t=1.0, latency=0.5)
+    tracker.observe("bad", t=1.0, latency=5.0)  # misses its target
+    report = build_health_report(
+        tracker, now=2.0, queue_depth=3, unhealthy_nodes=["sd1"],
+    )
+    assert isinstance(report, HealthReport)
+    assert not report.healthy  # bad tenant violating + quarantined node
+    assert report.queue_depth == 3
+    assert report.unhealthy_nodes == ["sd1"]
+    # bad tenant: window fraction 1.0 over a 0.01 budget
+    assert report.worst_burn_rate == pytest.approx(100.0)
+    d = report.to_dict()
+    assert set(d["slo"]) == {"good", "bad"}
+    assert d["slo"]["good"]["met"] and not d["slo"]["bad"]["met"]
+    assert d["worst_burn_rate"] == pytest.approx(100.0)
+    assert set(d["latency"]) == {"good", "bad"}
+
+
+def test_health_report_healthy():
+    tracker = SLOTracker(SLOPolicy(tenant="*", target_s=10.0))
+    tracker.observe("t", t=1.0, latency=0.5)
+    report = build_health_report(
+        tracker, now=2.0, queue_depth=0, unhealthy_nodes=[],
+    )
+    assert report.healthy and report.worst_burn_rate == 0.0
+
+
+def _run_one_job(slo) -> ClusterScheduler:
+    tb = Testbed(n_sd=1)
+    inp = text_input("/data/slo.txt", MB(2), seed=7)
+    _, sd_path = tb.stage_replicated("slo.txt", inp)
+    sched = ClusterScheduler(
+        tb.cluster, policy=AlwaysOffloadPolicy(), attempt_timeout=3600.0,
+        cache=None, slo=slo,
+    )
+    ev = sched.submit(DataJob(
+        app="wordcount", input_path=sd_path, input_size=inp.size,
+    ))
+    tb.sim.run(until=ev)
+    return sched
+
+
+def test_scheduler_health_report_end_to_end():
+    sched = _run_one_job(SLOPolicy(tenant="*", target_s=3600.0))
+    report = sched.health_report()
+    assert report.healthy
+    assert report.queue_depth == 0
+    assert report.slo["default"].total == 1
+    assert report.slo["default"].met
+
+
+def test_scheduler_health_report_violation():
+    # an impossible target: every completion burns budget
+    sched = _run_one_job(SLOPolicy(tenant="*", target_s=1e-9, error_budget=0.01))
+    report = sched.health_report()
+    assert not report.healthy
+    assert report.worst_burn_rate > 1.0

@@ -3,6 +3,7 @@
 
 Usage:
     python tools/chaos_soak.py [--quick] [--seed N] [--trace DIR]
+                               [--dump-dir DIR]
 
 Runs every benchmark twice through the simulated cluster — once clean,
 once with the standard fault plan installed — and the real streaming
@@ -24,6 +25,10 @@ engine the same way, then asserts the robustness contract:
 smoke configuration); the default soaks wordcount, stringmatch and
 matmul.  ``--trace DIR`` exports one Chrome trace per case, which
 ``tools/trace_view.py`` renders with a reliability-counter section.
+``--dump-dir DIR`` (default: the ``REPRO_BLACKBOX_DIR`` environment
+variable) arms the flight recorder on every registry the soak creates;
+when a check fails, each live recorder's ring is dumped to DIR as a
+JSONL black box and the paths are printed with the failure summary.
 
 Exit status 0 iff every check passes.
 """
@@ -59,6 +64,7 @@ from repro.faults import (  # noqa: E402
     transport_chaos_plan,
 )
 from repro.obs import Observability  # noqa: E402
+from repro.obs import flight as _flight  # noqa: E402
 from repro.obs.export import write_chrome  # noqa: E402
 from repro.units import MB  # noqa: E402
 from repro.workloads import text_input  # noqa: E402
@@ -437,10 +443,17 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--seed", type=int, default=7, help="fault plan seed")
     ap.add_argument("--trace", default=None, metavar="DIR",
                     help="export one Chrome trace per case into DIR")
+    ap.add_argument("--dump-dir", default=os.environ.get("REPRO_BLACKBOX_DIR"),
+                    metavar="DIR",
+                    help="dump flight-recorder black boxes here on failure")
     args = ap.parse_args(argv)
 
     if args.trace:
         os.makedirs(args.trace, exist_ok=True)
+    if args.dump_dir:
+        # arm the recorder on every registry the cases create (the
+        # testbeds build their own; the default covers them all)
+        _flight.install_default()
 
     apps = ["wordcount"] if args.quick else ["wordcount", "stringmatch", "matmul"]
     cases = [
@@ -455,15 +468,27 @@ def main(argv: list[str] | None = None) -> int:
                   lambda: transport_case(args.seed, args.quick, args.trace)))
 
     failures = 0
+    dumped: list[str] = []
     for name, run in cases:
         print(f"== {name}")
+        case_failed = []
         for check, ok, note in run():
             status = "ok  " if ok else "FAIL"
             print(f"  [{status}] {check:<28} {note}")
-            failures += 0 if ok else 1
+            if not ok:
+                failures += 1
+                case_failed.append(check)
+        if case_failed and args.dump_dir:
+            dumped += _flight.dump_live(
+                args.dump_dir,
+                reason=f"chaos check failed: {name}: {', '.join(case_failed)}",
+            )
     print()
     if failures:
-        print(f"chaos soak: {failures} check(s) FAILED")
+        msg = f"chaos soak: {failures} check(s) FAILED"
+        if dumped:
+            msg += "\nblack boxes:\n" + "\n".join(f"  {p}" for p in dumped)
+        print(msg)
         return 1
     print("chaos soak: all checks passed")
     return 0

@@ -42,6 +42,11 @@ Exit status:
 ``--quick`` runs the smallest sizes with one timing repeat — a
 seconds-long smoke for CI; shuffle speedups are then reported but not
 gated, since microbenchmark timings at that size are noise-dominated.
+
+``--dump-dir DIR`` (default: the ``REPRO_BLACKBOX_DIR`` environment
+variable) arms the flight recorder on every registry the benchmarks
+create; a failing gate dumps each live recorder's ring into DIR as a
+JSONL black box and prints the paths with the failure message.
 """
 
 from __future__ import annotations
@@ -59,6 +64,7 @@ for p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
 
 from benchmarks.bench_shuffle import QUICK_SIZES, SIZES, run_suite  # noqa: E402
 from repro.obs import Observability  # noqa: E402
+from repro.obs import flight as _flight  # noqa: E402
 from repro.obs.export import (  # noqa: E402
     environment_provenance,
     phase_breakdown,
@@ -142,6 +148,13 @@ def run_real_gate(args) -> int:
         f"peak RSS: out-of-core +{rss['outofcore_extra_kib']}KiB <= bound "
         f"{rss['bound_kib']}KiB; in-memory +{rss['memory_mode_extra_kib']}KiB"
     )
+    cp = payload["critpath"]
+    cp_top = cp["by_name"][0] if cp["by_name"] else {"name": "?", "pct": 0}
+    print(
+        f"critpath: {cp['covered']:.1%} of one traced job's "
+        f"{cp['wall_s']:.3f}s covered; top: {cp_top['name']} "
+        f"{cp_top['pct']:.0f}%"
+    )
     print(f"wrote {out} ({elapsed:.1f}s)")
 
     if not payload["all_match"] or not rss["outputs_match"]:
@@ -175,9 +188,15 @@ def run_real_gate(args) -> int:
             f"+{rss['memory_mode_extra_kib']}KiB)", file=sys.stderr,
         )
         return 2
+    if not cp["covered_ok"]:
+        print(
+            f"GATE: critical path covers {cp['covered']:.1%} < 90% of the "
+            f"traced job (spans escaped the tree)", file=sys.stderr,
+        )
+        return 2
     print(
-        "real-engine outputs match; streaming, throughput, transport "
-        "and RSS gates hold"
+        "real-engine outputs match; streaming, throughput, transport, "
+        "RSS and critpath gates hold"
     )
     return 0
 
@@ -219,6 +238,15 @@ def run_serving_gate(args) -> int:
         f"cache: {cache['hits']} hits / {cache['misses']} misses, "
         f"{cache['invalidations']} invalidations"
     )
+    critpath = payload["critpath"]
+    top = critpath["by_name"][0] if critpath["by_name"] else {"name": "?", "pct": 0}
+    print(
+        f"critpath: {critpath['covered']:.1%} of {critpath['wall_s']:.2f}s "
+        f"wall covered (gate >= {critpath['coverage_gate']:.0%}); "
+        f"top: {top['name']} {top['pct']:.0f}%; "
+        f"health {'ok' if critpath['health']['healthy'] else 'DEGRADED'}, "
+        f"worst burn {critpath['health']['worst_burn_rate']:.2f}"
+    )
     print(f"wrote {out} ({elapsed:.1f}s)")
 
     if not cache["outputs_consistent"]:
@@ -236,12 +264,29 @@ def run_serving_gate(args) -> int:
         )
     if not cache["gate_ok"]:
         failures.append("cache hit/invalidate behaviour off")
+    if not critpath["gate_ok"]:
+        failures.append(
+            f"critical path covers {critpath['covered']:.1%} < "
+            f"{critpath['coverage_gate']:.0%} of wall time (or SLO health "
+            f"degraded)"
+        )
     if failures:
         for msg in failures:
             print(f"GATE: {msg}", file=sys.stderr)
         return 2
-    print("serving gates hold: scaling, fairness, cache")
+    print("serving gates hold: scaling, fairness, cache, critpath")
     return 0
+
+
+def _maybe_dump(rc: int, args) -> int:
+    """On gate failure with ``--dump-dir``, write black boxes; passthrough rc."""
+    if rc != 0 and args.dump_dir:
+        paths = _flight.dump_live(
+            args.dump_dir, reason=f"perf gate failed (exit {rc})"
+        )
+        for p in paths:
+            print(f"black box: {p}", file=sys.stderr)
+    return rc
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -275,14 +320,21 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", metavar="OUT.json", default=None,
         help="also write a Chrome-trace (Perfetto-loadable) of the bench run",
     )
+    ap.add_argument(
+        "--dump-dir", default=os.environ.get("REPRO_BLACKBOX_DIR"),
+        metavar="DIR",
+        help="dump flight-recorder black boxes here when a gate fails",
+    )
     args = ap.parse_args(argv)
 
     if args.real and args.serving:
         ap.error("--real and --serving are mutually exclusive")
+    if args.dump_dir:
+        _flight.install_default()
     if args.real:
-        return run_real_gate(args)
+        return _maybe_dump(run_real_gate(args), args)
     if args.serving:
-        return run_serving_gate(args)
+        return _maybe_dump(run_serving_gate(args), args)
     if args.out is None:
         args.out = os.path.join(_REPO_ROOT, "BENCH_shuffle.json")
 
@@ -355,7 +407,7 @@ def main(argv: list[str] | None = None) -> int:
                 "new shuffle output differs from seed pipeline",
                 file=sys.stderr,
             )
-        return 1
+        return _maybe_dump(1, args)
     if gate_failures:
         for r, need in gate_failures:
             print(
@@ -363,7 +415,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"speedup {r['speedup']:.2f}x < required {need:.1f}x",
                 file=sys.stderr,
             )
-        return 2
+        return _maybe_dump(2, args)
     print("all outputs match" + ("" if args.quick else "; all perf gates hold"))
     return 0
 

@@ -4,6 +4,8 @@
 Usage:
     python tools/trace_view.py TRACE.json [--root NAME] [--group name|cat]
                                [--tree] [--unit s|ms|us] [--max-depth N]
+    python tools/trace_view.py critpath TRACE.json [--root NAME]
+                               [--containment] [--unit s|ms|us]
 
 Reads either export format (Chrome-trace/Perfetto JSON or JSONL, see
 :mod:`repro.obs.export`) and prints:
@@ -16,6 +18,12 @@ Reads either export format (Chrome-trace/Perfetto JSON or JSONL, see
   (phoenix / smartfam / nfs / ...), useful for cross-cutting cost like
   NFS transfers;
 * ``--tree`` — the indented span hierarchy with durations;
+* ``critpath`` (leading view selector) — the critical path through the
+  root span with per-edge slack and a by-name rollup
+  (:mod:`repro.obs.critpath`); ``--containment`` links spans by interval
+  containment across tracks instead of parent ids — the right mode for
+  scheduler traces whose ``sched:jN`` and node tracks carry no cross-track
+  links;
 * a reliability section (injected faults, retries, failovers from the
   ``fault.*`` / ``retry.*`` / ``failover.*`` / ``pool.*`` counters)
   whenever the trace recorded any — chaos-soak traces always do;
@@ -40,9 +48,15 @@ for p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
     if p not in sys.path:
         sys.path.insert(0, p)
 
+from repro.obs.critpath import (  # noqa: E402
+    critical_path,
+    format_critical_path,
+    job_critical_path,
+)
 from repro.obs.export import (  # noqa: E402
     format_breakdown,
     load_metrics,
+    load_run_id,
     load_series,
     load_spans,
     phase_breakdown,
@@ -191,6 +205,11 @@ def scheduler_view(metrics: dict, series: dict) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # leading view selector: "critpath TRACE" (extensible to other views)
+    view = "breakdown"
+    if argv and argv[0] == "critpath":
+        view = argv.pop(0)
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
     ap.add_argument("--root", default=None, help="break down this named span")
@@ -199,6 +218,10 @@ def main(argv: list[str] | None = None) -> int:
         help="group the root's children by name (default) or all spans by cat",
     )
     ap.add_argument("--tree", action="store_true", help="print the span tree")
+    ap.add_argument(
+        "--containment", action="store_true",
+        help="critpath: link spans by interval containment across tracks",
+    )
     ap.add_argument("--unit", choices=("s", "ms", "us"), default="s")
     ap.add_argument("--max-depth", type=int, default=6)
     args = ap.parse_args(argv)
@@ -207,12 +230,22 @@ def main(argv: list[str] | None = None) -> int:
     if not spans:
         print("no spans in trace", file=sys.stderr)
         return 1
-    print(f"{len(spans)} spans from {args.trace}\n")
+    run_id = load_run_id(args.trace)
+    provenance = f" (run {run_id})" if run_id else ""
+    print(f"{len(spans)} spans from {args.trace}{provenance}\n")
 
     metrics = load_metrics(args.trace)
     reliability = reliability_view(metrics)
     scheduler = scheduler_view(metrics, load_series(args.trace))
-    if args.tree:
+    if view == "critpath":
+        if args.containment:
+            cp = job_critical_path(
+                spans, root_name=args.root or "job"
+            )
+        else:
+            cp = critical_path(spans, root_name=args.root)
+        print(format_critical_path(cp, time_unit=args.unit))
+    elif args.tree:
         print(tree_view(spans, args.unit, args.max_depth))
     elif args.group == "cat":
         print(group_by_cat(spans, args.unit))
