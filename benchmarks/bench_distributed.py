@@ -1,0 +1,207 @@
+"""Distributed single-job benchmark: one job sharded across N SD replicas.
+
+Two cases, both in simulated time (deterministic, seconds of wall clock):
+
+* **scaling** — the same single wordcount job run distributed over 1, 2
+  and 4 SD replicas of the input (``Testbed.stage_replicated``), with the
+  fragment plan held fixed across runs so every configuration processes
+  the identical global fragment grid.  The gate demands near-linear
+  scaling: >= 1.6x at 2 shards and >= 2.5x at 4 shards over the 1-shard
+  distributed run.  The 1-shard run is also compared against the plain
+  single-node partitioned engine — the distributed plane's overhead at
+  width 1 must stay under 5%.
+* **identity** — wordcount, stringmatch and matmul run distributed at
+  1, 2 and 4 shards; every output must be byte-identical to the
+  single-node partitioned run of the same job (matmul compared on the
+  assembled product matrix, whose blocking is the same global task grid
+  by construction).
+
+``run_distributed_suite`` returns the JSON payload for
+``tools/perf_gate.py --distributed`` (gates architectural, so they hold
+in ``--quick`` too).
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+from repro.apps.matmul import assemble_product, matmul_input
+from repro.cluster.testbed import Testbed
+from repro.config import table1_cluster
+from repro.core import DataJob, DistributedEngine, DistributedJob, OffloadEngine
+from repro.core.loadbalance import Placement
+from repro.units import MB
+from repro.workloads import text_input
+
+__all__ = [
+    "SCALE_GATES",
+    "WIDTH1_OVERHEAD_GATE",
+    "run_distributed_suite",
+]
+
+#: n_shards -> minimum speedup over the 1-shard distributed run
+SCALE_GATES = {2: 1.6, 4: 2.5}
+#: the 1-shard distributed run may cost at most this fraction over the
+#: plain single-node partitioned engine (the plane's fixed overhead)
+WIDTH1_OVERHEAD_GATE = 0.05
+
+#: generous per-job deadline — nothing dies in this benchmark
+_TIMEOUT = 3600.0
+
+
+def _flat_pairs(out: object) -> list:
+    """Flatten matmul's (possibly nested identity-merged) output pairs."""
+    pairs: list = []
+
+    def walk(x: object) -> None:
+        if isinstance(x, tuple) and len(x) == 2:
+            pairs.append(x)
+        elif isinstance(x, list):
+            for y in x:
+                walk(y)
+
+    walk(out)
+    return pairs
+
+
+def _canonical(app: str, output: object) -> bytes:
+    if app == "matmul":
+        return pickle.dumps(assemble_product(_flat_pairs(output)).tolist())
+    return pickle.dumps(output)
+
+
+def _inputs(app: str, quick: bool):
+    """(factory, size, fragment_bytes, mode, params) for one app."""
+    if app == "matmul":
+        n = 256 if quick else 512
+        factory = lambda: matmul_input("/data/dist", n, payload_n=32, seed=3)
+        return factory, factory().size, None, "parallel", {"n": n}
+    size = MB(100) if quick else MB(200)
+    factory = lambda: text_input("/data/dist", size, payload_bytes=6_000, seed=7)
+    # fixed fragment plan: the 4-shard grid, identical in every run
+    return factory, size, math.ceil(size / 4), "partitioned", {}
+
+
+def _run_single(app: str, quick: bool):
+    """The single-node partitioned baseline on a 1-SD cluster."""
+    factory, size, frag, mode, params = _inputs(app, quick)
+    bed = Testbed(config=table1_cluster(n_sd=1, seed=0), seed=0)
+    inp = factory()
+    _, sd_path = bed.stage_replicated("dist", inp)
+    job = DataJob(
+        app=app, input_path=sd_path, input_size=inp.size, mode=mode,
+        fragment_bytes=frag, params=params,
+    )
+    eng = OffloadEngine(bed.cluster)
+    placement = Placement(node=bed.sd.name, offload=True, reason="bench")
+    return bed.run(eng.run(job, placement))
+
+
+def _run_dist(app: str, quick: bool, n_shards: int):
+    """One distributed run at the given width on a fresh 4-SD cluster."""
+    factory, size, frag, mode, params = _inputs(app, quick)
+    bed = Testbed(config=table1_cluster(n_sd=4, seed=0), seed=0)
+    inp = factory()
+    _, sd_path = bed.stage_replicated("dist", inp)
+    job = DistributedJob(
+        app=app, input_path=sd_path, input_size=inp.size,
+        n_shards=n_shards, fragment_bytes=frag, params=params,
+    )
+    eng = DistributedEngine(bed.cluster)
+    return bed.run(eng.run(job, timeout=_TIMEOUT))
+
+
+# -- scaling ------------------------------------------------------------------
+
+
+def scaling_case(quick: bool = False) -> dict:
+    """One wordcount job, distributed over 1/2/4 SD replicas."""
+    _, size, frag, _, _ = _inputs("wordcount", quick)
+    single = _run_single("wordcount", quick)
+    canon = _canonical("wordcount", single.output)
+
+    runs = []
+    base_s = None
+    for n in (1, 2, 4):
+        res = _run_dist("wordcount", quick, n)
+        if base_s is None:
+            base_s = res.elapsed
+        speedup = base_s / res.elapsed if res.elapsed > 0 else 0.0
+        need = SCALE_GATES.get(n)
+        runs.append({
+            "n_shards": n,
+            "shard_nodes": list(res.shard_nodes),
+            "elapsed_s": round(res.elapsed, 4),
+            "speedup_vs_x1": round(speedup, 3),
+            "gate": need,
+            "gate_ok": need is None or speedup >= need,
+            "shuffle_bytes": res.shuffle_bytes,
+            "shuffle_transfers": res.shuffle_transfers,
+            "n_partitions": res.n_partitions,
+            "merge_node": res.merge_node,
+            "identical": _canonical("wordcount", res.output) == canon,
+        })
+    overhead = (base_s - single.elapsed) / single.elapsed if single.elapsed else 0.0
+    return {
+        "input_mb": size // MB(1),
+        "fragment_kib": None if frag is None else frag // 1024,
+        "single_node_s": round(single.elapsed, 4),
+        "width1_overhead": round(overhead, 4),
+        "width1_overhead_gate": WIDTH1_OVERHEAD_GATE,
+        "runs": runs,
+        "gates": {str(k): v for k, v in SCALE_GATES.items()},
+        "all_identical": all(r["identical"] for r in runs),
+        "gate_ok": (
+            all(r["gate_ok"] for r in runs)
+            and overhead <= WIDTH1_OVERHEAD_GATE
+        ),
+    }
+
+
+# -- identity -----------------------------------------------------------------
+
+
+def identity_case(quick: bool = False) -> dict:
+    """Every app, every width: distributed output == single-node output."""
+    rows = []
+    for app in ("wordcount", "stringmatch", "matmul"):
+        single = _run_single(app, quick)
+        canon = _canonical(app, single.output)
+        for n in (1, 2, 4):
+            res = _run_dist(app, quick, n)
+            rows.append({
+                "app": app,
+                "n_shards": n,
+                "elapsed_s": round(res.elapsed, 4),
+                "shuffle_bytes": res.shuffle_bytes,
+                "identical": _canonical(app, res.output) == canon,
+            })
+    return {
+        "rows": rows,
+        "gate_ok": all(r["identical"] for r in rows),
+    }
+
+
+# -- suite --------------------------------------------------------------------
+
+
+def run_distributed_suite(quick: bool = False) -> dict:
+    """Both cases; the ``BENCH_distributed.json`` payload."""
+    scaling = scaling_case(quick)
+    identity = identity_case(quick)
+    return {
+        "benchmark": "distributed: one job sharded across N SD replicas",
+        "mode": "quick" if quick else "full",
+        "scaling": scaling,
+        "identity": identity,
+        "all_identical": scaling["all_identical"] and identity["gate_ok"],
+        "gate_ok": scaling["gate_ok"] and identity["gate_ok"],
+    }
+
+
+if __name__ == "__main__":
+    import json
+
+    payload = run_distributed_suite(quick=True)
+    print(json.dumps(payload, indent=2))

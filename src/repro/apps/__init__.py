@@ -18,6 +18,7 @@ from repro.apps.matmul import MatMulProfile, make_matmul_spec, matmul_input
 from repro.apps.smb import SMBTraffic
 from repro.apps.stringmatch import SM_PROFILE, make_stringmatch_spec
 from repro.apps.wordcount import WC_PROFILE, make_wordcount_spec
+from repro.errors import OffloadError
 
 __all__ = [
     "make_wordcount_spec",
@@ -28,4 +29,23 @@ __all__ = [
     "matmul_input",
     "MatMulProfile",
     "SMBTraffic",
+    "spec_for_app",
 ]
+
+
+def spec_for_app(app: str, params: dict | None = None):
+    """The :class:`~repro.phoenix.api.MapReduceSpec` of a named benchmark.
+
+    The single resolution point every engine (offload, scatter-gather,
+    distributed) shares, so app-name -> spec mapping cannot drift between
+    execution paths.  ``params`` carries app parameters (matmul reads its
+    declared dimension ``n`` from it).
+    """
+    params = params or {}
+    if app == "wordcount":
+        return make_wordcount_spec()
+    if app == "stringmatch":
+        return make_stringmatch_spec()
+    if app == "matmul":
+        return make_matmul_spec(int(params.get("n", 1024)))
+    raise OffloadError(f"unknown data app {app!r}")

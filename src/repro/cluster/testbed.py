@@ -80,7 +80,10 @@ class Testbed:
             node.fs.vfs.write(norm, data=bytes(payload), size=inp.size)
         else:
             node.fs.vfs.write(norm, data=payload, size=inp.size)
-        return InputSpec(path=norm, size=inp.size, payload=payload, params=inp.params)
+        return InputSpec(
+            path=norm, size=inp.size, payload=payload, params=inp.params,
+            offset=inp.offset,
+        )
 
     def stage_on_sd(
         self, rel_path: str, inp: InputSpec, sd_index: int = 0
@@ -102,17 +105,30 @@ class Testbed:
         return sd_view, host_view, sd_path
 
     def stage_replicated(
-        self, rel_path: str, inp: InputSpec
+        self, rel_path: str, inp: InputSpec, n_replicas: int | None = None
     ) -> tuple[InputSpec, str]:
         """Stage one dataset on *every* SD node at the same export path.
 
         Returns ``(sd_view, sd_path)`` for the first SD node; the replicas
         are byte-identical, so a scheduler may place the job on whichever
-        storage node is least loaded (or fail it over when one dies).
+        storage node is least loaded (or fail it over when one dies), and
+        the distributed engine may shard one job across any subset of
+        them.  ``n_replicas`` limits the replica count (clamped to the SD
+        fleet size; with one SD node the single staged copy *is* the
+        replica set — the degenerate case is valid, not an error).
+
+        Every replica is the FULL dataset — declared size, payload, and
+        offset all identical to the first copy.  Replication is not
+        sharding: a dataset whose size does not divide evenly by the fleet
+        must not leave a truncated tail on the last replica (that is
+        :meth:`stage_shards`' job, which cuts on safe boundaries instead).
         """
+        sds = self.cluster.sd_nodes
+        n = len(sds) if n_replicas is None else max(1, min(int(n_replicas), len(sds)))
         sd_view, _host_view, sd_path = self.stage_on_sd(rel_path, inp)
-        for i in range(1, len(self.cluster.sd_nodes)):
-            self.stage(self.cluster.sd(i), sd_path, inp)
+        for i in range(1, n):
+            replica = self.stage(self.cluster.sd(i), sd_path, inp)
+            assert replica.size == sd_view.size and replica.offset == sd_view.offset
         return sd_view, sd_path
 
     def stage_shards(self, rel_path: str, inp: InputSpec) -> list:

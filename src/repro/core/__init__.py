@@ -33,6 +33,15 @@ from repro.core.loadbalance import (
     PlacementPolicy,
 )
 from repro.core.cmdline import parse_command, run_command
+from repro.core.distributed import (
+    DistPlan,
+    DistributedEngine,
+    DistributedJob,
+    DistributedResult,
+    ShardAssignment,
+    ShardFragment,
+    plan_distribution,
+)
 from repro.core.failover import Attempt, FaultTolerantInvoker
 from repro.core.offload import OffloadEngine
 from repro.core.scatter import ScatterGatherEngine, ScatterJob, ScatterResult, Shard
@@ -52,6 +61,13 @@ __all__ = [
     "ScatterJob",
     "ScatterResult",
     "Shard",
+    "DistributedEngine",
+    "DistributedJob",
+    "DistributedResult",
+    "DistPlan",
+    "ShardAssignment",
+    "ShardFragment",
+    "plan_distribution",
     "parse_command",
     "run_command",
     "Placement",

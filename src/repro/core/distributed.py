@@ -1,0 +1,801 @@
+"""Distributed single-job execution: one job sharded across N McSD nodes.
+
+The scale-out the paper leaves as future work ("the parallelisms among
+multiple McSD smart disks", Section VI), following the independent
+blocks-per-node model: the input is staged *replicated* on every SD node
+(:meth:`~repro.cluster.testbed.Testbed.stage_replicated`), so any subset
+of nodes can run any subset of the work — which is also what makes
+whole-job restarts on the survivors possible after a shard node dies.
+
+One distributed run has four phases:
+
+1. **plan** — the host peeks the replica payload (content never leaves
+   the SD; the planner needs only boundaries) and cuts the declared input
+   into integrity-checked fragments
+   (:func:`~repro.partition.partitioner.plan_fragments`, the Fig 7
+   check), assigning contiguous fragment runs to shard nodes;
+2. **map** — every shard node runs map + combine over its local
+   fragments via its own smartFAM channel (``dist_map``), persists its
+   intermediate data *partitioned by the crc32 shuffle hash*
+   (:func:`~repro.phoenix.sort.partition_decorated`) under
+   ``/export/shuffle/<job>/``, and returns only per-partition metadata;
+3. **exchange** — each partition is routed to the shard node already
+   holding the most bytes of it (minimum transfer); the other shards'
+   buckets cross the simulated fabric (``kind="shuffle"``), with byte
+   accounting and fault hooks at the ``shuffle.exchange`` site;
+4. **reduce/merge** — partition owners reduce their merged runs
+   (``dist_reduce``); the reduced partitions gather at the owner holding
+   the most reduced bytes (again minimum transfer), where ``dist_merge``
+   applies the user merge function and returns the final output.
+
+Map-only applications (String Match) skip the partition exchange: the
+per-fragment outputs gather directly at the minimum-transfer node and
+concatenate in global fragment order — byte-identical to the single-node
+extended runtime by construction, because the fragment plan is the same.
+
+Fault tolerance is restart-on-survivors: a shard whose daemon misses its
+deadline excludes that node and re-plans the whole job on the remaining
+replicas (each attempt uses a fresh shuffle directory, so a half-dead
+attempt cannot contaminate the retry).  When no replicas remain the
+engine raises :class:`~repro.errors.DistributedJobError` — retryable, so
+the cluster scheduler can fall back to a single-node host run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+import typing as _t
+
+from repro.apps import spec_for_app
+from repro.errors import (
+    DistributedJobError,
+    NetworkError,
+    OffloadError,
+    OffloadTimeoutError,
+    is_retryable,
+    mark_retryable,
+)
+from repro.fs import path as _p
+from repro.phoenix.api import InputSpec
+from repro.partition.partitioner import plan_fragments
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.builder import BuiltCluster
+
+__all__ = [
+    "DistributedJob",
+    "DistributedResult",
+    "DistPlan",
+    "ShardAssignment",
+    "ShardFragment",
+    "plan_distribution",
+    "DistributedEngine",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardFragment:
+    """One integrity-checked fragment assigned to a shard.
+
+    ``p0``/``p1`` locate the fragment's slice inside the replica payload
+    (-1 when the input carries no payload); ``index`` is the fragment's
+    position in the *global* plan, which fixes the gather order for
+    order-sensitive (map-only) outputs.
+    """
+
+    size: int
+    p0: int = -1
+    p1: int = -1
+    index: int = 0
+
+
+@dataclasses.dataclass
+class ShardAssignment:
+    """A contiguous run of fragments owned by one SD node."""
+
+    index: int
+    node: str
+    fragments: list
+    size: int
+
+
+@dataclasses.dataclass
+class DistPlan:
+    """The outcome of distribution planning for one attempt."""
+
+    app: str
+    #: "bytes" (fragment plan over a byte payload) or "split" (the app's
+    #: own split function shards a non-byte payload, e.g. matrix rows)
+    kind: str
+    #: whether a cross-node partition exchange happens (reduce apps)
+    exchange: bool
+    n_partitions: int
+    shards: list
+    n_fragments: int
+
+
+@dataclasses.dataclass
+class DistributedJob:
+    """One logical job to be sharded across the SD replica set.
+
+    ``n_shards=None`` uses every available replica; ``fragment_bytes``
+    fixes the global fragment plan (pass the same value to a single-node
+    partitioned run to compare outputs byte for byte);
+    ``n_partitions=None`` defaults to one shuffle partition per shard.
+    """
+
+    app: str
+    input_path: str
+    input_size: int
+    n_shards: int | None = None
+    fragment_bytes: int | None = None
+    n_partitions: int | None = None
+    params: dict = dataclasses.field(default_factory=dict)
+    tenant: str = "default"
+    #: control-plane compatibility (a distributed job is never pinned)
+    sd_node: str = ""
+    mode: str = "distributed"
+
+
+@dataclasses.dataclass
+class DistributedResult:
+    """Outcome of a distributed run (duck-compatible with JobResult)."""
+
+    app: str
+    output: object
+    elapsed: float
+    n_shards: int
+    shard_nodes: list
+    #: partition index -> reduce owner ({} for map-only apps)
+    reduce_nodes: dict
+    merge_node: str
+    n_partitions: int
+    shuffle_bytes: int
+    shuffle_transfers: int
+    attempts: int
+    #: absolute sim times of phase completions (chaos windows key off this)
+    timeline: dict
+    plan: DistPlan | None = dataclasses.field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        """The application name (JobResult compatibility)."""
+        return self.app
+
+    @property
+    def where(self) -> str:
+        """Where the final merge ran (JobResult compatibility)."""
+        return self.merge_node
+
+    @property
+    def offloaded(self) -> bool:
+        """Distributed runs always execute on the SD fleet."""
+        return True
+
+
+def plan_distribution(
+    job: DistributedJob,
+    payload: object,
+    nodes: _t.Sequence[str],
+    mem_capacity: int,
+    cfg,
+) -> DistPlan:
+    """Cut one job into per-node shards of integrity-checked fragments.
+
+    Deterministic in (job, payload, nodes): restarting on a smaller
+    replica set re-plans the *same global fragments* over fewer shards,
+    which is what keeps restarted outputs byte-identical.
+    """
+    if not nodes:
+        raise OffloadError(f"distributed job {job.app!r} needs at least one SD node")
+    spec = spec_for_app(job.app, job.params)
+    want = job.n_shards if job.n_shards is not None else len(nodes)
+    n = max(1, min(int(want), len(nodes)))
+    exchange = spec.reduce_fn is not None
+
+    if payload is not None and not isinstance(payload, (bytes, bytearray)):
+        # Non-byte payloads (matmul's matrices) shard through the app's
+        # own split function at map time; the plan only fixes the declared
+        # byte apportionment and the shard count.
+        base, extra = divmod(job.input_size, n)
+        shards = [
+            ShardAssignment(
+                index=i,
+                node=nodes[i],
+                fragments=[],
+                size=base + (1 if i < extra else 0),
+            )
+            for i in range(n)
+        ]
+        n_partitions = job.n_partitions if job.n_partitions is not None else len(shards)
+        return DistPlan(
+            app=job.app,
+            kind="split",
+            exchange=exchange,
+            n_partitions=max(1, int(n_partitions)),
+            shards=shards,
+            n_fragments=len(shards),
+        )
+
+    frag = job.fragment_bytes
+    if frag is None:
+        frag = max(1, math.ceil(job.input_size / n))
+    inp = InputSpec(
+        path=job.input_path,
+        size=job.input_size,
+        payload=payload,
+        params=dict(job.params),
+    )
+    fplan = plan_fragments(
+        inp, int(frag), mem_capacity, spec.profile, cfg, delimiters=spec.delimiters
+    )
+    fragments: list[ShardFragment] = []
+    off = 0
+    for gi, piece in enumerate(fplan.fragments):
+        if piece.payload is not None:
+            ln = len(piece.payload)
+            fragments.append(ShardFragment(size=piece.size, p0=off, p1=off + ln, index=gi))
+            off += ln
+        else:
+            fragments.append(ShardFragment(size=piece.size, index=gi))
+    total = len(fragments)
+    n_eff = max(1, min(n, total))
+    shards = []
+    for i in range(n_eff):
+        lo = (i * total) // n_eff
+        hi = ((i + 1) * total) // n_eff
+        chunk = fragments[lo:hi]
+        shards.append(
+            ShardAssignment(
+                index=i,
+                node=nodes[i],
+                fragments=chunk,
+                size=sum(f.size for f in chunk),
+            )
+        )
+    n_partitions = job.n_partitions if job.n_partitions is not None else len(shards)
+    return DistPlan(
+        app=job.app,
+        kind="bytes",
+        exchange=exchange,
+        n_partitions=max(1, int(n_partitions)),
+        shards=shards,
+        n_fragments=total,
+    )
+
+
+class _ShardFailure(Exception):
+    """Internal: one shard node failed its invocation (carries the cause)."""
+
+    def __init__(self, node: str, cause: BaseException):
+        super().__init__(f"shard on {node} failed: {cause!r}")
+        self.node = node
+        self.cause = cause
+
+
+class DistributedEngine:
+    """Shard one job across the SD replica set and shuffle between nodes.
+
+    Parameters
+    ----------
+    cluster:
+        The built cluster whose SD nodes hold replicas of the input.
+    inflight:
+        Optional shared per-node load dict (the scheduler passes the
+        offload engine's, so shard load shows up in placement decisions).
+    max_attempts:
+        Whole-job restarts before giving up (each restart excludes the
+        nodes that failed and re-plans on the survivors).
+    transfer_retries:
+        In-place retries per exchange transfer before the attempt is
+        abandoned and the job restarts.
+    """
+
+    def __init__(
+        self,
+        cluster: "BuiltCluster",
+        inflight: dict | None = None,
+        max_attempts: int = 3,
+        transfer_retries: int = 2,
+        backoff: float = 0.1,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.inflight: dict[str, int] = inflight if inflight is not None else {}
+        self.max_attempts = max(1, max_attempts)
+        self.transfer_retries = max(0, transfer_retries)
+        self.backoff = backoff
+        #: distributed jobs started / whole-job restarts (stats)
+        self.jobs = 0
+        self.restarts = 0
+        self._seq = itertools.count(1)
+
+    # -- public entry point -------------------------------------------------
+
+    def run(
+        self,
+        job: DistributedJob,
+        nodes: _t.Sequence[str] | None = None,
+        timeout: float | None = None,
+    ) -> Event:
+        """Run ``job``; the Process value is a :class:`DistributedResult`.
+
+        ``nodes`` restricts the candidate replica set (default: every SD
+        node holding the input).  ``timeout`` bounds each smartFAM
+        invocation — the liveness signal that turns a dead shard daemon
+        into an excluded node and a restart on the survivors.
+        """
+        return self.sim.spawn(self._run(job, nodes, timeout), name=f"dist:{job.app}")
+
+    # -- restart loop -------------------------------------------------------
+
+    def _candidates(
+        self, job: DistributedJob, nodes: _t.Sequence[str] | None, excluded: set
+    ) -> list[str]:
+        pool = list(nodes) if nodes is not None else [
+            n.name for n in self.cluster.sd_nodes
+        ]
+        out = []
+        for name in pool:
+            if name in excluded:
+                continue
+            try:
+                self.cluster.node(name).fs.vfs.stat(job.input_path)
+            except Exception:
+                continue
+            out.append(name)
+        return out
+
+    def _run(
+        self,
+        job: DistributedJob,
+        nodes: _t.Sequence[str] | None,
+        timeout: float | None,
+    ) -> _t.Generator:
+        obs = self.sim.obs
+        seq = next(self._seq)
+        self.jobs += 1
+        obs.count("dist.jobs")
+        track = f"dist:{job.app}#{seq}"
+        excluded: set[str] = set()
+        timed_out: set[str] = set()
+        last: BaseException | None = None
+        t0 = self.sim.now
+        with obs.span(
+            "dist.job", cat="dist", track=track, force=True,
+            app=job.app, input_bytes=job.input_size,
+        ) as root:
+            for attempt in range(self.max_attempts):
+                cand = self._candidates(job, nodes, excluded)
+                if not cand:
+                    break
+                job_id = f"{job.app}-{seq}a{attempt}"
+                try:
+                    result = yield from self._attempt(job, cand, job_id, timeout, track)
+                except _ShardFailure as fail:
+                    if not is_retryable(fail.cause):
+                        raise fail.cause
+                    excluded.add(fail.node)
+                    if isinstance(fail.cause, OffloadTimeoutError):
+                        timed_out.add(fail.node)
+                    last = fail.cause
+                    self.restarts += 1
+                    obs.count("dist.restarts")
+                    continue
+                except Exception as exc:
+                    if not is_retryable(exc):
+                        raise
+                    last = exc
+                    self.restarts += 1
+                    obs.count("dist.restarts")
+                    continue
+                result.attempts = attempt + 1
+                result.elapsed = self.sim.now - t0
+                root.set(
+                    shards=result.n_shards,
+                    attempts=result.attempts,
+                    merge_node=result.merge_node,
+                    shuffle_bytes=result.shuffle_bytes,
+                )
+                return result
+        err = DistributedJobError(
+            job.app, self.max_attempts, excluded=excluded, timed_out=timed_out
+        )
+        if last is not None:
+            err.__cause__ = last
+        raise err
+
+    # -- one attempt --------------------------------------------------------
+
+    def _attempt(
+        self,
+        job: DistributedJob,
+        cand: list[str],
+        job_id: str,
+        timeout: float | None,
+        track: str,
+    ) -> _t.Generator:
+        sim, cluster = self.sim, self.cluster
+        obs = sim.obs
+        first = cluster.node(cand[0])
+        # Planner peek: boundaries only — content never leaves the SD.
+        payload = first.fs.vfs.read(job.input_path) or None
+        with obs.span("dist.plan", cat="dist", track=track, force=True) as sp:
+            plan = plan_distribution(
+                job, payload, cand, first.memory.capacity, cluster.config.phoenix
+            )
+            sp.set(shards=len(plan.shards), partitions=plan.n_partitions, kind=plan.kind)
+        obs.count("dist.shards", len(plan.shards))
+        shuffle_dir = f"/export/shuffle/{job_id}"
+        order = {s.node: s.index for s in plan.shards}
+        timeline: dict[str, float] = {"started": sim.now}
+        shuffle_bytes = 0
+        shuffle_transfers = 0
+
+        base = {
+            "job_id": job_id,
+            "app": job.app,
+            "app_params": dict(job.params),
+            "input_path": job.input_path,
+            "input_size": job.input_size,
+            "kind": plan.kind,
+            "exchange": plan.exchange,
+            "n_shards": len(plan.shards),
+            "n_partitions": plan.n_partitions,
+            "total_fragments": plan.n_fragments,
+            "shuffle_dir": shuffle_dir,
+        }
+
+        # ---- map: every shard maps + combines its fragments locally
+        metas: dict[str, dict] = {}
+        with obs.span("dist.map", cat="dist", track=track, force=True) as sp:
+            procs = []
+            for shard in plan.shards:
+                params = dict(
+                    base,
+                    shard_index=shard.index,
+                    shard_size=shard.size,
+                    fragments=[[f.size, f.p0, f.p1, f.index] for f in shard.fragments],
+                )
+                procs.append(
+                    sim.spawn(
+                        self._invoke_on(shard.node, "dist_map", params, timeout, "map"),
+                        name=f"dist-map:{shard.node}",
+                    )
+                )
+            gathered = yield sim.all_of(procs)
+            for proc in procs:
+                node_name, ok, value = gathered[proc]
+                if not ok:
+                    raise _ShardFailure(node_name, value)
+                metas[node_name] = value
+            sp.set(shards=len(plan.shards))
+        timeline["map_done"] = sim.now
+
+        reduce_nodes: dict[int, str] = {}
+        parts_for_merge: list[dict] = []
+        if plan.exchange:
+            # ---- exchange: route each partition to its max-bytes owner
+            by_part: dict[int, dict[str, dict]] = {
+                p: {} for p in range(plan.n_partitions)
+            }
+            for shard in plan.shards:
+                for p, info in (metas[shard.node].get("partitions") or {}).items():
+                    by_part[int(p)][shard.node] = info
+            with obs.span(
+                "shuffle.exchange", cat="dist", track=track, force=True
+            ) as sp:
+                transfers = []
+                for p in range(plan.n_partitions):
+                    srcs = by_part[p]
+                    if not srcs:
+                        continue
+                    owner = max(
+                        srcs, key=lambda nm: (int(srcs[nm]["bytes"]), -order[nm])
+                    )
+                    reduce_nodes[p] = owner
+                    for shard in plan.shards:
+                        info = srcs.get(shard.node)
+                        if info is None or shard.node == owner:
+                            continue
+                        transfers.append(
+                            (
+                                shard.node,
+                                owner,
+                                info["path"],
+                                f"{shuffle_dir}/rx/p{p}.s{shard.index}",
+                                max(1, int(info["bytes"])),
+                                p,
+                            )
+                        )
+                moved = yield from self._run_transfers(transfers)
+                shuffle_bytes += moved
+                shuffle_transfers += len(transfers)
+                obs.count("shuffle.partitions", len(reduce_nodes))
+                sp.set(
+                    bytes=moved, transfers=len(transfers), partitions=len(reduce_nodes)
+                )
+            timeline["exchange_done"] = sim.now
+
+            # ---- reduce: each owner reduces its merged partition runs
+            by_owner: dict[str, list[int]] = {}
+            for p, owner in sorted(reduce_nodes.items()):
+                by_owner.setdefault(owner, []).append(p)
+            total_entries = sum(
+                int(metas[s.node].get("entries") or 0) for s in plan.shards
+            )
+            reduced: dict[int, dict] = {}
+            with obs.span("dist.reduce", cat="dist", track=track, force=True) as sp:
+                procs = []
+                for owner, parts in by_owner.items():
+                    pspecs = []
+                    for p in parts:
+                        sources = []
+                        for shard in plan.shards:
+                            info = by_part[p].get(shard.node)
+                            if info is None:
+                                continue
+                            path = (
+                                info["path"]
+                                if shard.node == owner
+                                else f"{shuffle_dir}/rx/p{p}.s{shard.index}"
+                            )
+                            sources.append(
+                                {
+                                    "path": path,
+                                    "bytes": int(info["bytes"]),
+                                    "entries": int(info["entries"]),
+                                }
+                            )
+                        pspecs.append({"index": p, "sources": sources})
+                    params = dict(base, partitions=pspecs, total_entries=total_entries)
+                    procs.append(
+                        sim.spawn(
+                            self._invoke_on(owner, "dist_reduce", params, timeout, "reduce"),
+                            name=f"dist-reduce:{owner}",
+                        )
+                    )
+                if procs:
+                    gathered = yield sim.all_of(procs)
+                    for proc in procs:
+                        node_name, ok, value = gathered[proc]
+                        if not ok:
+                            raise _ShardFailure(node_name, value)
+                        for p, info in (value.get("partitions") or {}).items():
+                            reduced[int(p)] = dict(info, node=node_name)
+                sp.set(partitions=len(reduced), owners=len(by_owner))
+            timeline["reduce_done"] = sim.now
+
+            # ---- merge placement: the owner holding the most reduced bytes
+            if reduced:
+                local: dict[str, int] = {}
+                for info in reduced.values():
+                    local[info["node"]] = local.get(info["node"], 0) + int(info["bytes"])
+                merge_node = max(local, key=lambda nm: (local[nm], -order[nm]))
+            else:
+                merge_node = plan.shards[0].node
+            gather = []
+            for p in sorted(reduced):
+                info = reduced[p]
+                if info["node"] == merge_node:
+                    parts_for_merge.append(
+                        {"path": info["path"], "bytes": int(info["bytes"])}
+                    )
+                else:
+                    dst = f"{shuffle_dir}/final/p{p}"
+                    gather.append(
+                        (
+                            info["node"],
+                            merge_node,
+                            info["path"],
+                            dst,
+                            max(1, int(info["bytes"])),
+                            p,
+                        )
+                    )
+                    parts_for_merge.append({"path": dst, "bytes": int(info["bytes"])})
+            if gather:
+                with obs.span(
+                    "shuffle.gather", cat="dist", track=track, force=True
+                ) as sp:
+                    moved = yield from self._run_transfers(gather)
+                    shuffle_bytes += moved
+                    shuffle_transfers += len(gather)
+                    sp.set(bytes=moved, transfers=len(gather))
+        else:
+            # ---- map-only: gather fragment outputs in global order at the
+            # node already holding the most output bytes (minimum transfer)
+            all_parts = []
+            for shard in plan.shards:
+                for part in metas[shard.node].get("parts") or []:
+                    all_parts.append(
+                        (int(part["index"]), shard.node, part["path"], int(part["bytes"]))
+                    )
+            all_parts.sort()
+            local = {}
+            for _, nm, _, nbytes in all_parts:
+                local[nm] = local.get(nm, 0) + nbytes
+            merge_node = (
+                max(local, key=lambda nm: (local[nm], -order[nm]))
+                if local
+                else plan.shards[0].node
+            )
+            transfers = []
+            for gi, nm, path, nbytes in all_parts:
+                if nm == merge_node:
+                    parts_for_merge.append({"path": path, "bytes": nbytes})
+                else:
+                    dst = f"{shuffle_dir}/final/part{gi}"
+                    transfers.append((nm, merge_node, path, dst, max(1, nbytes), gi))
+                    parts_for_merge.append({"path": dst, "bytes": nbytes})
+            with obs.span(
+                "shuffle.exchange", cat="dist", track=track, force=True
+            ) as sp:
+                moved = yield from self._run_transfers(transfers)
+                shuffle_bytes += moved
+                shuffle_transfers += len(transfers)
+                sp.set(bytes=moved, transfers=len(transfers), partitions=0)
+            timeline["exchange_done"] = sim.now
+            timeline["reduce_done"] = sim.now
+
+        # ---- final merge at the minimum-transfer node
+        with obs.span(
+            "dist.merge", cat="dist", track=track, force=True, node=merge_node
+        ):
+            params = dict(base, parts=parts_for_merge)
+            node_name, ok, value = yield sim.spawn(
+                self._invoke_on(merge_node, "dist_merge", params, timeout, "merge"),
+                name=f"dist-merge:{merge_node}",
+            )
+            if not ok:
+                raise _ShardFailure(node_name, value)
+        timeline["merge_done"] = sim.now
+
+        return DistributedResult(
+            app=job.app,
+            output=value.get("output"),
+            elapsed=sim.now - timeline["started"],
+            n_shards=len(plan.shards),
+            shard_nodes=[s.node for s in plan.shards],
+            reduce_nodes=reduce_nodes,
+            merge_node=merge_node,
+            n_partitions=plan.n_partitions,
+            shuffle_bytes=shuffle_bytes,
+            shuffle_transfers=shuffle_transfers,
+            attempts=1,
+            timeline=timeline,
+            plan=plan,
+        )
+
+    # -- building blocks ----------------------------------------------------
+
+    def _invoke_on(
+        self, node_name: str, module: str, params: dict, timeout: float | None,
+        phase: str,
+    ) -> _t.Generator:
+        """Invoke one SD-side module; returns (node, ok, value-or-exc)."""
+        obs = self.sim.obs
+        channel = self.cluster.host_channels.get(node_name)
+        if channel is None:
+            return (
+                node_name,
+                False,
+                OffloadError(f"no smartFAM channel to {node_name!r}"),
+            )
+        self.inflight[node_name] = self.inflight.get(node_name, 0) + 1
+        obs.count(f"dist.invoke.{phase}")
+        try:
+            with obs.span(
+                "dist.shard", cat="dist", track=node_name, force=True,
+                phase=phase, module=module,
+            ) as sp:
+                try:
+                    value = yield channel.invoke_reliable(
+                        module, params, timeout=timeout, max_retries=1
+                    )
+                except Exception as exc:
+                    sp.set(error=type(exc).__name__)
+                    return (node_name, False, exc)
+            return (node_name, True, value)
+        finally:
+            self.inflight[node_name] -= 1
+
+    def _run_transfers(self, transfers: list[tuple]) -> _t.Generator:
+        """Run exchange transfers concurrently; returns delivered bytes.
+
+        A transfer that exhausted its in-place retries raises its cause —
+        retryable causes restart the whole job at the attempt loop.
+        """
+        if not transfers:
+            return 0
+        sim = self.sim
+        procs = [
+            sim.spawn(self._transfer(*t), name=f"shuffle:{t[0]}->{t[1]}")
+            for t in transfers
+        ]
+        gathered = yield sim.all_of(procs)
+        moved = 0
+        failure: BaseException | None = None
+        for proc in procs:
+            ok, value = gathered[proc]
+            if ok:
+                moved += value
+            elif failure is None:
+                failure = value
+        if failure is not None:
+            raise failure
+        return moved
+
+    def _transfer(
+        self,
+        src: str,
+        dst: str,
+        src_path: str,
+        dst_path: str,
+        nbytes: int,
+        partition: int,
+    ) -> _t.Generator:
+        """One partition-exchange leg: SD disk read -> fabric -> SD disk write.
+
+        Fault site ``shuffle.exchange`` (ctx: src, dst, partition, nbytes):
+        *fail*/*drop*/*corrupt* cost the attempt (bounded in-place retries),
+        *delay* adds latency before the payload lands.  Returns
+        ``(True, bytes)`` or ``(False, exc)`` — never raises, so a batch
+        of concurrent transfers can be inspected as a whole.
+        """
+        sim = self.sim
+        obs = sim.obs
+        src_node = self.cluster.node(src)
+        dst_node = self.cluster.node(dst)
+        last: BaseException | None = None
+        for att in range(self.transfer_retries + 1):
+            inj = sim.faults
+            decision = None
+            if inj is not None:
+                decision = inj.check(
+                    "shuffle.exchange", src=src, dst=dst,
+                    partition=partition, nbytes=nbytes,
+                )
+            try:
+                with obs.span(
+                    "shuffle.transfer", cat="dist", track=src,
+                    partition=partition, bytes=nbytes, dst=dst,
+                ):
+                    if decision is not None and decision.action in ("fail", "kill"):
+                        raise mark_retryable(
+                            NetworkError(
+                                f"injected shuffle fault {src}->{dst} p{partition}"
+                            )
+                        )
+                    if decision is not None and decision.action == "delay":
+                        yield sim.timeout(decision.delay)
+                    data = src_node.fs.vfs.read(src_path)
+                    yield src_node.fs.read(src_path, nbytes=nbytes)
+                    yield self.cluster.fabric.transfer(src, dst, nbytes, kind="shuffle")
+                    if decision is not None and decision.action in ("drop", "corrupt"):
+                        # the wire cost was paid but the payload never
+                        # landed intact — retry ships it again
+                        raise mark_retryable(
+                            NetworkError(
+                                f"shuffle payload lost {src}->{dst} p{partition}"
+                            )
+                        )
+                    dst_node.fs.vfs.mkdir(
+                        _p.parent(_p.normalize(dst_path)), parents=True
+                    )
+                    yield dst_node.fs.write(dst_path, data=data, size=nbytes)
+                obs.count("shuffle.bytes", nbytes)
+                obs.count("shuffle.transfers")
+                return (True, nbytes)
+            except Exception as exc:
+                last = exc
+                if not is_retryable(exc) or att == self.transfer_retries:
+                    return (False, exc)
+                obs.count("retry.count")
+                obs.count("retry.shuffle")
+                if self.backoff > 0:
+                    yield sim.timeout(self.backoff * (2.0 ** att))
+        return (False, last)

@@ -126,14 +126,6 @@ class OffloadEngine:
 
 
 def _spec_for(job: DataJob):
-    from repro.apps.matmul import make_matmul_spec
-    from repro.apps.stringmatch import make_stringmatch_spec
-    from repro.apps.wordcount import make_wordcount_spec
+    from repro.apps import spec_for_app
 
-    if job.app == "wordcount":
-        return make_wordcount_spec()
-    if job.app == "stringmatch":
-        return make_stringmatch_spec()
-    if job.app == "matmul":
-        return make_matmul_spec(int(job.params.get("n", 1024)))
-    raise OffloadError(f"unknown data app {job.app!r}")
+    return spec_for_app(job.app, job.params)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from repro.core.job import DataJob, JobResult
+from repro.core.job import JobResult
 from repro.errors import OffloadError
 from repro.sim.events import Event
 
@@ -134,6 +134,6 @@ class ScatterGatherEngine:
 
 
 def _spec_for_app(app: str, params: dict):
-    from repro.core.offload import _spec_for
+    from repro.apps import spec_for_app
 
-    return _spec_for(DataJob(app=app, input_path="/export/x", input_size=1, params=params))
+    return spec_for_app(app, params)

@@ -35,6 +35,7 @@ __all__ = [
     "IntegrityError",
     "OffloadError",
     "OffloadTimeoutError",
+    "DistributedJobError",
     "PlacementError",
     "AdmissionError",
     "ConfigError",
@@ -279,6 +280,29 @@ class OffloadTimeoutError(OffloadError):
         super().__init__(f"module {module!r} produced no result within {timeout}s")
         self.module = module
         self.timeout = timeout
+
+
+class DistributedJobError(OffloadError):
+    """A distributed (sharded) job ran out of healthy shard nodes.
+
+    Transient from the control plane's point of view: the scheduler may
+    retry the job on the surviving replicas or fall back to a single-node
+    run on the host.  ``excluded`` names the shard nodes the engine gave
+    up on; ``timed_out`` the subset whose daemons missed a deadline (the
+    quarantine signal).
+    """
+
+    retryable = True
+
+    def __init__(self, app: str, attempts: int, excluded=(), timed_out=()):
+        super().__init__(
+            f"distributed job {app!r} failed after {attempts} attempt(s); "
+            f"excluded nodes: {sorted(excluded) or 'none'}"
+        )
+        self.app = app
+        self.attempts = attempts
+        self.excluded = set(excluded)
+        self.timed_out = set(timed_out)
 
 
 class PlacementError(McSDError):

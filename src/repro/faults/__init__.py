@@ -19,6 +19,7 @@ from repro.faults.plan import (
     ACTIONS,
     FaultPlan,
     FaultRule,
+    distributed_chaos_plan,
     standard_engine_plan,
     standard_plan,
     transport_chaos_plan,
@@ -33,4 +34,5 @@ __all__ = [
     "standard_plan",
     "standard_engine_plan",
     "transport_chaos_plan",
+    "distributed_chaos_plan",
 ]

@@ -49,6 +49,10 @@ site                      hook
                           (index; decided parent-side at submission)
 ``spill.write``           :func:`repro.exec.outofcore.write_run` (run)
 ``spill.read``            :func:`repro.exec.outofcore.iter_run` (run)
+``shuffle.exchange``      :class:`repro.core.distributed.DistributedEngine`
+                          partition transfer (src, dst, partition,
+                          nbytes); fail/drop cost one bounded in-place
+                          retry, delay adds wire latency
 ========================  ============================================
 """
 
@@ -67,6 +71,7 @@ __all__ = [
     "standard_plan",
     "standard_engine_plan",
     "transport_chaos_plan",
+    "distributed_chaos_plan",
 ]
 
 ACTIONS = ("fail", "drop", "delay", "corrupt", "kill")
@@ -179,6 +184,26 @@ def standard_engine_plan(seed: int = 0) -> FaultPlan:
             FaultRule("pool.worker", action="fail", count=1, where={"index": 1}),
             FaultRule("spill.write", action="corrupt", count=1, where={"run": 0}),
             FaultRule("spill.read", action="fail", count=1, where={"run": 1}),
+        ),
+        seed=seed,
+    )
+
+
+def distributed_chaos_plan(seed: int = 0) -> FaultPlan:
+    """The chaos plan for the cross-node shuffle (``shuffle.exchange``).
+
+    A failed exchange transfer (absorbed by the engine's bounded in-place
+    retry), a dropped payload that paid the wire cost before vanishing
+    (ditto, one attempt later), and a delayed leg (pure latency, no
+    failure).  A hardened distributed engine absorbs the whole plan
+    without a job restart and with byte-identical output.
+    """
+    return FaultPlan(
+        rules=(
+            FaultRule("shuffle.exchange", action="fail", count=1),
+            FaultRule("shuffle.exchange", action="drop", count=1, after=1),
+            FaultRule("shuffle.exchange", action="delay", count=1, after=2,
+                      delay=0.05),
         ),
         seed=seed,
     )

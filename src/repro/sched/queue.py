@@ -44,6 +44,9 @@ class QueuedJob:
     queue_span: object = None
     #: admission-time result-cache key (None = uncacheable / cache off)
     cache_key: tuple | None = None
+    #: distributed jobs only: the replica set chosen at the latest
+    #: dispatch (every healthy, uncrowded candidate at that instant)
+    shard_nodes: tuple[str, ...] | None = None
 
     @property
     def tenant(self) -> str:

@@ -40,6 +40,7 @@ import dataclasses
 import itertools
 import typing as _t
 
+from repro.core.distributed import DistributedEngine, DistributedJob
 from repro.core.job import DataJob, JobResult
 from repro.core.loadbalance import (
     AdaptivePolicy,
@@ -48,7 +49,12 @@ from repro.core.loadbalance import (
     least_loaded,
 )
 from repro.core.offload import OffloadEngine
-from repro.errors import AdmissionError, OffloadTimeoutError, is_retryable
+from repro.errors import (
+    AdmissionError,
+    DistributedJobError,
+    OffloadTimeoutError,
+    is_retryable,
+)
 from repro.obs.slo import HealthReport, SLOPolicy, SLOTracker, build_health_report
 from repro.sched.cache import ResultCache
 from repro.sched.policies import OrderingPolicy, make_ordering
@@ -150,6 +156,9 @@ class ClusterScheduler:
         self.cluster = cluster
         self.sim = cluster.sim
         self.engine = OffloadEngine(cluster)
+        # shares the offload engine's inflight map so shard load is visible
+        # to every placement decision
+        self.dist_engine = DistributedEngine(cluster, inflight=self.engine.inflight)
         self.queue = JobQueue(make_ordering(ordering), limit=max_queue)
         self.policy = policy or AdaptivePolicy()
         if isinstance(self.policy, AdaptivePolicy) and self.policy.depth_source is None:
@@ -223,6 +232,46 @@ class ClusterScheduler:
         entry.queue_span = obs.span(
             "sched.queue", cat="sched", track=f"sched:j{seq}",
             app=job.app, tenant=job.tenant,
+        )
+        self._sample_depth()
+        self._wake.fire()
+        return done
+
+    def submit_distributed(self, job: DistributedJob) -> Event:
+        """Submit one distributed (sharded) job; fires with its result.
+
+        Distributed jobs skip the result cache (their placement depends on
+        the live replica set) and dispatch as ONE logical job whose shards
+        fan out over every healthy candidate SD node at dispatch time.
+        Individual shard-node failures are handled inside the
+        :class:`~repro.core.distributed.DistributedEngine` (whole-job
+        restart on the survivors); only when the entire replica set is
+        burned does the failure surface here, where the normal retry path
+        applies — ultimately falling back to a single-node partitioned run
+        on the host, which cannot silently die.
+        """
+        obs = self.sim.obs
+        done = Event(self.sim, name=f"sched.done:{job.app}")
+        seq = next(self._seq)
+        entry = QueuedJob(
+            job,
+            seq,
+            self.sim.now,
+            done,
+            candidates=self._candidates(job),
+            cache_key=None,
+        )
+        try:
+            self.queue.admit(entry)
+        except AdmissionError:
+            obs.count("sched.rejected")
+            self.rejected += 1
+            raise
+        obs.count("sched.admitted")
+        obs.count("sched.dist.submitted")
+        entry.queue_span = obs.span(
+            "sched.queue", cat="sched", track=f"sched:j{seq}",
+            app=job.app, tenant=job.tenant, distributed=True,
         )
         self._sample_depth()
         self._wake.fire()
@@ -307,6 +356,8 @@ class ClusterScheduler:
         self, entry: QueuedJob
     ) -> tuple[DataJob, Placement] | None:
         """Where ``entry`` should run now, or ``None`` if it must wait."""
+        if isinstance(entry.job, DistributedJob):
+            return self._distributed_placement(entry)
         host = self.cluster.host.name
         if not entry.force_host:
             names = [
@@ -341,6 +392,42 @@ class ClusterScheduler:
                 return None
         return job, placement
 
+    def _distributed_placement(
+        self, entry: QueuedJob
+    ) -> tuple[DistributedJob, Placement] | None:
+        """Placement for a distributed entry: the whole healthy replica set.
+
+        The lead node of the set is the Placement's nominal node (capacity
+        and pending bookkeeping hang off it); the full set rides on
+        ``entry.shard_nodes`` for the engine to shard over.
+        """
+        host = self.cluster.host.name
+        names: list[str] = []
+        if not entry.force_host:
+            names = [
+                c for c in entry.candidates
+                if c not in entry.excluded and c not in self.unhealthy
+            ]
+            if not names:
+                entry.force_host = True
+        if entry.force_host:
+            if self._occupancy(host) >= self.per_node_limit:
+                return None
+            return entry.job, Placement(
+                node=host, offload=False,
+                reason="sched: distributed job forced host",
+            )
+        eligible = [
+            c for c in names if self._occupancy(c) < self.per_node_limit
+        ]
+        if not eligible:
+            return None
+        entry.shard_nodes = tuple(eligible)
+        return entry.job, Placement(
+            node=eligible[0], offload=True,
+            reason=f"sched: distributed over {len(eligible)} SD node(s)",
+        )
+
     def _occupancy(self, node: str) -> int:
         """Jobs placed on (or dispatched toward) ``node`` right now."""
         return self.engine.inflight.get(node, 0) + self._pending.get(node, 0)
@@ -355,13 +442,12 @@ class ClusterScheduler:
             "sched.run", cat="sched", track=f"sched:j{entry.seq}",
             node=placement.node, attempt=entry.attempts,
         )
-        timeout = self.attempt_timeout if placement.offload else None
         try:
             try:
                 # engine.run registers the job in ``inflight`` synchronously,
                 # so the pending bridge count can drop in the same instant
                 try:
-                    running = self.engine.run(job, placement, timeout=timeout)
+                    running = self._launch(entry, job, placement)
                 finally:
                     self._pending[placement.node] -= 1
                 result = yield running
@@ -372,11 +458,45 @@ class ClusterScheduler:
             return
         self._on_success(entry, job, placement, result)
 
+    def _launch(
+        self, entry: QueuedJob, job: DataJob | DistributedJob,
+        placement: Placement,
+    ) -> Event:
+        """Start the right engine for ``job``; returns the running event."""
+        if isinstance(job, DistributedJob):
+            if placement.offload:
+                return self.dist_engine.run(
+                    job, nodes=entry.shard_nodes, timeout=self.attempt_timeout
+                )
+            # completion guarantee: the replica fleet is burned, so run the
+            # same work single-node on the host through the extended
+            # (partitioned) runtime
+            fallback = DataJob(
+                app=job.app,
+                input_path=job.input_path,
+                input_size=job.input_size,
+                mode="partitioned",
+                fragment_bytes=job.fragment_bytes,
+                params=dict(job.params),
+                tenant=job.tenant,
+            )
+            return self.engine.run(fallback, placement, timeout=None)
+        timeout = self.attempt_timeout if placement.offload else None
+        return self.engine.run(job, placement, timeout=timeout)
+
     def _on_failure(
         self, entry: QueuedJob, placement: Placement, exc: BaseException
     ) -> None:
         obs = self.sim.obs
         obs.count("sched.attempt_failures")
+        if isinstance(exc, DistributedJobError):
+            # the engine burned through these replicas already; keep them
+            # out of the next placement and quarantine deadline-missers
+            entry.excluded |= exc.excluded
+            for node in exc.timed_out:
+                if node not in self.unhealthy:
+                    self.unhealthy.add(node)
+                    obs.count("sched.node_unhealthy")
         if isinstance(exc, OffloadTimeoutError):
             # A deadline miss is the only liveness signal a dead daemon
             # gives: quarantine the node so the queue drains elsewhere.
@@ -433,8 +553,11 @@ class ClusterScheduler:
         obs.observe("sched.latency.queue", record.queue_wait)
         obs.observe("sched.latency.run", record.service)
         obs.observe("sched.latency.total", record.total)
+        if isinstance(job, DistributedJob):
+            obs.count("sched.dist.completed")
+            obs.count("sched.dist.shards", getattr(result, "n_shards", 1))
         self.slo.observe(job.tenant, now, record.total)
-        if self.cache is not None:
+        if self.cache is not None and entry.cache_key is not None:
             self.cache.put(entry.cache_key, result)
         entry.done.succeed(result)
         self._sample_depth()

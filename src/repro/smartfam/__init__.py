@@ -17,6 +17,7 @@ latencies, daemon dispatch overhead.
 """
 
 from repro.smartfam.daemon import HostSmartFAM, SDSmartFAM
+from repro.smartfam.distmod import dist_map, dist_merge, dist_reduce
 from repro.smartfam.logfile import LogFileCodec, LogRecord
 from repro.smartfam.registry import ModuleRegistry, standard_registry
 
@@ -27,4 +28,7 @@ __all__ = [
     "standard_registry",
     "SDSmartFAM",
     "HostSmartFAM",
+    "dist_map",
+    "dist_reduce",
+    "dist_merge",
 ]

@@ -107,10 +107,11 @@ def mapreduce_module(spec_factory: _t.Callable[[dict], MapReduceSpec]) -> Module
 
 
 def standard_registry() -> ModuleRegistry:
-    """The paper's three benchmarks, preloaded."""
+    """The paper's three benchmarks plus the distributed-plane modules."""
     from repro.apps.matmul import make_matmul_spec
     from repro.apps.stringmatch import make_stringmatch_spec
     from repro.apps.wordcount import make_wordcount_spec
+    from repro.smartfam.distmod import dist_map, dist_merge, dist_reduce
 
     reg = ModuleRegistry()
     reg.register("wordcount", mapreduce_module(lambda p: make_wordcount_spec()))
@@ -121,4 +122,7 @@ def standard_registry() -> ModuleRegistry:
             lambda p: make_matmul_spec(int(p.get("app", {}).get("n", 1024)))
         ),
     )
+    reg.register("dist_map", dist_map)
+    reg.register("dist_reduce", dist_reduce)
+    reg.register("dist_merge", dist_merge)
     return reg

@@ -31,8 +31,11 @@ def test_sd_export_prepared():
     sd = cluster.sd(0)
     assert sd.fs.exists("/export")
     assert sd.fs.exists("/export/sdlog")
-    # one preloaded log file per standard module
+    # one preloaded log file per standard module (apps + distributed plane)
     assert sorted(sd.fs.vfs.listdir("/export/sdlog")) == [
+        "dist_map.log",
+        "dist_merge.log",
+        "dist_reduce.log",
         "matmul.log",
         "stringmatch.log",
         "wordcount.log",

@@ -1,0 +1,82 @@
+"""Edge cases of :meth:`Testbed.stage_replicated`.
+
+Replication is not sharding: every replica must be the FULL dataset —
+declared size, payload and offset identical on every SD node — even when
+the size does not divide evenly by the fleet (no truncated tail on the
+last replica) and even when the fleet is a single node (the degenerate
+case is valid, not an error).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.testbed import Testbed
+from repro.config import table1_cluster
+from repro.errors import FileNotFoundInVFS
+from repro.phoenix import InputSpec
+from repro.units import MB
+
+
+def _bed(n_sd: int) -> Testbed:
+    return Testbed(config=table1_cluster(n_sd=n_sd, seed=0), seed=0)
+
+
+def test_uneven_size_leaves_full_copy_on_every_replica():
+    # a declared size that does not divide by the 4-node fleet: the tail
+    # replica must still carry the whole dataset, not the remainder
+    bed = _bed(4)
+    size = MB(10) + 3
+    payload = b"alpha beta gamma " * 100
+    inp = InputSpec(path="/data/u", size=size, payload=payload)
+    sd_view, sd_path = bed.stage_replicated("u", inp)
+    assert sd_view.size == size
+    for i in range(4):
+        node = bed.cluster.sd(i)
+        assert node.fs.vfs.read(sd_path) == payload
+        assert node.fs.vfs.size_of(sd_path) == size
+
+
+def test_offset_preserved_on_every_replica():
+    bed = _bed(2)
+    inp = InputSpec(path="/data/o", size=MB(2), payload=b"x y z", offset=7)
+    sd_view, sd_path = bed.stage_replicated("o", inp)
+    assert sd_view.offset == 7
+    # the staged copies themselves carry the same declared size
+    for i in range(2):
+        assert bed.cluster.sd(i).fs.vfs.size_of(sd_path) == MB(2)
+
+
+def test_single_replica_degenerate_case():
+    # one SD node: the single staged copy IS the replica set
+    bed = _bed(1)
+    inp = InputSpec(path="/data/s", size=MB(1), payload=b"solo")
+    sd_view, sd_path = bed.stage_replicated("s", inp)
+    assert sd_view.size == MB(1)
+    assert bed.sd.fs.vfs.read(sd_path) == b"solo"
+
+
+def test_n_replicas_limits_the_replica_set():
+    bed = _bed(4)
+    inp = InputSpec(path="/data/r", size=MB(1), payload=b"pair")
+    _, sd_path = bed.stage_replicated("r", inp, n_replicas=2)
+    assert bed.cluster.sd(0).fs.vfs.read(sd_path) == b"pair"
+    assert bed.cluster.sd(1).fs.vfs.read(sd_path) == b"pair"
+    for i in (2, 3):
+        with pytest.raises(FileNotFoundInVFS):
+            bed.cluster.sd(i).fs.vfs.read(sd_path)
+
+
+def test_n_replicas_clamped_to_fleet_and_floor():
+    bed = _bed(2)
+    inp = InputSpec(path="/data/c", size=MB(1), payload=b"clamp")
+    # far beyond the fleet: clamps to every SD node, no error
+    _, sd_path = bed.stage_replicated("c", inp, n_replicas=99)
+    for i in range(2):
+        assert bed.cluster.sd(i).fs.vfs.read(sd_path) == b"clamp"
+    # zero/negative clamps up to one replica (the first copy always lands)
+    bed2 = _bed(2)
+    _, sd_path2 = bed2.stage_replicated("c2", inp, n_replicas=0)
+    assert bed2.cluster.sd(0).fs.vfs.read(sd_path2) == b"clamp"
+    with pytest.raises(FileNotFoundInVFS):
+        bed2.cluster.sd(1).fs.vfs.read(sd_path2)

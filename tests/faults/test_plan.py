@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigError
-from repro.faults import FaultPlan, FaultRule, standard_engine_plan, standard_plan
+from repro.faults import (
+    FaultPlan,
+    FaultRule,
+    distributed_chaos_plan,
+    standard_engine_plan,
+    standard_plan,
+)
 
 
 # -- rule validation ---------------------------------------------------------
@@ -72,10 +78,23 @@ def test_plan_iterates_and_reports_sites():
     assert plan.sites() == ["a.x", "b.y"]
 
 
-@pytest.mark.parametrize("factory", [standard_plan, standard_engine_plan])
+@pytest.mark.parametrize(
+    "factory", [standard_plan, standard_engine_plan, distributed_chaos_plan]
+)
 def test_standard_plans_are_finite(factory):
     plan = factory(seed=3)
     assert len(plan) > 0
     assert plan.seed == 3
     # the chaos gate relies on every rule burning out: all counts finite
     assert all(rule.count is not None for rule in plan)
+
+
+def test_distributed_plan_fits_in_the_transfer_retry_budget():
+    # fail + drop + delay on consecutive exchange events: exactly what
+    # one transfer's bounded in-place retry (2 retries = 3 attempts,
+    # the engine default) absorbs without a whole-job restart
+    plan = distributed_chaos_plan()
+    assert [r.site for r in plan] == ["shuffle.exchange"] * 3
+    assert [r.action for r in plan] == ["fail", "drop", "delay"]
+    assert [r.after for r in plan] == [0, 1, 2]
+    assert sum(1 for r in plan if r.action in ("fail", "drop")) <= 2

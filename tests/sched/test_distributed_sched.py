@@ -1,0 +1,91 @@
+"""Distributed jobs through the cluster scheduler's control plane."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.cluster.testbed import Testbed
+from repro.config import table1_cluster
+from repro.core import DistributedEngine, DistributedJob
+from repro.sched import ClusterScheduler
+from repro.units import MB
+from repro.workloads import text_input
+
+SIZE = MB(20)
+
+
+def _bed():
+    bed = Testbed(config=table1_cluster(n_sd=4, seed=0), seed=0)
+    inp = text_input("/data/s", SIZE, payload_bytes=6_000, seed=9)
+    _, sd_path = bed.stage_replicated("s", inp)
+    return bed, sd_path
+
+
+def _job(sd_path, **kw):
+    return DistributedJob(
+        app="wordcount", input_path=sd_path, input_size=SIZE,
+        fragment_bytes=(SIZE + 3) // 4, **kw,
+    )
+
+
+def _reference(sd_path=None):
+    bed, path = _bed()
+    eng = DistributedEngine(bed.cluster)
+    res = bed.run(eng.run(_job(path), timeout=3600.0))
+    return res
+
+
+def test_submit_distributed_completes_and_counts():
+    ref = _reference()
+    bed, sd_path = _bed()
+    sched = ClusterScheduler(bed.cluster, attempt_timeout=3600.0, max_queue=4)
+    res = bed.run(sched.submit_distributed(_job(sd_path)))
+    assert pickle.dumps(res.output) == pickle.dumps(ref.output)
+    assert res.offloaded and res.n_shards == 4
+    counters = bed.sim.obs.metrics.snapshot()["counters"]
+    assert counters.get("sched.dist.submitted") == 1
+    assert counters.get("sched.dist.completed") == 1
+    assert counters.get("sched.dist.shards") == 4
+    # the control-plane record is duck-type compatible with DataJob results
+    assert sched.completed and sched.completed[0].where == res.merge_node
+
+
+def test_distributed_jobs_skip_the_result_cache():
+    bed, sd_path = _bed()
+    sched = ClusterScheduler(bed.cluster, attempt_timeout=3600.0, max_queue=4)
+    first = bed.run(sched.submit_distributed(_job(sd_path)))
+    second = bed.run(sched.submit_distributed(_job(sd_path)))
+    assert pickle.dumps(first.output) == pickle.dumps(second.output)
+    counters = bed.sim.obs.metrics.snapshot()["counters"]
+    assert counters.get("sched.cache.hit", 0) == 0
+
+
+def test_killed_shard_node_is_excluded_and_job_completes():
+    ref = _reference()
+    victim = ref.merge_node
+    kill_at = ref.timeline["map_done"] + 1e-3
+
+    bed, sd_path = _bed()
+    sched = ClusterScheduler(bed.cluster, attempt_timeout=5.0, max_queue=4)
+
+    def killer():
+        yield bed.sim.timeout(kill_at)
+        bed.cluster.sd_daemons[victim].kill()
+
+    bed.sim.spawn(killer(), name="killer")
+    res = bed.run(sched.submit_distributed(_job(sd_path)))
+    assert pickle.dumps(res.output) == pickle.dumps(ref.output)
+    assert victim not in res.shard_nodes
+
+
+def test_whole_fleet_dead_falls_back_to_host():
+    ref = _reference()
+    bed, sd_path = _bed()
+    sched = ClusterScheduler(
+        bed.cluster, attempt_timeout=2.0, max_queue=4, max_retries=1,
+    )
+    for name in list(bed.cluster.sd_daemons):
+        bed.cluster.sd_daemons[name].kill()
+    res = bed.run(sched.submit_distributed(_job(sd_path)))
+    assert pickle.dumps(res.output) == pickle.dumps(ref.output)
+    assert not res.offloaded and res.where == "host"

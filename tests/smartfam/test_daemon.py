@@ -172,5 +172,8 @@ def test_registry_rejects_bad_names():
 
 def test_standard_registry_contents():
     reg = standard_registry()
-    assert set(reg.names()) == {"wordcount", "stringmatch", "matmul"}
+    assert set(reg.names()) == {
+        "wordcount", "stringmatch", "matmul",
+        "dist_map", "dist_reduce", "dist_merge",
+    }
     assert "wordcount" in reg

@@ -12,7 +12,10 @@ def test_list_modules_matches_registry():
     def go():
         return (yield bed.cluster.channel().list_modules())
 
-    assert bed.run(go()) == ["matmul", "stringmatch", "wordcount"]
+    assert bed.run(go()) == [
+        "dist_map", "dist_merge", "dist_reduce",
+        "matmul", "stringmatch", "wordcount",
+    ]
 
 
 def test_list_modules_sees_extensions():

@@ -1,0 +1,118 @@
+"""Property: distributing one job across replicas never changes its answer.
+
+The PR-8 correctness claim, stated as hypothesis properties: for any
+random corpus, declared size and fragment size, the distributed engine's
+output at 1, 2 and 4 shards is byte-identical to the plain single-node
+partitioned run of the same job — for wordcount and stringmatch exactly,
+and for matmul on the assembled product matrix (the distributed plane
+keeps the single-node task grid, so even the float summation order
+matches).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.matmul import assemble_product, matmul_input
+from repro.cluster.testbed import Testbed
+from repro.config import table1_cluster
+from repro.core import DataJob, DistributedEngine, DistributedJob, OffloadEngine
+from repro.core.loadbalance import Placement
+from repro.phoenix import InputSpec
+from repro.units import MB
+
+_TIMEOUT = 3600.0
+
+words_st = st.lists(
+    st.sampled_from([b"alpha", b"beta", b"gamma", b"delta", b"with", b"z"]),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _flat_pairs(out: object) -> list:
+    pairs: list = []
+
+    def walk(x: object) -> None:
+        if isinstance(x, tuple) and len(x) == 2:
+            pairs.append(x)
+        elif isinstance(x, list):
+            for y in x:
+                walk(y)
+
+    walk(out)
+    return pairs
+
+
+def _canonical(app: str, output: object) -> bytes:
+    if app == "matmul":
+        return pickle.dumps(assemble_product(_flat_pairs(output)).tolist())
+    return pickle.dumps(output)
+
+
+def _single_node(app: str, inp: InputSpec, frag, mode, params) -> object:
+    bed = Testbed(config=table1_cluster(n_sd=1, seed=0), seed=0)
+    _, sd_path = bed.stage_replicated("prop", inp)
+    job = DataJob(
+        app=app, input_path=sd_path, input_size=inp.size, mode=mode,
+        fragment_bytes=frag, params=params,
+    )
+    eng = OffloadEngine(bed.cluster)
+    placement = Placement(node=bed.sd.name, offload=True, reason="property")
+    return bed.run(eng.run(job, placement)).output
+
+
+def _distributed(app: str, inp: InputSpec, frag, n_shards, params) -> object:
+    bed = Testbed(config=table1_cluster(n_sd=4, seed=0), seed=0)
+    _, sd_path = bed.stage_replicated("prop", inp)
+    job = DistributedJob(
+        app=app, input_path=sd_path, input_size=inp.size,
+        n_shards=n_shards, fragment_bytes=frag, params=params,
+    )
+    eng = DistributedEngine(bed.cluster)
+    return bed.run(eng.run(job, timeout=_TIMEOUT)).output
+
+
+def _assert_widths_agree(app: str, inp: InputSpec, frag, mode, params) -> None:
+    want = _canonical(app, _single_node(app, inp, frag, mode, params))
+    for n_shards in (1, 2, 4):
+        got = _canonical(app, _distributed(app, inp, frag, n_shards, params))
+        assert got == want, f"{app} diverged at {n_shards} shards"
+
+
+@given(
+    words=words_st,
+    size_mb=st.integers(min_value=2, max_value=60),
+    frag_div=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=8, deadline=None)
+def test_property_wordcount_distribution_is_transparent(words, size_mb, frag_div):
+    size = MB(size_mb)
+    inp = InputSpec(path="/data/prop", size=size, payload=b" ".join(words))
+    frag = max(1, size // frag_div)
+    _assert_widths_agree("wordcount", inp, frag, "partitioned", {})
+
+
+@given(
+    words=words_st,
+    size_mb=st.integers(min_value=2, max_value=60),
+    frag_div=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=8, deadline=None)
+def test_property_stringmatch_distribution_is_transparent(words, size_mb, frag_div):
+    size = MB(size_mb)
+    inp = InputSpec(path="/data/prop", size=size, payload=b" ".join(words))
+    frag = max(1, size // frag_div)
+    _assert_widths_agree("stringmatch", inp, frag, "partitioned", {})
+
+
+@given(
+    n=st.sampled_from([64, 128, 256]),
+    seed=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=6, deadline=None)
+def test_property_matmul_distribution_is_transparent(n, seed):
+    inp = matmul_input("/data/prop", n, payload_n=16, seed=seed)
+    _assert_widths_agree("matmul", inp, None, "parallel", {"n": n})

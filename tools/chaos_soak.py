@@ -51,7 +51,12 @@ for p in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
 from repro.apps.matmul import assemble_product, matmul_input  # noqa: E402
 from repro.cluster import Testbed  # noqa: E402
 from repro.config import table1_cluster  # noqa: E402
-from repro.core import DataJob, FaultTolerantInvoker  # noqa: E402
+from repro.core import (  # noqa: E402
+    DataJob,
+    DistributedEngine,
+    DistributedJob,
+    FaultTolerantInvoker,
+)
 from repro.sched import ClusterScheduler  # noqa: E402
 from repro.workloads import ArrivalProcess  # noqa: E402
 from repro.exec import LocalMapReduce  # noqa: E402
@@ -59,6 +64,7 @@ from repro.exec.outofcore import install_signal_cleanup, live_spill_dirs  # noqa
 from repro.faults import (  # noqa: E402
     FaultPlan,
     FaultRule,
+    distributed_chaos_plan,
     standard_engine_plan,
     standard_plan,
     transport_chaos_plan,
@@ -248,6 +254,114 @@ def sched_case(seed: int, quick: bool, trace_dir: str | None) -> list:
          not clean.failed and not clean.rejected
          and not clean_sched.unhealthy,
          f"{len(clean.completed)} clean completions"),
+    ]
+
+
+# -- distributed case --------------------------------------------------------
+
+#: per-attempt deadline while a shard's daemon may be dead (simulated s)
+DIST_TIMEOUT = 5.0
+
+
+def _dist_canonical(app: str, output: object) -> bytes:
+    """Like :func:`_canonical`, tolerant of nested identity-merged pairs.
+
+    A distributed matmul merge concatenates per-shard identity merges, so
+    the (row_start, block) pairs may arrive one list level deeper than
+    the single-node output; flatten before assembling the product.
+    """
+    if app != "matmul":
+        return pickle.dumps(output)
+    pairs: list = []
+
+    def walk(x: object) -> None:
+        if isinstance(x, tuple) and len(x) == 2:
+            pairs.append(x)
+        elif isinstance(x, list):
+            for y in x:
+                walk(y)
+
+    walk(output)
+    return pickle.dumps(assemble_product(pairs))
+
+
+def _dist_job(app: str, seed: int, quick: bool):
+    """A fresh 4-SD testbed with the input replicated on every node."""
+    bed = Testbed(config=table1_cluster(n_sd=4, seed=seed), seed=seed)
+    if app == "matmul":
+        n = 256 if quick else 512
+        inp = matmul_input("/data/dmm", n, payload_n=32, seed=seed)
+        frag, params = None, {"n": n}
+    else:
+        size = MB(40) if quick else MB(100)
+        inp = text_input("/data/df", size, payload_bytes=6_000, seed=seed)
+        frag, params = (inp.size + 3) // 4, {}
+    _, sd_path = bed.stage_replicated(f"d-{app}", inp)
+    job = DistributedJob(
+        app=app, input_path=sd_path, input_size=inp.size,
+        fragment_bytes=frag, params=params,
+    )
+    return bed, job
+
+
+def dist_case(app: str, seed: int, quick: bool, trace_dir: str | None) -> list:
+    """Kill one shard's SD node mid-shuffle; the job re-routes and completes.
+
+    Three runs: a clean one (the byte-identity baseline, which also
+    records when the map phase ends and which node hosts the merge), a
+    kill run where the merge node's daemon dies just as the exchange
+    begins (the engine must detect it by deadline, exclude it, and
+    restart the whole attempt on the survivors), and a shuffle-fault run
+    under :func:`distributed_chaos_plan` (every transfer fault must be
+    absorbed by the bounded in-place retry — no restart at all).
+    """
+    bed, job = _dist_job(app, seed, quick)
+    eng = DistributedEngine(bed.cluster)
+    clean = bed.run(eng.run(job, timeout=SIM_TIMEOUT))
+    baseline = _dist_canonical(app, clean.output)
+    victim = clean.merge_node
+    kill_at = clean.timeline["map_done"] + 1e-3
+
+    bed, job = _dist_job(app, seed, quick)
+    eng = DistributedEngine(bed.cluster)
+
+    def killer():
+        yield bed.sim.timeout(kill_at)
+        bed.cluster.sd_daemons[victim].kill()
+
+    bed.sim.spawn(killer(), name=f"chaos.kill-{victim}")
+    chaos = bed.run(eng.run(job, timeout=DIST_TIMEOUT))
+    output = _dist_canonical(app, chaos.output)
+
+    bed2, job2 = _dist_job(app, seed, quick)
+    injector = bed2.sim.install_faults(distributed_chaos_plan(seed))
+    eng2 = DistributedEngine(bed2.cluster)
+    absorbed = bed2.run(eng2.run(job2, timeout=SIM_TIMEOUT))
+    fired = injector.fired_by_site()
+    plan = distributed_chaos_plan(seed)
+
+    if trace_dir:
+        write_chrome(
+            bed.sim.obs,
+            os.path.join(trace_dir, f"chaos-dist-{app}.json"),
+            extra={"killed": victim, "kill_at": kill_at},
+        )
+    return [
+        ("output identical", output == baseline,
+         f"{len(baseline)} bytes after killing {victim} at "
+         f"t={kill_at:.3f}s"),
+        ("job re-routed",
+         chaos.attempts >= 2 and eng.restarts >= 1
+         and victim not in chaos.shard_nodes,
+         f"{chaos.attempts} attempts, {eng.restarts} restarts, "
+         f"rerun on {list(chaos.shard_nodes)}"),
+        ("recovery bounded", chaos.attempts <= eng.max_attempts,
+         f"{chaos.attempts} attempts <= {eng.max_attempts}"),
+        ("shuffle faults absorbed in place",
+         eng2.restarts == 0
+         and _dist_canonical(app, absorbed.output) == baseline
+         and injector.injections >= len(plan.rules),
+         f"fired {fired}, {eng2.restarts} restarts"),
     ]
 
 
@@ -462,6 +576,11 @@ def main(argv: list[str] | None = None) -> int:
     ]
     cases.append(("sched:kill-sd0",
                   lambda: sched_case(args.seed, args.quick, args.trace)))
+    cases += [
+        (f"dist:kill-shard:{app}",
+         lambda app=app: dist_case(app, args.seed, args.quick, args.trace))
+        for app in apps
+    ]
     cases.append(("engine:wordcount",
                   lambda: engine_case(args.seed, args.quick, args.trace)))
     cases.append(("transport:kill-midslot",

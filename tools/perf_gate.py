@@ -4,6 +4,7 @@
 Usage:  python tools/perf_gate.py [--quick] [--repeats N] [--out PATH]
         python tools/perf_gate.py [--quick] --real [--start-method M]
         python tools/perf_gate.py [--quick] --serving
+        python tools/perf_gate.py [--quick] --distributed
 
 Default mode runs the microbenchmark grid from
 ``benchmarks/bench_shuffle.py`` (engines x workloads x sizes), verifies on
@@ -32,6 +33,16 @@ all held in quick mode too because they run in deterministic simulated
 time: 2-SD throughput >= 1.5x 1-SD at equal offered load, weighted
 fair-share completed-work ratio within 20% of the configured weights,
 and result-cache hit/invalidate behaviour.
+
+``--distributed`` runs the distributed single-job suite from
+``benchmarks/bench_distributed.py`` (one job sharded across N SD
+replicas through ``DistributedEngine``) and writes
+``BENCH_distributed.json``.  Gates, all held in quick mode too because
+they run in deterministic simulated time: wordcount scaling >= 1.6x at
+2 shards and >= 2.5x at 4 over the 1-shard distributed run, width-1
+overhead within 5% of the plain single-node engine, and every
+distributed output (wordcount/stringmatch/matmul x 1/2/4 shards)
+byte-identical to the single-node run.
 
 Exit status:
     0  all outputs match (and every applicable perf gate holds)
@@ -278,6 +289,84 @@ def run_serving_gate(args) -> int:
     return 0
 
 
+def run_distributed_gate(args) -> int:
+    """The ``--distributed`` path: sharded-job suite -> BENCH_distributed.json."""
+    from benchmarks.bench_distributed import (
+        SCALE_GATES,
+        WIDTH1_OVERHEAD_GATE,
+        run_distributed_suite,
+    )
+
+    t0 = time.perf_counter()
+    payload = run_distributed_suite(quick=args.quick)
+    elapsed = time.perf_counter() - t0
+    payload["elapsed_s"] = round(elapsed, 3)
+    payload["environment"] = environment_provenance()
+
+    out = args.out or os.path.join(_REPO_ROOT, "BENCH_distributed.json")
+    with open(out, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+    scaling = payload["scaling"]
+    for r in scaling["runs"]:
+        gate = f"(gate >= {r['gate']}x)" if r["gate"] else "(baseline)"
+        print(
+            f"distributed x{r['n_shards']}: {r['elapsed_s']:.3f}s sim => "
+            f"{r['speedup_vs_x1']:.2f}x {gate}; shuffle "
+            f"{r['shuffle_bytes']} B / {r['shuffle_transfers']} transfers, "
+            f"merge@{r['merge_node']}"
+        )
+    print(
+        f"width-1 overhead: {scaling['width1_overhead']:.1%} over single-node "
+        f"{scaling['single_node_s']:.3f}s (gate <= "
+        f"{WIDTH1_OVERHEAD_GATE:.0%})"
+    )
+    ident = payload["identity"]
+    bad = [r for r in ident["rows"] if not r["identical"]]
+    print(
+        f"identity: {len(ident['rows']) - len(bad)}/{len(ident['rows'])} "
+        "app x width outputs byte-identical to single-node"
+    )
+    print(f"wrote {out} ({elapsed:.1f}s)")
+
+    if not payload["all_identical"]:
+        for r in bad:
+            print(
+                f"FAIL: {r['app']} x{r['n_shards']}: distributed output "
+                "differs from single-node", file=sys.stderr,
+            )
+        for r in scaling["runs"]:
+            if not r["identical"]:
+                print(
+                    f"FAIL: wordcount x{r['n_shards']} (scaling case): "
+                    "distributed output differs from single-node",
+                    file=sys.stderr,
+                )
+        return 1
+    failures = []
+    for r in scaling["runs"]:
+        if r["gate"] and r["speedup_vs_x1"] < r["gate"]:
+            failures.append(
+                f"x{r['n_shards']} speedup {r['speedup_vs_x1']:.2f}x < "
+                f"{r['gate']}x"
+            )
+    if scaling["width1_overhead"] > WIDTH1_OVERHEAD_GATE:
+        failures.append(
+            f"width-1 overhead {scaling['width1_overhead']:.1%} > "
+            f"{WIDTH1_OVERHEAD_GATE:.0%}"
+        )
+    if failures:
+        for msg in failures:
+            print(f"GATE: {msg}", file=sys.stderr)
+        return 2
+    print(
+        f"distributed gates hold: >= {SCALE_GATES[2]}x at 2 shards, "
+        f">= {SCALE_GATES[4]}x at 4, outputs byte-identical"
+    )
+    return 0
+
+
 def _maybe_dump(rc: int, args) -> int:
     """On gate failure with ``--dump-dir``, write black boxes; passthrough rc."""
     if rc != 0 and args.dump_dir:
@@ -304,6 +393,10 @@ def main(argv: list[str] | None = None) -> int:
         help="gate the cluster scheduler's serving suite instead",
     )
     ap.add_argument(
+        "--distributed", action="store_true",
+        help="gate the distributed single-job (sharded) suite instead",
+    )
+    ap.add_argument(
         "--start-method", default=None,
         choices=("fork", "forkserver", "spawn"),
         help="(--real only) multiprocessing start method for the engine",
@@ -327,14 +420,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
 
-    if args.real and args.serving:
-        ap.error("--real and --serving are mutually exclusive")
+    if sum((args.real, args.serving, args.distributed)) > 1:
+        ap.error("--real, --serving and --distributed are mutually exclusive")
     if args.dump_dir:
         _flight.install_default()
     if args.real:
         return _maybe_dump(run_real_gate(args), args)
     if args.serving:
         return _maybe_dump(run_serving_gate(args), args)
+    if args.distributed:
+        return _maybe_dump(run_distributed_gate(args), args)
     if args.out is None:
         args.out = os.path.join(_REPO_ROOT, "BENCH_shuffle.json")
 

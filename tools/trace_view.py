@@ -31,7 +31,13 @@ Reads either export format (Chrome-trace/Perfetto JSON or JSONL, see
   ``sched.queue_depth`` series, admissions/rejections, per-tenant
   completions, cache hit rate, and latency percentiles from the
   ``sched.*`` counters and histograms) whenever the trace came from a
-  run served through ``ClusterScheduler``.
+  run served through ``ClusterScheduler``;
+* a distributed section (``shuffle.bytes`` / ``shuffle.partitions`` /
+  ``shuffle.transfers`` and the ``dist.*`` invoke/restart counters)
+  whenever the trace came from a ``DistributedEngine`` run — the
+  ``shuffle.exchange`` leg itself lands on the job's ``dist:*`` track,
+  so ``critpath --containment --root dist.job`` shows the exchange on
+  the critical path when it dominates.
 
 Times are primary-clock seconds: simulated seconds for simulator traces,
 wall seconds for real-engine and benchmark traces.
@@ -131,6 +137,24 @@ def reliability_view(metrics: dict) -> str:
     width = max(len(name) for name, _ in rows)
     lines = ["reliability counters", "-" * max(20, width + 8)]
     lines += [f"{name:<{width}} {value:>7}" for name, value in rows]
+    return "\n".join(lines)
+
+
+def distributed_view(metrics: dict) -> str:
+    """The shuffle/dist counter table ("" when no distributed run)."""
+    counters = metrics.get("counters") or {}
+    rows = sorted(
+        (name, value)
+        for name, value in counters.items()
+        if name.startswith(("shuffle.", "dist."))
+    )
+    if not rows:
+        return ""
+    width = max(len(name) for name, _ in rows)
+    lines = ["distributed shuffle", "-" * max(20, width + 10)]
+    for name, value in rows:
+        unit = " B" if name == "shuffle.bytes" else ""
+        lines.append(f"{name:<{width}} {int(value):>9}{unit}")
     return "\n".join(lines)
 
 
@@ -237,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
     metrics = load_metrics(args.trace)
     reliability = reliability_view(metrics)
     scheduler = scheduler_view(metrics, load_series(args.trace))
+    distributed = distributed_view(metrics)
     if view == "critpath":
         if args.containment:
             cp = job_critical_path(
@@ -256,6 +281,8 @@ def main(argv: list[str] | None = None) -> int:
         print("\n" + reliability)
     if scheduler:
         print("\n" + scheduler)
+    if distributed:
+        print("\n" + distributed)
     return 0
 
 
