@@ -15,6 +15,13 @@ Two cases, both in simulated time (deterministic, seconds of wall clock):
   single-node partitioned run of the same job (matmul compared on the
   assembled product matrix, whose blocking is the same global task grid
   by construction).
+* **recovery** — a reduce-owning node is killed mid-exchange at 4
+  shards, once under the partial-restart engine and once in legacy
+  whole-job-restart mode.  Both must produce the byte-identical output;
+  the partial restart's added recovery time must be <= 0.5x what the
+  whole-job restart adds.  A second scenario kills and revives an SD
+  daemon under a heartbeat-enabled ``ClusterScheduler`` and proves the
+  node rejoins through probation and serves a canary job again.
 
 ``run_distributed_suite`` returns the JSON payload for
 ``tools/perf_gate.py --distributed`` (gates architectural, so they hold
@@ -37,6 +44,7 @@ from repro.workloads import text_input
 __all__ = [
     "SCALE_GATES",
     "WIDTH1_OVERHEAD_GATE",
+    "RECOVERY_GATE",
     "run_distributed_suite",
 ]
 
@@ -45,6 +53,9 @@ SCALE_GATES = {2: 1.6, 4: 2.5}
 #: the 1-shard distributed run may cost at most this fraction over the
 #: plain single-node partitioned engine (the plane's fixed overhead)
 WIDTH1_OVERHEAD_GATE = 0.05
+#: a partial restart after one mid-exchange node kill may add at most
+#: this fraction of the time a whole-job restart adds (4 shards)
+RECOVERY_GATE = 0.5
 
 #: generous per-job deadline — nothing dies in this benchmark
 _TIMEOUT = 3600.0
@@ -183,20 +194,191 @@ def identity_case(quick: bool = False) -> dict:
     }
 
 
+# -- recovery -----------------------------------------------------------------
+
+
+def _rejoin_demo() -> dict:
+    """Kill a daemon under a heartbeat scheduler, revive it, and prove it
+    rejoins through probation and serves a canary job again."""
+    from repro.core.loadbalance import AlwaysOffloadPolicy
+    from repro.sched import ClusterScheduler
+    from repro.sched.health import HEALTHY, PROBATION, QUARANTINED
+
+    bed = Testbed(config=table1_cluster(n_sd=2, seed=0), seed=0)
+    inp = text_input("/data/rejoin", MB(20), payload_bytes=6_000, seed=5)
+    _, sd_path = bed.stage_replicated("rejoin", inp)
+    sched = ClusterScheduler(
+        bed.cluster, policy=AlwaysOffloadPolicy(), cache=None,
+        attempt_timeout=30.0, heartbeat=True,
+    )
+    timeline: dict[str, float] = {}
+
+    def driver():
+        yield bed.sim.timeout(2.0)
+        bed.cluster.sd_daemons["sd0"].kill()
+        for _ in range(200):
+            if sched.health.state["sd0"] == QUARANTINED:
+                break
+            yield bed.sim.timeout(0.25)
+        else:
+            return None
+        timeline["quarantined_at"] = bed.sim.now
+        bed.cluster.sd_daemons["sd0"].revive()
+        for _ in range(200):
+            if sched.health.state["sd0"] == PROBATION:
+                break
+            yield bed.sim.timeout(0.25)
+        else:
+            return None
+        timeline["probation_at"] = bed.sim.now
+        # the canary: one job pinned to the rejoining node
+        job = DataJob(
+            app="wordcount", input_path=sd_path, input_size=inp.size,
+            mode="parallel", sd_node="sd0",
+        )
+        res = yield sched.submit(job)
+        timeline["canary_done_at"] = bed.sim.now
+        return res
+
+    res = bed.run(driver())
+    counters = bed.sim.obs.metrics.snapshot()["counters"]
+    final = sched.health.state["sd0"]
+    ok = (
+        res is not None
+        and res.where == "sd0"
+        and final == HEALTHY
+        and counters.get("node.quarantined", 0) >= 1
+        and counters.get("node.rejoined", 0) >= 1
+    )
+    return {
+        "node": "sd0",
+        "quarantined_at_s": round(timeline.get("quarantined_at", -1.0), 3),
+        "probation_at_s": round(timeline.get("probation_at", -1.0), 3),
+        "canary_done_at_s": round(timeline.get("canary_done_at", -1.0), 3),
+        "final_state": final,
+        "quarantines": int(counters.get("node.quarantined", 0)),
+        "rejoins": int(counters.get("node.rejoined", 0)),
+        "gate_ok": ok,
+    }
+
+
+def recovery_case(quick: bool = False) -> dict:
+    """One node dies mid-exchange at 4 shards: the partial-restart engine's
+    added recovery time must be <= ``RECOVERY_GATE`` of what the legacy
+    whole-job restart adds, with byte-identical output either way; plus
+    the heartbeat quarantine -> probation -> rejoin demonstration."""
+    factory, _, frag, _, params = _inputs("wordcount", quick)
+
+    def fresh():
+        bed = Testbed(config=table1_cluster(n_sd=4, seed=0), seed=0)
+        inp = factory()
+        _, sd_path = bed.stage_replicated("dist", inp)
+        job = DistributedJob(
+            app="wordcount", input_path=sd_path, input_size=inp.size,
+            n_shards=4, fragment_bytes=frag, params=params,
+        )
+        return bed, job
+
+    bed, job = fresh()
+    eng = DistributedEngine(bed.cluster)
+    clean = bed.run(eng.run(job, timeout=_TIMEOUT))
+    canon = _canonical("wordcount", clean.output)
+    # a reduce owner that is not the merge node: its partition must be
+    # re-reduced on a survivor, so both engines do real recovery work
+    owners = [n for n in clean.reduce_nodes.values() if n != clean.merge_node]
+    victim = owners[0] if owners else clean.merge_node
+    kill_at = (clean.timeline["map_done"] + clean.timeline["exchange_done"]) / 2
+
+    def chaos(partial: bool):
+        bed2, job2 = fresh()
+        eng2 = DistributedEngine(bed2.cluster, partial_restart=partial)
+
+        def killer():
+            yield bed2.sim.timeout(kill_at)
+            bed2.cluster.sd_daemons[victim].kill()
+
+        bed2.sim.spawn(killer(), name=f"bench.kill-{victim}")
+        res = bed2.run(eng2.run(job2, timeout=5.0))
+        return eng2, res
+
+    eng_p, res_p = chaos(partial=True)
+    eng_f, res_f = chaos(partial=False)
+
+    def added(res):
+        """Recovery time: failure detection -> job done.
+
+        Detection (the invoke deadline on the dead daemon) costs the
+        same in both modes; what the gate compares is the re-derivation
+        work after it.
+        """
+        detect = min(f["at"] for f in res.recovery["failures"])
+        return max(res.elapsed - detect, 0.0)
+
+    partial_added = added(res_p)
+    full_added = max(added(res_f), 1e-9)
+    ratio = partial_added / full_added
+    identical = (
+        _canonical("wordcount", res_p.output) == canon
+        and _canonical("wordcount", res_f.output) == canon
+    )
+    rejoin = _rejoin_demo()
+    return {
+        "killed": victim,
+        "kill_at_s": round(kill_at, 4),
+        "clean_s": round(clean.elapsed, 4),
+        "detected_at_s": round(
+            min(f["at"] for f in res_p.recovery["failures"]), 4
+        ),
+        "partial": {
+            "elapsed_s": round(res_p.elapsed, 4),
+            "recovery_s": round(partial_added, 4),
+            "attempts": res_p.attempts,
+            "partial_restarts": eng_p.partial_restarts,
+            "full_restarts": eng_p.full_restarts,
+        },
+        "whole_job": {
+            "elapsed_s": round(res_f.elapsed, 4),
+            "recovery_s": round(full_added, 4),
+            "attempts": res_f.attempts,
+            "full_restarts": eng_f.full_restarts,
+        },
+        "recovery_ratio": round(ratio, 4),
+        "recovery_gate": RECOVERY_GATE,
+        "all_identical": identical,
+        "rejoin": rejoin,
+        "gate_ok": (
+            identical
+            and ratio <= RECOVERY_GATE
+            and res_p.attempts == 1
+            and eng_p.full_restarts == 0
+            and eng_f.full_restarts >= 1
+            and rejoin["gate_ok"]
+        ),
+    }
+
+
 # -- suite --------------------------------------------------------------------
 
 
 def run_distributed_suite(quick: bool = False) -> dict:
-    """Both cases; the ``BENCH_distributed.json`` payload."""
+    """All three cases; the ``BENCH_distributed.json`` payload."""
     scaling = scaling_case(quick)
     identity = identity_case(quick)
+    recovery = recovery_case(quick)
     return {
         "benchmark": "distributed: one job sharded across N SD replicas",
         "mode": "quick" if quick else "full",
         "scaling": scaling,
         "identity": identity,
-        "all_identical": scaling["all_identical"] and identity["gate_ok"],
-        "gate_ok": scaling["gate_ok"] and identity["gate_ok"],
+        "recovery": recovery,
+        "all_identical": (
+            scaling["all_identical"]
+            and identity["gate_ok"]
+            and recovery["all_identical"]
+        ),
+        "gate_ok": (
+            scaling["gate_ok"] and identity["gate_ok"] and recovery["gate_ok"]
+        ),
     }
 
 

@@ -32,6 +32,7 @@ from repro.core.loadbalance import (
     Placement,
     PlacementPolicy,
 )
+from repro.core.artifacts import AttemptManifest, MapArtifact
 from repro.core.cmdline import parse_command, run_command
 from repro.core.distributed import (
     DistPlan,
@@ -40,6 +41,7 @@ from repro.core.distributed import (
     DistributedResult,
     ShardAssignment,
     ShardFragment,
+    SpeculationPolicy,
     plan_distribution,
 )
 from repro.core.failover import Attempt, FaultTolerantInvoker
@@ -67,6 +69,9 @@ __all__ = [
     "DistPlan",
     "ShardAssignment",
     "ShardFragment",
+    "SpeculationPolicy",
+    "AttemptManifest",
+    "MapArtifact",
     "plan_distribution",
     "parse_command",
     "run_command",

@@ -5,7 +5,7 @@ multiple McSD smart disks", Section VI), following the independent
 blocks-per-node model: the input is staged *replicated* on every SD node
 (:meth:`~repro.cluster.testbed.Testbed.stage_replicated`), so any subset
 of nodes can run any subset of the work — which is also what makes
-whole-job restarts on the survivors possible after a shard node dies.
+fine-grained recovery on the survivors possible after a shard node dies.
 
 One distributed run has four phases:
 
@@ -17,8 +17,9 @@ One distributed run has four phases:
 2. **map** — every shard node runs map + combine over its local
    fragments via its own smartFAM channel (``dist_map``), persists its
    intermediate data *partitioned by the crc32 shuffle hash*
-   (:func:`~repro.phoenix.sort.partition_decorated`) under
-   ``/export/shuffle/<job>/``, and returns only per-partition metadata;
+   (:func:`~repro.phoenix.sort.partition_decorated`) as crc32-framed
+   shuffle artifacts under ``/export/shuffle/<job>/``, and returns only
+   per-partition metadata;
 3. **exchange** — each partition is routed to the shard node already
    holding the most bytes of it (minimum transfer); the other shards'
    buckets cross the simulated fabric (``kind="shuffle"``), with byte
@@ -33,12 +34,21 @@ per-fragment outputs gather directly at the minimum-transfer node and
 concatenate in global fragment order — byte-identical to the single-node
 extended runtime by construction, because the fragment plan is the same.
 
-Fault tolerance is restart-on-survivors: a shard whose daemon misses its
-deadline excludes that node and re-plans the whole job on the remaining
-replicas (each attempt uses a fresh shuffle directory, so a half-dead
-attempt cannot contaminate the retry).  When no replicas remain the
-engine raises :class:`~repro.errors.DistributedJobError` — retryable, so
-the cluster scheduler can fall back to a single-node host run.
+Fault tolerance is **partial restart first** (ISSUE 9): every durable
+intermediate is registered in a per-attempt
+:class:`~repro.core.artifacts.AttemptManifest`, so when a shard dies the
+engine invalidates only what that node held, reassigns its shards to
+survivors, and re-runs exactly the missing work — exchange transfers
+already received at their owners are deduplicated by
+``(owner, shard, partition)`` id.  A straggling map shard gets a
+*speculative duplicate* on a spare replica (:class:`SpeculationPolicy`);
+first result wins, the loser is cancelled, and duplicates are safe
+because reduce inputs are keyed by partition id, not arrival.  Whole-job
+restart (fresh plan, fresh shuffle dir) remains the escalation path when
+no artifacts survive or the partial-recovery budget is exhausted; when no
+replicas remain at all the engine raises
+:class:`~repro.errors.DistributedJobError` — retryable, so the cluster
+scheduler can fall back to a single-node host run.
 """
 
 from __future__ import annotations
@@ -49,11 +59,14 @@ import math
 import typing as _t
 
 from repro.apps import spec_for_app
+from repro.core.artifacts import AttemptManifest
 from repro.errors import (
     DistributedJobError,
+    InterruptError,
     NetworkError,
     OffloadError,
     OffloadTimeoutError,
+    ShuffleArtifactError,
     is_retryable,
     mark_retryable,
 )
@@ -71,6 +84,7 @@ __all__ = [
     "DistPlan",
     "ShardAssignment",
     "ShardFragment",
+    "SpeculationPolicy",
     "plan_distribution",
     "DistributedEngine",
 ]
@@ -117,6 +131,38 @@ class DistPlan:
     n_fragments: int
 
 
+@dataclasses.dataclass(frozen=True)
+class SpeculationPolicy:
+    """When to launch a duplicate of a straggling map shard.
+
+    A shard becomes a straggler once it has run longer than
+    ``multiplier`` times the median of this phase's completed shard
+    durations (and, when tracing has accumulated a ``dist.latency.map``
+    histogram, longer than its ``percentile``-th percentile, whichever
+    threshold is tighter).  Speculation waits for ``min_done`` completions
+    first (default: a majority of the phase's shards) so the threshold
+    has signal, launches at most one duplicate per shard, and only uses
+    replicas with no in-flight map work.
+    """
+
+    enabled: bool = True
+    multiplier: float = 1.5
+    percentile: float = 95.0
+    min_done: int | None = None
+    #: floor for the straggler threshold (absorbs near-zero medians)
+    min_wait: float = 0.05
+
+    def threshold(self, durations: list, histogram=None) -> float | None:
+        """The straggler cutoff given completed durations (None: no signal)."""
+        if not durations:
+            return None
+        med = sorted(durations)[len(durations) // 2]
+        thr = self.multiplier * max(med, 1e-9)
+        if histogram is not None and histogram.count >= 8:
+            thr = min(thr, max(histogram.percentile(self.percentile), self.min_wait))
+        return max(thr, self.min_wait)
+
+
 @dataclasses.dataclass
 class DistributedJob:
     """One logical job to be sharded across the SD replica set.
@@ -159,6 +205,10 @@ class DistributedResult:
     #: absolute sim times of phase completions (chaos windows key off this)
     timeline: dict
     plan: DistPlan | None = dataclasses.field(default=None, repr=False)
+    #: the committed attempt's shuffle-dir id (``<app>-<seq>a<attempt>``)
+    job_id: str = ""
+    #: recovery accounting: partial/full restarts, dedup, speculation, failures
+    recovery: dict = dataclasses.field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -270,10 +320,13 @@ def plan_distribution(
 class _ShardFailure(Exception):
     """Internal: one shard node failed its invocation (carries the cause)."""
 
-    def __init__(self, node: str, cause: BaseException):
-        super().__init__(f"shard on {node} failed: {cause!r}")
+    def __init__(self, node: str, cause: BaseException, phase: str = "?"):
+        super().__init__(f"shard on {node} failed at {phase}: {cause!r}")
         self.node = node
         self.cause = cause
+        self.phase = phase
+        #: whether this failure was already recorded in the recovery log
+        self.noted = False
 
 
 class DistributedEngine:
@@ -292,6 +345,16 @@ class DistributedEngine:
     transfer_retries:
         In-place retries per exchange transfer before the attempt is
         abandoned and the job restarts.
+    partial_restart:
+        When True (default), a failed shard invalidates only its own
+        artifacts in the attempt manifest and the attempt resumes from
+        what survives; False restores the PR-8 whole-job restart.
+    speculation:
+        :class:`SpeculationPolicy` for straggling map shards (None uses
+        the defaults; ``SpeculationPolicy(enabled=False)`` turns it off).
+    max_rebuilds:
+        Corrupt-artifact rebuilds tolerated per attempt before escalating
+        to a whole-job restart.
     """
 
     def __init__(
@@ -301,6 +364,9 @@ class DistributedEngine:
         max_attempts: int = 3,
         transfer_retries: int = 2,
         backoff: float = 0.1,
+        partial_restart: bool = True,
+        speculation: SpeculationPolicy | None = None,
+        max_rebuilds: int = 3,
     ):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -308,10 +374,27 @@ class DistributedEngine:
         self.max_attempts = max(1, max_attempts)
         self.transfer_retries = max(0, transfer_retries)
         self.backoff = backoff
-        #: distributed jobs started / whole-job restarts (stats)
+        self.partial_restart = partial_restart
+        self.speculation = speculation if speculation is not None else SpeculationPolicy()
+        self.max_rebuilds = max(0, max_rebuilds)
+        #: distributed jobs started (stats)
         self.jobs = 0
-        self.restarts = 0
+        #: whole-job restarts (fresh plan + shuffle dir)
+        self.full_restarts = 0
+        #: in-attempt partial restarts (manifest-driven recovery passes)
+        self.partial_restarts = 0
+        #: exchange transfers skipped because their copy already landed
+        self.dedup_transfers = 0
+        #: speculative duplicates launched / won / cancelled
+        self.spec_launched = 0
+        self.spec_won = 0
+        self.spec_cancelled = 0
         self._seq = itertools.count(1)
+
+    @property
+    def restarts(self) -> int:
+        """Total restarts of either kind (legacy stat)."""
+        return self.full_restarts + self.partial_restarts
 
     # -- public entry point -------------------------------------------------
 
@@ -326,7 +409,7 @@ class DistributedEngine:
         ``nodes`` restricts the candidate replica set (default: every SD
         node holding the input).  ``timeout`` bounds each smartFAM
         invocation — the liveness signal that turns a dead shard daemon
-        into an excluded node and a restart on the survivors.
+        into an excluded node and a recovery pass on the survivors.
         """
         return self.sim.spawn(self._run(job, nodes, timeout), name=f"dist:{job.app}")
 
@@ -349,6 +432,31 @@ class DistributedEngine:
             out.append(name)
         return out
 
+    def _record_failure(
+        self, recovery: dict, node: str, phase: str, cause: BaseException
+    ) -> None:
+        recovery["failures"].append(
+            {
+                "node": node,
+                "phase": phase,
+                "cause": type(cause).__name__,
+                "attempt": recovery.get("attempt", 0),
+                "at": round(self.sim.now, 6),
+            }
+        )
+        self.sim.obs.count(f"dist.fail.{phase}")
+
+    def _note_failure(self, recovery: dict, fail: _ShardFailure) -> None:
+        """Record a shard failure once: the breakdown log + exclusion sets."""
+        if fail.noted:
+            return
+        fail.noted = True
+        self._record_failure(recovery, fail.node, fail.phase, fail.cause)
+        if not isinstance(fail.cause, ShuffleArtifactError):
+            recovery["excluded"].add(fail.node)
+            if isinstance(fail.cause, OffloadTimeoutError):
+                recovery["timed_out"].add(fail.node)
+
     def _run(
         self,
         job: DistributedJob,
@@ -360,53 +468,110 @@ class DistributedEngine:
         self.jobs += 1
         obs.count("dist.jobs")
         track = f"dist:{job.app}#{seq}"
-        excluded: set[str] = set()
-        timed_out: set[str] = set()
         last: BaseException | None = None
         t0 = self.sim.now
+        recovery: dict = {
+            "excluded": set(),
+            "timed_out": set(),
+            "failures": [],
+            "attempt": 0,
+            "partial_restarts": 0,
+            "dedup_transfers": 0,
+            "spec_launched": 0,
+            "spec_won": 0,
+            "spec_cancelled": 0,
+        }
         with obs.span(
             "dist.job", cat="dist", track=track, force=True,
             app=job.app, input_bytes=job.input_size,
         ) as root:
             for attempt in range(self.max_attempts):
-                cand = self._candidates(job, nodes, excluded)
+                cand = self._candidates(job, nodes, recovery["excluded"])
                 if not cand:
                     break
                 job_id = f"{job.app}-{seq}a{attempt}"
+                recovery["attempt"] = attempt
                 try:
-                    result = yield from self._attempt(job, cand, job_id, timeout, track)
+                    result = yield from self._attempt(
+                        job, cand, job_id, timeout, track, recovery
+                    )
                 except _ShardFailure as fail:
                     if not is_retryable(fail.cause):
                         raise fail.cause
-                    excluded.add(fail.node)
-                    if isinstance(fail.cause, OffloadTimeoutError):
-                        timed_out.add(fail.node)
+                    self._note_failure(recovery, fail)
                     last = fail.cause
-                    self.restarts += 1
+                    self.full_restarts += 1
+                    obs.count("dist.restart.full")
                     obs.count("dist.restarts")
                     continue
                 except Exception as exc:
                     if not is_retryable(exc):
                         raise
                     last = exc
-                    self.restarts += 1
+                    self.full_restarts += 1
+                    obs.count("dist.restart.full")
                     obs.count("dist.restarts")
                     continue
                 result.attempts = attempt + 1
                 result.elapsed = self.sim.now - t0
+                result.job_id = job_id
+                result.recovery = {
+                    "partial_restarts": recovery["partial_restarts"],
+                    "full_restarts": attempt,
+                    "dedup_transfers": recovery["dedup_transfers"],
+                    "speculation": {
+                        "launched": recovery["spec_launched"],
+                        "won": recovery["spec_won"],
+                        "cancelled": recovery["spec_cancelled"],
+                    },
+                    "failures": list(recovery["failures"]),
+                }
                 root.set(
                     shards=result.n_shards,
                     attempts=result.attempts,
                     merge_node=result.merge_node,
                     shuffle_bytes=result.shuffle_bytes,
+                    partial_restarts=recovery["partial_restarts"],
                 )
+                if attempt > 0:
+                    self._cleanup_prior_attempts(job, seq, attempt, nodes)
                 return result
         err = DistributedJobError(
-            job.app, self.max_attempts, excluded=excluded, timed_out=timed_out
+            job.app,
+            self.max_attempts,
+            excluded=recovery["excluded"],
+            timed_out=recovery["timed_out"],
+            failures=recovery["failures"],
         )
         if last is not None:
             err.__cause__ = last
         raise err
+
+    def _cleanup_prior_attempts(
+        self, job: DistributedJob, seq: int, final_attempt: int,
+        nodes: _t.Sequence[str] | None,
+    ) -> None:
+        """Remove abandoned attempts' shuffle dirs once a later one commits.
+
+        Host-driven VFS teardown, so it works even on nodes whose daemons
+        are dead or excluded — exactly the nodes that leak directories.
+        """
+        pool = list(nodes) if nodes is not None else [
+            n.name for n in self.cluster.sd_nodes
+        ]
+        cleaned = 0
+        for attempt in range(final_attempt):
+            stale = f"/export/shuffle/{job.app}-{seq}a{attempt}"
+            for name in pool:
+                try:
+                    vfs = self.cluster.node(name).fs.vfs
+                except Exception:
+                    continue
+                if vfs.exists(stale):
+                    vfs.rmtree(stale)
+                    cleaned += 1
+        if cleaned:
+            self.sim.obs.count("dist.shuffle.cleaned", cleaned)
 
     # -- one attempt --------------------------------------------------------
 
@@ -417,7 +582,16 @@ class DistributedEngine:
         job_id: str,
         timeout: float | None,
         track: str,
+        recovery: dict,
     ) -> _t.Generator:
+        """One attempt = a fixpoint loop of recovery passes over a manifest.
+
+        Each pass runs exactly the work whose artifacts are missing; a
+        failed shard invalidates what it held, reassigns to survivors,
+        and loops.  The pass budget bounds pathological schedules — when
+        it is exhausted (or no survivors remain) the attempt escalates to
+        the whole-job restart loop in :meth:`_run`.
+        """
         sim, cluster = self.sim, self.cluster
         obs = sim.obs
         first = cluster.node(cand[0])
@@ -430,10 +604,12 @@ class DistributedEngine:
             sp.set(shards=len(plan.shards), partitions=plan.n_partitions, kind=plan.kind)
         obs.count("dist.shards", len(plan.shards))
         shuffle_dir = f"/export/shuffle/{job_id}"
-        order = {s.node: s.index for s in plan.shards}
+        rank = {name: i for i, name in enumerate(cand)}
         timeline: dict[str, float] = {"started": sim.now}
-        shuffle_bytes = 0
-        shuffle_transfers = 0
+        acc = {"bytes": 0, "transfers": 0}
+        alive = set(cand)
+        assignment = {s.index: s.node for s in plan.shards}
+        manifest = AttemptManifest()
 
         base = {
             "job_id": job_id,
@@ -448,195 +624,320 @@ class DistributedEngine:
             "total_fragments": plan.n_fragments,
             "shuffle_dir": shuffle_dir,
         }
+        params_by_shard = {
+            s.index: dict(
+                base,
+                shard_index=s.index,
+                shard_size=s.size,
+                fragments=[[f.size, f.p0, f.p1, f.index] for f in s.fragments],
+            )
+            for s in plan.shards
+        }
 
-        # ---- map: every shard maps + combines its fragments locally
-        metas: dict[str, dict] = {}
-        with obs.span("dist.map", cat="dist", track=track, force=True) as sp:
-            procs = []
-            for shard in plan.shards:
-                params = dict(
-                    base,
-                    shard_index=shard.index,
-                    shard_size=shard.size,
-                    fragments=[[f.size, f.p0, f.p1, f.index] for f in shard.fragments],
-                )
-                procs.append(
-                    sim.spawn(
-                        self._invoke_on(shard.node, "dist_map", params, timeout, "map"),
-                        name=f"dist-map:{shard.node}",
+        rebuilds = 0
+        max_passes = len(cand) + self.max_rebuilds + 2
+        for pass_no in itertools.count():
+            if pass_no >= max_passes:
+                raise mark_retryable(
+                    OffloadError(
+                        f"distributed job {job.app!r}: partial recovery "
+                        f"exceeded {max_passes} passes in attempt {job_id!r}"
                     )
                 )
-            gathered = yield sim.all_of(procs)
-            for proc in procs:
-                node_name, ok, value = gathered[proc]
-                if not ok:
-                    raise _ShardFailure(node_name, value)
-                metas[node_name] = value
-            sp.set(shards=len(plan.shards))
-        timeline["map_done"] = sim.now
+            try:
+                return (
+                    yield from self._attempt_pass(
+                        job, plan, shuffle_dir, base, params_by_shard,
+                        alive, assignment, manifest, rank, timeout, track,
+                        timeline, acc, recovery,
+                    )
+                )
+            except _ShardFailure as fail:
+                if not self.partial_restart or not is_retryable(fail.cause):
+                    raise
+                self._note_failure(recovery, fail)
+                if isinstance(fail.cause, ShuffleArtifactError):
+                    rebuilds += 1
+                    if rebuilds > self.max_rebuilds:
+                        raise  # escalate: this attempt cannot converge
+                    manifest.invalidate_artifact(fail.cause)
+                else:
+                    alive.discard(fail.node)
+                    if not alive:
+                        raise  # no survivors: whole-job restart decides
+                    manifest.invalidate_node(fail.node)
+                    self._reassign(assignment, alive, rank)
+                recovery["partial_restarts"] += 1
+                self.partial_restarts += 1
+                obs.count("dist.restart.partial")
+
+    def _reassign(self, assignment: dict, alive: set, rank: dict) -> None:
+        """Move dead nodes' shards to the least-loaded survivors."""
+        load = {name: 0 for name in alive}
+        for node in assignment.values():
+            if node in load:
+                load[node] += 1
+        for i in sorted(assignment):
+            if assignment[i] in alive:
+                continue
+            target = min(load, key=lambda nm: (load[nm], rank[nm]))
+            assignment[i] = target
+            load[target] += 1
+
+    # -- one recovery pass --------------------------------------------------
+
+    def _attempt_pass(
+        self,
+        job: DistributedJob,
+        plan: DistPlan,
+        shuffle_dir: str,
+        base: dict,
+        params_by_shard: dict,
+        alive: set,
+        assignment: dict,
+        manifest: AttemptManifest,
+        rank: dict,
+        timeout: float | None,
+        track: str,
+        timeline: dict,
+        acc: dict,
+        recovery: dict,
+    ) -> _t.Generator:
+        sim = self.sim
+        obs = sim.obs
+
+        # ---- map: only the shards whose artifacts are missing
+        todo = [s.index for s in plan.shards if s.index not in manifest.maps]
+        if todo:
+            with obs.span("dist.map", cat="dist", track=track, force=True) as sp:
+                yield from self._map_phase(
+                    todo, params_by_shard, alive, assignment, manifest, rank,
+                    timeout, recovery,
+                )
+                sp.set(shards=len(todo))
+            timeline["map_done"] = sim.now
+        timeline.setdefault("map_done", sim.now)
 
         reduce_nodes: dict[int, str] = {}
         parts_for_merge: list[dict] = []
         if plan.exchange:
-            # ---- exchange: route each partition to its max-bytes owner
-            by_part: dict[int, dict[str, dict]] = {
+            # ---- exchange: route each partition to its max-bytes owner,
+            # skipping partitions already reduced and copies already received
+            by_part: dict[int, dict[int, dict]] = {
                 p: {} for p in range(plan.n_partitions)
             }
-            for shard in plan.shards:
-                for p, info in (metas[shard.node].get("partitions") or {}).items():
-                    by_part[int(p)][shard.node] = info
+            for i, art in manifest.maps.items():
+                for p, info in art.partitions.items():
+                    by_part[int(p)][i] = info
             with obs.span(
                 "shuffle.exchange", cat="dist", track=track, force=True
             ) as sp:
                 transfers = []
+                deduped = 0
                 for p in range(plan.n_partitions):
                     srcs = by_part[p]
                     if not srcs:
                         continue
-                    owner = max(
-                        srcs, key=lambda nm: (int(srcs[nm]["bytes"]), -order[nm])
-                    )
+                    already = manifest.reduced.get(p)
+                    if already is not None:
+                        reduce_nodes[p] = already["node"]
+                        continue
+                    per_node: dict[str, int] = {}
+                    for i, info in srcs.items():
+                        nm = manifest.maps[i].node
+                        per_node[nm] = per_node.get(nm, 0) + int(info["bytes"])
+                    # the owner runs dist_reduce, so it needs a live daemon;
+                    # dead nodes still count as transfer *sources* (their
+                    # disks stay host-readable)
+                    live = {nm: b for nm, b in per_node.items() if nm in alive}
+                    if live:
+                        owner = max(live, key=lambda nm: (live[nm], -rank[nm]))
+                    else:
+                        owner = min(alive, key=lambda nm: rank[nm])
                     reduce_nodes[p] = owner
-                    for shard in plan.shards:
-                        info = srcs.get(shard.node)
-                        if info is None or shard.node == owner:
+                    for i in sorted(srcs):
+                        info = srcs[i]
+                        if manifest.maps[i].node == owner:
+                            continue
+                        key = (owner, i, p)
+                        dst = f"{shuffle_dir}/rx/p{p}.s{i}"
+                        if key in manifest.received:
+                            deduped += 1
                             continue
                         transfers.append(
                             (
-                                shard.node,
+                                manifest.maps[i].node,
                                 owner,
                                 info["path"],
-                                f"{shuffle_dir}/rx/p{p}.s{shard.index}",
+                                dst,
                                 max(1, int(info["bytes"])),
                                 p,
+                                key,
                             )
                         )
-                moved = yield from self._run_transfers(transfers)
-                shuffle_bytes += moved
-                shuffle_transfers += len(transfers)
+                moved = yield from self._run_transfers([t[:6] for t in transfers])
+                for t in transfers:
+                    manifest.received[t[6]] = t[3]
+                if deduped:
+                    self.dedup_transfers += deduped
+                    recovery["dedup_transfers"] += deduped
+                    obs.count("dist.transfer.dedup", deduped)
+                acc["bytes"] += moved
+                acc["transfers"] += len(transfers)
                 obs.count("shuffle.partitions", len(reduce_nodes))
                 sp.set(
-                    bytes=moved, transfers=len(transfers), partitions=len(reduce_nodes)
+                    bytes=moved, transfers=len(transfers),
+                    partitions=len(reduce_nodes), deduped=deduped,
                 )
             timeline["exchange_done"] = sim.now
 
-            # ---- reduce: each owner reduces its merged partition runs
+            # ---- reduce: each owner reduces its still-missing partitions
             by_owner: dict[str, list[int]] = {}
             for p, owner in sorted(reduce_nodes.items()):
-                by_owner.setdefault(owner, []).append(p)
-            total_entries = sum(
-                int(metas[s.node].get("entries") or 0) for s in plan.shards
-            )
-            reduced: dict[int, dict] = {}
+                if p not in manifest.reduced:
+                    by_owner.setdefault(owner, []).append(p)
+            total_entries = sum(a.entries for a in manifest.maps.values())
             with obs.span("dist.reduce", cat="dist", track=track, force=True) as sp:
                 procs = []
                 for owner, parts in by_owner.items():
                     pspecs = []
                     for p in parts:
                         sources = []
-                        for shard in plan.shards:
-                            info = by_part[p].get(shard.node)
-                            if info is None:
-                                continue
+                        for i in sorted(by_part[p]):
+                            info = by_part[p][i]
                             path = (
                                 info["path"]
-                                if shard.node == owner
-                                else f"{shuffle_dir}/rx/p{p}.s{shard.index}"
+                                if manifest.maps[i].node == owner
+                                else f"{shuffle_dir}/rx/p{p}.s{i}"
                             )
                             sources.append(
                                 {
                                     "path": path,
                                     "bytes": int(info["bytes"]),
                                     "entries": int(info["entries"]),
+                                    "shard": i,
+                                    "partition": p,
                                 }
                             )
                         pspecs.append({"index": p, "sources": sources})
                     params = dict(base, partitions=pspecs, total_entries=total_entries)
                     procs.append(
                         sim.spawn(
-                            self._invoke_on(owner, "dist_reduce", params, timeout, "reduce"),
+                            self._invoke_on(
+                                owner, "dist_reduce", params, timeout, "reduce"
+                            ),
                             name=f"dist-reduce:{owner}",
                         )
                     )
                 if procs:
                     gathered = yield sim.all_of(procs)
+                    failure: _ShardFailure | None = None
+                    # register every success before raising, so the failed
+                    # owner's partitions are the only ones re-reduced
                     for proc in procs:
                         node_name, ok, value = gathered[proc]
-                        if not ok:
-                            raise _ShardFailure(node_name, value)
-                        for p, info in (value.get("partitions") or {}).items():
-                            reduced[int(p)] = dict(info, node=node_name)
-                sp.set(partitions=len(reduced), owners=len(by_owner))
+                        if ok:
+                            for p, info in (value.get("partitions") or {}).items():
+                                manifest.reduced[int(p)] = dict(info, node=node_name)
+                        elif failure is None:
+                            failure = _ShardFailure(node_name, value, phase="reduce")
+                    if failure is not None:
+                        raise failure
+                sp.set(partitions=len(manifest.reduced), owners=len(by_owner))
             timeline["reduce_done"] = sim.now
 
             # ---- merge placement: the owner holding the most reduced bytes
+            reduced = manifest.reduced
             if reduced:
                 local: dict[str, int] = {}
                 for info in reduced.values():
                     local[info["node"]] = local.get(info["node"], 0) + int(info["bytes"])
-                merge_node = max(local, key=lambda nm: (local[nm], -order[nm]))
+                merge_node = max(local, key=lambda nm: (local[nm], -rank[nm]))
             else:
-                merge_node = plan.shards[0].node
+                merge_node = min(alive, key=lambda nm: rank[nm])
             gather = []
             for p in sorted(reduced):
                 info = reduced[p]
                 if info["node"] == merge_node:
                     parts_for_merge.append(
-                        {"path": info["path"], "bytes": int(info["bytes"])}
+                        {"path": info["path"], "bytes": int(info["bytes"]),
+                         "partition": p}
                     )
                 else:
                     dst = f"{shuffle_dir}/final/p{p}"
-                    gather.append(
-                        (
-                            info["node"],
-                            merge_node,
-                            info["path"],
-                            dst,
-                            max(1, int(info["bytes"])),
-                            p,
+                    key = (merge_node, "p", p)
+                    if key not in manifest.gathered:
+                        gather.append(
+                            (
+                                info["node"],
+                                merge_node,
+                                info["path"],
+                                dst,
+                                max(1, int(info["bytes"])),
+                                p,
+                                key,
+                            )
                         )
+                    parts_for_merge.append(
+                        {"path": dst, "bytes": int(info["bytes"]), "partition": p}
                     )
-                    parts_for_merge.append({"path": dst, "bytes": int(info["bytes"])})
             if gather:
                 with obs.span(
                     "shuffle.gather", cat="dist", track=track, force=True
                 ) as sp:
-                    moved = yield from self._run_transfers(gather)
-                    shuffle_bytes += moved
-                    shuffle_transfers += len(gather)
+                    moved = yield from self._run_transfers([t[:6] for t in gather])
+                    for t in gather:
+                        manifest.gathered[t[6]] = t[3]
+                    acc["bytes"] += moved
+                    acc["transfers"] += len(gather)
                     sp.set(bytes=moved, transfers=len(gather))
         else:
             # ---- map-only: gather fragment outputs in global order at the
             # node already holding the most output bytes (minimum transfer)
             all_parts = []
-            for shard in plan.shards:
-                for part in metas[shard.node].get("parts") or []:
+            for i, art in manifest.maps.items():
+                for part in art.parts:
                     all_parts.append(
-                        (int(part["index"]), shard.node, part["path"], int(part["bytes"]))
+                        (int(part["index"]), art.node, part["path"],
+                         int(part["bytes"]), i)
                     )
             all_parts.sort()
             local = {}
-            for _, nm, _, nbytes in all_parts:
-                local[nm] = local.get(nm, 0) + nbytes
+            for _, nm, _, nbytes, _ in all_parts:
+                if nm in alive:  # dist_merge needs a live daemon
+                    local[nm] = local.get(nm, 0) + nbytes
             merge_node = (
-                max(local, key=lambda nm: (local[nm], -order[nm]))
+                max(local, key=lambda nm: (local[nm], -rank[nm]))
                 if local
-                else plan.shards[0].node
+                else min(alive, key=lambda nm: rank[nm])
             )
             transfers = []
-            for gi, nm, path, nbytes in all_parts:
+            deduped = 0
+            for gi, nm, path, nbytes, i in all_parts:
                 if nm == merge_node:
-                    parts_for_merge.append({"path": path, "bytes": nbytes})
+                    parts_for_merge.append({"path": path, "bytes": nbytes, "shard": i})
                 else:
                     dst = f"{shuffle_dir}/final/part{gi}"
-                    transfers.append((nm, merge_node, path, dst, max(1, nbytes), gi))
-                    parts_for_merge.append({"path": dst, "bytes": nbytes})
+                    key = (merge_node, "part", gi)
+                    if key in manifest.gathered:
+                        deduped += 1
+                    else:
+                        transfers.append(
+                            (nm, merge_node, path, dst, max(1, nbytes), gi, key)
+                        )
+                    parts_for_merge.append({"path": dst, "bytes": nbytes, "shard": i})
             with obs.span(
                 "shuffle.exchange", cat="dist", track=track, force=True
             ) as sp:
-                moved = yield from self._run_transfers(transfers)
-                shuffle_bytes += moved
-                shuffle_transfers += len(transfers)
+                moved = yield from self._run_transfers([t[:6] for t in transfers])
+                for t in transfers:
+                    manifest.gathered[t[6]] = t[3]
+                if deduped:
+                    self.dedup_transfers += deduped
+                    recovery["dedup_transfers"] += deduped
+                    obs.count("dist.transfer.dedup", deduped)
+                acc["bytes"] += moved
+                acc["transfers"] += len(transfers)
                 sp.set(bytes=moved, transfers=len(transfers), partitions=0)
             timeline["exchange_done"] = sim.now
             timeline["reduce_done"] = sim.now
@@ -651,7 +952,7 @@ class DistributedEngine:
                 name=f"dist-merge:{merge_node}",
             )
             if not ok:
-                raise _ShardFailure(node_name, value)
+                raise _ShardFailure(node_name, value, phase="merge")
         timeline["merge_done"] = sim.now
 
         return DistributedResult(
@@ -659,16 +960,189 @@ class DistributedEngine:
             output=value.get("output"),
             elapsed=sim.now - timeline["started"],
             n_shards=len(plan.shards),
-            shard_nodes=[s.node for s in plan.shards],
+            # where each shard's committed map artifact actually lives — a
+            # dead mapper whose artifact was reused still shows up here
+            shard_nodes=[
+                manifest.maps[s.index].node
+                if s.index in manifest.maps
+                else assignment[s.index]
+                for s in plan.shards
+            ],
             reduce_nodes=reduce_nodes,
             merge_node=merge_node,
             n_partitions=plan.n_partitions,
-            shuffle_bytes=shuffle_bytes,
-            shuffle_transfers=shuffle_transfers,
+            shuffle_bytes=acc["bytes"],
+            shuffle_transfers=acc["transfers"],
             attempts=1,
             timeline=timeline,
             plan=plan,
         )
+
+    # -- map phase with speculation -----------------------------------------
+
+    def _map_phase(
+        self,
+        todo: list,
+        params_by_shard: dict,
+        alive: set,
+        assignment: dict,
+        manifest: AttemptManifest,
+        rank: dict,
+        timeout: float | None,
+        recovery: dict,
+    ) -> _t.Generator:
+        """Run ``todo`` map shards, speculating duplicates of stragglers.
+
+        First result per shard wins and is committed to the manifest; the
+        losing duplicate is interrupted — safe, because an interrupted
+        invocation simply reports an :class:`InterruptError` result that
+        is dropped here, and because reduce inputs are keyed by partition
+        id a late duplicate artifact can never double-count.
+        """
+        sim = self.sim
+        obs = sim.obs
+        pol = self.speculation
+        pending: dict = {}  # proc -> (shard_index, node, is_spec)
+        start: dict[int, float] = {}
+        for i in todo:
+            node = assignment[i]
+            proc = sim.spawn(
+                self._invoke_on(node, "dist_map", params_by_shard[i], timeout, "map"),
+                name=f"dist-map:{node}",
+            )
+            pending[proc] = (i, node, False)
+            start[i] = sim.now
+        durations: list[float] = []
+        resolved: set[int] = set()
+        speculated: set[int] = set()
+        min_done = (
+            pol.min_done if pol.min_done is not None else max(1, (len(todo) + 1) // 2)
+        )
+
+        while pending:
+            threshold = None
+            if pol.enabled and len(durations) >= min_done:
+                threshold = pol.threshold(
+                    durations,
+                    histogram=obs.metrics.histograms.get("dist.latency.map"),
+                )
+            if threshold is not None:
+                self._launch_speculation(
+                    pending, start, speculated, threshold, alive, rank,
+                    params_by_shard, timeout, recovery,
+                )
+            waits = list(pending)
+            delay = self._next_straggler_check(pending, start, speculated, threshold)
+            if delay is not None:
+                yield sim.any_of(waits + [sim.timeout(delay)])
+            else:
+                yield sim.any_of(waits)
+
+            abort: _ShardFailure | None = None
+            for proc in [p for p in waits if p.triggered]:
+                i, node, is_spec = pending.pop(proc)
+                if not proc.ok:
+                    continue  # a cancelled duplicate unwinding
+                node_name, ok, value = proc.value
+                if i in resolved:
+                    continue  # late duplicate: winner already committed
+                if ok:
+                    resolved.add(i)
+                    dur = sim.now - start[i]
+                    durations.append(dur)
+                    obs.observe("dist.latency.map", dur)
+                    if is_spec:
+                        self.spec_won += 1
+                        recovery["spec_won"] += 1
+                        obs.count("spec.won")
+                    assignment[i] = node_name
+                    manifest.register_map(i, node_name, value)
+                    # cancel the losing copy still in flight
+                    for other, (oi, _onode, _ospec) in list(pending.items()):
+                        if oi != i:
+                            continue
+                        del pending[other]
+                        if not other.triggered:
+                            other.interrupt("speculation resolved")
+                        self.spec_cancelled += 1
+                        recovery["spec_cancelled"] += 1
+                        obs.count("spec.cancelled")
+                else:
+                    if isinstance(value, InterruptError):
+                        continue  # our own cancellation, not a verdict
+                    sibling = any(oi == i for (oi, _, _) in pending.values())
+                    if not sibling and abort is None:
+                        abort = _ShardFailure(node_name, value, phase="map")
+            if abort is not None:
+                # stop the phase; unfinished shards stay unregistered and
+                # re-run on the next recovery pass
+                for other in list(pending):
+                    if not other.triggered:
+                        other.interrupt("map phase aborted")
+                pending.clear()
+                raise abort
+
+    def _launch_speculation(
+        self,
+        pending: dict,
+        start: dict,
+        speculated: set,
+        threshold: float,
+        alive: set,
+        rank: dict,
+        params_by_shard: dict,
+        timeout: float | None,
+        recovery: dict,
+    ) -> None:
+        sim = self.sim
+        obs = sim.obs
+        busy = {node for (_, node, _) in pending.values()}
+        overdue = sorted(
+            (
+                (i, node)
+                for (i, node, is_spec) in pending.values()
+                if not is_spec
+                and i not in speculated
+                # inclusive: the straggler-check timer fires at exactly
+                # start + threshold, and that firing must launch
+                and sim.now - start[i] >= threshold
+            ),
+            key=lambda t: start[t[0]],
+        )
+        for i, node in overdue:
+            spares = sorted(
+                (nm for nm in alive if nm not in busy and nm != node),
+                key=lambda nm: rank[nm],
+            )
+            if not spares:
+                return
+            spare = spares[0]
+            proc = sim.spawn(
+                self._invoke_on(spare, "dist_map", params_by_shard[i], timeout, "map"),
+                name=f"dist-map-spec:{spare}",
+            )
+            pending[proc] = (i, spare, True)
+            speculated.add(i)
+            busy.add(spare)
+            self.spec_launched += 1
+            recovery["spec_launched"] += 1
+            obs.count("spec.launched")
+
+    def _next_straggler_check(
+        self, pending: dict, start: dict, speculated: set, threshold: float | None
+    ) -> float | None:
+        """Sim-time until the next unspeculated primary crosses the cutoff."""
+        if threshold is None:
+            return None
+        now = self.sim.now
+        waits = [
+            start[i] + threshold - now
+            for (i, _node, is_spec) in pending.values()
+            if not is_spec and i not in speculated
+        ]
+        # overdue-but-unspeculated shards (no spare) wait for a completion
+        waits = [w for w in waits if w > 0]
+        return min(waits) if waits else None
 
     # -- building blocks ----------------------------------------------------
 

@@ -35,6 +35,7 @@ __all__ = [
     "IntegrityError",
     "OffloadError",
     "OffloadTimeoutError",
+    "ShuffleArtifactError",
     "DistributedJobError",
     "PlacementError",
     "AdmissionError",
@@ -282,6 +283,41 @@ class OffloadTimeoutError(OffloadError):
         self.timeout = timeout
 
 
+class ShuffleArtifactError(OffloadError):
+    """A crc32-framed shuffle artifact failed its integrity check.
+
+    Transient: map shards are deterministic, so the distributed engine
+    invalidates the corrupt artifact in the attempt manifest and rebuilds
+    exactly the lost pieces (a partial restart), escalating to a whole-job
+    restart only when the rebuild budget is exhausted.  ``shard`` and
+    ``partition`` attribute the frame back to its producer when known.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        path: str,
+        shard: int | None = None,
+        partition: int | None = None,
+        detail: str = "",
+    ):
+        where = ", ".join(
+            f"{label} {value}"
+            for label, value in (("shard", shard), ("partition", partition))
+            if value is not None
+        )
+        super().__init__(
+            f"shuffle artifact {path!r}"
+            + (f" ({where})" if where else "")
+            + " failed its crc32 frame check"
+            + (f": {detail}" if detail else "")
+        )
+        self.path = path
+        self.shard = shard
+        self.partition = partition
+
+
 class DistributedJobError(OffloadError):
     """A distributed (sharded) job ran out of healthy shard nodes.
 
@@ -289,12 +325,16 @@ class DistributedJobError(OffloadError):
     retry the job on the surviving replicas or fall back to a single-node
     run on the host.  ``excluded`` names the shard nodes the engine gave
     up on; ``timed_out`` the subset whose daemons missed a deadline (the
-    quarantine signal).
+    quarantine signal); ``failures`` is the structured per-shard history —
+    one ``{"node", "phase", "cause", "attempt", "at"}`` dict per observed
+    failure — that :meth:`breakdown` renders for log lines.
     """
 
     retryable = True
 
-    def __init__(self, app: str, attempts: int, excluded=(), timed_out=()):
+    def __init__(
+        self, app: str, attempts: int, excluded=(), timed_out=(), failures=()
+    ):
         super().__init__(
             f"distributed job {app!r} failed after {attempts} attempt(s); "
             f"excluded nodes: {sorted(excluded) or 'none'}"
@@ -303,6 +343,20 @@ class DistributedJobError(OffloadError):
         self.attempts = attempts
         self.excluded = set(excluded)
         self.timed_out = set(timed_out)
+        self.failures = list(failures)
+
+    def breakdown(self, limit: int = 4) -> str:
+        """Compact ``phase@node:Cause`` rendering of the failure history."""
+        if not self.failures:
+            return "no recorded failures"
+        parts = [
+            f"{f.get('phase', '?')}@{f.get('node', '?')}:{f.get('cause', '?')}"
+            for f in self.failures[:limit]
+        ]
+        extra = len(self.failures) - limit
+        if extra > 0:
+            parts.append(f"+{extra} more")
+        return ", ".join(parts)
 
 
 class PlacementError(McSDError):

@@ -20,6 +20,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultRule,
     distributed_chaos_plan,
+    recovery_chaos_plan,
     standard_engine_plan,
     standard_plan,
     transport_chaos_plan,
@@ -35,4 +36,5 @@ __all__ = [
     "standard_engine_plan",
     "transport_chaos_plan",
     "distributed_chaos_plan",
+    "recovery_chaos_plan",
 ]

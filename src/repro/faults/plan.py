@@ -53,6 +53,17 @@ site                      hook
                           partition transfer (src, dst, partition,
                           nbytes); fail/drop cost one bounded in-place
                           retry, delay adds wire latency
+``shuffle.artifact``      :mod:`repro.smartfam.distmod` durable shuffle
+                          frames (node, op, shard, partition, path);
+                          *corrupt* on ``op="write"`` flips framed bytes
+                          on disk (caught later by the reader's crc),
+                          fail/drop/corrupt on ``op="read"`` raise
+                          :class:`~repro.errors.ShuffleArtifactError`
+                          (partial rebuild of just that artifact),
+                          delay stalls the read
+``heartbeat.drop``        SD daemon heartbeat loop (node); drop/fail
+                          swallow one ping (the detector's phi rises),
+                          delay postpones it
 ========================  ============================================
 """
 
@@ -72,6 +83,7 @@ __all__ = [
     "standard_engine_plan",
     "transport_chaos_plan",
     "distributed_chaos_plan",
+    "recovery_chaos_plan",
 ]
 
 ACTIONS = ("fail", "drop", "delay", "corrupt", "kill")
@@ -204,6 +216,27 @@ def distributed_chaos_plan(seed: int = 0) -> FaultPlan:
             FaultRule("shuffle.exchange", action="drop", count=1, after=1),
             FaultRule("shuffle.exchange", action="delay", count=1, after=2,
                       delay=0.05),
+        ),
+        seed=seed,
+    )
+
+
+def recovery_chaos_plan(seed: int = 0) -> FaultPlan:
+    """The chaos plan for fine-grained recovery (``shuffle.artifact``).
+
+    One shuffle artifact corrupted *as it is written* — the frame's crc
+    no longer matches, so the damage is persistent on disk and escapes
+    the channel-level retry.  A hardened engine detects it at read time
+    (:class:`~repro.errors.ShuffleArtifactError`), invalidates exactly
+    that artifact in the attempt manifest, and re-derives it via a
+    partial restart: byte-identical output, zero full restarts.
+    """
+    return FaultPlan(
+        rules=(
+            FaultRule(
+                "shuffle.artifact", action="corrupt", count=1,
+                where={"op": "write"},
+            ),
         ),
         seed=seed,
     )

@@ -280,6 +280,22 @@ class VFS:
         node.nlink = 0
         self._emit(EV_DELETE, norm, node)
 
+    def rmtree(self, path: str) -> int:
+        """Remove a file or a directory tree recursively; returns inodes removed.
+
+        Children are unlinked before their parent, so every removal goes
+        through :meth:`unlink` (and its ``EV_DELETE`` notifications — cache
+        invalidation and inotify watches see the teardown file by file).
+        """
+        norm = _p.normalize(path)
+        node = self.resolve(norm)
+        removed = 0
+        if node.is_dir:
+            for name in sorted(node.children or {}):
+                removed += self.rmtree(_p.join(norm, name))
+        self.unlink(norm)
+        return removed + 1
+
     def walk(self, top: str = "/") -> _t.Iterator[tuple[str, Inode]]:
         """Depth-first (path, inode) traversal in sorted order."""
         top = _p.normalize(top)

@@ -10,6 +10,11 @@ See ``DESIGN.md`` §11 for the lifecycle and policy table.
 """
 
 from repro.sched.cache import ResultCache
+from repro.sched.health import (
+    HeartbeatConfig,
+    NodeHealthTracker,
+    PhiAccrualDetector,
+)
 from repro.sched.policies import (
     FairShareOrdering,
     FIFOOrdering,
@@ -31,4 +36,7 @@ __all__ = [
     "QueuedJob",
     "ClusterScheduler",
     "CompletedJob",
+    "HeartbeatConfig",
+    "NodeHealthTracker",
+    "PhiAccrualDetector",
 ]

@@ -47,6 +47,10 @@ class QueuedJob:
     #: distributed jobs only: the replica set chosen at the latest
     #: dispatch (every healthy, uncrowded candidate at that instant)
     shard_nodes: tuple[str, ...] | None = None
+    #: structured per-shard failure records from the most recent failed
+    #: attempt (``DistributedJobError.failures``) — what the force-host
+    #: log line and trace_view surface as the "why"
+    last_failures: list = dataclasses.field(default_factory=list)
 
     @property
     def tenant(self) -> str:

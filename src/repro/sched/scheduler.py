@@ -57,6 +57,7 @@ from repro.errors import (
 )
 from repro.obs.slo import HealthReport, SLOPolicy, SLOTracker, build_health_report
 from repro.sched.cache import ResultCache
+from repro.sched.health import HeartbeatConfig, NodeHealthTracker
 from repro.sched.policies import OrderingPolicy, make_ordering
 from repro.sched.queue import JobQueue, QueuedJob
 from repro.sim.events import Event
@@ -66,6 +67,20 @@ if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.builder import BuiltCluster
 
 __all__ = ["CompletedJob", "ClusterScheduler"]
+
+
+def _failure_summary(failures: list, limit: int = 3) -> str:
+    """Compact ``phase@node:Cause`` rendering of shard-failure records."""
+    if not failures:
+        return ""
+    parts = [
+        f"{f.get('phase', '?')}@{f.get('node', '?')}:{f.get('cause', '?')}"
+        for f in failures[:limit]
+    ]
+    extra = len(failures) - limit
+    if extra > 0:
+        parts.append(f"+{extra} more")
+    return ", ".join(parts)
 
 
 @dataclasses.dataclass
@@ -138,6 +153,16 @@ class ClusterScheduler:
         ready tracker).  Every completion and permanent failure feeds the
         tracker; :meth:`health_report` snapshots it.  ``None`` (default)
         still tracks latencies, just with no objective to verdict against.
+    heartbeat:
+        ``True`` or a :class:`~repro.sched.health.HeartbeatConfig` starts
+        the failure detector: every SD daemon pings the host over the
+        fabric and a :class:`~repro.sched.health.NodeHealthTracker` turns
+        inter-arrival gaps into phi-accrual suspicion.  Suspected nodes
+        are avoided (not torn down), quarantined nodes leave the eligible
+        set, and a quarantined node whose beats resume re-enters through
+        probation — one canary job at a time until a success restores it.
+        ``None`` (default) keeps the PR-8 behavior: quarantine only on
+        attempt timeout, rejoin only via :meth:`mark_healthy`.
     """
 
     def __init__(
@@ -152,6 +177,7 @@ class ClusterScheduler:
         cache: ResultCache | bool | None = True,
         slo: SLOTracker | SLOPolicy | _t.Mapping[str, SLOPolicy]
         | _t.Iterable[SLOPolicy] | None = None,
+        heartbeat: HeartbeatConfig | bool | None = None,
     ):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -190,6 +216,27 @@ class ClusterScheduler:
         self._seq = itertools.count()
         self._wake = Signal(self.sim, name="sched.wake")
         self._dispatcher = self.sim.spawn(self._dispatch_loop(), name="sched.dispatcher")
+        #: phi-accrual failure detector (None: timeout-only health model)
+        self.health: NodeHealthTracker | None = None
+        if heartbeat:
+            cfg = (
+                heartbeat if isinstance(heartbeat, HeartbeatConfig)
+                else HeartbeatConfig()
+            )
+            self.health = NodeHealthTracker(
+                self.sim,
+                [n.name for n in cluster.sd_nodes],
+                cfg,
+                unhealthy=self.unhealthy,
+            )
+            endpoint = f"hb:{cluster.host.name}"
+            inbox = cluster.fabric.attach(endpoint)
+            for daemon in cluster.sd_daemons.values():
+                daemon.start_heartbeat(cluster.fabric, endpoint, cfg.interval)
+            self.sim.spawn(
+                self._heartbeat_listener(inbox), name="sched.hb.listener"
+            )
+            self.sim.spawn(self._health_monitor(cfg), name="sched.hb.monitor")
 
     # -- submission --------------------------------------------------------
 
@@ -360,21 +407,20 @@ class ClusterScheduler:
             return self._distributed_placement(entry)
         host = self.cluster.host.name
         if not entry.force_host:
-            names = [
-                c for c in entry.candidates
-                if c not in entry.excluded and c not in self.unhealthy
-            ]
+            names = self._trusted(entry)
             if not names:
                 # nowhere offloadable is trustworthy: fall through to host
                 entry.force_host = True
         if entry.force_host:
             if self._occupancy(host) >= self.per_node_limit:
                 return None
-            return entry.job, Placement(
-                node=host, offload=False, reason="sched: forced host"
-            )
+            reason = "sched: forced host"
+            why = _failure_summary(entry.last_failures)
+            if why:
+                reason += f" after {why}"
+            return entry.job, Placement(node=host, offload=False, reason=reason)
         eligible = [
-            c for c in names if self._occupancy(c) < self.per_node_limit
+            c for c in names if self._occupancy(c) < self._node_limit(c)
         ]
         if not eligible:
             return None
@@ -404,24 +450,28 @@ class ClusterScheduler:
         host = self.cluster.host.name
         names: list[str] = []
         if not entry.force_host:
-            names = [
-                c for c in entry.candidates
-                if c not in entry.excluded and c not in self.unhealthy
-            ]
+            names = self._trusted(entry)
             if not names:
                 entry.force_host = True
         if entry.force_host:
             if self._occupancy(host) >= self.per_node_limit:
                 return None
-            return entry.job, Placement(
-                node=host, offload=False,
-                reason="sched: distributed job forced host",
-            )
+            reason = "sched: distributed job forced host"
+            why = _failure_summary(entry.last_failures)
+            if why:
+                reason += f" after {why}"
+            return entry.job, Placement(node=host, offload=False, reason=reason)
         eligible = [
-            c for c in names if self._occupancy(c) < self.per_node_limit
+            c for c in names if self._occupancy(c) < self._node_limit(c)
         ]
         if not eligible:
             return None
+        if self.health is not None:
+            # a rejoining node earns trust through single canary jobs, not
+            # by carrying shards of a fan-out job
+            settled = [c for c in eligible if c not in self.health.probation]
+            if settled:
+                eligible = settled
         entry.shard_nodes = tuple(eligible)
         return entry.job, Placement(
             node=eligible[0], offload=True,
@@ -431,6 +481,30 @@ class ClusterScheduler:
     def _occupancy(self, node: str) -> int:
         """Jobs placed on (or dispatched toward) ``node`` right now."""
         return self.engine.inflight.get(node, 0) + self._pending.get(node, 0)
+
+    def _trusted(self, entry: QueuedJob) -> list[str]:
+        """Candidates worth dispatching to, quarantine- and phi-aware.
+
+        Quarantine (``unhealthy``) is authoritative; *suspicion* is
+        advisory — a suspected node is skipped only while an unsuspected
+        alternative exists, so a transient stall of the whole fleet never
+        pins jobs to the host.
+        """
+        names = [
+            c for c in entry.candidates
+            if c not in entry.excluded and c not in self.unhealthy
+        ]
+        if names and self.health is not None:
+            calm = [c for c in names if c not in self.health.suspected]
+            if calm:
+                names = calm
+        return names
+
+    def _node_limit(self, node: str) -> int:
+        """Concurrent-placement cap for ``node`` (probation gets a canary)."""
+        if self.health is not None and node in self.health.probation:
+            return 1
+        return self.per_node_limit
 
     # -- running -----------------------------------------------------------
 
@@ -492,19 +566,29 @@ class ClusterScheduler:
         if isinstance(exc, DistributedJobError):
             # the engine burned through these replicas already; keep them
             # out of the next placement and quarantine deadline-missers
+            entry.last_failures = list(exc.failures)
             entry.excluded |= exc.excluded
             for node in exc.timed_out:
-                if node not in self.unhealthy:
-                    self.unhealthy.add(node)
-                    obs.count("sched.node_unhealthy")
+                self._quarantine(node)
+            if self.health is not None:
+                for node in exc.excluded:
+                    self.health.job_failed(node)
         if isinstance(exc, OffloadTimeoutError):
             # A deadline miss is the only liveness signal a dead daemon
             # gives: quarantine the node so the queue drains elsewhere.
-            if placement.node not in self.unhealthy:
-                self.unhealthy.add(placement.node)
-                obs.count("sched.node_unhealthy")
+            self._quarantine(placement.node)
         if is_retryable(exc) and placement.offload:
             entry.excluded.add(placement.node)
+            if not isinstance(exc, DistributedJobError):
+                entry.last_failures.append({
+                    "node": placement.node,
+                    "phase": "job",
+                    "cause": type(exc).__name__,
+                    "attempt": entry.attempts,
+                    "at": self.sim.now,
+                })
+                if self.health is not None:
+                    self.health.job_failed(placement.node)
             if entry.attempts > self.max_retries:
                 entry.force_host = True
             obs.count("sched.requeued")
@@ -557,6 +641,12 @@ class ClusterScheduler:
             obs.count("sched.dist.completed")
             obs.count("sched.dist.shards", getattr(result, "n_shards", 1))
         self.slo.observe(job.tenant, now, record.total)
+        if self.health is not None and result.offloaded:
+            # probation credit: the nodes that carried this job earned it
+            served = {result.where}
+            served.update(getattr(result, "shard_nodes", ()) or ())
+            for node in served:
+                self.health.job_succeeded(node)
         if self.cache is not None and entry.cache_key is not None:
             self.cache.put(entry.cache_key, result)
         entry.done.succeed(result)
@@ -567,8 +657,36 @@ class ClusterScheduler:
 
     def mark_healthy(self, node: str) -> None:
         """Readmit a quarantined node (e.g. after its daemon revives)."""
-        self.unhealthy.discard(node)
+        if self.health is not None:
+            self.health.restore(node)
+        else:
+            self.unhealthy.discard(node)
         self._wake.fire()
+
+    def _quarantine(self, node: str) -> None:
+        """Pull ``node`` from the eligible set on hard failure evidence."""
+        if node in self.unhealthy:
+            return
+        if self.health is not None:
+            self.health.force_quarantine(node)
+        else:
+            self.unhealthy.add(node)
+        self.sim.obs.count("sched.node_unhealthy")
+
+    def _heartbeat_listener(self, inbox) -> _t.Generator:
+        """Feed daemon heartbeats into the failure detector."""
+        assert self.health is not None
+        while True:
+            msg = yield inbox.get()
+            self.health.beat(msg.src, self.sim.now)
+
+    def _health_monitor(self, cfg: HeartbeatConfig) -> _t.Generator:
+        """Periodically re-score every node; wake dispatch on transitions."""
+        assert self.health is not None
+        while True:
+            yield self.sim.timeout(cfg.interval)
+            if self.health.evaluate(self.sim.now):
+                self._wake.fire()
 
     def _sample_depth(self) -> None:
         self.sim.obs.sample("sched.queue_depth", self.sim.now, len(self.queue))
@@ -607,6 +725,8 @@ class ClusterScheduler:
             "tenant_completed": per_tenant_done,
             "tenant_work": per_tenant_work,
         }
+        if self.health is not None:
+            out["node_states"] = dict(sorted(self.health.state.items()))
         if self.cache is not None:
             out["cache"] = {
                 "hits": self.cache.hits,

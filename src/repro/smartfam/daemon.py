@@ -71,6 +71,8 @@ class SDSmartFAM:
         self.results_dropped = 0
         #: a killed daemon stops dispatching and never answers (see kill())
         self.dead = False
+        #: liveness ping loop (started on demand by the scheduler)
+        self._hb_proc = None
         #: sequence numbers currently being executed (idempotency guard)
         self._in_flight: set[int] = set()
         #: fault injection: module -> number of upcoming invocations to crash
@@ -118,6 +120,47 @@ class SDSmartFAM:
         """Restart a killed daemon (it resumes dispatching new writes)."""
         self.dead = False
 
+    # -- heartbeats (failure-detector feed) --------------------------------
+
+    def start_heartbeat(self, fabric, dst: str, interval: float) -> None:
+        """Ping ``dst`` every ``interval`` sim-seconds over the fabric.
+
+        Idempotent.  A dead daemon skips its pings (the process that
+        would send them is gone) but the loop survives, so a
+        :meth:`revive` resumes beating — that resumption is what moves a
+        quarantined node into probation at the failure detector.
+        """
+        if self._hb_proc is not None:
+            return
+        self._hb_proc = self.sim.spawn(
+            self._heartbeat_loop(fabric, dst, interval),
+            name=f"smartfam-hb:{self.node.name}",
+        )
+
+    def _heartbeat_loop(self, fabric, dst: str, interval: float) -> _t.Generator:
+        """Fault site ``heartbeat.drop`` (ctx: node): *drop*/*fail* swallow
+        one ping, *delay* postpones it — lost pings raise suspicion at the
+        receiver; they are never an error here."""
+        while True:
+            yield self.sim.timeout(interval)
+            if self.dead:
+                continue
+            inj = self.sim.faults
+            if inj is not None:
+                decision = inj.check("heartbeat.drop", node=self.node.name)
+                if decision is not None:
+                    if decision.action == "delay":
+                        yield self.sim.timeout(decision.delay)
+                    elif decision.action in ("drop", "fail", "kill", "corrupt"):
+                        self.sim.obs.count("fault.heartbeat")
+                        continue
+            try:
+                yield fabric.transfer(
+                    self.node.name, dst, nbytes=64, kind="heartbeat"
+                )
+            except Exception:
+                continue  # a lost ping is the failure detector's signal
+
     def _dispatch_loop(self, module: str, path: str, watch) -> _t.Generator:
         """Steps 2-4 of the invoke protocol, forever.
 
@@ -143,6 +186,9 @@ class SDSmartFAM:
                 decision = inj.check("fam.dispatch", module=module, node=self.node.name)
                 if decision is not None and decision.action == "drop":
                     continue  # the daemon "missed" the notification
+                if decision is not None and decision.action == "delay":
+                    # a stalled dispatch: the module runs late (straggler)
+                    yield self.sim.timeout(decision.delay)
             with obs.span(
                 "fam.dispatch", cat="smartfam", track=track, module=module
             ) as sp:

@@ -31,7 +31,8 @@ from __future__ import annotations
 import typing as _t
 
 from repro.config import PhoenixConfig
-from repro.errors import SmartFAMError
+from repro.core.artifacts import corrupt_artifact, pack_artifact, unpack_artifact
+from repro.errors import ShuffleArtifactError, SmartFAMError
 from repro.fs import path as _p
 from repro.phoenix.api import InputSpec
 from repro.phoenix.memory import check_supportable
@@ -61,13 +62,59 @@ def _spec_of(params: dict):
     return spec_for_app(app, dict(params.get("app_params") or {}))
 
 
-def _read_obj(node: "Node", path: str, nbytes: int) -> _t.Generator:
-    """Read a stored intermediate object, charging ``nbytes`` to the disk."""
+def _store_artifact(node: "Node", obj: object, **ctx) -> bytes:
+    """Frame ``obj`` as a crc32 shuffle artifact (fault site on the write).
+
+    ``shuffle.artifact`` with ``op="write"`` and *corrupt* flips payload
+    bytes after framing — the damage surfaces only at a later verified
+    read, like real silent disk corruption.
+    """
+    blob = pack_artifact(obj)
+    inj = node.sim.faults
+    if inj is not None:
+        decision = inj.check("shuffle.artifact", node=node.name, op="write", **ctx)
+        if decision is not None and decision.action == "corrupt":
+            blob = corrupt_artifact(blob)
+            node.sim.obs.count("fault.shuffle.artifact")
+    return blob
+
+
+def _read_obj(
+    node: "Node",
+    path: str,
+    nbytes: int,
+    shard: int | None = None,
+    partition: int | None = None,
+) -> _t.Generator:
+    """Read + verify a stored shuffle artifact, charging ``nbytes`` to disk.
+
+    Fault site ``shuffle.artifact`` with ``op="read"``: *fail*/*corrupt*/
+    *drop* raise :class:`ShuffleArtifactError` (attributed to the
+    producing shard/partition so the engine can rebuild exactly that
+    artifact), *delay* adds read latency.
+    """
+    inj = node.sim.faults
+    if inj is not None:
+        decision = inj.check(
+            "shuffle.artifact", node=node.name, op="read", path=path,
+            shard=shard, partition=partition,
+        )
+        if decision is not None:
+            if decision.action == "delay":
+                yield node.sim.timeout(decision.delay)
+            elif decision.action in ("fail", "corrupt", "drop", "kill"):
+                node.sim.obs.count("fault.shuffle.artifact")
+                raise ShuffleArtifactError(
+                    path, shard=shard, partition=partition,
+                    detail="injected artifact fault",
+                )
     data = node.fs.vfs.read(path)
     yield node.fs.read(path, nbytes=max(1, int(nbytes)))
     # empty intermediates materialize as b'' in the VFS; in the distributed
-    # plane every stored object is a list
-    return data if data != b"" else []
+    # plane every stored object is a framed list
+    if data == b"":
+        return []
+    return unpack_artifact(data, path=path, shard=shard, partition=partition)
 
 
 def dist_map(node: "Node", params: dict, cfg: PhoenixConfig) -> _t.Generator:
@@ -104,7 +151,10 @@ def dist_map(node: "Node", params: dict, cfg: PhoenixConfig) -> _t.Generator:
                 res = yield rt.run(spec, frag_inp, mode="parallel", write_output=False)
                 out_bytes = max(1, profile.output_bytes(int(sz)))
                 part_path = _p.join(shuffle_dir, f"part{int(gi)}")
-                yield node.fs.write(part_path, data=res.output, size=out_bytes)
+                blob = _store_artifact(
+                    node, res.output, shard=shard_index, part=int(gi)
+                )
+                yield node.fs.write(part_path, data=blob, size=out_bytes)
                 parts.append({"index": int(gi), "path": part_path, "bytes": out_bytes})
         return {"parts": parts, "entries": 0, "emitted": 0}
 
@@ -201,7 +251,8 @@ def dist_map(node: "Node", params: dict, cfg: PhoenixConfig) -> _t.Generator:
                 continue
             nbytes = max(1, int(inter * (len(bucket) / max(1, total_entries))))
             ppath = _p.join(shuffle_dir, f"map{shard_index}.p{p}")
-            yield node.fs.write(ppath, data=bucket, size=nbytes)
+            blob = _store_artifact(node, bucket, shard=shard_index, partition=p)
+            yield node.fs.write(ppath, data=blob, size=nbytes)
             partitions[p] = {"path": ppath, "bytes": nbytes, "entries": len(bucket)}
             written += nbytes
         sp.set(bytes=written, partitions=len(partitions))
@@ -229,7 +280,10 @@ def dist_reduce(node: "Node", params: dict, cfg: PhoenixConfig) -> _t.Generator:
             n_entries = 0
             in_bytes = 0
             for src in part.get("sources") or []:
-                data = yield from _read_obj(node, src["path"], src["bytes"])
+                data = yield from _read_obj(
+                    node, src["path"], src["bytes"],
+                    shard=src.get("shard"), partition=src.get("partition"),
+                )
                 runs.append(list(data))
                 n_entries += int(src["entries"])
                 in_bytes += int(src["bytes"])
@@ -257,7 +311,8 @@ def dist_reduce(node: "Node", params: dict, cfg: PhoenixConfig) -> _t.Generator:
             out_share = profile.output_bytes(input_size) * (n_entries / total_entries)
             nbytes = max(1, int(min(in_bytes, out_share)) if out_share > 0 else in_bytes)
             rpath = _p.join(shuffle_dir, f"red.p{p}")
-            yield node.fs.write(rpath, data=entries, size=nbytes)
+            blob = _store_artifact(node, entries, partition=p)
+            yield node.fs.write(rpath, data=blob, size=nbytes)
             out[p] = {"path": rpath, "bytes": nbytes, "entries": len(entries)}
         sp.set(partitions=len(out))
     return {"partitions": out}
@@ -276,7 +331,10 @@ def dist_merge(node: "Node", params: dict, cfg: PhoenixConfig) -> _t.Generator:
     outputs = []
     with obs.span("dist.merge.local", cat="dist", track=node.name, force=True) as sp:
         for part in params.get("parts") or []:
-            data = yield from _read_obj(node, part["path"], part["bytes"])
+            data = yield from _read_obj(
+                node, part["path"], part["bytes"],
+                shard=part.get("shard"), partition=part.get("partition"),
+            )
             outputs.append(data)
         merge_ops = profile.merge_ops(input_size)
         if merge_ops > 0:

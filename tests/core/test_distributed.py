@@ -9,7 +9,7 @@ import pytest
 from repro.cluster.testbed import Testbed
 from repro.config import table1_cluster
 from repro.core import DistributedEngine, DistributedJob, plan_distribution
-from repro.core.distributed import ShardFragment
+from repro.core.distributed import ShardFragment, SpeculationPolicy
 from repro.errors import DistributedJobError, OffloadError
 from repro.faults import distributed_chaos_plan
 from repro.phoenix import InputSpec
@@ -182,10 +182,16 @@ def test_killed_shard_restarts_on_survivors():
     eng = DistributedEngine(bed.cluster)
     clean = bed.run(eng.run(_job(sd_path), timeout=_TIMEOUT))
     victim = clean.merge_node
-    kill_at = clean.timeline["map_done"] + 1e-3
+    # mid-map: the victim dies before committing its map artifact, so its
+    # shard is the one thing re-run — on a survivor
+    kill_at = clean.timeline["map_done"] * 0.5
 
     bed2, path2, _ = _bed()
-    eng2 = DistributedEngine(bed2.cluster)
+    # speculation off: otherwise a duplicate map absorbs the kill before
+    # the partial-restart machinery (under test here) ever fires
+    eng2 = DistributedEngine(
+        bed2.cluster, speculation=SpeculationPolicy(enabled=False)
+    )
 
     def killer():
         yield bed2.sim.timeout(kill_at)
@@ -194,8 +200,39 @@ def test_killed_shard_restarts_on_survivors():
     bed2.sim.spawn(killer(), name="killer")
     res = bed2.run(eng2.run(_job(path2), timeout=5.0))
     assert pickle.dumps(res.output) == pickle.dumps(clean.output)
-    assert res.attempts == 2 and eng2.restarts == 1
+    # surviving map artifacts are reused: same attempt, partial restart only
+    assert res.attempts == 1
+    assert eng2.partial_restarts >= 1 and eng2.full_restarts == 0
     assert victim not in res.shard_nodes
+    assert res.recovery["partial_restarts"] >= 1
+    assert res.recovery["failures"]
+
+
+def test_killed_shard_legacy_whole_job_restart():
+    """partial_restart=False keeps the PR-7 contract: restart from scratch."""
+    bed, sd_path, inp = _bed()
+    eng = DistributedEngine(bed.cluster)
+    clean = bed.run(eng.run(_job(sd_path), timeout=_TIMEOUT))
+    victim = clean.merge_node
+    kill_at = clean.timeline["map_done"] + 1e-3
+
+    bed2, path2, _ = _bed()
+    eng2 = DistributedEngine(bed2.cluster, partial_restart=False)
+
+    def killer():
+        yield bed2.sim.timeout(kill_at)
+        bed2.cluster.sd_daemons[victim].kill()
+
+    bed2.sim.spawn(killer(), name="killer")
+    res = bed2.run(eng2.run(_job(path2), timeout=5.0))
+    assert pickle.dumps(res.output) == pickle.dumps(clean.output)
+    assert res.attempts == 2 and eng2.full_restarts == 1
+    assert victim not in res.shard_nodes
+    # the committed attempt cleaned up the failed attempt's shuffle dirs
+    base, _, _ = res.job_id.rpartition("a")
+    stale = f"/export/shuffle/{base}a0"
+    for node in bed2.cluster.sd_nodes:
+        assert not node.fs.vfs.exists(stale)
 
 
 def test_whole_fleet_dead_raises_distributed_job_error():

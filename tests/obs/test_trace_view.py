@@ -113,6 +113,32 @@ def test_chrome_format_agrees(trace_view, trace, tmp_path, capsys):
     assert jsonl_out.splitlines()[1:] == chrome_out.splitlines()[1:]
 
 
+def test_recovery_view_golden(trace_view, tmp_path, capsys):
+    from tests.obs.test_export import build_trace as _build
+
+    obs = _build()
+    obs.count("dist.restart.partial", 1)
+    obs.count("spec.launched", 2)
+    obs.count("spec.won", 1)
+    obs.count("node.quarantined", 1)
+    obs.count("node.rejoined", 1)
+    for k in range(8):
+        obs.sample("node.suspicion.sd0", 0.25 * k, 0.5 * k)
+    path = write_jsonl(obs, str(tmp_path / "rec.jsonl"))
+    assert trace_view.main([path]) == 0
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    assert "recovery" in lines
+    assert any(l.startswith("dist.restart.partial") and l.rstrip().endswith("1")
+               for l in lines)
+    assert "speculation win rate: 50% (1/2)" in out
+    assert any(l.startswith("phi sd0") and "peak 3.5" in l for l in lines)
+    # a calm trace renders no recovery section
+    calm = write_jsonl(_build(), str(tmp_path / "calm.jsonl"))
+    assert trace_view.main([calm]) == 0
+    assert "recovery" not in capsys.readouterr().out.splitlines()
+
+
 def test_empty_trace_fails(trace_view, tmp_path, capsys):
     path = tmp_path / "empty.jsonl"
     path.write_text('{"type": "meta"}\n')

@@ -60,7 +60,7 @@ def test_distributed_jobs_skip_the_result_cache():
     assert counters.get("sched.cache.hit", 0) == 0
 
 
-def test_killed_shard_node_is_excluded_and_job_completes():
+def test_killed_shard_node_recovers_and_job_completes():
     ref = _reference()
     victim = ref.merge_node
     kill_at = ref.timeline["map_done"] + 1e-3
@@ -75,7 +75,12 @@ def test_killed_shard_node_is_excluded_and_job_completes():
     bed.sim.spawn(killer(), name="killer")
     res = bed.run(sched.submit_distributed(_job(sd_path)))
     assert pickle.dumps(res.output) == pickle.dumps(ref.output)
-    assert victim not in res.shard_nodes
+    # post-map kill: the victim's committed artifact is reused in place,
+    # but no daemon work lands on it — reduce and merge move to survivors
+    assert victim in res.shard_nodes
+    assert victim not in res.reduce_nodes.values()
+    assert res.merge_node != victim
+    assert res.recovery["failures"]
 
 
 def test_whole_fleet_dead_falls_back_to_host():

@@ -1,0 +1,173 @@
+"""Phi-accrual failure detection and the node recovery state machine."""
+
+from __future__ import annotations
+
+from repro.cluster import Testbed
+from repro.config import table1_cluster
+from repro.core import DataJob
+from repro.core.loadbalance import AlwaysOffloadPolicy
+from repro.sched import ClusterScheduler, HeartbeatConfig, PhiAccrualDetector
+from repro.sched.health import (
+    HEALTHY,
+    PROBATION,
+    QUARANTINED,
+    SUSPECTED,
+    NodeHealthTracker,
+)
+from repro.units import MB
+from repro.workloads import text_input
+
+
+def make_bed(n_sd: int = 2, seed: int = 7):
+    bed = Testbed(config=table1_cluster(n_sd=n_sd, seed=seed), seed=seed)
+    inp = text_input("/data/s", MB(20), payload_bytes=6_000, seed=seed)
+    _view, sd_path = bed.stage_replicated("s", inp)
+    return bed, inp, sd_path
+
+
+# -- detector ----------------------------------------------------------------
+
+
+def test_phi_grace_before_first_beat():
+    det = PhiAccrualDetector(HeartbeatConfig(interval=0.25))
+    assert det.phi("n", now=100.0) == 0.0
+
+
+def test_phi_rises_with_silence():
+    det = PhiAccrualDetector(HeartbeatConfig(interval=0.25))
+    for k in range(8):
+        det.beat("n", 0.25 * k)
+    t_last = 0.25 * 7
+    quiet = det.phi("n", t_last + 0.25)
+    silent = det.phi("n", t_last + 3.0)
+    assert quiet < 1.0 < silent
+    # phi is monotone in the silence
+    assert det.phi("n", t_last + 1.0) < det.phi("n", t_last + 2.0)
+
+
+def test_reset_drops_dead_gap_from_window():
+    det = PhiAccrualDetector(HeartbeatConfig(interval=0.25, min_samples=3))
+    for k in range(8):
+        det.beat("n", 0.25 * k)
+    # a 100 s dead gap, then beats resume
+    det.reset("n")
+    det.beat("n", 101.75)
+    for k in range(1, 4):
+        det.beat("n", 101.75 + 0.25 * k)
+    # without the reset the gap would sit in the window and the mean
+    # would be ~25 s, flattening phi to uselessness
+    assert det.phi("n", 102.5 + 3.0) > 5.0
+
+
+# -- tracker state machine ---------------------------------------------------
+
+
+def test_tracker_transitions_through_probation():
+    bed, _, _ = make_bed()
+    cfg = HeartbeatConfig(interval=0.25)
+    unhealthy: set = set()
+    trk = NodeHealthTracker(bed.sim, ["a", "b"], cfg, unhealthy=unhealthy)
+    for k in range(8):
+        trk.beat("a", 0.25 * k)
+        trk.beat("b", 0.25 * k)
+    t_last = 0.25 * 7
+    assert not trk.evaluate(t_last + 0.25)
+
+    # node a goes silent: suspected first, then quarantined
+    trk.beat("b", t_last + 1.5)
+    assert trk.evaluate(t_last + 1.5)
+    assert trk.state["a"] == SUSPECTED and "a" not in unhealthy
+    trk.beat("b", t_last + 4.0)
+    assert trk.evaluate(t_last + 4.0)
+    assert trk.state["a"] == QUARANTINED and "a" in unhealthy
+
+    # beats resume: probation (limited trust), not straight to healthy
+    trk.beat("a", t_last + 6.0)
+    trk.beat("a", t_last + 6.25)
+    assert trk.evaluate(t_last + 6.3)
+    assert trk.state["a"] == PROBATION and "a" not in unhealthy
+
+    # the canary job decides: success restores, failure re-quarantines
+    trk.job_succeeded("a")
+    assert trk.state["a"] == HEALTHY and trk.rejoins == 1
+
+
+def test_probation_failure_requarantines():
+    bed, _, _ = make_bed()
+    trk = NodeHealthTracker(bed.sim, ["a"], HeartbeatConfig())
+    trk.force_quarantine("a")
+    assert trk.state["a"] == QUARANTINED and "a" in trk.unhealthy
+    trk.beat("a", 10.0)
+    trk.beat("a", 10.25)
+    assert trk.evaluate(10.3)
+    assert trk.state["a"] == PROBATION
+    trk.job_failed("a")
+    assert trk.state["a"] == QUARANTINED and "a" in trk.unhealthy
+
+
+def test_suspected_recovers_for_free():
+    bed, _, _ = make_bed()
+    trk = NodeHealthTracker(bed.sim, ["a"], HeartbeatConfig(interval=0.25))
+    for k in range(8):
+        trk.beat("a", 0.25 * k)
+    t_last = 0.25 * 7
+    assert trk.evaluate(t_last + 1.5)
+    assert trk.state["a"] == SUSPECTED
+    trk.beat("a", t_last + 1.6)
+    assert trk.evaluate(t_last + 1.7)
+    assert trk.state["a"] == HEALTHY and trk.quarantines == 0
+
+
+# -- scheduler integration ---------------------------------------------------
+
+
+def test_scheduler_quarantines_and_rejoins_dead_node():
+    """Kill a daemon: heartbeats stop, phi quarantines it; revive: the
+    node re-enters through probation, serves one canary job pinned to it,
+    and is restored to full trust."""
+    bed, inp, sd_path = make_bed(n_sd=2)
+    sched = ClusterScheduler(
+        bed.cluster, policy=AlwaysOffloadPolicy(), cache=None,
+        attempt_timeout=30.0, heartbeat=True,
+    )
+    assert sched.health is not None
+
+    def driver():
+        yield bed.sim.timeout(2.0)
+        bed.cluster.sd_daemons["sd0"].kill()
+        yield bed.sim.timeout(6.0)
+        assert sched.health.state["sd0"] == QUARANTINED
+        assert "sd0" in sched.unhealthy
+        assert sched.health.state["sd1"] == HEALTHY
+
+        bed.cluster.sd_daemons["sd0"].revive()
+        yield bed.sim.timeout(2.0)
+        assert sched.health.state["sd0"] == PROBATION
+        assert "sd0" not in sched.unhealthy
+
+        # the canary: a job pinned to the rejoining node
+        job = DataJob(
+            app="wordcount", input_path=sd_path, input_size=MB(20),
+            mode="parallel", sd_node="sd0",
+        )
+        res = yield sched.submit(job)
+        assert res.where == "sd0"
+        assert sched.health.state["sd0"] == HEALTHY
+        return res
+
+    res = bed.run(driver())
+    assert sum(v for _, v in res.output) == len(inp.payload_bytes.split())
+    counters = bed.sim.obs.metrics.snapshot()["counters"]
+    assert counters.get("node.quarantined", 0) >= 1
+    assert counters.get("node.probation", 0) >= 1
+    assert counters.get("node.rejoined", 0) >= 1
+    assert sched.stats()["node_states"]["sd0"] == HEALTHY
+
+
+def test_heartbeat_off_keeps_legacy_model():
+    bed, _, sd_path = make_bed(n_sd=2)
+    sched = ClusterScheduler(bed.cluster, cache=None)
+    assert sched.health is None
+    sched.unhealthy.add("sd0")
+    sched.mark_healthy("sd0")
+    assert "sd0" not in sched.unhealthy

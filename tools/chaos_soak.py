@@ -36,6 +36,7 @@ Exit status 0 iff every check passes.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import glob
 import multiprocessing as mp
 import os
@@ -56,6 +57,7 @@ from repro.core import (  # noqa: E402
     DistributedEngine,
     DistributedJob,
     FaultTolerantInvoker,
+    SpeculationPolicy,
 )
 from repro.sched import ClusterScheduler  # noqa: E402
 from repro.workloads import ArrivalProcess  # noqa: E402
@@ -65,6 +67,7 @@ from repro.faults import (  # noqa: E402
     FaultPlan,
     FaultRule,
     distributed_chaos_plan,
+    recovery_chaos_plan,
     standard_engine_plan,
     standard_plan,
     transport_chaos_plan,
@@ -304,15 +307,30 @@ def _dist_job(app: str, seed: int, quick: bool):
     return bed, job
 
 
+def _stale_shuffle_dirs(bed, final_id: str) -> list:
+    """Shuffle dirs on any SD node other than the committed attempt's."""
+    stale = []
+    for node in bed.cluster.sd_nodes:
+        vfs = node.fs.vfs
+        if not vfs.exists("/export/shuffle"):
+            continue
+        for name in vfs.listdir("/export/shuffle"):
+            if name != final_id:
+                stale.append(f"{node.name}:/export/shuffle/{name}")
+    return stale
+
+
 def dist_case(app: str, seed: int, quick: bool, trace_dir: str | None) -> list:
-    """Kill one shard's SD node mid-shuffle; the job re-routes and completes.
+    """Kill one shard's SD node mid-shuffle; the job recovers in place.
 
     Three runs: a clean one (the byte-identity baseline, which also
     records when the map phase ends and which node hosts the merge), a
     kill run where the merge node's daemon dies just as the exchange
-    begins (the engine must detect it by deadline, exclude it, and
-    restart the whole attempt on the survivors), and a shuffle-fault run
-    under :func:`distributed_chaos_plan` (every transfer fault must be
+    begins (the engine must detect it by deadline and re-derive ONLY the
+    dead daemon's work — its committed map artifact stays host-readable
+    on the SD disk, so nothing is re-mapped: a partial restart, not a
+    second attempt), and a shuffle-fault run under
+    :func:`distributed_chaos_plan` (every transfer fault must be
     absorbed by the bounded in-place retry — no restart at all).
     """
     bed, job = _dist_job(app, seed, quick)
@@ -332,6 +350,7 @@ def dist_case(app: str, seed: int, quick: bool, trace_dir: str | None) -> list:
     bed.sim.spawn(killer(), name=f"chaos.kill-{victim}")
     chaos = bed.run(eng.run(job, timeout=DIST_TIMEOUT))
     output = _dist_canonical(app, chaos.output)
+    stale = _stale_shuffle_dirs(bed, chaos.job_id)
 
     bed2, job2 = _dist_job(app, seed, quick)
     injector = bed2.sim.install_faults(distributed_chaos_plan(seed))
@@ -350,18 +369,256 @@ def dist_case(app: str, seed: int, quick: bool, trace_dir: str | None) -> list:
         ("output identical", output == baseline,
          f"{len(baseline)} bytes after killing {victim} at "
          f"t={kill_at:.3f}s"),
-        ("job re-routed",
-         chaos.attempts >= 2 and eng.restarts >= 1
-         and victim not in chaos.shard_nodes,
-         f"{chaos.attempts} attempts, {eng.restarts} restarts, "
-         f"rerun on {list(chaos.shard_nodes)}"),
+        ("partial restart, same attempt",
+         chaos.attempts == 1 and eng.partial_restarts >= 1
+         and eng.full_restarts == 0
+         and chaos.merge_node != victim,
+         f"{chaos.attempts} attempt(s), {eng.partial_restarts} partial / "
+         f"{eng.full_restarts} full restarts, merge moved to "
+         f"{chaos.merge_node}"),
+        ("dead node's artifacts reused, no re-map",
+         victim in chaos.shard_nodes
+         and bed.sim.obs.metrics.snapshot()["counters"].get(
+             "dist.invoke.map", 0) == chaos.n_shards,
+         f"{chaos.n_shards} map invokes for {chaos.n_shards} shards, "
+         f"artifacts on {list(chaos.shard_nodes)}"),
         ("recovery bounded", chaos.attempts <= eng.max_attempts,
          f"{chaos.attempts} attempts <= {eng.max_attempts}"),
+        ("no shuffle dirs leaked", not stale, f"{stale or 'clean'}"),
         ("shuffle faults absorbed in place",
          eng2.restarts == 0
          and _dist_canonical(app, absorbed.output) == baseline
          and injector.injections >= len(plan.rules),
          f"fired {fired}, {eng2.restarts} restarts"),
+    ]
+
+
+def dist_kill_exchange_case(
+    seed: int, quick: bool, trace_dir: str | None
+) -> list:
+    """Kill a reduce owner mid-exchange; replay reuses surviving artifacts.
+
+    Two recovery modes over the same fault: the partial-restart engine
+    must finish in ONE attempt with zero full restarts, and a corrupted
+    write under :func:`recovery_chaos_plan` must be caught by the frame
+    crc and repaired by rebuilding exactly one artifact (deduping every
+    surviving transfer on replay).  The legacy engine
+    (``partial_restart=False``) burns a whole attempt on the same kill —
+    and must clean the failed attempt's shuffle dirs once the retry
+    commits.
+    """
+    app = "wordcount"
+    bed, job = _dist_job(app, seed, quick)
+    eng = DistributedEngine(bed.cluster)
+    clean = bed.run(eng.run(job, timeout=SIM_TIMEOUT))
+    baseline = _dist_canonical(app, clean.output)
+    victims = [
+        n for n in clean.reduce_nodes.values() if n != clean.merge_node
+    ]
+    victim = victims[0] if victims else clean.merge_node
+    kill_at = (
+        clean.timeline["map_done"] + clean.timeline["exchange_done"]
+    ) / 2
+
+    def killer(bed, victim, at):
+        def go():
+            yield bed.sim.timeout(at)
+            bed.cluster.sd_daemons[victim].kill()
+        return go()
+
+    bed, job = _dist_job(app, seed, quick)
+    eng = DistributedEngine(bed.cluster)
+    bed.sim.spawn(killer(bed, victim, kill_at), name=f"chaos.kill-{victim}")
+    chaos = bed.run(eng.run(job, timeout=DIST_TIMEOUT))
+    stale = _stale_shuffle_dirs(bed, chaos.job_id)
+
+    # corrupted artifact: persistent on-disk damage, repaired in place
+    bed2, job2 = _dist_job(app, seed, quick)
+    injector = bed2.sim.install_faults(recovery_chaos_plan(seed))
+    eng2 = DistributedEngine(bed2.cluster)
+    repaired = bed2.run(eng2.run(job2, timeout=SIM_TIMEOUT))
+
+    # legacy mode: the same kill costs a whole attempt, then cleanup
+    bed3, job3 = _dist_job(app, seed, quick)
+    eng3 = DistributedEngine(bed3.cluster, partial_restart=False)
+    bed3.sim.spawn(killer(bed3, victim, kill_at), name=f"chaos.kill-{victim}")
+    legacy = bed3.run(eng3.run(job3, timeout=DIST_TIMEOUT))
+    legacy_stale = _stale_shuffle_dirs(bed3, legacy.job_id)
+
+    if trace_dir:
+        write_chrome(
+            bed.sim.obs,
+            os.path.join(trace_dir, "chaos-dist-kill-exchange.json"),
+            extra={"killed": victim, "kill_at": kill_at},
+        )
+    return [
+        ("output identical",
+         _dist_canonical(app, chaos.output) == baseline,
+         f"{len(baseline)} bytes after killing {victim} at "
+         f"t={kill_at:.3f}s"),
+        ("partial restart, same attempt",
+         chaos.attempts == 1 and eng.partial_restarts >= 1
+         and eng.full_restarts == 0
+         and victim not in chaos.reduce_nodes.values()
+         and chaos.merge_node != victim
+         and victim in chaos.shard_nodes,
+         f"{chaos.attempts} attempt(s), {eng.partial_restarts} partial "
+         f"restarts, dead mapper's artifact reused, reduce moved to "
+         f"{sorted(set(chaos.reduce_nodes.values()))}"),
+        ("corrupt artifact repaired in place",
+         _dist_canonical(app, repaired.output) == baseline
+         and repaired.attempts == 1 and eng2.full_restarts == 0
+         and eng2.partial_restarts >= 1
+         and repaired.recovery["dedup_transfers"] >= 1
+         and injector.fired_by_site().get("shuffle.artifact", 0) >= 1,
+         f"{eng2.partial_restarts} partial restarts, "
+         f"{repaired.recovery['dedup_transfers']} transfers deduped"),
+        ("legacy mode still restarts whole job",
+         _dist_canonical(app, legacy.output) == baseline
+         and legacy.attempts == 2 and eng3.full_restarts == 1,
+         f"{legacy.attempts} attempts, {eng3.full_restarts} full restarts"),
+        ("no shuffle dirs leaked", not stale and not legacy_stale,
+         f"{(stale + legacy_stale) or 'clean'}"),
+    ]
+
+
+def dist_straggler_case(seed: int, quick: bool, trace_dir: str | None) -> list:
+    """Stall one map dispatch; speculation outruns the straggler."""
+    app = "wordcount"
+    bed, job = _dist_job(app, seed, quick)
+    eng = DistributedEngine(bed.cluster)
+    clean = bed.run(eng.run(job, timeout=SIM_TIMEOUT))
+    baseline = _dist_canonical(app, clean.output)
+    victim = clean.shard_nodes[0]
+    stall = max(4.0 * clean.timeline["map_done"], 1.0)
+
+    bed, job = _dist_job(app, seed, quick)
+    bed.sim.install_faults(FaultPlan(rules=(
+        FaultRule("fam.dispatch", action="delay", count=1, delay=stall,
+                  where={"module": "dist_map", "node": victim}),
+    ), seed=seed))
+    eng = DistributedEngine(
+        bed.cluster,
+        speculation=SpeculationPolicy(multiplier=1.3, min_wait=0.02),
+    )
+    chaos = bed.run(eng.run(job, timeout=SIM_TIMEOUT))
+    spec = chaos.recovery["speculation"]
+
+    if trace_dir:
+        write_chrome(
+            bed.sim.obs,
+            os.path.join(trace_dir, "chaos-dist-straggler.json"),
+            extra={"victim": victim, "stall": stall},
+        )
+    return [
+        ("output identical",
+         _dist_canonical(app, chaos.output) == baseline,
+         f"{len(baseline)} bytes with {victim} stalled {stall:.2f}s"),
+        ("speculation launched and won",
+         spec["launched"] >= 1 and spec["won"] >= 1,
+         f"launched {spec['launched']}, won {spec['won']}, "
+         f"cancelled {spec['cancelled']}"),
+        ("no restarts", chaos.attempts == 1 and eng.restarts == 0,
+         f"{chaos.attempts} attempt(s), {eng.restarts} restarts"),
+        ("straggler off the critical path",
+         chaos.elapsed < clean.elapsed + stall,
+         f"{chaos.elapsed:.3f}s vs clean {clean.elapsed:.3f}s + "
+         f"stall {stall:.2f}s"),
+    ]
+
+
+def sched_flaky_heartbeat_case(
+    seed: int, quick: bool, trace_dir: str | None
+) -> list:
+    """Drop one node's heartbeats for a window; it must quarantine AND
+    rejoin through probation, completing work again after the window.
+
+    The daemon stays alive the whole time — only its pings vanish — so
+    this is the failure detector's false-positive path: the node is
+    pulled from dispatch on suspicion alone, then earns its way back in
+    once beats resume, with every admitted job still completing
+    byte-identically.
+    """
+    n_jobs = 20
+    rate = 2.0
+    drop_window = (3.0, 9.0)
+    bed = Testbed(config=table1_cluster(n_sd=2, seed=seed), seed=seed)
+    inp = text_input("/data/s", MB(20), payload_bytes=6_000, seed=seed)
+    _, sd_path = bed.stage_replicated("s", inp)
+    bed.sim.install_faults(FaultPlan(rules=(
+        FaultRule("heartbeat.drop", action="drop",
+                  where={"node": "sd0"}, window=drop_window),
+    ), seed=seed))
+    sched = ClusterScheduler(
+        bed.cluster,
+        attempt_timeout=SCHED_TIMEOUT,
+        per_node_limit=1,
+        max_queue=n_jobs + 1,
+        cache=None,
+        heartbeat=True,
+    )
+
+    def factory(i: int) -> DataJob:
+        return DataJob(
+            app="wordcount", input_path=sd_path, input_size=inp.size,
+            mode="parallel",
+        )
+
+    stream = ArrivalProcess.poisson(factory, rate=rate, n=n_jobs, seed=seed)
+
+    def scenario():
+        report = yield stream.drive(sched)
+        # the stream may drain before the probation window opens: wait for
+        # beats to resume, then hand the rejoining node its canary job
+        for _ in range(80):
+            if sched.health.state["sd0"] != "quarantined":
+                break
+            yield bed.sim.timeout(0.25)
+        canary = factory(-1)
+        canary = dataclasses.replace(canary, sd_node="sd0")
+        yield sched.submit(canary)
+        return report
+
+    report = bed.run(scenario())
+
+    baseline = pickle.dumps(report.completed[0][2].output)
+    mismatched = [
+        i for i, (_, _, res) in enumerate(report.completed)
+        if pickle.dumps(res.output) != baseline
+    ]
+    counters = bed.sim.obs.metrics.snapshot()["counters"]
+    rejoined_work = [
+        rec for rec in sched.completed
+        if rec.where == "sd0" and rec.dispatched_at >= drop_window[1]
+    ]
+
+    if trace_dir:
+        write_chrome(
+            bed.sim.obs,
+            os.path.join(trace_dir, "chaos-sched-flaky-heartbeat.json"),
+            extra={"stats": sched.stats()},
+        )
+    return [
+        ("all admitted completed",
+         not report.failed and report.admitted == len(report.completed),
+         f"{len(report.completed)} completed, {len(report.failed)} failed"),
+        ("outputs identical", not mismatched and len(report.completed) > 0,
+         f"{len(report.completed)} outputs vs first completion"),
+        ("flaky node quarantined",
+         counters.get("node.quarantined", 0) >= 1,
+         f"{int(counters.get('node.quarantined', 0))} quarantines, "
+         f"{int(counters.get('node.suspected', 0))} suspicions"),
+        ("node rejoined via probation",
+         counters.get("node.probation", 0) >= 1
+         and counters.get("node.rejoined", 0) >= 1,
+         f"{int(counters.get('node.probation', 0))} probations, "
+         f"{int(counters.get('node.rejoined', 0))} rejoins"),
+        ("rejoined node completed work",
+         bool(rejoined_work),
+         f"{len(rejoined_work)} completions on sd0 after "
+         f"t={drop_window[1]:.1f}s"),
+        ("ends healthy", sched.stats()["node_states"].get("sd0") == "healthy",
+         f"states {sched.stats()['node_states']}"),
     ]
 
 
@@ -560,6 +817,8 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--dump-dir", default=os.environ.get("REPRO_BLACKBOX_DIR"),
                     metavar="DIR",
                     help="dump flight-recorder black boxes here on failure")
+    ap.add_argument("--only", default=None, metavar="SUBSTR",
+                    help="run only cases whose name contains SUBSTR")
     args = ap.parse_args(argv)
 
     if args.trace:
@@ -581,10 +840,24 @@ def main(argv: list[str] | None = None) -> int:
          lambda app=app: dist_case(app, args.seed, args.quick, args.trace))
         for app in apps
     ]
+    cases.append(("dist:kill-exchange",
+                  lambda: dist_kill_exchange_case(
+                      args.seed, args.quick, args.trace)))
+    cases.append(("dist:straggler",
+                  lambda: dist_straggler_case(
+                      args.seed, args.quick, args.trace)))
+    cases.append(("sched:flaky-heartbeat",
+                  lambda: sched_flaky_heartbeat_case(
+                      args.seed, args.quick, args.trace)))
     cases.append(("engine:wordcount",
                   lambda: engine_case(args.seed, args.quick, args.trace)))
     cases.append(("transport:kill-midslot",
                   lambda: transport_case(args.seed, args.quick, args.trace)))
+    if args.only:
+        cases = [(name, run) for name, run in cases if args.only in name]
+        if not cases:
+            print(f"chaos soak: no case matches --only {args.only!r}")
+            return 2
 
     failures = 0
     dumped: list[str] = []

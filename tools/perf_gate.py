@@ -40,9 +40,12 @@ replicas through ``DistributedEngine``) and writes
 ``BENCH_distributed.json``.  Gates, all held in quick mode too because
 they run in deterministic simulated time: wordcount scaling >= 1.6x at
 2 shards and >= 2.5x at 4 over the 1-shard distributed run, width-1
-overhead within 5% of the plain single-node engine, and every
-distributed output (wordcount/stringmatch/matmul x 1/2/4 shards)
-byte-identical to the single-node run.
+overhead within 5% of the plain single-node engine, every distributed
+output (wordcount/stringmatch/matmul x 1/2/4 shards) byte-identical to
+the single-node run, partial-restart recovery after a mid-exchange node
+kill <= 0.5x the whole-job restart's recovery time at 4 shards, and a
+quarantined node rejoining through probation under a heartbeat-enabled
+scheduler.
 
 Exit status:
     0  all outputs match (and every applicable perf gate holds)
@@ -292,6 +295,7 @@ def run_serving_gate(args) -> int:
 def run_distributed_gate(args) -> int:
     """The ``--distributed`` path: sharded-job suite -> BENCH_distributed.json."""
     from benchmarks.bench_distributed import (
+        RECOVERY_GATE,
         SCALE_GATES,
         WIDTH1_OVERHEAD_GATE,
         run_distributed_suite,
@@ -328,6 +332,20 @@ def run_distributed_gate(args) -> int:
         f"identity: {len(ident['rows']) - len(bad)}/{len(ident['rows'])} "
         "app x width outputs byte-identical to single-node"
     )
+    rec = payload["recovery"]
+    print(
+        f"recovery: killed {rec['killed']} at t={rec['kill_at_s']}s; partial "
+        f"restart {rec['partial']['recovery_s']}s vs whole-job "
+        f"{rec['whole_job']['recovery_s']}s => {rec['recovery_ratio']:.2f}x "
+        f"(gate <= {RECOVERY_GATE}x), outputs "
+        f"{'identical' if rec['all_identical'] else 'DIFFER'}"
+    )
+    rj = rec["rejoin"]
+    print(
+        f"rejoin: {rj['node']} quarantined at t={rj['quarantined_at_s']}s, "
+        f"probation at t={rj['probation_at_s']}s, canary served at "
+        f"t={rj['canary_done_at_s']}s, ends {rj['final_state']}"
+    )
     print(f"wrote {out} ({elapsed:.1f}s)")
 
     if not payload["all_identical"]:
@@ -356,13 +374,32 @@ def run_distributed_gate(args) -> int:
             f"width-1 overhead {scaling['width1_overhead']:.1%} > "
             f"{WIDTH1_OVERHEAD_GATE:.0%}"
         )
+    if rec["recovery_ratio"] > RECOVERY_GATE:
+        failures.append(
+            f"partial-restart recovery {rec['recovery_ratio']:.2f}x of "
+            f"whole-job restart > {RECOVERY_GATE}x"
+        )
+    if not (
+        rec["partial"]["attempts"] == 1
+        and rec["partial"]["full_restarts"] == 0
+        and rec["whole_job"]["full_restarts"] >= 1
+    ):
+        failures.append(
+            "recovery case off-contract: partial mode must finish in one "
+            "attempt with zero full restarts; legacy mode must burn one"
+        )
+    if not rj["gate_ok"]:
+        failures.append(
+            f"quarantined node failed to rejoin (ends {rj['final_state']!r})"
+        )
     if failures:
         for msg in failures:
             print(f"GATE: {msg}", file=sys.stderr)
         return 2
     print(
         f"distributed gates hold: >= {SCALE_GATES[2]}x at 2 shards, "
-        f">= {SCALE_GATES[4]}x at 4, outputs byte-identical"
+        f">= {SCALE_GATES[4]}x at 4, recovery <= {RECOVERY_GATE}x whole-job "
+        "restart with node rejoin, outputs byte-identical"
     )
     return 0
 

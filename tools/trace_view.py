@@ -37,7 +37,11 @@ Reads either export format (Chrome-trace/Perfetto JSON or JSONL, see
   whenever the trace came from a ``DistributedEngine`` run — the
   ``shuffle.exchange`` leg itself lands on the job's ``dist:*`` track,
   so ``critpath --containment --root dist.job`` shows the exchange on
-  the critical path when it dominates.
+  the critical path when it dominates;
+* a recovery section (partial vs full restart counters, speculation
+  launches and win rate, node quarantine/probation/rejoin transitions,
+  and per-node suspicion sparklines from the ``node.suspicion.<name>``
+  series) whenever the run exercised the failure-recovery machinery.
 
 Times are primary-clock seconds: simulated seconds for simulator traces,
 wall seconds for real-engine and benchmark traces.
@@ -158,23 +162,36 @@ def distributed_view(metrics: dict) -> str:
     return "\n".join(lines)
 
 
-def _depth_sparkline(times: list[float], values: list[float], width: int = 48) -> str:
-    """Queue depth over time as a fixed-width text sparkline."""
+def _sparkline(
+    label: str,
+    times: list[float],
+    values: list[float],
+    width: int = 48,
+    peak_fmt=int,
+) -> str:
+    """A time series as a fixed-width text sparkline."""
     if not values:
         return ""
     blocks = " ▁▂▃▄▅▆▇█"
     t0, t1 = times[0], times[-1]
     span = max(t1 - t0, 1e-12)
-    # bucket by time, keeping each bucket's max depth (bursts matter)
+    # bucket by time, keeping each bucket's max (bursts matter)
     buckets = [0.0] * width
     for t, v in zip(times, values):
         i = min(width - 1, int((t - t0) / span * width))
         buckets[i] = max(buckets[i], v)
-    peak = max(max(buckets), 1.0)
+    peak = max(max(buckets), 1e-12)
     line = "".join(blocks[int(b / peak * (len(blocks) - 1))] for b in buckets)
     return (
-        f"queue depth  [{line}]  peak {int(peak)} "
+        f"{label}  [{line}]  peak {peak_fmt(peak)} "
         f"({t0:.6g}s .. {t1:.6g}s)"
+    )
+
+
+def _depth_sparkline(times: list[float], values: list[float], width: int = 48) -> str:
+    """Queue depth over time as a fixed-width text sparkline."""
+    return _sparkline(
+        "queue depth", times, values, width, peak_fmt=lambda p: int(max(p, 1.0))
     )
 
 
@@ -228,6 +245,61 @@ def scheduler_view(metrics: dict, series: dict) -> str:
     return "\n".join(lines)
 
 
+#: counters that make up the recovery section, in display order
+_RECOVERY_COUNTERS = (
+    "dist.restart.partial",
+    "dist.restart.full",
+    "dist.transfer.dedup",
+    "spec.launched",
+    "spec.won",
+    "spec.cancelled",
+    "node.suspected",
+    "node.quarantined",
+    "node.probation",
+    "node.rejoined",
+)
+
+
+def recovery_view(metrics: dict, series: dict) -> str:
+    """The failure-recovery section ("" when the run never recovered).
+
+    Partial/full restart and speculation counters from the distributed
+    engine, node state-machine transitions from the heartbeat tracker,
+    and a per-node suspicion sparkline from the ``node.suspicion.<name>``
+    sample series.
+    """
+    counters = metrics.get("counters") or {}
+    rows = [
+        (name, int(counters[name]))
+        for name in _RECOVERY_COUNTERS
+        if counters.get(name)
+    ]
+    suspicion = sorted(
+        (name.split(".", 2)[2], s)
+        for name, s in (series or {}).items()
+        if name.startswith("node.suspicion.")
+    )
+    if not rows and not suspicion:
+        return ""
+    lines = ["recovery", "-" * 24]
+    if rows:
+        width = max(len(name) for name, _ in rows)
+        lines += [f"{name:<{width}} {value:>7}" for name, value in rows]
+    launched, won = counters.get("spec.launched", 0), counters.get("spec.won", 0)
+    if launched:
+        lines.append(f"speculation win rate: {won / launched:.0%} ({int(won)}/{int(launched)})")
+    for node, s in suspicion:
+        spark = _sparkline(
+            f"phi {node:<6}",
+            list(s.get("times") or []),
+            list(s.get("values") or []),
+            peak_fmt=lambda p: f"{p:.2g}",
+        )
+        if spark:
+            lines.append(spark)
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # leading view selector: "critpath TRACE" (extensible to other views)
@@ -259,9 +331,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{len(spans)} spans from {args.trace}{provenance}\n")
 
     metrics = load_metrics(args.trace)
+    series = load_series(args.trace)
     reliability = reliability_view(metrics)
-    scheduler = scheduler_view(metrics, load_series(args.trace))
+    scheduler = scheduler_view(metrics, series)
     distributed = distributed_view(metrics)
+    recovery = recovery_view(metrics, series)
     if view == "critpath":
         if args.containment:
             cp = job_critical_path(
@@ -283,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
         print("\n" + scheduler)
     if distributed:
         print("\n" + distributed)
+    if recovery:
+        print("\n" + recovery)
     return 0
 
 
