@@ -126,6 +126,7 @@ def build_cluster(
             sd, registry, cfg=config.smartfam, phoenix_cfg=config.phoenix
         )
         mount = NFSMount(host_nfs_client, sd.name)
+        mount.remote_tier_spec = sd.config.tier
         host.add_mount(f"/mnt/{sd.name}", mount)
         host_mounts[sd.name] = mount
         host_channels[sd.name] = HostSmartFAM(host, mount, cfg=config.smartfam)

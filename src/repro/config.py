@@ -26,6 +26,7 @@ from repro.units import GiB, Gbit, MB, MiB, msec, usec
 __all__ = [
     "CPUSpec",
     "DiskSpec",
+    "TierSpec",
     "MemoryPolicy",
     "NetworkConfig",
     "PhoenixConfig",
@@ -96,6 +97,55 @@ class DiskSpec:
             raise ConfigError("disk bandwidth must be > 0")
         if self.seek_time < 0:
             raise ConfigError("seek time must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class TierSpec:
+    """A two-level burst buffer fronting a node's disk.
+
+    Models the intermediate SSD/memory tier of the two-level storage
+    papers (PAPERS.md): a small RAM sub-tier and a larger SSD sub-tier
+    sit between the compute and the spinning disk.  Reads that hit a
+    sub-tier pay its latency/bandwidth instead of a disk seek + stream;
+    writes (when ``writeback`` is on) land in the RAM tier immediately
+    and drain to disk in the background.
+
+    The tier is tracked at ``block_bytes`` granularity — a read of an
+    arbitrary ``(offset, nbytes)`` range touches the blocks it overlaps,
+    so fragment-sized reads of one file hit exactly the blocks a prior
+    read or prefetch of that range populated.
+    """
+
+    #: RAM sub-tier capacity (the burst absorber)
+    mem_bytes: int = MiB(256)
+    mem_bandwidth: float = 8_000 * 1e6  # bytes/s (DDR-ish stream)
+    mem_latency: float = usec(2)
+    #: SSD sub-tier capacity (the staging area RAM demotes into)
+    ssd_bytes: int = GiB(8)
+    ssd_bandwidth: float = 500 * 1e6  # bytes/s (SATA SSD stream)
+    ssd_latency: float = usec(100)
+    #: cache-line granularity of the tier index
+    block_bytes: int = MiB(4)
+    #: buffer writes in the RAM tier and drain to disk asynchronously
+    writeback: bool = True
+    #: bounded re-queues for a write-back the fault layer dropped
+    writeback_retries: int = 2
+    #: fragments of readahead the partitioned runtimes issue (0 = off)
+    readahead_fragments: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mem_bytes < 1 or self.ssd_bytes < 0:
+            raise ConfigError("tier capacities must be positive")
+        if min(self.mem_bandwidth, self.ssd_bandwidth) <= 0:
+            raise ConfigError("tier bandwidths must be > 0")
+        if min(self.mem_latency, self.ssd_latency) < 0:
+            raise ConfigError("tier latencies must be >= 0")
+        if self.block_bytes < 1:
+            raise ConfigError("tier block_bytes must be >= 1")
+        if self.writeback_retries < 0:
+            raise ConfigError("writeback_retries must be >= 0")
+        if self.readahead_fragments < 0:
+            raise ConfigError("readahead_fragments must be >= 0")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -234,6 +284,9 @@ class NodeConfig:
     disk: DiskSpec = dataclasses.field(default_factory=DiskSpec)
     role: str = NodeRole.COMPUTE
     memory_policy: MemoryPolicy = dataclasses.field(default_factory=MemoryPolicy)
+    #: optional burst-buffer tier fronting the disk (None = reads/writes
+    #: go straight to the disk model, the pre-tier behaviour)
+    tier: TierSpec | None = None
 
     def __post_init__(self) -> None:
         if self.mem_bytes < 1:
@@ -281,6 +334,7 @@ def table1_cluster(
     phoenix: PhoenixConfig | None = None,
     smartfam: SmartFAMConfig | None = None,
     memory_policy: MemoryPolicy | None = None,
+    tier: TierSpec | None = None,
     seed: int = 0,
 ) -> ClusterConfig:
     """The paper's 5-node testbed (Table I).
@@ -291,7 +345,9 @@ def table1_cluster(
     compute nodes.  All nodes have 2 GB RAM and hang off one Gigabit
     switch.  ``n_sd > 1`` builds the multi-McSD configuration of the
     paper's future work ("the parallelisms among multiple McSD smart
-    disks", Section VI).
+    disks", Section VI).  ``tier`` attaches a burst buffer to every SD
+    node (the host and compute nodes keep bare disks — the tier models
+    flash co-located with the smart disk).
     """
     if n_sd < 1:
         raise ConfigError("need at least one SD node")
@@ -301,7 +357,9 @@ def table1_cluster(
     ]
     for i in range(n_sd):
         nodes.append(
-            NodeConfig(f"sd{i}", sd_cpu, mem_bytes, role=NodeRole.SD, memory_policy=mp)
+            NodeConfig(
+                f"sd{i}", sd_cpu, mem_bytes, role=NodeRole.SD, memory_policy=mp, tier=tier
+            )
         )
     for i in range(n_compute):
         nodes.append(

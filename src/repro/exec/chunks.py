@@ -50,6 +50,8 @@ __all__ = [
     "read_chunk",
     "read_chunk_cached",
     "read_chunk_view",
+    "handle_cache_stats",
+    "drop_cached_handle",
 ]
 
 #: per-process cap on cached (file, mmap) pairs
@@ -58,8 +60,8 @@ _MAX_CACHED_FILES = 8
 #: how many bytes each boundary probe reads looking for a delimiter
 _WINDOW = 64 * 1024
 
-#: per-process mmap cache: path -> (ino, size, mtime_ns, file, mmap)
-_HANDLES: "collections.OrderedDict[str, tuple[int, int, int, _t.BinaryIO, mmap.mmap | None]]" = (
+#: per-process mmap cache: path -> (ino, size, mtime_ns, ctime_ns, file, mmap)
+_HANDLES: "collections.OrderedDict[str, tuple[int, int, int, int, _t.BinaryIO, mmap.mmap | None]]" = (
     collections.OrderedDict()
 )
 
@@ -79,7 +81,7 @@ class FileChunk:
 
 
 def _drop_handle(path: str) -> None:
-    ino, size, mtime, f, mm = _HANDLES.pop(path)
+    ino, size, mtime, ctime, f, mm = _HANDLES.pop(path)
     if mm is not None:
         try:
             mm.close()
@@ -93,31 +95,59 @@ def _drop_handle(path: str) -> None:
 
 def _cached_entry(
     path: str,
-) -> tuple[int, int, int, _t.BinaryIO, mmap.mmap | None]:
+) -> tuple[int, int, int, int, _t.BinaryIO, mmap.mmap | None]:
     """The validated cache entry for ``path``, opening/mapping on miss.
 
-    One ``stat`` revalidates a hit (inode/size/mtime — the file may have
-    been replaced or rewritten between jobs); hits move to MRU position
-    so eviction is true LRU.  On miss the entry records the ``fstat`` of
+    One ``stat`` revalidates a hit — the file may have been replaced or
+    rewritten between jobs; hits move to MRU position so eviction is true
+    LRU.  The check covers inode *and* change-time: a rename-over that
+    recycles the old inode number with the source's preserved mtime and
+    an equal size would slip past an (ino, size, mtime) triple, but the
+    rename updates ``st_ctime_ns`` on the new inode, so the generation
+    change is still caught.  On miss the entry records the ``fstat`` of
     the descriptor actually opened, not the path's earlier stat, closing
     the stat→open replacement race.
     """
     st = os.stat(path)
     entry = _HANDLES.get(path)
-    if entry is not None and (st.st_ino, st.st_size, st.st_mtime_ns) != entry[:3]:
+    if entry is not None and (
+        st.st_ino, st.st_size, st.st_mtime_ns, st.st_ctime_ns
+    ) != entry[:4]:
         _drop_handle(path)
         entry = None
     if entry is None:
         f = open(path, "rb")
         fst = os.fstat(f.fileno())
         mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ) if fst.st_size else None
-        entry = (fst.st_ino, fst.st_size, fst.st_mtime_ns, f, mm)
+        entry = (fst.st_ino, fst.st_size, fst.st_mtime_ns, fst.st_ctime_ns, f, mm)
         _HANDLES[path] = entry
         while len(_HANDLES) > _MAX_CACHED_FILES:
             _drop_handle(next(iter(_HANDLES)))
     else:
         _HANDLES.move_to_end(path)
     return entry
+
+
+def handle_cache_stats() -> dict:
+    """Occupancy of the per-process mmap handle cache (hierarchy hook)."""
+    return {
+        "entries": len(_HANDLES),
+        "capacity": _MAX_CACHED_FILES,
+        "mapped_bytes": sum(entry[1] for entry in _HANDLES.values()),
+    }
+
+
+def drop_cached_handle(path: str) -> int:
+    """Close and forget the cached handle for ``path`` (hierarchy hook).
+
+    Returns 1 if an entry was dropped, 0 otherwise.  Revalidation would
+    catch a replaced file on the next use anyway; this exists so cascade
+    invalidation can release the descriptor and mapping *now*.
+    """
+    if path in _HANDLES:
+        _drop_handle(path)
+        return 1
+    return 0
 
 
 def chunk_file(
@@ -136,7 +166,7 @@ def chunk_file(
     if chunk_bytes < 1:
         raise IntegrityError(f"chunk size must be >= 1, got {chunk_bytes}")
     entry = _cached_entry(path)
-    size, fd = entry[1], entry[3].fileno()
+    size, fd = entry[1], entry[4].fileno()
     # one compiled character class: a single C-speed window search finds
     # the first delimiter at or after (draft - 1); a match *at* draft - 1
     # means the draft already sits right after a delimiter
@@ -190,7 +220,7 @@ def read_chunk_cached(chunk: FileChunk) -> bytes:
         return b""
     entry = _cached_entry(chunk.path)
     _check_in_bounds(chunk, entry[1])
-    mm = entry[4]
+    mm = entry[5]
     assert mm is not None  # size > 0 given the bounds check passed
     return mm[chunk.offset : chunk.end]
 
@@ -207,7 +237,7 @@ def read_chunk_view(chunk: FileChunk) -> memoryview:
         return memoryview(b"")
     entry = _cached_entry(chunk.path)
     _check_in_bounds(chunk, entry[1])
-    mm = entry[4]
+    mm = entry[5]
     assert mm is not None
     return memoryview(mm)[chunk.offset : chunk.end]
 

@@ -43,13 +43,14 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import hashlib
 import os
 import time
 import typing as _t
 
 from repro.errors import WorkloadError
 from repro.exec.chunks import FileChunk, chunk_file
-from repro.exec.outofcore import run_out_of_core
+from repro.exec.outofcore import plan_fragments, run_out_of_core
 from repro.exec.pool import WorkerPool, run_batch
 from repro.faults import FaultInjector, FaultPlan
 from repro.obs import Observability
@@ -60,7 +61,17 @@ from repro.phoenix.sort import (
     merge_map_into,
 )
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tier.store import TieredStore
+
 __all__ = ["LocalJobResult", "LocalMapReduce"]
+
+
+def _fn_identity(fn: _t.Callable | None) -> str:
+    """A stable name for a callable, for content-keyed tier identities."""
+    if fn is None:
+        return "-"
+    return f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
 
 #: shared no-op registry for untraced runs (span sites stay guarded)
 _DISABLED_OBS = Observability(enabled=False)
@@ -112,6 +123,9 @@ class LocalMapReduce:
         faults: FaultPlan | FaultInjector | None = None,
         transport: str = "auto",
         blackbox_dir: str | None = None,
+        tier: "TieredStore | None" = None,
+        readahead: int = 0,
+        spill_retries: int = 2,
     ):
         self.map_fn = map_fn
         self.reduce_fn = reduce_fn
@@ -127,6 +141,22 @@ class LocalMapReduce:
         if batches_per_worker < 1:
             raise WorkloadError("batches_per_worker must be >= 1")
         self.batches_per_worker = batches_per_worker
+        #: burst buffer for spill runs (None: plain spill files).  Runs
+        #: are keyed by job content identity, so a warm tier lets a
+        #: repeat job over an unchanged input skip map+spill per run.
+        self.tier = tier
+        #: fragments of page-cache readahead during out-of-core runs
+        #: (0: no prefetch thread)
+        if readahead < 0:
+            raise WorkloadError("readahead must be >= 0")
+        self.readahead = readahead
+        #: out-of-core spill/merge retry budget per stage.  Each distinct
+        #: disruption class (lost run, degraded read, corrupt read) can
+        #: cost one merge attempt, so chaos runs that stack all three
+        #: need a deeper budget than the default
+        if spill_retries < 0:
+            raise WorkloadError("spill_retries must be >= 0")
+        self.spill_retries = spill_retries
         #: fault injector for chaos runs (None: no instrumented overhead
         #: beyond one guard branch per hook); a FaultPlan is bound to a
         #: fresh injector sharing this engine's obs registry
@@ -206,12 +236,30 @@ class LocalMapReduce:
                 def map_fragment(fragment: _t.Sequence[FileChunk]) -> dict:
                     return self._map_chunks(fragment, params, parallel, job_sp)
 
-                out, n_fragments, spilled = run_out_of_core(
-                    chunks, map_fragment, self.combine_fn, self.reduce_fn,
-                    self.sort_output, params, budget, obs, self.spill_dir,
-                    faults=self.faults,
-                    prefolded=self.combine_fn is not None,
-                )
+                tier_key = None
+                if self.tier is not None:
+                    tier_key = self._job_key(path, st, chunk_bytes, params, budget)
+                prefetcher = None
+                if self.readahead > 0:
+                    from repro.tier.prefetch import ReadaheadPrefetcher
+
+                    prefetcher = ReadaheadPrefetcher(
+                        plan_fragments(chunks, budget),
+                        depth=self.readahead, obs=obs,
+                    )
+                try:
+                    out, n_fragments, spilled = run_out_of_core(
+                        chunks, map_fragment, self.combine_fn, self.reduce_fn,
+                        self.sort_output, params, budget, obs, self.spill_dir,
+                        faults=self.faults,
+                        max_retries=self.spill_retries,
+                        prefolded=self.combine_fn is not None,
+                        tier=self.tier, tier_key=tier_key,
+                        prefetcher=prefetcher,
+                    )
+                finally:
+                    if prefetcher is not None:
+                        prefetcher.close()
             else:
                 merged = self._map_chunks(chunks, params, parallel, job_sp)
                 with obs.span("localmr.merge", cat="localmr", track="localmr"):
@@ -242,6 +290,32 @@ class LocalMapReduce:
         )
 
     # -- internals -------------------------------------------------------------
+
+    def _job_key(
+        self,
+        path: str,
+        st: os.stat_result,
+        chunk_bytes: int,
+        params: dict,
+        budget: int,
+    ) -> str:
+        """Content identity of an out-of-core job, for tier run keys.
+
+        Everything that shapes a spilled run's bytes is in here: the file
+        (inode/size/mtime, like the chunk-plan cache key), the chunk and
+        fragment geometry, the callables and their params, and the output
+        ordering.  Any change misses the tier and recomputes — the same
+        invalidation discipline the chunk-plan cache uses.
+        """
+        ident = (
+            os.path.abspath(path), st.st_ino, st.st_size, st.st_mtime_ns,
+            chunk_bytes, self.delimiters, budget,
+            _fn_identity(self.map_fn), _fn_identity(self.combine_fn),
+            _fn_identity(self.reduce_fn), self.sort_output,
+            repr(sorted(params.items(), key=repr)),
+        )
+        digest = hashlib.sha1(repr(ident).encode()).hexdigest()[:16]
+        return f"localmr/{digest}"
 
     def _plan_chunks(
         self, path: str, st: os.stat_result, chunk_bytes: int

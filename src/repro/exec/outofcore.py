@@ -30,6 +30,17 @@ corruption disappears on the second read — and only then escalated as
 source chunks and re-spills it before restarting the merge: the input
 file is the durable copy, so spill corruption costs time, never answers.
 
+Burst-buffer spill: with a :class:`~repro.tier.store.TieredStore` the
+runs live in the tier (memory level first, background write-back to the
+tier's SSD directory) instead of plain files — same crc framing, built
+by :func:`dump_run` and drained by :func:`iter_run_bytes`.  Runs are
+keyed by job content identity, so a repeat job over an unchanged input
+reuses every still-resident run and skips its map/combine/sort/spill
+entirely — the warm-tier speedup the burst buffer exists for.  The tier
+may *lose* entries (dropped write-back, eviction, fault injection);
+every loss is detected (presence sweep before each merge attempt, crc on
+read) and answered by recomputing the fragment from the input file.
+
 Leak safety: run files live in a fresh temporary directory removed on
 success *and* on failure (``finally``), and every live spill directory
 is additionally registered with an ``atexit`` finalizer so an exception
@@ -58,6 +69,7 @@ from __future__ import annotations
 
 import atexit
 import functools
+import io
 import itertools
 import operator
 import os
@@ -86,12 +98,16 @@ from repro.phoenix.sort import (
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+    from repro.tier.prefetch import ReadaheadPrefetcher
+    from repro.tier.store import TieredStore
 
 __all__ = [
     "plan_fragments",
     "run_out_of_core",
     "write_run",
+    "dump_run",
     "iter_run",
+    "iter_run_bytes",
     "install_signal_cleanup",
     "live_spill_dirs",
 ]
@@ -226,27 +242,18 @@ def plan_fragments(
 # --------------------------------------------------------------------------
 
 
-def write_run(
-    path: str,
+def _framed_blocks(
     entries: _t.Iterable,
-    block_values: int = SPILL_BLOCK_VALUES,
-    faults: "FaultInjector | None" = None,
-    run_index: int | None = None,
-) -> int:
-    """Spill one sorted decorated run as crc-framed pickled blocks.
+    block_values: int,
+    faults: "FaultInjector | None",
+    run_index: int | None,
+) -> _t.Iterator[bytes]:
+    """Frame ``entries`` into crc-headed pickled blocks.
 
-    Returns bytes written.  Blocks are bounded both by entry count and by
-    total carried values (``block_values``), so a reader never holds more
-    than ~one block's worth of data per run regardless of how lopsided
-    the value lists are.  Each block is an independent pickle (fresh
-    memo) behind a ``<length, crc32>`` header, so readers can free a
-    block's objects as soon as the merge moves past them and verify each
-    block independently.
-
-    Injected faults at ``spill.write``: *fail* raises before anything is
-    written (retryable — the caller re-spills), *corrupt* flips one byte
-    of the first block's payload after its crc is computed, i.e. durable
-    on-disk corruption the reader's re-read cannot mask.
+    The ``spill.write`` fault decision is made *eagerly* (a fail raises
+    before the caller has written anything); a corrupt decision flips one
+    byte of the first block's payload after its crc is computed.  Shared
+    by :func:`write_run` (file spill) and :func:`dump_run` (tier spill).
     """
     decision = None
     if faults is not None:
@@ -280,10 +287,51 @@ def write_run(
         if block:
             yield frame()
 
+    return frames()
+
+
+def write_run(
+    path: str,
+    entries: _t.Iterable,
+    block_values: int = SPILL_BLOCK_VALUES,
+    faults: "FaultInjector | None" = None,
+    run_index: int | None = None,
+) -> int:
+    """Spill one sorted decorated run as crc-framed pickled blocks.
+
+    Returns bytes written.  Blocks are bounded both by entry count and by
+    total carried values (``block_values``), so a reader never holds more
+    than ~one block's worth of data per run regardless of how lopsided
+    the value lists are.  Each block is an independent pickle (fresh
+    memo) behind a ``<length, crc32>`` header, so readers can free a
+    block's objects as soon as the merge moves past them and verify each
+    block independently.
+
+    Injected faults at ``spill.write``: *fail* raises before anything is
+    written (retryable — the caller re-spills), *corrupt* flips one byte
+    of the first block's payload after its crc is computed, i.e. durable
+    on-disk corruption the reader's re-read cannot mask.
+    """
+    frames = _framed_blocks(entries, block_values, faults, run_index)
     with open(path, "wb") as f:
-        for data in frames():
+        for data in frames:
             f.write(data)
         return f.tell()
+
+
+def dump_run(
+    entries: _t.Iterable,
+    block_values: int = SPILL_BLOCK_VALUES,
+    faults: "FaultInjector | None" = None,
+    run_index: int | None = None,
+) -> bytes:
+    """The run's spill bytes in memory — same framing as :func:`write_run`.
+
+    Used by the tier path: the framed run goes into a
+    :class:`~repro.tier.store.TieredStore` instead of a file, keeping the
+    crc framing (and its corruption detection) identical in both homes.
+    """
+    return b"".join(_framed_blocks(entries, block_values, faults, run_index))
 
 
 def _read_block(f: _t.BinaryIO, path: str, block_index: int, run_index: int | None):
@@ -324,6 +372,33 @@ def iter_run(
     flips a byte of the first block's payload in memory before the crc
     check — exercising the re-read path without touching the file.
     """
+    with open(path, "rb") as f:
+        yield from _iter_blocks(f, path, faults, run_index)
+
+
+def iter_run_bytes(
+    data: bytes,
+    faults: "FaultInjector | None" = None,
+    run_index: int | None = None,
+    name: str = "<tier-run>",
+) -> _t.Iterator:
+    """Stream a run held in memory (a tier ``get()`` payload).
+
+    The verification pipeline is identical to :func:`iter_run` — crc per
+    block, one re-read (which for an in-memory buffer re-reads the same
+    bytes, so *durable* corruption such as a tier-corrupted payload fails
+    twice and raises), then :class:`~repro.errors.SpillCorruptionError`
+    carrying the run index for the engine's recompute path.
+    """
+    yield from _iter_blocks(io.BytesIO(data), name, faults, run_index)
+
+
+def _iter_blocks(
+    f: _t.BinaryIO,
+    path: str,
+    faults: "FaultInjector | None",
+    run_index: int | None,
+) -> _t.Iterator:
     corrupt = None
     if faults is not None:
         decision = faults.check("spill.read", run=run_index)
@@ -334,28 +409,27 @@ def iter_run(
                 raise FaultInjectedError(
                     "spill.read", f"injected spill-read failure (run {run_index})"
                 )
-    with open(path, "rb") as f:
-        block_index = 0
-        while True:
+    block_index = 0
+    while True:
+        got = _read_block(f, path, block_index, run_index)
+        if got is None:
+            return
+        payload, crc, offset = got
+        if corrupt is not None:
+            # in-memory flip: the on-disk copy is fine, so the
+            # re-read below recovers it
+            payload = faults.corrupt_bytes(payload, corrupt)
+            corrupt = None
+        if zlib.crc32(payload) != crc:
+            f.seek(offset)
             got = _read_block(f, path, block_index, run_index)
             if got is None:
-                return
-            payload, crc, offset = got
-            if corrupt is not None:
-                # in-memory flip: the on-disk copy is fine, so the
-                # re-read below recovers it
-                payload = faults.corrupt_bytes(payload, corrupt)
-                corrupt = None
+                raise SpillCorruptionError(path, block_index, run_index)
+            payload, crc, _ = got
             if zlib.crc32(payload) != crc:
-                f.seek(offset)
-                got = _read_block(f, path, block_index, run_index)
-                if got is None:
-                    raise SpillCorruptionError(path, block_index, run_index)
-                payload, crc, _ = got
-                if zlib.crc32(payload) != crc:
-                    raise SpillCorruptionError(path, block_index, run_index)
-            yield from pickle.loads(payload)
-            block_index += 1
+                raise SpillCorruptionError(path, block_index, run_index)
+        yield from pickle.loads(payload)
+        block_index += 1
 
 
 # --------------------------------------------------------------------------
@@ -434,6 +508,9 @@ def run_out_of_core(
     faults: "FaultInjector | None" = None,
     max_retries: int = 2,
     prefolded: bool = False,
+    tier: "TieredStore | None" = None,
+    tier_key: str | None = None,
+    prefetcher: "ReadaheadPrefetcher | None" = None,
 ) -> tuple[list[tuple[object, object]], int, int]:
     """Fragment-at-a-time map/combine/sort/spill, then lazy merge-reduce.
 
@@ -447,6 +524,21 @@ def run_out_of_core(
     under a fresh directory inside ``spill_dir`` (default: the system
     temp dir) and are removed whether the run succeeds or raises — with
     an ``atexit`` finalizer backstopping interpreter teardown.
+
+    With a ``tier`` (:class:`~repro.tier.store.TieredStore`), runs go
+    into the burst buffer instead of plain spill files: each fragment's
+    framed run is ``put()`` under ``{tier_key}/bv{block_values}/run-i``
+    and the merge streams it back with :func:`iter_run_bytes`.  Because
+    ``tier_key`` encodes the *content identity* of the job (file stat,
+    chunk plan, callables, params — the caller's responsibility), a warm
+    tier lets a repeat job skip map+combine+sort+spill for every run it
+    still holds (``tier.spill.reuse``).  The tier is allowed to lie about
+    durability: an entry lost to a dropped write-back is detected before
+    each merge attempt (``contains``) and recomputed from the input file;
+    a corrupted payload fails the crc check, is invalidated and
+    recomputed.  Loss costs time, never answers.  ``prefetcher`` is
+    advised as each fragment starts so the next fragment's chunks warm
+    the page cache while this one maps.
 
     Recovery: a transient spill-write failure re-spills the fragment; a
     durably corrupt block found during the merge recomputes *that*
@@ -464,14 +556,52 @@ def run_out_of_core(
         MIN_BLOCK_VALUES,
         min(SPILL_BLOCK_VALUES, MERGE_READAHEAD_VALUES // len(fragments)),
     )
-    tmpdir = tempfile.mkdtemp(prefix="localmr-spill-", dir=spill_dir)
-    _track_spill_dir(tmpdir)
+    tmpdir = None
+    if tier is None:
+        tmpdir = tempfile.mkdtemp(prefix="localmr-spill-", dir=spill_dir)
+        _track_spill_dir(tmpdir)
     spilled = 0
+    #: fragment indices whose current run lives in a plain spill file
+    #: rather than the tier (the durable fallback for merge recovery)
+    on_disk: set[int] = set()
 
-    def spill_fragment(i: int) -> str:
+    def ensure_tmpdir() -> str:
+        nonlocal tmpdir
+        if tmpdir is None:
+            tmpdir = tempfile.mkdtemp(prefix="localmr-spill-", dir=spill_dir)
+            _track_spill_dir(tmpdir)
+        return tmpdir
+
+    def run_source(i: int) -> str:
+        if tier is not None and i not in on_disk:
+            # block_values is part of the identity: a different merge
+            # read-ahead derivation produces differently-framed runs
+            return f"{tier_key or 'localmr'}/bv{block_values}/run-{i:05d}"
+        return os.path.join(ensure_tmpdir(), f"run-{i:05d}.spill")
+
+    def spill_fragment(i: int, to_disk: bool = False) -> str:
         """Map/combine/sort fragment ``i`` and spill its run (with bounded
-        retry on transient write faults)."""
+        retry on transient write faults).  With a warm tier the whole
+        pipeline is skipped when the run is already resident.
+
+        ``to_disk`` forces the run into a plain spill file even when a
+        tier is attached: the durable fallback for merge recovery, so a
+        tier too small to hold the whole run set (each recompute's
+        ``put`` can evict another run it is merging with) converges
+        instead of burning every retry on capacity churn.
+        """
         nonlocal spilled
+        if prefetcher is not None:
+            prefetcher.advise(i)
+        if to_disk:
+            on_disk.add(i)
+        source = run_source(i)
+        use_tier = tier is not None and i not in on_disk
+        if use_tier and tier.contains(source):
+            # warm run: the tier still holds this fragment's spill from a
+            # previous identical job — nothing to map, nothing to write
+            obs.count("tier.spill.reuse")
+            return source
         fragment = fragments[i]
         with obs.span(
             "localmr.fragment", cat="localmr", track="localmr",
@@ -498,16 +628,23 @@ def run_out_of_core(
             else:
                 entries = decorate_sorted(merged)
             del merged
-            path = os.path.join(tmpdir, f"run-{i:05d}.spill")
             with obs.span(
                 "localmr.spill", cat="localmr", track="localmr", index=i,
             ) as spill_sp:
                 for attempt in range(max_retries + 1):
                     try:
-                        nbytes = write_run(
-                            path, entries, block_values,
-                            faults=faults, run_index=i,
-                        )
+                        if use_tier:
+                            data = dump_run(
+                                entries, block_values,
+                                faults=faults, run_index=i,
+                            )
+                            tier.put(source, data)
+                            nbytes = len(data)
+                        else:
+                            nbytes = write_run(
+                                source, entries, block_values,
+                                faults=faults, run_index=i,
+                            )
                         break
                     except Exception as exc:
                         if not is_retryable(exc) or attempt == max_retries:
@@ -519,20 +656,48 @@ def run_out_of_core(
             obs.count("localmr.spill_bytes", nbytes)
             obs.count("localmr.spill_runs")
             spilled += nbytes
-        return path
+        return source
+
+    def open_run(source: str, j: int) -> _t.Iterator:
+        if tier is None or j in on_disk:
+            return iter_run(source, faults=faults, run_index=j)
+
+        def from_tier() -> _t.Iterator:
+            data = _t.cast("TieredStore", tier).get(source)
+            if data is None:
+                # the tier lost the run between the pre-merge sweep and
+                # this pull (fault-degraded read); recompute it
+                raise SpillCorruptionError(source, 0, j)
+            yield from iter_run_bytes(data, faults=faults, run_index=j, name=source)
+
+        return from_tier()
 
     try:
-        run_paths = [spill_fragment(i) for i in range(len(fragments))]
+        run_sources = [spill_fragment(i) for i in range(len(fragments))]
         for attempt in range(max_retries + 1):
             try:
+                if tier is not None:
+                    # sweep for write-back losses before paying for the
+                    # merge: every lost run recomputes here, so a burst of
+                    # losses costs one merge attempt, not one retry each
+                    for j, src in enumerate(run_sources):
+                        if j not in on_disk and not tier.contains(src):
+                            obs.count("localmr.recompute")
+                            obs.count("tier.spill.lost")
+                            # retry attempts recompute onto durable disk:
+                            # re-putting into a thrashing tier could evict
+                            # a sibling run and spin the merge forever
+                            run_sources[j] = spill_fragment(
+                                j, to_disk=attempt > 0
+                            )
                 with obs.span(
                     "localmr.merge", cat="localmr", track="localmr",
-                    runs=len(run_paths),
+                    runs=len(run_sources),
                 ):
                     stream = merge_decorated_runs(
                         [
-                            iter_run(p, faults=faults, run_index=j)
-                            for j, p in enumerate(run_paths)
+                            open_run(src, j)
+                            for j, src in enumerate(run_sources)
                         ]
                     )
                     output = _finalize_stream(
@@ -548,7 +713,11 @@ def run_out_of_core(
                     # the input file is the durable copy: rebuild the
                     # damaged run from its source chunks, then re-merge
                     obs.count("localmr.recompute")
-                    run_paths[exc.run_index] = spill_fragment(exc.run_index)
+                    if tier is not None and exc.run_index not in on_disk:
+                        tier.invalidate(run_sources[exc.run_index])
+                    run_sources[exc.run_index] = spill_fragment(
+                        exc.run_index, to_disk=attempt > 0
+                    )
             except Exception as exc:
                 if not is_retryable(exc) or attempt == max_retries:
                     raise
@@ -556,4 +725,5 @@ def run_out_of_core(
                 obs.count("retry.spill_merge")
         return output, len(fragments), spilled
     finally:
-        _untrack_spill_dir(tmpdir)
+        if tmpdir is not None:
+            _untrack_spill_dir(tmpdir)

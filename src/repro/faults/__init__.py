@@ -21,6 +21,7 @@ from repro.faults.plan import (
     FaultRule,
     distributed_chaos_plan,
     recovery_chaos_plan,
+    tier_chaos_plan,
     standard_engine_plan,
     standard_plan,
     transport_chaos_plan,
@@ -37,4 +38,5 @@ __all__ = [
     "transport_chaos_plan",
     "distributed_chaos_plan",
     "recovery_chaos_plan",
+    "tier_chaos_plan",
 ]

@@ -64,6 +64,21 @@ site                      hook
 ``heartbeat.drop``        SD daemon heartbeat loop (node); drop/fail
                           swallow one ping (the detector's phi rises),
                           delay postpones it
+``tier.read``             burst-buffer hit path — sim
+                          :class:`repro.tier.burst.BurstBuffer` (path,
+                          blocks) and real
+                          :class:`repro.tier.store.TieredStore` (key,
+                          level).  fail/drop degrade the hit to a disk
+                          read / recompute (entry invalidated),
+                          *corrupt* flips returned bytes (caught by the
+                          spill crc upstream), delay stalls the hit
+``tier.writeback``        background drain of dirty tier blocks (key,
+                          bytes); fail/drop cost bounded retries, then
+                          the entry is *lost* — a later read degrades
+                          to re-read/recompute, never wrong bytes
+``tier.evict``            capacity eviction (key); fail/drop wedge the
+                          eviction (``tier.evict.stuck``) so the tier
+                          runs over budget rather than losing data
 ========================  ============================================
 """
 
@@ -84,6 +99,7 @@ __all__ = [
     "transport_chaos_plan",
     "distributed_chaos_plan",
     "recovery_chaos_plan",
+    "tier_chaos_plan",
 ]
 
 ACTIONS = ("fail", "drop", "delay", "corrupt", "kill")
@@ -237,6 +253,29 @@ def recovery_chaos_plan(seed: int = 0) -> FaultPlan:
                 "shuffle.artifact", action="corrupt", count=1,
                 where={"op": "write"},
             ),
+        ),
+        seed=seed,
+    )
+
+
+def tier_chaos_plan(seed: int = 0) -> FaultPlan:
+    """The chaos plan for the burst-buffer tier (``tier.*`` sites).
+
+    The write-back killer: dirty entries whose background drain is
+    dropped until retries exhaust (the entry is *lost* — a warm read
+    must degrade to recompute), a degraded read (fail → treat as miss),
+    a corrupted read (crc upstream must catch it and invalidate), and a
+    wedged eviction (the tier must run over budget, not lose data).  A
+    hardened engine absorbs all of it with byte-identical output and
+    zero leaked tier files — the tier trades time, never answers.
+    """
+    return FaultPlan(
+        rules=(
+            # probability 1 + retries exhausted = guaranteed lost entries
+            FaultRule("tier.writeback", action="drop", count=9),
+            FaultRule("tier.read", action="fail", count=1, after=1),
+            FaultRule("tier.read", action="corrupt", count=1, after=3),
+            FaultRule("tier.evict", action="drop", count=1),
         ),
         seed=seed,
     )

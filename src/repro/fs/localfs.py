@@ -14,17 +14,34 @@ from repro.hardware.disk import DiskModel
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tier.burst import BurstBuffer
+
 __all__ = ["LocalFS"]
 
 
 class LocalFS:
-    """A node's local file system: one VFS backed by one disk."""
+    """A node's local file system: one VFS backed by one disk.
+
+    An optional :class:`~repro.tier.burst.BurstBuffer` (see
+    :meth:`attach_tier`) interposes between reads/writes and the disk:
+    reads hit the tier's block cache first, writes are buffered in the
+    tier's memory level and drained in the background.  Metadata
+    operations always go straight to the disk.
+    """
 
     def __init__(self, sim: Simulator, disk: DiskModel, name: str = "localfs"):
         self.sim = sim
         self.disk = disk
         self.name = name
         self.vfs = VFS(name=name)
+        self.tier: "BurstBuffer | None" = None
+
+    def attach_tier(self, tier: "BurstBuffer") -> "BurstBuffer":
+        """Front the disk with a burst buffer; wires VFS invalidation."""
+        self.tier = tier
+        tier.watch(self.vfs)
+        return tier
 
     # -- instantaneous metadata helpers (no disk charge) -------------------
 
@@ -63,10 +80,25 @@ class LocalFS:
         size: int | None = None,
         append: bool = False,
     ) -> Event:
-        """Write (or append) to a file; charges the disk for the bytes."""
+        """Write (or append) to a file; charges the disk for the bytes.
+
+        With a tier attached (and write-back enabled), the foreground
+        cost is one memory-tier transfer; the disk is charged later by
+        the tier's background drain.
+        """
         nbytes = len(data) if size is None and data is not None else int(size or 0)
 
         def _proc() -> _t.Generator:
+            tier = self.tier
+            if tier is not None and tier.spec.writeback:
+                yield from tier.write_charge(nbytes)
+                # the VFS mutation emits the modify event (invalidating the
+                # stale blocks) before the fresh range is re-admitted dirty
+                node = self.vfs.write(
+                    path, data=data, size=size, append=append, mtime=self.sim.now
+                )
+                tier.admit_write(path, node.size, nbytes, append=append)
+                return node
             yield self.disk.write(nbytes, label="write")
             return self.vfs.write(
                 path, data=data, size=size, append=append, mtime=self.sim.now
@@ -74,21 +106,41 @@ class LocalFS:
 
         return self.sim.spawn(_proc(), name=f"{self.name}.write")
 
-    def read(self, path: str, nbytes: int | None = None) -> Event:
+    def read(self, path: str, nbytes: int | None = None, offset: int = 0) -> Event:
         """Read a file; charges the disk; returns the materialized payload.
 
         ``nbytes`` overrides the charged byte count (partial/streaming
         reads); the payload returned is always the whole materialized data
-        (the scale model keeps payloads tiny).
+        (the scale model keeps payloads tiny).  ``offset`` locates the
+        charged range within the file so a tier, when attached, can hit
+        the exact blocks a prior read or prefetch populated.
         """
 
         def _proc() -> _t.Generator:
             node = self.vfs.resolve(path)
             charge = node.size if nbytes is None else int(nbytes)
-            yield self.disk.read(charge, label="read")
+            if self.tier is not None:
+                yield from self.tier.read_through(path, int(offset), charge, node.size)
+            else:
+                yield self.disk.read(charge, label="read")
             return self.vfs.read(path)
 
         return self.sim.spawn(_proc(), name=f"{self.name}.read")
+
+    def prefetch(self, path: str, offset: int = 0, nbytes: int | None = None) -> Event | None:
+        """Fire-and-forget readahead of a range into the tier (if any).
+
+        Without a tier this is a no-op — prefetching straight into a disk
+        model would only add queue contention.  Returns the background
+        fill Process, or None when nothing needed fetching.
+        """
+        if self.tier is None or not self.vfs.exists(path):
+            return None
+        size = self.vfs.size_of(path)
+        span = size - int(offset) if nbytes is None else int(nbytes)
+        if span <= 0:
+            return None
+        return self.tier.prefetch(path, int(offset), span, size)
 
     def stat(self, path: str) -> Event:
         """Stat via the attribute cache (no disk charge); returns the inode."""

@@ -80,7 +80,9 @@ class NFSServer:
         try:
             path = self._translate(req.get("path", "/"))
             if op == "read":
-                data = yield fs.read(path, nbytes=req.get("nbytes"))
+                data = yield fs.read(
+                    path, nbytes=req.get("nbytes"), offset=int(req.get("offset", 0))
+                )
                 size = fs.size_of(path)
                 charged = size if req.get("nbytes") is None else int(req["nbytes"])
                 reply["value"] = {"data": data, "size": size}
@@ -114,6 +116,13 @@ class NFSServer:
                 reply["value"] = True
             elif op == "access":
                 reply["value"] = fs.exists(path)
+            elif op == "prefetch":
+                # fire-and-forget: kick the server-side tier's readahead
+                # and reply immediately (the fill runs in the background)
+                started = fs.prefetch(
+                    path, offset=int(req.get("offset", 0)), nbytes=req.get("nbytes")
+                )
+                reply["value"] = started is not None
             else:
                 raise NFSError(f"unknown NFS op {op!r}")
         except Exception as exc:  # deliver errors to the caller, not the server
@@ -195,18 +204,26 @@ class NFSMount:
         #: bytes moved over the wire for file data (stats)
         self.bytes_read = 0
         self.bytes_written = 0
+        #: the exporting node's TierSpec, when it fronts its disk with a
+        #: burst buffer (set by the cluster builder; drives readahead)
+        self.remote_tier_spec = None
 
     # -- timed operations (all return processes/events) -----------------------
 
-    def read(self, path: str, nbytes: int | None = None) -> Event:
-        """Read a remote file; returns the materialized payload."""
+    def read(self, path: str, nbytes: int | None = None, offset: int = 0) -> Event:
+        """Read a remote file; returns the materialized payload.
+
+        ``offset`` is forwarded to the server so a burst tier on the
+        exporting node sees the true block range of a fragment read.
+        """
 
         def _proc() -> _t.Generator:
             with self.sim.obs.span(
                 "nfs.read", cat="nfs", track=self.name, path=path
             ) as sp:
                 value = yield self.client.call(
-                    self.server, {"op": "read", "path": path, "nbytes": nbytes}
+                    self.server,
+                    {"op": "read", "path": path, "nbytes": nbytes, "offset": offset},
                 )
                 charged = value["size"] if nbytes is None else int(nbytes)
                 self.bytes_read += charged
@@ -287,6 +304,17 @@ class NFSMount:
     def access(self, path: str) -> Event:
         """Timed existence check."""
         return self._simple({"op": "access", "path": path}, "access")
+
+    def prefetch(self, path: str, offset: int = 0, nbytes: int | None = None) -> Event:
+        """Ask the server to pull a range into its tier (readahead RPC).
+
+        Returns an event carrying True when the server actually started a
+        fill (False when it has no tier or the range is already cached).
+        """
+        return self._simple(
+            {"op": "prefetch", "path": path, "offset": offset, "nbytes": nbytes},
+            "prefetch",
+        )
 
     def _simple(self, req: dict, label: str) -> Event:
         def _proc() -> _t.Generator:

@@ -4,6 +4,6 @@ Kept as its own module so hardware code can import specs without pulling in
 the full cluster configuration machinery.
 """
 
-from repro.config import CELERON_450, CPUSpec, DUO_E4400, QUAD_Q9400
+from repro.config import CELERON_450, CPUSpec, DUO_E4400, QUAD_Q9400, TierSpec
 
-__all__ = ["CPUSpec", "QUAD_Q9400", "DUO_E4400", "CELERON_450"]
+__all__ = ["CPUSpec", "TierSpec", "QUAD_Q9400", "DUO_E4400", "CELERON_450"]

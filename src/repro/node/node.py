@@ -52,6 +52,13 @@ class Node:
         self.memory.on_thrash_change(self.cpu.set_slowdown)
         self.disk = DiskModel(sim, config.disk, name=f"{self.name}.disk")
         self.fs = LocalFS(sim, self.disk, name=f"{self.name}.fs")
+        self.tier = None
+        if config.tier is not None:
+            from repro.tier.burst import BurstBuffer
+
+            self.tier = self.fs.attach_tier(
+                BurstBuffer(sim, self.disk, config.tier, name=f"{self.name}.tier")
+            )
         self.inotify = InotifyManager(
             sim, self.fs.vfs, latency=inotify_latency, name=f"{self.name}.inotify"
         )

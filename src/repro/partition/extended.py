@@ -24,6 +24,22 @@ if _t.TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["ExtendedResult", "ExtendedPhoenixRuntime"]
 
 
+def _readahead_depth(fs: object) -> int:
+    """Fragments of readahead the filesystem's tier asks for (0 = none).
+
+    LocalFS exposes its attached burst buffer directly; an NFS mount
+    carries the exporting node's tier spec (set by the cluster builder)
+    so remote fragment reads prefetch on the server side too.
+    """
+    tier = getattr(fs, "tier", None)
+    if tier is not None:
+        return int(tier.spec.readahead_fragments)
+    spec = getattr(fs, "remote_tier_spec", None)
+    if spec is not None:
+        return int(spec.readahead_fragments)
+    return 0
+
+
 @dataclasses.dataclass
 class ExtendedResult:
     """Outcome of a partition-enabled run."""
@@ -117,7 +133,15 @@ class ExtendedPhoenixRuntime:
             frag_stats: list[JobStats] = []
             outputs: list[object] = []
             inter_bytes: list[int] = []
+            readahead = _readahead_depth(fs)
             for i, frag in enumerate(plan.fragments):
+                # Readahead: while fragment i maps, pull fragment i+1 (and
+                # deeper, per the tier spec) into the burst buffer so its
+                # disk read overlaps this fragment's compute.  Without a
+                # tier this is a no-op — prefetching into the bare disk
+                # would only add queue contention.
+                for ahead in plan.fragments[i + 1 : i + 1 + readahead]:
+                    fs.prefetch(rel, offset=ahead.offset, nbytes=ahead.size)
                 with obs.span(
                     "ext.fragment", cat="partition", track=node.name,
                     index=i, bytes=frag.size,

@@ -193,7 +193,7 @@ class PhoenixRuntime:
                     "phoenix.read", cat="phoenix", track=node.name, force=True
                 ) as sp:
                     fs, rel = node.resolve_fs(inp.path)
-                    read_proc = fs.read(rel, nbytes=inp.size)
+                    read_proc = fs.read(rel, nbytes=inp.size, offset=inp.offset)
                     if inp.payload is not None:
                         payload = inp.payload
                     else:
@@ -394,7 +394,7 @@ class PhoenixRuntime:
                     "phoenix.read", cat="phoenix", track=node.name, force=True
                 ) as sp:
                     fs, rel = node.resolve_fs(inp.path)
-                    read_proc = fs.read(rel, nbytes=inp.size)
+                    read_proc = fs.read(rel, nbytes=inp.size, offset=inp.offset)
                     if inp.payload is not None:
                         payload = inp.payload
                     else:

@@ -11,11 +11,23 @@ alone cannot distinguish a rewrite at the same timestamp).
 Hits are answered at admission — a cached job consumes no queue slot, no
 placement, and no SD work; ``sched.cache.hit`` / ``sched.cache.miss``
 counters make the hit rate observable.
+
+Eviction is **LRU**: a hit refreshes the entry's recency, so the
+capacity victim is the least-recently-*used* result, not merely the
+oldest-stored one — under a skewed serving mix the popular results stay
+resident however old they are.  Evictions are counted by cause
+(``evictions_capacity`` vs ``evictions_invalidation``; mirrored to the
+``sched.cache.evict.capacity`` / ``.invalidation`` counters when an
+:class:`~repro.obs.registry.Observability` is bound), so a shrinking hit
+rate is attributable: churn from a too-small cache looks completely
+different from churn caused by input rewrites.
 """
 
 from __future__ import annotations
 
 import typing as _t
+
+from collections import OrderedDict
 
 from repro.errors import FileSystemError
 
@@ -29,16 +41,21 @@ __all__ = ["ResultCache"]
 class ResultCache:
     """Keyed memoization of completed :class:`~repro.core.job.JobResult`s."""
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, obs=None):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
-        self._entries: dict[tuple, "JobResult"] = {}
+        #: LRU order, least-recently-used first (get() refreshes)
+        self._entries: "OrderedDict[tuple, JobResult]" = OrderedDict()
         #: input_path -> keys that depend on it (eager invalidation index)
         self._by_path: dict[str, set] = {}
+        #: optional Observability for eviction-cause counters
+        self.obs = obs
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions_capacity = 0
+        self.evictions_invalidation = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -71,7 +88,11 @@ class ResultCache:
     # -- lookup / store ----------------------------------------------------
 
     def get(self, key: tuple | None) -> "JobResult | None":
-        """The cached result for ``key`` (counts the hit/miss)."""
+        """The cached result for ``key`` (counts the hit/miss).
+
+        A hit moves the entry to the recent end: LRU, not FIFO — the
+        capacity victim is the least-recently-used result.
+        """
         if key is None:
             self.misses += 1
             return None
@@ -80,6 +101,7 @@ class ResultCache:
             self.misses += 1
         else:
             self.hits += 1
+            self._entries.move_to_end(key)
         return result
 
     def put(self, key: tuple | None, result: "JobResult") -> None:
@@ -87,11 +109,13 @@ class ResultCache:
         if key is None:
             return
         if key not in self._entries and len(self._entries) >= self.capacity:
-            # FIFO eviction: serving repeats recent work; dict order is
-            # insertion order, so the oldest entry goes first
             oldest = next(iter(self._entries))
             self._drop(oldest)
+            self.evictions_capacity += 1
+            if self.obs is not None:
+                self.obs.count("sched.cache.evict.capacity")
         self._entries[key] = result
+        self._entries.move_to_end(key)
         self._by_path.setdefault(key[1], set()).add(key)
 
     def _drop(self, key: tuple) -> None:
@@ -112,6 +136,9 @@ class ResultCache:
         for key in keys:
             self._entries.pop(key, None)
         self.invalidations += len(keys)
+        self.evictions_invalidation += len(keys)
+        if self.obs is not None:
+            self.obs.count("sched.cache.evict.invalidation", len(keys))
         return len(keys)
 
     def watch(self, vfs) -> None:
@@ -127,6 +154,18 @@ class ResultCache:
         """Subscribe to every SD node's VFS (where job inputs live)."""
         for sd in cluster.sd_nodes:
             self.watch(sd.fs.vfs)
+
+    def stats(self) -> dict:
+        """Counter snapshot (hierarchy hook)."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions_capacity": self.evictions_capacity,
+            "evictions_invalidation": self.evictions_invalidation,
+        }
 
     def clear(self) -> None:
         """Drop all entries (counters survive)."""

@@ -196,6 +196,8 @@ class ClusterScheduler:
         self.cache: ResultCache | None = cache
         if self.cache is not None:
             self.cache.watch_cluster(cluster)
+            if self.cache.obs is None:
+                self.cache.obs = self.sim.obs
         self.per_node_limit = max(1, per_node_limit)
         self.attempt_timeout = attempt_timeout
         self.max_retries = max_retries
@@ -732,6 +734,8 @@ class ClusterScheduler:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "invalidations": self.cache.invalidations,
+                "evictions_capacity": self.cache.evictions_capacity,
+                "evictions_invalidation": self.cache.evictions_invalidation,
                 "entries": len(self.cache),
             }
         return out

@@ -1,0 +1,111 @@
+"""The explicit cache hierarchy: result cache → block cache → tier → disk.
+
+Before this module the caches were islands: the scheduler's
+:class:`~repro.sched.cache.ResultCache` invalidated itself off VFS events,
+the mmap handle cache in :mod:`repro.exec.chunks` revalidated off stat,
+and nothing tied their counters together.  :class:`CacheHierarchy` is the
+thin registry that makes the layering explicit: each level registers a
+stats callback and (optionally) a path-invalidation callback, ordered
+top (cheapest, most derived) to bottom (the disk itself).
+
+It deliberately stays a registry, not a dispatcher — reads still flow
+through each layer's own fast path.  What the hierarchy adds is the two
+cross-cutting operations that need to see *all* levels at once:
+
+* :meth:`report` — one ordered stats table (trace_view's tier section),
+* :meth:`invalidate_path` — cascade invalidation: when an input changes,
+  every level that derived state from it drops that state, top-down, so
+  no level can serve data a lower level has already abandoned.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["CacheHierarchy", "standard_hierarchy"]
+
+
+class _Level:
+    __slots__ = ("name", "stats_fn", "invalidate_fn")
+
+    def __init__(
+        self,
+        name: str,
+        stats_fn: _t.Callable[[], dict],
+        invalidate_fn: _t.Callable[[str], int] | None,
+    ):
+        self.name = name
+        self.stats_fn = stats_fn
+        self.invalidate_fn = invalidate_fn
+
+
+class CacheHierarchy:
+    """Ordered registry of cache levels with cascade invalidation."""
+
+    def __init__(self) -> None:
+        self._levels: list[_Level] = []
+
+    def register(
+        self,
+        name: str,
+        stats_fn: _t.Callable[[], dict],
+        invalidate_fn: _t.Callable[[str], int] | None = None,
+    ) -> None:
+        """Add a level at the bottom of the hierarchy.
+
+        Register top-down (result cache first, burst tier last) so
+        :meth:`report` reads like the read path.  ``invalidate_fn`` takes
+        a path and returns how many entries it dropped.
+        """
+        if any(lv.name == name for lv in self._levels):
+            raise ValueError(f"cache level {name!r} already registered")
+        self._levels.append(_Level(name, stats_fn, invalidate_fn))
+
+    @property
+    def levels(self) -> list[str]:
+        """Level names, top to bottom."""
+        return [lv.name for lv in self._levels]
+
+    def report(self) -> list[tuple[str, dict]]:
+        """``(name, stats)`` per level, top to bottom."""
+        return [(lv.name, dict(lv.stats_fn())) for lv in self._levels]
+
+    def invalidate_path(self, path: str) -> dict[str, int]:
+        """Cascade a path invalidation through every level, top-down.
+
+        Returns dropped-entry counts per level (levels without an
+        invalidation hook are skipped).
+        """
+        out: dict[str, int] = {}
+        for lv in self._levels:
+            if lv.invalidate_fn is not None:
+                out[lv.name] = int(lv.invalidate_fn(path))
+        return out
+
+
+def standard_hierarchy(
+    result_cache=None,
+    tiers: _t.Mapping[str, object] | None = None,
+    include_chunk_handles: bool = True,
+) -> CacheHierarchy:
+    """The canonical read-path hierarchy, top-down.
+
+    ``result cache → chunk-handle (block) cache → burst tier(s)`` — the
+    disk itself has no cache state, so it is not a level.  ``tiers`` maps
+    level names to :class:`~repro.tier.burst.BurstBuffer` or
+    :class:`~repro.tier.store.TieredStore` instances; their
+    ``invalidate_path``/``invalidate_prefix`` becomes the cascade hook.
+    """
+    h = CacheHierarchy()
+    if result_cache is not None:
+        h.register("result-cache", result_cache.stats, result_cache.invalidate_path)
+    if include_chunk_handles:
+        from repro.exec.chunks import drop_cached_handle, handle_cache_stats
+
+        h.register("chunk-handles", handle_cache_stats, drop_cached_handle)
+    for name, tier in (tiers or {}).items():
+        invalidate = getattr(tier, "invalidate_path", None)
+        if invalidate is None:
+            invalidate = getattr(tier, "invalidate_prefix", None)
+        h.register(name, tier.stats, invalidate)
+    return h

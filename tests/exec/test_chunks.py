@@ -192,6 +192,44 @@ def test_cache_survives_rewrite_with_same_path(tmp_path):
     assert read_chunk_cached(FileChunk(str(p), 0, 5)) == b"secnd"
 
 
+def test_rename_over_with_preserved_mtime_invalidates(tmp_path):
+    """Regression: an atomic replace whose source preserves the target's
+    mtime and size must not serve the old mapping.
+
+    Staging tools (``os.replace`` after ``shutil.copystat``) produce
+    exactly this shape: equal size, equal mtime.  If the kernel also
+    recycles the inode number, an (ino, size, mtime) triple validates a
+    stale entry — only the replacement's fresh ``st_ctime_ns`` tells the
+    generations apart, so it must be part of the revalidation key.
+    """
+    p = tmp_path / "target"
+    p.write_bytes(b"old bytes v1")
+    assert read_chunk_cached(FileChunk(str(p), 0, 12)) == b"old bytes v1"
+    st = os.stat(p)
+    src = tmp_path / "incoming"
+    src.write_bytes(b"new bytes v2")  # same length as the old content
+    os.utime(src, ns=(st.st_atime_ns, st.st_mtime_ns))  # preserve mtime
+    os.replace(src, p)
+    assert read_chunk_cached(FileChunk(str(p), 0, 12)) == b"new bytes v2"
+
+
+def test_revalidation_key_includes_ctime(tmp_path):
+    """White-box: the cached entry carries ``st_ctime_ns``, the only stat
+    field a mtime-preserving, size-preserving, inode-recycling replace
+    cannot forge."""
+    p = tmp_path / "keyed"
+    p.write_bytes(b"some words here")
+    read_chunk_cached(FileChunk(str(p), 0, 4))
+    entry = _HANDLES[str(p)]
+    st = os.stat(p)
+    assert entry[:4] == (st.st_ino, st.st_size, st.st_mtime_ns, st.st_ctime_ns)
+    # a metadata-only ctime bump (chmod) retires the mapping too: cheaper
+    # a false invalidation than a stale read
+    os.chmod(p, 0o600)
+    read_chunk_cached(FileChunk(str(p), 0, 4))
+    assert _HANDLES[str(p)][3] == os.stat(p).st_ctime_ns
+
+
 @given(
     words=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=80),
     chunk=st.integers(min_value=1, max_value=300),

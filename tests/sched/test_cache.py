@@ -86,18 +86,75 @@ def test_delete_invalidates(env):
     assert len(cache) == 0
 
 
-def test_fifo_eviction_at_capacity():
+def _key(i: int) -> tuple:
+    return ("app", f"/p{i}", "partitioned", None, (), i, 0.0)
+
+
+def test_lru_eviction_at_capacity():
     cache = ResultCache(capacity=2)
-    k1 = ("app", "/p1", "partitioned", None, (), 1, 0.0)
-    k2 = ("app", "/p2", "partitioned", None, (), 2, 0.0)
-    k3 = ("app", "/p3", "partitioned", None, (), 3, 0.0)
-    cache.put(k1, result("r1"))
-    cache.put(k2, result("r2"))
-    cache.put(k3, result("r3"))
+    cache.put(_key(1), result("r1"))
+    cache.put(_key(2), result("r2"))
+    cache.put(_key(3), result("r3"))
     assert len(cache) == 2
-    assert cache.get(k1) is None  # oldest evicted
-    assert cache.get(k2).name == "r2"
-    assert cache.get(k3).name == "r3"
+    assert cache.get(_key(1)) is None  # least recently used evicted
+    assert cache.get(_key(2)).name == "r2"
+    assert cache.get(_key(3)).name == "r3"
+
+
+def test_hit_refreshes_recency():
+    """LRU, not FIFO: a hit protects the oldest-stored entry."""
+    cache = ResultCache(capacity=2)
+    cache.put(_key(1), result("r1"))
+    cache.put(_key(2), result("r2"))
+    assert cache.get(_key(1)).name == "r1"  # touch: k1 now most recent
+    cache.put(_key(3), result("r3"))
+    assert cache.get(_key(1)).name == "r1"  # survived (touched)
+    assert cache.get(_key(2)) is None  # k2 was the LRU victim
+
+
+def test_put_refreshes_recency():
+    """Re-storing an existing key also refreshes it (no double count)."""
+    cache = ResultCache(capacity=2)
+    cache.put(_key(1), result("r1"))
+    cache.put(_key(2), result("r2"))
+    cache.put(_key(1), result("r1b"))  # refresh, not a new entry
+    assert len(cache) == 2
+    cache.put(_key(3), result("r3"))
+    assert cache.get(_key(2)) is None
+    assert cache.get(_key(1)).name == "r1b"
+
+
+def test_eviction_counters_by_cause(env):
+    bed, sd_path, job, _ = env
+    cache = ResultCache(capacity=1)
+    cache.watch(bed.sd.fs.vfs)
+    key = ResultCache.key_for(job, bed.cluster)
+    cache.put(key, result())
+    cache.put(_key(1), result("r1"))  # capacity-evicts the job entry
+    assert cache.evictions_capacity == 1
+    assert cache.evictions_invalidation == 0
+    cache.clear()
+    cache.put(key, result())
+    bed.sd.fs.vfs.unlink(sd_path)
+    assert cache.evictions_invalidation == 1
+    assert cache.evictions_capacity == 1  # unchanged
+    stats = cache.stats()
+    assert stats["evictions_capacity"] == 1
+    assert stats["evictions_invalidation"] == 1
+
+
+def test_eviction_counters_reach_obs(env):
+    from repro.obs import Observability
+
+    bed, _, job, _ = env
+    obs = Observability(enabled=False)
+    cache = ResultCache(capacity=1, obs=obs)
+    cache.put(_key(1), result("r1"))
+    cache.put(_key(2), result("r2"))
+    cache.invalidate_path("/p2")
+    ctr = obs.metrics.counters
+    assert ctr.get("sched.cache.evict.capacity") == 1
+    assert ctr.get("sched.cache.evict.invalidation") == 1
 
 
 def test_invalid_capacity_rejected():

@@ -1,0 +1,72 @@
+"""Tests for the explicit cache hierarchy (registry + cascade invalidation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.chunks import FileChunk, read_chunk_cached
+from repro.sched import ResultCache
+from repro.tier import CacheHierarchy, TieredStore, standard_hierarchy
+
+
+def test_levels_are_ordered_and_unique():
+    h = CacheHierarchy()
+    h.register("top", lambda: {"entries": 1})
+    h.register("bottom", lambda: {"entries": 2})
+    assert h.levels == ["top", "bottom"]
+    with pytest.raises(ValueError):
+        h.register("top", lambda: {})
+
+
+def test_report_reads_top_down():
+    h = CacheHierarchy()
+    h.register("a", lambda: {"hits": 1})
+    h.register("b", lambda: {"hits": 2})
+    assert h.report() == [("a", {"hits": 1}), ("b", {"hits": 2})]
+
+
+def test_cascade_invalidation_hits_every_level():
+    dropped: list[str] = []
+
+    def make_level(name):
+        def invalidate(path):
+            dropped.append(f"{name}:{path}")
+            return 1
+        return invalidate
+
+    h = CacheHierarchy()
+    h.register("upper", lambda: {}, make_level("upper"))
+    h.register("stats-only", lambda: {})  # no invalidation hook: skipped
+    h.register("lower", lambda: {}, make_level("lower"))
+    out = h.invalidate_path("/data/f")
+    assert out == {"upper": 1, "lower": 1}
+    assert dropped == ["upper:/data/f", "lower:/data/f"]  # top-down
+
+
+def test_standard_hierarchy_wires_real_levels(tmp_path):
+    cache = ResultCache()
+    with TieredStore(1024, 4096, writeback=False) as store:
+        h = standard_hierarchy(result_cache=cache, tiers={"burst": store})
+        assert h.levels == ["result-cache", "chunk-handles", "burst"]
+        # report exposes each level's own stats shape
+        report = dict(h.report())
+        assert "capacity" in report["result-cache"]
+        assert "mapped_bytes" in report["chunk-handles"]
+        assert "mem_used" in report["burst"]
+
+
+def test_standard_hierarchy_cascade_drops_derived_state(tmp_path):
+    p = tmp_path / "input"
+    p.write_bytes(b"cascade me down")
+    read_chunk_cached(FileChunk(str(p), 0, 7))  # warm the handle cache
+    cache = ResultCache()
+    key = ("app", str(p), "partitioned", None, (), 1, 0.0)
+    cache.put(key, object())
+    with TieredStore(1024, 4096, writeback=False) as store:
+        store.put(f"{p}/run-0", b"spill")
+        h = standard_hierarchy(result_cache=cache, tiers={"burst": store})
+        out = h.invalidate_path(str(p))
+    assert out["result-cache"] == 1
+    assert out["chunk-handles"] == 1
+    assert out["burst"] == 1
+    assert cache.get(key) is None

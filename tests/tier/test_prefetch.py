@@ -1,0 +1,87 @@
+"""Tests for the real engine's background readahead thread."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.chunks import FileChunk, chunk_file
+from repro.obs import Observability
+from repro.tier import ReadaheadPrefetcher
+
+
+@pytest.fixture()
+def fragments(tmp_path):
+    p = tmp_path / "input"
+    p.write_bytes(b"word " * 4000)  # 20 000 bytes
+    chunks = chunk_file(str(p), 4096)
+    # one chunk per fragment: a simple, observable schedule
+    return [[c] for c in chunks]
+
+
+def test_advise_prefetches_the_next_fragment(fragments):
+    with ReadaheadPrefetcher(fragments, depth=1) as pf:
+        pf.advise(0)
+        assert pf.wait_idle()
+        assert pf.issued == 1
+        assert pf.bytes_prefetched == sum(c.length for c in fragments[1])
+
+
+def test_depth_covers_multiple_fragments(fragments):
+    with ReadaheadPrefetcher(fragments, depth=2) as pf:
+        pf.advise(0)
+        assert pf.wait_idle()
+        assert pf.issued == 2
+
+
+def test_fragments_are_prefetched_once(fragments):
+    with ReadaheadPrefetcher(fragments, depth=1) as pf:
+        pf.advise(0)
+        pf.advise(0)  # duplicate advise must not re-read
+        assert pf.wait_idle()
+        assert pf.issued == 1
+
+
+def test_last_fragment_has_nothing_to_prefetch(fragments):
+    with ReadaheadPrefetcher(fragments, depth=1) as pf:
+        pf.advise(len(fragments) - 1)
+        assert pf.wait_idle()
+        assert pf.issued == 0
+
+
+def test_depth_zero_is_a_noop(fragments):
+    with ReadaheadPrefetcher(fragments, depth=0) as pf:
+        pf.advise(0)
+        assert pf.wait_idle()
+        assert pf.issued == 0
+
+
+def test_negative_depth_rejected(fragments):
+    with pytest.raises(ValueError):
+        ReadaheadPrefetcher(fragments, depth=-1)
+
+
+def test_counters_reach_observability(fragments):
+    obs = Observability(enabled=False)
+    with ReadaheadPrefetcher(fragments, depth=1, obs=obs) as pf:
+        pf.advise(0)
+        assert pf.wait_idle()
+    ctr = obs.metrics.counters
+    assert ctr["tier.prefetch.issued"] == 1
+    assert ctr["tier.prefetch.bytes"] == pf.bytes_prefetched
+
+
+def test_missing_file_is_counted_not_raised(tmp_path):
+    obs = Observability(enabled=False)
+    ghost = [[FileChunk(str(tmp_path / "nope"), 0, 100)]] * 2
+    with ReadaheadPrefetcher(ghost, depth=1, obs=obs) as pf:
+        pf.advise(0)
+        assert pf.wait_idle()
+    assert obs.metrics.counters["tier.prefetch.failed"] == 1
+
+
+def test_close_is_idempotent_and_stops_work(fragments):
+    pf = ReadaheadPrefetcher(fragments, depth=1)
+    pf.close()
+    pf.close()
+    pf.advise(0)  # after close: ignored
+    assert pf.issued == 0

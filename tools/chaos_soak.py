@@ -64,15 +64,18 @@ from repro.workloads import ArrivalProcess  # noqa: E402
 from repro.exec import LocalMapReduce  # noqa: E402
 from repro.exec.outofcore import install_signal_cleanup, live_spill_dirs  # noqa: E402
 from repro.faults import (  # noqa: E402
+    FaultInjector,
     FaultPlan,
     FaultRule,
     distributed_chaos_plan,
     recovery_chaos_plan,
     standard_engine_plan,
     standard_plan,
+    tier_chaos_plan,
     transport_chaos_plan,
 )
 from repro.obs import Observability  # noqa: E402
+from repro.tier import TieredStore, live_tier_dirs  # noqa: E402
 from repro.obs import flight as _flight  # noqa: E402
 from repro.obs.export import write_chrome  # noqa: E402
 from repro.units import MB  # noqa: E402
@@ -804,6 +807,145 @@ def transport_case(seed: int, quick: bool, trace_dir: str | None) -> list:
         ]
 
 
+# -- tier case ---------------------------------------------------------------
+
+#: chaos tier sized against the ~16 KB runs the wordcount input spills:
+#: one run of mem (every admit demotes its predecessor) and seven runs
+#: of SSD for the 8-run workload (capacity eviction fires, but enough
+#: runs stay resident that every tier.read rule reaches its firing
+#: index during the merge's warm reads)
+_TIER_CHAOS_MEM = 20 * 1024
+_TIER_CHAOS_SSD = 112 * 1024
+#: smaller fragments than the engine case -> ~6 runs even in --quick,
+#: enough warm reads for every tier.read rule to reach its firing index
+_TIER_CHAOS_BUDGET = 48 * 1024
+_TIER_CHAOS_CHUNK = 16 * 1024
+#: each disruption class (lost run, degraded read, corrupt read) can
+#: cost one merge attempt, so the stacked plan needs a deeper budget
+#: than the engine default
+_TIER_CHAOS_RETRIES = 4
+
+
+def _run_tier_once(path: str, seed: int, chaos: bool, trace: bool,
+                   background: bool = False):
+    """One out-of-core run through a deliberately tiny burst buffer.
+
+    The store and the engine share one injector, so ``tier.*`` and
+    engine-side sites draw from the same plan.  ``background`` enables
+    the real write-back drain thread; the deterministic (synchronous)
+    variant is what the coverage and reproducibility checks run on,
+    because a background drain interleaves its fault decisions with the
+    engine thread's and the injection order stops being a pure function
+    of the seed.
+    """
+    obs = Observability(enabled=trace)
+    inj = FaultInjector(tier_chaos_plan(seed), obs=obs) if chaos else None
+    store = TieredStore(
+        _TIER_CHAOS_MEM, _TIER_CHAOS_SSD,
+        obs=obs, faults=inj, writeback=background, name="chaos-tier",
+    )
+    engine = LocalMapReduce(
+        _wc_map,
+        combine_fn=_wc_combine,
+        n_workers=2,
+        memory_budget=_TIER_CHAOS_BUDGET,
+        obs=obs,
+        faults=inj,
+        tier=store,
+        readahead=1,
+        spill_retries=_TIER_CHAOS_RETRIES,
+    )
+    tier_dir = store.ssd_dir
+    try:
+        result = engine.run(path, chunk_bytes=_TIER_CHAOS_CHUNK)
+    finally:
+        engine.close()
+        store.close()
+    return pickle.dumps(result.output), engine, result, tier_dir
+
+
+def tier_kill_writeback_case(seed: int, quick: bool, trace_dir: str | None) -> list:
+    """Kill write-backs, degrade and corrupt warm reads, wedge an eviction.
+
+    The burst buffer's contract under fire: every entry the tier loses
+    (dropped write-back, degraded read, capacity eviction racing the
+    merge) degrades to a recompute from the durable input file, and a
+    corrupted warm read is caught by the spill framing's crc — so the
+    output stays byte-identical to a tier-less run and no tier directory
+    survives ``close()``.  Loss costs time, never answers.
+    """
+    install_signal_cleanup()
+    with tempfile.TemporaryDirectory(prefix="chaos-soak-") as tmpdir:
+        path = _make_engine_input(tmpdir, quick)
+        baseline, _, base_res, _ = _run_tier_once(
+            path, seed, chaos=False, trace=False,
+        )
+        output, engine, res, tier_dir = _run_tier_once(
+            path, seed, chaos=True, trace=bool(trace_dir),
+        )
+        output2, engine2, _, _ = _run_tier_once(
+            path, seed, chaos=True, trace=False,
+        )
+        # the real background drain thread, gated on the answer and the
+        # leak check only (its injection interleaving is not seeded)
+        output_bg, _, _, tier_dir_bg = _run_tier_once(
+            path, seed, chaos=True, trace=False, background=True,
+        )
+
+        fired = engine.faults.fired_by_site()
+        plan = tier_chaos_plan(seed)
+        want = {(r.site, r.action) for r in plan.rules}
+        actions = {(sig[1], sig[2]) for sig in engine.faults.signatures()}
+        missing = sorted(f"{s}:{a}" for s, a in want - actions)
+        counters = engine.obs.metrics.snapshot()["counters"]
+        leftover_tiers = live_tier_dirs() + [
+            d for d in (tier_dir, tier_dir_bg) if os.path.isdir(d)
+        ]
+        leftover_spills = live_spill_dirs() + glob.glob(
+            os.path.join(tempfile.gettempdir(), "localmr-spill-*")
+        )
+
+        if trace_dir:
+            write_chrome(
+                engine.obs,
+                os.path.join(trace_dir, "chaos-tier.json"),
+                extra={"faults": fired},
+            )
+        return [
+            ("output identical", output == baseline,
+             f"{len(baseline)} bytes, {res.n_fragments} runs through the tier"),
+            ("background drain identical", output_bg == baseline,
+             "write-back thread on"),
+            ("all rules fired", not missing,
+             f"fired {fired}" + (f", missing {missing}" if missing else "")),
+            ("lost write-back recomputed",
+             counters.get("tier.writeback.lost", 0) >= 1
+             and counters.get("tier.spill.lost", 0) >= 1
+             and counters.get("localmr.recompute", 0) >= 1,
+             f"{int(counters.get('tier.writeback.lost', 0))} lost, "
+             f"{int(counters.get('tier.spill.lost', 0))} found by sweep, "
+             f"{int(counters.get('localmr.recompute', 0))} recomputes"),
+            ("eviction pressure exercised",
+             counters.get("tier.evict.stuck", 0) >= 1
+             and counters.get("tier.demote", 0) >= 1,
+             f"{int(counters.get('tier.evict.stuck', 0))} wedged, "
+             f"{int(counters.get('tier.evict.capacity', 0))} evicted, "
+             f"{int(counters.get('tier.demote', 0))} demoted"),
+            ("injection reproducible",
+             engine.faults.signatures() == engine2.faults.signatures()
+             and output2 == baseline,
+             f"{engine.faults.injections} injections"),
+            ("retries bounded",
+             counters.get("retry.spill_merge", 0) <= _TIER_CHAOS_RETRIES,
+             f"{int(counters.get('retry.spill_merge', 0))} merge retries "
+             f"(budget {_TIER_CHAOS_RETRIES})"),
+            ("no tier dirs leaked", not leftover_tiers,
+             f"{leftover_tiers or 'clean'}"),
+            ("no spill dirs leaked", not leftover_spills,
+             f"{leftover_spills or 'clean'}"),
+        ]
+
+
 # -- driver ------------------------------------------------------------------
 
 
@@ -853,6 +995,9 @@ def main(argv: list[str] | None = None) -> int:
                   lambda: engine_case(args.seed, args.quick, args.trace)))
     cases.append(("transport:kill-midslot",
                   lambda: transport_case(args.seed, args.quick, args.trace)))
+    cases.append(("tier:kill-writeback",
+                  lambda: tier_kill_writeback_case(
+                      args.seed, args.quick, args.trace)))
     if args.only:
         cases = [(name, run) for name, run in cases if args.only in name]
         if not cases:

@@ -5,6 +5,7 @@ Usage:  python tools/perf_gate.py [--quick] [--repeats N] [--out PATH]
         python tools/perf_gate.py [--quick] --real [--start-method M]
         python tools/perf_gate.py [--quick] --serving
         python tools/perf_gate.py [--quick] --distributed
+        python tools/perf_gate.py [--quick] --tier
 
 Default mode runs the microbenchmark grid from
 ``benchmarks/bench_shuffle.py`` (engines x workloads x sizes), verifies on
@@ -33,6 +34,15 @@ all held in quick mode too because they run in deterministic simulated
 time: 2-SD throughput >= 1.5x 1-SD at equal offered load, weighted
 fair-share completed-work ratio within 20% of the configured weights,
 and result-cache hit/invalidate behaviour.
+
+``--tier`` runs the burst-buffer tier suite from
+``benchmarks/bench_tier.py`` and writes ``BENCH_tier.json``.  Two gates,
+both held in quick mode: a warm out-of-core rerun through a populated
+:class:`~repro.tier.store.TieredStore` must beat the cold run >= 1.3x
+with byte-identical output (real wall-clock, ample margin), and the
+simulated duo SD with one fragment of readahead must beat the identical
+no-readahead tier in deterministic simulated seconds with a nonzero
+prefetch-hit byte count.
 
 ``--distributed`` runs the distributed single-job suite from
 ``benchmarks/bench_distributed.py`` (one job sharded across N SD
@@ -404,6 +414,75 @@ def run_distributed_gate(args) -> int:
     return 0
 
 
+def run_tier_gate(args) -> int:
+    """The ``--tier`` path: burst-buffer suite -> BENCH_tier.json."""
+    from benchmarks.bench_tier import PREFETCH_GATE, WARM_GATE, run_tier_suite
+
+    t0 = time.perf_counter()
+    payload = run_tier_suite(quick=args.quick)
+    if payload["real"]["outputs_match"] and not payload["real"]["gate_ok"]:
+        # correctness held but the wall-clock gate missed: one retry
+        # absorbs a transient load spike (the warm margin is ~8-10x
+        # against a 1.3x gate); a real regression fails both runs
+        payload = run_tier_suite(quick=args.quick)
+        payload["retried"] = True
+    elapsed = time.perf_counter() - t0
+    payload["elapsed_s"] = round(elapsed, 3)
+    payload["environment"] = environment_provenance()
+
+    out = args.out or os.path.join(_REPO_ROOT, "BENCH_tier.json")
+    with open(out, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+    r, s = payload["real"], payload["sim"]
+    print(
+        f"tier (real): cold {r['cold_s']:.3f}s vs warm {r['warm_s']:.3f}s "
+        f"=> {r['warm_speedup']:.2f}x (gate >= {WARM_GATE}x); "
+        f"{r['runs_reused_warm']} runs reused over 2 warm passes"
+    )
+    print(
+        f"tier (sim): no-readahead {s['no_readahead_s']:.2f}s vs readahead "
+        f"{s['readahead_s']:.2f}s => {s['prefetch_speedup']:.2f}x "
+        f"(gate >= {PREFETCH_GATE}x); "
+        f"{s['prefetch_hit_bytes'] / 1e6:.0f}MB served from prefetched blocks"
+    )
+    print(f"wrote {out} ({elapsed:.1f}s)")
+
+    if not (r["outputs_match"] and s["outputs_match"]):
+        print(
+            "FAIL: tiered outputs differ from the tier-less reference",
+            file=sys.stderr,
+        )
+        return 1
+    failures = []
+    if r["warm_speedup"] < WARM_GATE:
+        failures.append(
+            f"warm-tier speedup {r['warm_speedup']:.2f}x < {WARM_GATE}x"
+        )
+    if not r["gate_ok"]:
+        if r["tier_dir_leaked"]:
+            failures.append("tier directory leaked after close")
+        if r["runs_reused_warm"] < 2 * r["n_runs"]:
+            failures.append(
+                f"warm passes reused {r['runs_reused_warm']} runs, "
+                f"expected {2 * r['n_runs']}"
+            )
+    if s["prefetch_speedup"] < PREFETCH_GATE:
+        failures.append(
+            f"readahead speedup {s['prefetch_speedup']:.2f}x < "
+            f"{PREFETCH_GATE}x"
+        )
+    if s["prefetch_hit_bytes"] <= 0:
+        failures.append("no bytes served from prefetched blocks")
+    if failures:
+        for msg in failures:
+            print(f"GATE: {msg}", file=sys.stderr)
+        return 2
+    print("tier gates hold: warm reuse, readahead overlap, byte identity")
+    return 0
+
+
 def _maybe_dump(rc: int, args) -> int:
     """On gate failure with ``--dump-dir``, write black boxes; passthrough rc."""
     if rc != 0 and args.dump_dir:
@@ -434,6 +513,10 @@ def main(argv: list[str] | None = None) -> int:
         help="gate the distributed single-job (sharded) suite instead",
     )
     ap.add_argument(
+        "--tier", action="store_true",
+        help="gate the burst-buffer tier suite instead",
+    )
+    ap.add_argument(
         "--start-method", default=None,
         choices=("fork", "forkserver", "spawn"),
         help="(--real only) multiprocessing start method for the engine",
@@ -457,8 +540,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
 
-    if sum((args.real, args.serving, args.distributed)) > 1:
-        ap.error("--real, --serving and --distributed are mutually exclusive")
+    if sum((args.real, args.serving, args.distributed, args.tier)) > 1:
+        ap.error(
+            "--real, --serving, --distributed and --tier are mutually exclusive"
+        )
     if args.dump_dir:
         _flight.install_default()
     if args.real:
@@ -467,6 +552,8 @@ def main(argv: list[str] | None = None) -> int:
         return _maybe_dump(run_serving_gate(args), args)
     if args.distributed:
         return _maybe_dump(run_distributed_gate(args), args)
+    if args.tier:
+        return _maybe_dump(run_tier_gate(args), args)
     if args.out is None:
         args.out = os.path.join(_REPO_ROOT, "BENCH_shuffle.json")
 

@@ -38,6 +38,11 @@ Reads either export format (Chrome-trace/Perfetto JSON or JSONL, see
   ``shuffle.exchange`` leg itself lands on the job's ``dist:*`` track,
   so ``critpath --containment --root dist.job`` shows the exchange on
   the critical path when it dominates;
+* a tier section (burst-buffer hit-rate table across the cache
+  hierarchy's levels, promotion/demotion and eviction-by-cause counters,
+  write-back volume/losses, and the prefetch-win breakdown — how many
+  prefetched blocks a later read actually consumed) whenever the run
+  touched a tier (``tier.*`` counters present);
 * a recovery section (partial vs full restart counters, speculation
   launches and win rate, node quarantine/probation/rejoin transitions,
   and per-node suspicion sparklines from the ``node.suspicion.<name>``
@@ -159,6 +164,68 @@ def distributed_view(metrics: dict) -> str:
     for name, value in rows:
         unit = " B" if name == "shuffle.bytes" else ""
         lines.append(f"{name:<{width}} {int(value):>9}{unit}")
+    return "\n".join(lines)
+
+
+def tier_view(metrics: dict) -> str:
+    """The burst-buffer section ("" when no tier was in the path).
+
+    Three blocks: the hit table (where reads were answered), the
+    lifecycle counters (promotions, demotions, evictions by cause,
+    write-back traffic and losses, warm-run reuse), and the prefetch-win
+    breakdown (issued vs actually consumed by a later read).
+    """
+    counters = metrics.get("counters") or {}
+    if not any(k.startswith("tier.") for k in counters):
+        return ""
+
+    def c(name: str) -> int:
+        return int(counters.get(name, 0))
+
+    lines = ["burst-buffer tier", "-" * 24]
+
+    hit_mem, hit_ssd, miss = c("tier.hit.mem"), c("tier.hit.ssd"), c("tier.miss")
+    lookups = hit_mem + hit_ssd + miss
+    if lookups:
+        lines.append(f"{'level':<12} {'hits':>8} {'share':>7}")
+        for label, n in (("mem", hit_mem), ("ssd", hit_ssd), ("miss -> disk", miss)):
+            lines.append(f"{label:<12} {n:>8} {n / lookups:>6.0%}")
+        lines.append(
+            f"hit rate: {(hit_mem + hit_ssd) / lookups:.0%} over {lookups} lookups"
+        )
+    hb, mb = c("tier.bytes.hit"), c("tier.bytes.miss")
+    if hb or mb:
+        lines.append(f"bytes: {hb} from tier, {mb} from disk")
+
+    lifecycle = [
+        ("tier.promote", "promotions (ssd -> mem)"),
+        ("tier.demote", "demotions (mem -> ssd)"),
+        ("tier.evict.capacity", "evictions: capacity"),
+        ("tier.evict.invalidation", "evictions: invalidation"),
+        ("tier.evict.stuck", "evictions: stuck (faulted)"),
+        ("tier.writeback.bytes", "write-back bytes drained"),
+        ("tier.writeback.retry", "write-back retries"),
+        ("tier.writeback.lost", "write-back entries lost"),
+        ("tier.read.degraded", "reads degraded to disk"),
+        ("tier.read.corrupted", "reads corrupted (crc-caught)"),
+        ("tier.spill.reuse", "warm spill runs reused"),
+        ("tier.spill.lost", "spill runs recomputed (lost)"),
+    ]
+    rows = [(label, c(name)) for name, label in lifecycle if c(name)]
+    if rows:
+        width = max(len(label) for label, _ in rows)
+        lines += [f"{label:<{width}} {value:>9}" for label, value in rows]
+
+    issued = c("tier.prefetch.issued")
+    if issued:
+        won = c("tier.prefetch.hit")
+        lines.append(
+            f"prefetch: {issued} issued ({c('tier.prefetch.bytes')} B), "
+            f"{won} consumed by reads"
+            + (f" ({won / issued:.0%} win rate)" if won else "")
+        )
+        if c("tier.prefetch.failed"):
+            lines.append(f"prefetch failures: {c('tier.prefetch.failed')}")
     return "\n".join(lines)
 
 
@@ -335,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
     reliability = reliability_view(metrics)
     scheduler = scheduler_view(metrics, series)
     distributed = distributed_view(metrics)
+    tier = tier_view(metrics)
     recovery = recovery_view(metrics, series)
     if view == "critpath":
         if args.containment:
@@ -357,6 +425,8 @@ def main(argv: list[str] | None = None) -> int:
         print("\n" + scheduler)
     if distributed:
         print("\n" + distributed)
+    if tier:
+        print("\n" + tier)
     if recovery:
         print("\n" + recovery)
     return 0
